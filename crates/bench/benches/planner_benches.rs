@@ -1,0 +1,151 @@
+//! Criterion benches for the planner-facing experiments (Figs. 12–15):
+//! the planning paths whose *runtimes* the paper reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+use raqo_core::{PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::JoinCostModel;
+use raqo_planner::RandomizedConfig;
+use raqo_resource::{CacheLookup, ClusterConditions};
+use std::hint::black_box;
+
+fn fast_randomized() -> PlannerKind {
+    PlannerKind::FastRandomized(RandomizedConfig {
+        restarts: 4,
+        rounds_per_join: 4,
+        epsilon: 0.05,
+        seed: 17,
+    })
+}
+
+/// Fig. 12: QO vs RAQO planning time per TPC-H query (Selinger).
+fn fig12_raqo_planning(c: &mut Criterion) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let mut group = c.benchmark_group("fig12_raqo_planning");
+    for query in QuerySpec::tpch_suite(&schema) {
+        group.bench_with_input(BenchmarkId::new("qo", &query.name), &query, |b, q| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                ResourceStrategy::HillClimb,
+            );
+            b.iter(|| black_box(opt.plan_for_resources(q, 10.0, 4.0)));
+        });
+        group.bench_with_input(BenchmarkId::new("raqo", &query.name), &query, |b, q| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                ResourceStrategy::HillClimb,
+            );
+            b.iter(|| black_box(opt.optimize(q)));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 13: brute force vs hill climbing on the All query.
+fn fig13_hillclimb(c: &mut Criterion) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let query = QuerySpec::tpch_all(&schema);
+    let mut group = c.benchmark_group("fig13_hillclimb");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("brute_force", ResourceStrategy::BruteForce),
+        ("hill_climb", ResourceStrategy::HillClimb),
+    ] {
+        group.bench_function(name, |b| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                strategy,
+            );
+            b.iter(|| black_box(opt.optimize(&query)));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 14: hill climbing with and without the resource-plan cache.
+fn fig14_cache(c: &mut Criterion) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let query = QuerySpec::tpch_all(&schema);
+    let mut group = c.benchmark_group("fig14_cache");
+    let variants: [(&str, ResourceStrategy); 3] = [
+        ("hc_uncached", ResourceStrategy::HillClimb),
+        (
+            "hc_cache_nn_0.01",
+            ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
+        ),
+        (
+            "hc_cache_wa_0.1",
+            ResourceStrategy::HillClimbCached(CacheLookup::WeightedAverage { threshold: 0.1 }),
+        ),
+    ];
+    for (name, strategy) in variants {
+        group.bench_function(name, |b| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                strategy,
+            );
+            b.iter(|| {
+                // Per-query caching: cold cache each run, as the paper
+                // measures it.
+                opt.clear_cache();
+                black_box(opt.optimize(&query))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 15(a): planning a growing random join with the randomized planner.
+fn fig15_scale(c: &mut Criterion) {
+    let schema = RandomSchemaConfig::with_tables(100, 5).generate();
+    let model = JoinCostModel::trained_hive_extended();
+    let cluster = ClusterConditions::paper_default();
+    let mut group = c.benchmark_group("fig15_scale");
+    group.sample_size(10);
+    for k in [16usize, 44, 100] {
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, k as u64);
+        group.bench_with_input(BenchmarkId::new("raqo_cached", k), &query, |b, q| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                fast_randomized(),
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                    threshold: 0.01,
+                }),
+            );
+            b.iter(|| {
+                opt.clear_cache();
+                black_box(opt.optimize(q))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12_raqo_planning, fig13_hillclimb, fig14_cache, fig15_scale);
+criterion_main!(benches);

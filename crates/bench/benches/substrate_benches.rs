@@ -1,0 +1,119 @@
+//! Criterion micro-benches for the substrates the planning experiments
+//! lean on: resource-space search primitives, the cache, cost-model
+//! evaluation, CART training, and the simulator sweeps behind Figs. 1–9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raqo_cost::features::feature_vector;
+use raqo_cost::{JoinCostModel, OperatorCost};
+use raqo_dtree::{CartConfig, Sample};
+use raqo_resource::{
+    brute_force, hill_climb, CacheLookup, ClusterConditions, ResourceConfig, ResourcePlanCache,
+};
+use raqo_sim::engine::{Engine, JoinImpl};
+use raqo_sim::profile::{labeled_grid, ProfileGrid};
+use raqo_sim::queue::{simulate, QueueSimConfig};
+use raqo_sim::sweeps::switch_point_small_size;
+use std::hint::black_box;
+
+/// The §VI-B search primitives on the learned quadratic surface.
+fn resource_search(c: &mut Criterion) {
+    let model = JoinCostModel::trained_hive();
+    let cost = |r: &ResourceConfig| -> f64 {
+        model
+            .join_cost(JoinImpl::SortMerge, 2.0, 77.0, r.containers(), r.container_size_gb())
+            .unwrap()
+    };
+    let mut group = c.benchmark_group("resource_search");
+    for (name, cluster) in [
+        ("100x10", ClusterConditions::paper_default()),
+        ("1000x10", ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0)),
+    ] {
+        group.bench_function(BenchmarkId::new("brute_force", name), |b| {
+            b.iter(|| black_box(brute_force(&cluster, cost)))
+        });
+        group.bench_function(BenchmarkId::new("hill_climb", name), |b| {
+            b.iter(|| black_box(hill_climb(&cluster, cluster.min, cost)))
+        });
+    }
+    group.finish();
+}
+
+/// Sorted-array cache lookups at growing cache sizes.
+fn cache_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_lookup");
+    for n in [16usize, 256, 4096] {
+        let mut cache = ResourcePlanCache::new();
+        for i in 0..n {
+            cache.insert(i as f64, ResourceConfig::containers_and_size(10.0, 4.0));
+        }
+        group.bench_with_input(BenchmarkId::new("exact_hit", n), &n, |b, &n| {
+            b.iter(|| black_box(cache.lookup((n / 2) as f64, CacheLookup::Exact)))
+        });
+        group.bench_with_input(BenchmarkId::new("nn_miss_then_near", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(cache.lookup(
+                    n as f64 / 2.0 + 0.25,
+                    CacheLookup::NearestNeighbor { threshold: 0.5 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One learned-model prediction (the hot operation of all planning).
+fn cost_model_eval(c: &mut Criterion) {
+    let model = JoinCostModel::trained_hive();
+    c.bench_function("cost_model/predict", |b| {
+        b.iter(|| black_box(model.join_cost(JoinImpl::SortMerge, 2.0, 77.0, 40.0, 6.0)))
+    });
+    c.bench_function("cost_model/feature_vector", |b| {
+        b.iter(|| black_box(feature_vector(2.0, 6.0, 40.0)))
+    });
+}
+
+/// CART training on the Fig. 11 grid (the §V "one-time investment").
+fn cart_training(c: &mut Criterion) {
+    let engine = Engine::hive();
+    let grid = ProfileGrid::paper_default();
+    let samples: Vec<Sample> = labeled_grid(&engine, &grid)
+        .into_iter()
+        .map(|l| Sample::new(l.features().to_vec(), (l.best == JoinImpl::SortMerge) as usize))
+        .collect();
+    c.bench_function("cart/fit_fig11_grid", |b| {
+        b.iter(|| {
+            black_box(CartConfig::default().fit(
+                &samples,
+                vec!["d".into(), "cs".into(), "nc".into(), "tc".into()],
+                vec!["BHJ".into(), "SMJ".into()],
+            ))
+        })
+    });
+}
+
+/// The simulator paths behind Figs. 1, 4, and 9.
+fn simulator(c: &mut Criterion) {
+    let engine = Engine::hive();
+    c.bench_function("sim/join_time", |b| {
+        b.iter(|| black_box(engine.join_time(JoinImpl::SortMerge, 3.4, 77.0, 20.0, 3.0)))
+    });
+    c.bench_function("sim/switch_point", |b| {
+        b.iter(|| black_box(switch_point_small_size(&engine, 77.0, 10.0, 9.0, 0.1, 12.0)))
+    });
+    let mut group = c.benchmark_group("sim/queue");
+    group.sample_size(10);
+    group.bench_function("fig1_default_workload", |b| {
+        b.iter(|| black_box(simulate(&QueueSimConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    resource_search,
+    cache_lookup,
+    cost_model_eval,
+    cart_training,
+    simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! repro --all                  # every figure, full-size sweeps
+//! repro --fig 13               # one figure
+//! repro --fig 15 --quick       # reduced sweep sizes
+//! repro --all --json out.json  # machine-readable tables as well
+//! repro --list                 # what exists
+//! ```
+
+use raqo_bench::experiments::registry;
+use raqo_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let all = args.iter().any(|a| a == "--all");
+    let fig = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let experiments = registry();
+
+    if list || (!all && fig.is_none()) {
+        println!("Available experiments (run with --fig <id> or --all):");
+        for e in &experiments {
+            println!("  --fig {:>2}  {}", e.id, e.title);
+        }
+        if !list {
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|e| all || fig.as_deref() == Some(e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment with id {fig:?}; try --list");
+        std::process::exit(2);
+    }
+
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut all_tables: Vec<(String, Vec<Table>)> = Vec::new();
+    for e in selected {
+        println!("=== Figure {} — {} ===\n", e.id, e.title);
+        let tables = (e.run)(quick);
+        for table in &tables {
+            table.print();
+        }
+        all_tables.push((e.id.to_string(), tables));
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all_tables).expect("tables serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote JSON tables to {path}");
+    }
+}

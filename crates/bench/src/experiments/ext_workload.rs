@@ -1,0 +1,205 @@
+//! Extension experiment E1/E2 (beyond the paper's figures): end-to-end
+//! *workload* execution through the shared-cluster scheduler.
+//!
+//! The paper evaluates per-query plan quality and planner overhead; its
+//! §VIII agenda asks how RAQO should interact with the DAG scheduler when
+//! the requested resources are busy. This experiment closes that loop:
+//!
+//! * **E1 — workload throughput**: a bursty workload of TPC-H-derived join
+//!   queries runs on a fixed memory pool, planned either the current
+//!   two-step way (default 10 MB rule + one fixed resource guess for
+//!   everything) or by RAQO (joint per-operator plans);
+//! * **E2 — contention policies**: the same RAQO workload under the three
+//!   scheduler answers to "resources not available": delay, shrink, or
+//!   pick the best RAQO-provided alternative at admission.
+
+use crate::Table;
+use raqo_catalog::tpch::{table, TpchSchema};
+use raqo_catalog::QuerySpec;
+use raqo_core::adaptive::plan_to_job;
+use raqo_core::{PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::SimOracleCost;
+use raqo_resource::ClusterConditions;
+use raqo_sim::engine::Engine;
+use raqo_sim::scheduler::{
+    makespan_sec, mean_completion_sec, ContentionPolicy, JobSpec, Scheduler, StageCandidate,
+    StageSpec,
+};
+
+/// The workload: per burst, one instance of each query template, bursts
+/// spaced closely enough to contend.
+fn query_mix() -> Vec<QuerySpec> {
+    vec![QuerySpec::tpch_q12(), QuerySpec::tpch_q3(), QuerySpec::tpch_q2()]
+}
+
+/// The shared pool: the paper's 100 × 10 GB evaluation cluster.
+const POOL_GB: f64 = 1000.0;
+const BURST_GAP_SEC: f64 = 120.0;
+
+fn schema() -> TpchSchema {
+    let mut s = TpchSchema::sf100();
+    // Sample orders down (the paper's own trick) so both joins have
+    // broadcastable sides and plan choice genuinely matters.
+    s.catalog.sample_table(table::ORDERS, 0.05);
+    s
+}
+
+/// Two-step jobs: plan with the default rule at one fixed guess; every
+/// stage requests that same fixed configuration.
+fn two_step_jobs(schema: &TpchSchema, bursts: usize, guess: (f64, f64)) -> Vec<JobSpec> {
+    let model = SimOracleCost::hive();
+    let engine = Engine::hive();
+    let (nc, cs) = guess;
+    let mut opt = RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        &model,
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimb,
+    );
+    let mut jobs = Vec::new();
+    for b in 0..bursts {
+        for query in query_mix() {
+            let planned = opt.plan_for_resources(&query, nc, cs).expect("plan");
+            let stages = planned
+                .joins
+                .iter()
+                .map(|join| {
+                    // The default 10 MB rule: SMJ unless the build side is
+                    // under 10 MB (none here is) — re-derive the duration
+                    // honestly from the engine at the fixed guess.
+                    let duration = engine
+                        .join_time(join.decision.join, join.io.build_gb, join.io.probe_gb, nc, cs)
+                        .expect("fixed-guess join runs");
+                    StageSpec::single(StageCandidate {
+                        containers: nc,
+                        container_size_gb: cs,
+                        duration_sec: duration,
+                    })
+                })
+                .collect();
+            jobs.push(JobSpec { arrival_sec: b as f64 * BURST_GAP_SEC, stages });
+        }
+    }
+    jobs
+}
+
+/// RAQO jobs: joint per-operator plans, with fallback alternatives for the
+/// adaptive policy.
+fn raqo_jobs(schema: &TpchSchema, bursts: usize) -> Vec<JobSpec> {
+    let model = SimOracleCost::hive();
+    let cluster = ClusterConditions::paper_default();
+    let mut opt = RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        &model,
+        cluster,
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimb,
+    );
+    let mut jobs = Vec::new();
+    for b in 0..bursts {
+        for query in query_mix() {
+            let plan = opt.optimize(&query).expect("plan");
+            let mut job = plan_to_job(&plan, &model, &cluster, b as f64 * BURST_GAP_SEC);
+            job.arrival_sec = b as f64 * BURST_GAP_SEC;
+            jobs.push(job);
+        }
+    }
+    jobs
+}
+
+#[derive(Debug, Clone)]
+pub struct WorkloadOutcome {
+    pub label: &'static str,
+    pub mean_completion_sec: f64,
+    pub makespan_sec: f64,
+    pub mean_queued_sec: f64,
+}
+
+fn run_workload(label: &'static str, jobs: &[JobSpec], policy: ContentionPolicy) -> WorkloadOutcome {
+    let scheduler = Scheduler::new(POOL_GB, policy);
+    let outcomes = scheduler.run(jobs);
+    WorkloadOutcome {
+        label,
+        mean_completion_sec: mean_completion_sec(&outcomes),
+        makespan_sec: makespan_sec(&outcomes),
+        mean_queued_sec: outcomes.iter().map(|o| o.queued_sec).sum::<f64>()
+            / outcomes.len() as f64,
+    }
+}
+
+/// E1 + E2 measurements.
+pub fn measure(quick: bool) -> Vec<WorkloadOutcome> {
+    let schema = schema();
+    let bursts = if quick { 3 } else { 8 };
+    let two_step = two_step_jobs(&schema, bursts, (10.0, 4.0));
+    let raqo = raqo_jobs(&schema, bursts);
+    vec![
+        run_workload("two-step (default rule, fixed 10x4GB, delay)", &two_step, ContentionPolicy::Delay),
+        run_workload("RAQO (joint plans, delay)", &raqo, ContentionPolicy::Delay),
+        run_workload("RAQO (joint plans, shrink)", &raqo, ContentionPolicy::Shrink),
+        run_workload("RAQO (joint plans + alternatives)", &raqo, ContentionPolicy::BestAlternative),
+    ]
+}
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "E1/E2 — workload execution on a 1 TB shared pool (TPC-H-derived mix)",
+        &["configuration", "mean completion (s)", "mean queued (s)", "makespan (s)"],
+    );
+    for o in measure(quick) {
+        t.row(vec![
+            o.label.into(),
+            o.mean_completion_sec.into(),
+            o.mean_queued_sec.into(),
+            o.makespan_sec.into(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_raqo_beats_two_step_practice() {
+        // The robust headline: RAQO with runtime alternatives beats the
+        // two-step baseline. (Plain delay-scheduled RAQO can actually
+        // *lose* at high contention — its resource-greedy requests queue
+        // behind each other, which is precisely the §VIII concern this
+        // extension investigates; see EXPERIMENTS.md.)
+        let outcomes = measure(true);
+        let two_step = &outcomes[0];
+        let adaptive = &outcomes[3];
+        assert!(
+            adaptive.mean_completion_sec < two_step.mean_completion_sec,
+            "adaptive RAQO {:.0}s vs two-step {:.0}s",
+            adaptive.mean_completion_sec,
+            two_step.mean_completion_sec
+        );
+    }
+
+    #[test]
+    fn alternatives_policy_never_queues_longer_than_delay() {
+        let outcomes = measure(true);
+        let delay = &outcomes[1];
+        let adaptive = &outcomes[3];
+        assert!(
+            adaptive.mean_queued_sec <= delay.mean_queued_sec + 1e-6,
+            "adaptive queues {:.0}s vs delay {:.0}s",
+            adaptive.mean_queued_sec,
+            delay.mean_queued_sec
+        );
+    }
+
+    #[test]
+    fn outcomes_are_finite_and_positive() {
+        for o in measure(true) {
+            assert!(o.mean_completion_sec.is_finite() && o.mean_completion_sec > 0.0, "{o:?}");
+            assert!(o.makespan_sec > 0.0, "{o:?}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 1: "Varying resource availability on Microsoft clusters" — the
+//! CDF of queue-time/run-time ratios. Our substrate is the synthetic
+//! bursty-workload queue simulator (see `raqo_sim::queue` for the
+//! substitution rationale).
+
+use crate::Table;
+use raqo_sim::queue::{fraction_at_least, ratio_cdf, simulate, QueueSimConfig};
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let config = if quick {
+        QueueSimConfig { bursts: 10, ..Default::default() }
+    } else {
+        QueueSimConfig::default()
+    };
+    let outcomes = simulate(&config);
+
+    let mut cdf = Table::new(
+        "Fig 1 — CDF of queue-time/run-time ratio",
+        &["ratio", "fraction of jobs <= ratio"],
+    );
+    let points = ratio_cdf(&outcomes);
+    // Sample the CDF at round ratios like the figure's log-scale axis.
+    for r in [0.01, 0.1, 0.5, 1.0, 2.0, 4.0, 10.0, 20.0, 50.0, 100.0] {
+        let frac = points.iter().take_while(|(x, _)| *x <= r).last().map_or(0.0, |(_, f)| *f);
+        cdf.row(vec![r.into(), frac.into()]);
+    }
+
+    let mut headline = Table::new(
+        "Fig 1 — headline claims",
+        &["claim", "paper", "measured"],
+    );
+    headline.row(vec![
+        "fraction of jobs with queue >= 1x runtime".into(),
+        ">0.80".into(),
+        fraction_at_least(&outcomes, 1.0).into(),
+    ]);
+    headline.row(vec![
+        "fraction of jobs with queue >= 4x runtime".into(),
+        ">0.20".into(),
+        fraction_at_least(&outcomes, 4.0).into(),
+    ]);
+    vec![cdf, headline]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_cdf_and_headline_tables() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 10);
+        assert_eq!(tables[1].rows.len(), 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Figures 3 and 4: BHJ vs SMJ execution times over varying resources
+//! (Fig. 3) and the movement of their switch points with data size
+//! (Fig. 4), on the Hive substrate.
+
+use crate::{Cell, Table};
+use raqo_sim::engine::{Engine, JoinImpl};
+use raqo_sim::sweeps::switch_point_small_size;
+
+const PROBE_GB: f64 = 77.0; // lineitem at SF 100
+
+fn join_cell(engine: &Engine, join: JoinImpl, ss: f64, nc: f64, cs: f64) -> Cell {
+    engine.join_time(join, ss, PROBE_GB, nc, cs).ok().into()
+}
+
+/// Fig. 3(a): 5.1 GB orders, 10 containers, container size 1–10 GB.
+/// Fig. 3(b): 3.4 GB orders, 3 GB containers, 5–45 containers.
+pub fn run_fig3(quick: bool) -> Vec<Table> {
+    let engine = Engine::hive();
+    let step = if quick { 2 } else { 1 };
+
+    let mut a = Table::new(
+        "Fig 3(a) — varying container size (5.1 GB orders, 10 containers)",
+        &["container GB", "SMJ (s)", "BHJ (s)"],
+    );
+    for cs in (1..=10).step_by(step) {
+        let cs = cs as f64;
+        a.row(vec![
+            cs.into(),
+            join_cell(&engine, JoinImpl::SortMerge, 5.1, 10.0, cs),
+            join_cell(&engine, JoinImpl::BroadcastHash, 5.1, 10.0, cs),
+        ]);
+    }
+
+    let mut b = Table::new(
+        "Fig 3(b) — varying #containers (3.4 GB orders, 3 GB containers)",
+        &["containers", "SMJ (s)", "BHJ (s)"],
+    );
+    for nc in (5..=45).step_by(5 * step) {
+        let nc = nc as f64;
+        b.row(vec![
+            nc.into(),
+            join_cell(&engine, JoinImpl::SortMerge, 3.4, nc, 3.0),
+            join_cell(&engine, JoinImpl::BroadcastHash, 3.4, nc, 3.0),
+        ]);
+    }
+    vec![a, b]
+}
+
+/// Fig. 4(a): execution time over build size for 3 GB vs 9 GB containers
+/// (10 containers). Fig. 4(b): same for 10 vs 40 containers (9 GB).
+pub fn run_fig4(quick: bool) -> Vec<Table> {
+    let engine = Engine::hive();
+    let sizes: Vec<f64> = if quick {
+        vec![1.0, 3.0, 5.0, 7.0]
+    } else {
+        (1..=24).map(|i| i as f64 * 0.5).collect()
+    };
+
+    let mut a = Table::new(
+        "Fig 4(a) — varying data size, 3 GB vs 9 GB containers (10 containers)",
+        &["orders GB", "SMJ 3GB", "BHJ 3GB", "SMJ 9GB", "BHJ 9GB"],
+    );
+    for &ss in &sizes {
+        a.row(vec![
+            ss.into(),
+            join_cell(&engine, JoinImpl::SortMerge, ss, 10.0, 3.0),
+            join_cell(&engine, JoinImpl::BroadcastHash, ss, 10.0, 3.0),
+            join_cell(&engine, JoinImpl::SortMerge, ss, 10.0, 9.0),
+            join_cell(&engine, JoinImpl::BroadcastHash, ss, 10.0, 9.0),
+        ]);
+    }
+
+    let mut b = Table::new(
+        "Fig 4(b) — varying data size, 10 vs 40 containers (9 GB containers)",
+        &["orders GB", "SMJ 10c", "BHJ 10c", "SMJ 40c", "BHJ 40c"],
+    );
+    for &ss in &sizes {
+        b.row(vec![
+            ss.into(),
+            join_cell(&engine, JoinImpl::SortMerge, ss, 10.0, 9.0),
+            join_cell(&engine, JoinImpl::BroadcastHash, ss, 10.0, 9.0),
+            join_cell(&engine, JoinImpl::SortMerge, ss, 40.0, 9.0),
+            join_cell(&engine, JoinImpl::BroadcastHash, ss, 40.0, 9.0),
+        ]);
+    }
+
+    let mut s = Table::new(
+        "Fig 4 — switch points (build-side GB where BHJ stops winning)",
+        &["setting", "paper", "measured", "cause"],
+    );
+    let sp3 = switch_point_small_size(&engine, PROBE_GB, 10.0, 3.0, 0.1, 12.0);
+    let sp9 = switch_point_small_size(&engine, PROBE_GB, 10.0, 9.0, 0.1, 12.0);
+    let sp10 = switch_point_small_size(&engine, PROBE_GB, 10.0, 9.0, 0.1, 12.0);
+    let sp40 = switch_point_small_size(&engine, PROBE_GB, 40.0, 9.0, 0.1, 12.0);
+    s.row(vec!["3 GB containers".into(), "3.4".into(), sp3.small_gb.into(), format!("{:?}", sp3.kind).into()]);
+    s.row(vec!["9 GB containers".into(), "6.4".into(), sp9.small_gb.into(), format!("{:?}", sp9.kind).into()]);
+    s.row(vec!["10 containers".into(), "2.1".into(), sp10.small_gb.into(), format!("{:?}", sp10.kind).into()]);
+    s.row(vec!["40 containers".into(), "3.8".into(), sp40.small_gb.into(), format!("{:?}", sp40.kind).into()]);
+    vec![a, b, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_crossovers_in_both_panels() {
+        let tables = run_fig3(false);
+        // Panel (a): SMJ wins early rows, BHJ wins late rows.
+        let first_winner = |t: &Table, smj_col: usize, bhj_col: usize| -> Vec<i8> {
+            t.rows
+                .iter()
+                .map(|r| match (&r[smj_col], &r[bhj_col]) {
+                    (Cell::Num(s), Cell::Num(b)) => {
+                        if s < b {
+                            1 // SMJ wins
+                        } else {
+                            -1
+                        }
+                    }
+                    (_, Cell::Oom) => 1, // BHJ infeasible: SMJ wins
+                    _ => 0,
+                })
+                .collect()
+        };
+        let a = first_winner(&tables[0], 1, 2);
+        assert_eq!(*a.first().unwrap(), 1, "SMJ must win small containers");
+        assert_eq!(*a.last().unwrap(), -1, "BHJ must win big containers");
+        let b = first_winner(&tables[1], 1, 2);
+        assert_eq!(*b.first().unwrap(), -1, "BHJ must win few containers");
+        assert_eq!(*b.last().unwrap(), 1, "SMJ must win many containers");
+    }
+
+    #[test]
+    fn fig4_switch_point_grows_with_memory() {
+        let tables = run_fig4(true);
+        let s = &tables[2];
+        let get = |row: usize| -> f64 {
+            match s.rows[row][2] {
+                Cell::Num(v) => v,
+                _ => panic!("expected number"),
+            }
+        };
+        assert!(get(1) > get(0), "switch(9GB) must exceed switch(3GB)");
+    }
+}

@@ -1,0 +1,138 @@
+//! Figures 6 and 7: the monetary-cost view of the operator choice.
+//!
+//! §III-C: "either of SMJ and BHJ could be cost effective based on the
+//! available resources. Interestingly, while the switching points remain
+//! the same, the absolute values of monetary value change very
+//! differently."
+
+use crate::{Cell, Table};
+use raqo_sim::engine::{Engine, JoinImpl};
+use raqo_sim::money::monetary_cost_tb_sec;
+use raqo_sim::sweeps::switch_point_small_size;
+
+const PROBE_GB: f64 = 77.0;
+
+fn money_cell(engine: &Engine, join: JoinImpl, ss: f64, nc: f64, cs: f64) -> Cell {
+    engine
+        .join_time(join, ss, PROBE_GB, nc, cs)
+        .ok()
+        .map(|t| monetary_cost_tb_sec(t, nc, cs))
+        .into()
+}
+
+/// Fig. 6: monetary cost over (a) container size, (b) #containers.
+pub fn run_fig6(quick: bool) -> Vec<Table> {
+    let engine = Engine::hive();
+    let step = if quick { 2 } else { 1 };
+
+    let mut a = Table::new(
+        "Fig 6(a) — monetary cost, varying container size (5.1 GB orders, 10 containers)",
+        &["container GB", "SMJ (TB*s)", "BHJ (TB*s)"],
+    );
+    for cs in (1..=10).step_by(step) {
+        let cs = cs as f64;
+        a.row(vec![
+            cs.into(),
+            money_cell(&engine, JoinImpl::SortMerge, 5.1, 10.0, cs),
+            money_cell(&engine, JoinImpl::BroadcastHash, 5.1, 10.0, cs),
+        ]);
+    }
+
+    let mut b = Table::new(
+        "Fig 6(b) — monetary cost, varying #containers (3.4 GB orders, 3 GB containers)",
+        &["containers", "SMJ (TB*s)", "BHJ (TB*s)"],
+    );
+    for nc in (5..=45).step_by(5 * step) {
+        let nc = nc as f64;
+        b.row(vec![
+            nc.into(),
+            money_cell(&engine, JoinImpl::SortMerge, 3.4, nc, 3.0),
+            money_cell(&engine, JoinImpl::BroadcastHash, 3.4, nc, 3.0),
+        ]);
+    }
+    vec![a, b]
+}
+
+/// Fig. 7: monetary switch points over data size. Because money is a
+/// positive multiple of time at fixed resources, the switch points equal
+/// the time switch points — exactly the paper's observation.
+pub fn run_fig7(_quick: bool) -> Vec<Table> {
+    let engine = Engine::hive();
+    let mut t = Table::new(
+        "Fig 7 — monetary switch points over data size",
+        &["setting", "time switch (GB)", "money switch (GB)"],
+    );
+    for (label, nc, cs) in [
+        ("3 GB containers, 10c", 10.0, 3.0),
+        ("9 GB containers, 10c", 10.0, 9.0),
+        ("9 GB containers, 40c", 40.0, 9.0),
+    ] {
+        let time_sp = switch_point_small_size(&engine, PROBE_GB, nc, cs, 0.1, 12.0);
+        let money_sp = money_switch_point(&engine, nc, cs);
+        t.row(vec![label.into(), time_sp.small_gb.into(), money_sp.into()]);
+    }
+    vec![t]
+}
+
+/// Switch point computed on monetary cost directly (scan + bisection).
+pub fn money_switch_point(engine: &Engine, nc: f64, cs: f64) -> f64 {
+    let money = |join: JoinImpl, ss: f64| -> Option<f64> {
+        engine
+            .join_time(join, ss, PROBE_GB, nc, cs)
+            .ok()
+            .map(|t| monetary_cost_tb_sec(t, nc, cs))
+    };
+    let mut prev = 0.1;
+    let mut ss = 0.1;
+    while ss < 12.0 {
+        let bhj = money(JoinImpl::BroadcastHash, ss);
+        let smj = money(JoinImpl::SortMerge, ss).expect("SMJ runs");
+        match bhj {
+            Some(b) if b < smj => prev = ss,
+            _ => return 0.5 * (prev + ss),
+        }
+        ss += 0.05;
+    }
+    12.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn money_switch_points_equal_time_switch_points() {
+        // The §III-C observation, checked quantitatively.
+        let engine = Engine::hive();
+        for (nc, cs) in [(10.0, 3.0), (10.0, 9.0), (40.0, 9.0)] {
+            let time_sp = switch_point_small_size(&engine, PROBE_GB, nc, cs, 0.1, 12.0).small_gb;
+            let money_sp = money_switch_point(&engine, nc, cs);
+            assert!(
+                (time_sp - money_sp).abs() < 0.1,
+                "nc={nc} cs={cs}: time {time_sp:.2} vs money {money_sp:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn absolute_money_differs_between_configs_with_same_winner() {
+        // "the absolute values of monetary value change very differently":
+        // same winner, very different bills.
+        let engine = Engine::hive();
+        let m = |nc: f64, cs: f64| {
+            let t = engine.join_time(JoinImpl::SortMerge, 5.1, PROBE_GB, nc, cs).unwrap();
+            monetary_cost_tb_sec(t, nc, cs)
+        };
+        let cheap = m(10.0, 3.0);
+        let pricey = m(10.0, 10.0);
+        assert!(pricey > 1.5 * cheap, "cheap={cheap:.1} pricey={pricey:.1}");
+    }
+
+    #[test]
+    fn tables_render() {
+        for t in run_fig6(true).iter().chain(run_fig7(true).iter()) {
+            assert!(!t.rows.is_empty());
+            let _ = t.render();
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figures 10 and 11: the default and RAQO decision trees for Hive and
+//! Spark, rendered with the node statistics the paper's figures show
+//! (gini / samples / value / class).
+
+use crate::Table;
+use raqo_core::train_raqo_tree;
+use raqo_dtree::{default_hive_tree, default_spark_tree, DecisionTree};
+use raqo_sim::engine::Engine;
+use raqo_sim::profile::ProfileGrid;
+
+fn tree_table(title: String, tree: &DecisionTree) -> Table {
+    let mut t = Table::new(title, &["tree"]);
+    for line in tree.render().lines() {
+        t.row(vec![line.into()]);
+    }
+    t.row(vec![format!(
+        "max path length = {}, nodes = {}",
+        tree.max_path_len(),
+        tree.node_count()
+    )
+    .into()]);
+    t
+}
+
+pub fn run_fig10(_quick: bool) -> Vec<Table> {
+    vec![
+        tree_table("Fig 10(a) — default Hive join-selection tree".into(), &default_hive_tree()),
+        tree_table("Fig 10(b) — default Spark join-selection tree".into(), &default_spark_tree()),
+    ]
+}
+
+pub fn run_fig11(quick: bool) -> Vec<Table> {
+    let grid = if quick {
+        ProfileGrid {
+            small_gb: vec![0.5, 1.7, 3.4, 5.1],
+            large_gb: 77.0,
+            containers: vec![10.0, 20.0, 40.0],
+            container_size_gb: vec![3.0, 6.0, 9.0],
+        }
+    } else {
+        ProfileGrid::paper_default()
+    };
+    vec![
+        tree_table(
+            "Fig 11(a) — RAQO decision tree for Hive".into(),
+            &train_raqo_tree(&Engine::hive(), &grid),
+        ),
+        tree_table(
+            "Fig 11(b) — RAQO decision tree for Spark".into(),
+            &train_raqo_tree(&Engine::spark(), &grid),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_trees_are_single_rule() {
+        for t in run_fig10(true) {
+            let text = t.render();
+            assert!(text.contains("Data Size (GB) <= 0.01"), "{text}");
+        }
+    }
+
+    #[test]
+    fn fig11_trees_are_deeper_and_resource_aware() {
+        // "The RAQO trees are a bit more complicated, i.e., they have more
+        // branching based on not only the data sizes, but also the
+        // container sizes and the number of containers."
+        for t in run_fig11(true) {
+            let text = t.render();
+            assert!(
+                text.contains("Container Size") || text.contains("Concurrent Containers"),
+                "{text}"
+            );
+        }
+    }
+}

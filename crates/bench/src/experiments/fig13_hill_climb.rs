@@ -1,0 +1,141 @@
+//! Figure 13: "Comparing HillClimbing with Brute Force on TPC-H schema" —
+//! resource configurations explored and planner runtime, per query.
+//!
+//! §VII-B: "In general, hill climbing explores 4 times less resource
+//! configurations than brute force. ... We observe similar improvements in
+//! runtime as well."
+
+use crate::experiments::timed;
+use crate::Table;
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::QuerySpec;
+use raqo_core::{PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::JoinCostModel;
+use raqo_resource::ClusterConditions;
+
+#[derive(Debug, Clone)]
+pub struct HillClimbMeasurement {
+    pub query: String,
+    pub brute_iterations: u64,
+    pub brute_ms: f64,
+    pub hill_iterations: u64,
+    pub hill_ms: f64,
+}
+
+impl HillClimbMeasurement {
+    pub fn iteration_reduction(&self) -> f64 {
+        self.brute_iterations as f64 / self.hill_iterations as f64
+    }
+}
+
+pub fn measure(quick: bool) -> Vec<HillClimbMeasurement> {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let queries = if quick {
+        vec![QuerySpec::tpch_q12(), QuerySpec::tpch_q3()]
+    } else {
+        QuerySpec::tpch_suite(&schema)
+    };
+
+    queries
+        .iter()
+        .map(|query| {
+            let run = |strategy: ResourceStrategy| {
+                let mut opt = RaqoOptimizer::new(
+                    &schema.catalog,
+                    &schema.graph,
+                    &model,
+                    cluster,
+                    PlannerKind::Selinger,
+                    strategy,
+                );
+                let (plan, ms) = timed(|| opt.optimize(query).expect("plan exists"));
+                (plan.stats.resource_iterations, ms)
+            };
+            let (brute_iterations, brute_ms) = run(ResourceStrategy::BruteForce);
+            let (hill_iterations, hill_ms) = run(ResourceStrategy::HillClimb);
+            HillClimbMeasurement {
+                query: query.name.clone(),
+                brute_iterations,
+                brute_ms,
+                hill_iterations,
+                hill_ms,
+            }
+        })
+        .collect()
+}
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 13 — hill climbing vs brute force (Selinger planner, TPC-H)",
+        &[
+            "query",
+            "brute iterations",
+            "HC iterations",
+            "iteration reduction",
+            "brute runtime (ms)",
+            "HC runtime (ms)",
+        ],
+    );
+    for m in measure(quick) {
+        t.row(vec![
+            m.query.clone().into(),
+            m.brute_iterations.into(),
+            m.hill_iterations.into(),
+            m.iteration_reduction().into(),
+            m.brute_ms.into(),
+            m.hill_ms.into(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hill_climbing_substantially_reduces_iterations() {
+        // Paper: ~4x on average. Require >= 2.5x on every query and >= 3.5x
+        // on average.
+        let ms = measure(false);
+        let mut total = 0.0;
+        for m in &ms {
+            let r = m.iteration_reduction();
+            assert!(r >= 2.5, "{}: only {r:.1}x", m.query);
+            total += r;
+        }
+        let avg = total / ms.len() as f64;
+        assert!(avg >= 3.5, "average reduction {avg:.1}x");
+    }
+
+    #[test]
+    fn same_plans_quality_wise() {
+        // Hill climbing may settle in local optima, but on the learned
+        // quadratic surfaces its plans must stay close to brute force.
+        let schema = TpchSchema::new(1.0);
+        let model = JoinCostModel::trained_hive();
+        let cluster = ClusterConditions::paper_default();
+        for query in [QuerySpec::tpch_q3(), QuerySpec::tpch_q2()] {
+            let cost = |strategy| {
+                let mut opt = RaqoOptimizer::new(
+                    &schema.catalog,
+                    &schema.graph,
+                    &model,
+                    cluster,
+                    PlannerKind::Selinger,
+                    strategy,
+                );
+                opt.optimize(&query).unwrap().query.cost
+            };
+            let brute = cost(ResourceStrategy::BruteForce);
+            let hill = cost(ResourceStrategy::HillClimb);
+            assert!(
+                hill <= brute * 1.2 + 1e-9,
+                "{}: hill {hill:.1} vs brute {brute:.1}",
+                query.name
+            );
+        }
+    }
+}

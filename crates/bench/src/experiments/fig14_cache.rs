@@ -1,0 +1,153 @@
+//! Figure 14: "Comparing the effectiveness of caching on TPC-H schema" —
+//! resource iterations and planner runtime for hill climbing alone vs hill
+//! climbing with the nearest-neighbour and weighted-average caches, over
+//! the data-delta (interpolation) threshold.
+//!
+//! §VII-B: "(i) as desired, resource plan caching becomes more effective as
+//! we increase the interpolation, and (ii) both the number of resources
+//! configurations and the planner runtime decrease significantly with
+//! resource plan caching (up to 10x planner time reduction for 0.1GB
+//! threshold)."
+
+use crate::experiments::timed;
+use crate::Table;
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::QuerySpec;
+use raqo_core::{PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::JoinCostModel;
+use raqo_resource::{CacheLookup, ClusterConditions};
+
+/// The figure's x-axis: data-delta thresholds in GB (0 = exact match).
+pub const THRESHOLDS: [f64; 6] = [0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+
+#[derive(Debug, Clone)]
+pub struct CacheMeasurement {
+    pub variant: &'static str,
+    pub threshold: f64,
+    pub resource_iterations: u64,
+    pub runtime_ms: f64,
+    pub plan_cost: f64,
+}
+
+fn strategy_for(variant: &'static str, threshold: f64) -> ResourceStrategy {
+    match variant {
+        "HC" => ResourceStrategy::HillClimb,
+        "HC+Caching_NN" => {
+            if threshold == 0.0 {
+                ResourceStrategy::HillClimbCached(CacheLookup::Exact)
+            } else {
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold })
+            }
+        }
+        "HC+Caching_WA" => {
+            if threshold == 0.0 {
+                ResourceStrategy::HillClimbCached(CacheLookup::Exact)
+            } else {
+                ResourceStrategy::HillClimbCached(CacheLookup::WeightedAverage { threshold })
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+pub fn measure(quick: bool) -> Vec<CacheMeasurement> {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let query = QuerySpec::tpch_all(&schema);
+    let thresholds: &[f64] = if quick { &[0.0, 1e-2, 1e-1] } else { &THRESHOLDS };
+
+    let mut out = Vec::new();
+    for variant in ["HC", "HC+Caching_NN", "HC+Caching_WA"] {
+        for &threshold in thresholds {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                strategy_for(variant, threshold),
+            );
+            // "we always cleared the resource plan cache before each query
+            // run": each measurement starts cold.
+            let (plan, ms) = timed(|| opt.optimize(&query).expect("plan exists"));
+            out.push(CacheMeasurement {
+                variant,
+                threshold,
+                resource_iterations: plan.stats.resource_iterations,
+                runtime_ms: ms,
+                plan_cost: plan.query.cost,
+            });
+        }
+    }
+    out
+}
+
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 14 — caching effectiveness on the TPC-H All query (Selinger)",
+        &["variant", "data delta threshold (GB)", "#resource iterations", "runtime (ms)", "plan cost"],
+    );
+    for m in measure(quick) {
+        t.row(vec![
+            m.variant.into(),
+            m.threshold.into(),
+            m.resource_iterations.into(),
+            m.runtime_ms.into(),
+            m.plan_cost.into(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_reduces_iterations_and_threshold_helps() {
+        let ms = measure(false);
+        let iters = |variant: &str, threshold: f64| {
+            ms.iter()
+                .find(|m| m.variant == variant && m.threshold == threshold)
+                .unwrap()
+                .resource_iterations
+        };
+        let hc = iters("HC", 0.0);
+        // Any caching beats no caching (duplicate sub-plan sizes repeat
+        // during DP).
+        assert!(iters("HC+Caching_NN", 0.0) <= hc);
+        // Wider thresholds do not increase iterations, and the widest one
+        // is substantially cheaper than plain HC.
+        for variant in ["HC+Caching_NN", "HC+Caching_WA"] {
+            let narrow = iters(variant, 1e-5);
+            let wide = iters(variant, 1e-1);
+            assert!(wide <= narrow, "{variant}: wide {wide} > narrow {narrow}");
+            assert!(
+                (wide as f64) < hc as f64 / 2.0,
+                "{variant}: wide {wide} vs HC {hc}"
+            );
+        }
+        // Plain HC is flat across thresholds (it ignores them).
+        for &th in &THRESHOLDS {
+            assert_eq!(iters("HC", th), hc);
+        }
+    }
+
+    #[test]
+    fn cached_plans_remain_reasonable() {
+        // Interpolated resource configurations may be slightly off-optimal
+        // but must not blow up plan cost.
+        let ms = measure(true);
+        let base = ms.iter().find(|m| m.variant == "HC").unwrap().plan_cost;
+        for m in &ms {
+            assert!(
+                m.plan_cost <= base * 1.5 + 1e-9,
+                "{} @ {}: cost {} vs base {base}",
+                m.variant,
+                m.threshold,
+                m.plan_cost
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! One module per figure of the paper's evaluation.
+//!
+//! Every module exposes `run(quick) -> Vec<Table>`: the data series behind
+//! the figure, in the paper's units. `quick = true` shrinks sweep sizes for
+//! CI/tests; the `repro` binary defaults to the full-size runs.
+
+pub mod fig01_queue;
+pub mod fig02_gains;
+pub mod fig03_04_operators;
+pub mod fig05_join_order;
+pub mod fig06_07_money;
+pub mod fig09_switch_space;
+pub mod fig10_11_trees;
+pub mod fig12_raqo_planning;
+pub mod fig13_hill_climb;
+pub mod fig14_cache;
+pub mod ext_ablation;
+pub mod ext_cpu;
+pub mod ext_workload;
+pub mod fig15_scalability;
+
+use crate::Table;
+
+/// A runnable experiment: number, title, and runner.
+pub struct Experiment {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub run: fn(bool) -> Vec<Table>,
+}
+
+/// The full experiment registry, in figure order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "1",
+            title: "Queue-time/run-time CDF on a contended cluster",
+            run: fig01_queue::run,
+        },
+        Experiment {
+            id: "2",
+            title: "Potential gains of joint query & resource optimization",
+            run: fig02_gains::run,
+        },
+        Experiment {
+            id: "3",
+            title: "BHJ vs SMJ over varying resources (Hive)",
+            run: fig03_04_operators::run_fig3,
+        },
+        Experiment {
+            id: "4",
+            title: "BHJ/SMJ switch points over varying data size",
+            run: fig03_04_operators::run_fig4,
+        },
+        Experiment {
+            id: "5",
+            title: "Join order decisions over varying resources",
+            run: fig05_join_order::run,
+        },
+        Experiment {
+            id: "6",
+            title: "Monetary cost of BHJ vs SMJ over varying resources",
+            run: fig06_07_money::run_fig6,
+        },
+        Experiment {
+            id: "7",
+            title: "Monetary switch points over varying data size",
+            run: fig06_07_money::run_fig7,
+        },
+        Experiment {
+            id: "9",
+            title: "The space of BHJ/SMJ switch points (Hive & Spark)",
+            run: fig09_switch_space::run,
+        },
+        Experiment {
+            id: "10",
+            title: "Default decision trees (Hive & Spark)",
+            run: fig10_11_trees::run_fig10,
+        },
+        Experiment {
+            id: "11",
+            title: "RAQO decision trees (Hive & Spark)",
+            run: fig10_11_trees::run_fig11,
+        },
+        Experiment {
+            id: "12",
+            title: "RAQO planning on TPC-H (FastRandomized & Selinger)",
+            run: fig12_raqo_planning::run,
+        },
+        Experiment {
+            id: "13",
+            title: "Hill climbing vs brute force resource planning",
+            run: fig13_hill_climb::run,
+        },
+        Experiment {
+            id: "14",
+            title: "Effectiveness of resource-plan caching",
+            run: fig14_cache::run,
+        },
+        Experiment {
+            id: "15",
+            title: "RAQO scalability (schema size & cluster size)",
+            run: fig15_scalability::run,
+        },
+        Experiment {
+            id: "E1",
+            title: "Extension: end-to-end workload execution (two-step vs RAQO, scheduler policies)",
+            run: ext_workload::run,
+        },
+        Experiment {
+            id: "E2",
+            title: "Extension: three-dimensional resource planning (containers x memory x cores)",
+            run: ext_cpu::run,
+        },
+        Experiment {
+            id: "E3",
+            title: "Extension: cost-model ablation (paper coefficients vs retrained vs extended vs oracle)",
+            run: ext_ablation::run,
+        },
+    ]
+}
+
+/// Wall-clock helper: run `f`, return (result, elapsed milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1000.0)
+}

@@ -1,0 +1,16 @@
+//! # raqo-bench
+//!
+//! The benchmark harness that regenerates **every figure** of the paper's
+//! evaluation. Each `experiments::figNN` module computes the figure's data
+//! series and prints them in the paper's terms; the `repro` binary drives
+//! them from the command line, and the Criterion benches under `benches/`
+//! time the planner-facing ones.
+//!
+//! Absolute numbers come from the simulator substrate and this machine —
+//! the *shapes* (who wins, where crossovers fall, relative overheads) are
+//! the reproduction targets. See `EXPERIMENTS.md` for paper-vs-measured.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Cell, Table};

@@ -1,0 +1,164 @@
+//! Minimal tabular reporting for experiment output.
+
+use serde::Serialize;
+
+/// One table cell.
+#[derive(Debug, Clone, Serialize)]
+pub enum Cell {
+    Text(String),
+    Num(f64),
+    Int(u64),
+    /// Missing / infeasible (rendered as "OOM" — the only absence the
+    /// experiments produce).
+    Oom,
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<Option<f64>> for Cell {
+    fn from(v: Option<f64>) -> Self {
+        match v {
+            Some(v) => Cell::Num(v),
+            None => Cell::Oom,
+        }
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => {
+                if *v != 0.0 && v.abs() < 0.005 {
+                    format!("{v:.0e}")
+                } else if v.abs() >= 1000.0 {
+                    format!("{v:.0}")
+                } else if v.abs() >= 10.0 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v:.3}")
+                }
+            }
+            Cell::Int(v) => v.to_string(),
+            Cell::Oom => "OOM".to_string(),
+        }
+    }
+}
+
+/// A printable, serializable experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["short".into(), 1.5.into()]);
+        t.row(vec!["a longer name".into(), Cell::Oom]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("OOM"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn number_formatting_scales() {
+        assert_eq!(Cell::Num(12345.6).render(), "12346");
+        assert_eq!(Cell::Num(42.5).render(), "42.5");
+        assert_eq!(Cell::Num(1.234567).render(), "1.235");
+        assert_eq!(Cell::Int(7).render(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Query specifications.
+//!
+//! The paper's planner evaluation (§VII) drives the optimizers with join
+//! queries described purely by *which relations must be joined*: "The queries
+//! consist of a set of relations that need to be joined. For TPC-H, we
+//! consider Q12 (single join), Q3 (two joins), Q2 (three joins), and All
+//! (joining all tables). For randomly generated schema, we generate queries
+//! having increasing number of joins, up to as many as the number of tables."
+
+use crate::join_graph::JoinGraph;
+use crate::schema::{Catalog, TableId};
+use crate::tpch::{table, TpchSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A join query: a named, connected set of relations to join.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    pub name: String,
+    /// Relations to join, in catalog order. Always deduplicated and sorted.
+    pub relations: Vec<TableId>,
+}
+
+impl QuerySpec {
+    /// Build a query over a set of relations. Relations are sorted and
+    /// deduplicated; a query must reference at least one relation.
+    pub fn new(name: impl Into<String>, mut relations: Vec<TableId>) -> Self {
+        assert!(!relations.is_empty(), "a query must reference at least one relation");
+        relations.sort_unstable();
+        relations.dedup();
+        QuerySpec { name: name.into(), relations }
+    }
+
+    /// Number of joins in the query (relations − 1).
+    pub fn num_joins(&self) -> usize {
+        self.relations.len() - 1
+    }
+
+    /// Check the query is answerable without cross products over the graph.
+    pub fn is_connected(&self, graph: &JoinGraph) -> bool {
+        graph.is_connected(&self.relations)
+    }
+
+    // ---- The paper's four TPC-H queries --------------------------------
+
+    /// TPC-H Q12 reduced to its join: `orders ⋈ lineitem` — "a single-join
+    /// query ... based on TPC-H query 12, from which we removed the
+    /// aggregates and additional filters" (§III-A).
+    pub fn tpch_q12() -> Self {
+        QuerySpec::new("Q12", vec![table::ORDERS, table::LINEITEM])
+    }
+
+    /// TPC-H Q3 reduced to its joins: `customer ⋈ orders ⋈ lineitem`
+    /// (two joins, §III-B).
+    pub fn tpch_q3() -> Self {
+        QuerySpec::new("Q3", vec![table::CUSTOMER, table::ORDERS, table::LINEITEM])
+    }
+
+    /// TPC-H Q2 as the paper counts it: three joins
+    /// (`part ⋈ partsupp ⋈ supplier ⋈ nation`). The full benchmark Q2 also
+    /// touches `region`; the paper calls Q2 a three-join query, so we take
+    /// the four-relation core.
+    pub fn tpch_q2() -> Self {
+        QuerySpec::new(
+            "Q2",
+            vec![table::PART, table::PARTSUPP, table::SUPPLIER, table::NATION],
+        )
+    }
+
+    /// "All": join all eight TPC-H tables (§VII-A).
+    pub fn tpch_all(schema: &TpchSchema) -> Self {
+        QuerySpec::new("All", schema.catalog.table_ids().collect())
+    }
+
+    /// The four TPC-H evaluation queries, in the paper's order.
+    pub fn tpch_suite(schema: &TpchSchema) -> Vec<QuerySpec> {
+        vec![
+            QuerySpec::tpch_q12(),
+            QuerySpec::tpch_q3(),
+            QuerySpec::tpch_q2(),
+            QuerySpec::tpch_all(schema),
+        ]
+    }
+
+    /// The join cores of all 22 TPC-H queries: which base relations each
+    /// query joins, with aggregates/filters stripped (the planners in this
+    /// workspace optimize join order and operator placement, so the join
+    /// core is the planning-relevant part). Single-relation queries (Q1,
+    /// Q6) appear as one-relation specs. Where a query references a table
+    /// twice (Q7/Q8 join `nation` for both endpoints, Q21 uses `lineitem`
+    /// thrice) the core keeps a single instance — self-joins are outside
+    /// this catalog's model.
+    pub fn tpch_full_suite() -> Vec<QuerySpec> {
+        use table::*;
+        let q = |name: &str, rels: &[crate::schema::TableId]| QuerySpec::new(name, rels.to_vec());
+        vec![
+            q("Q1", &[LINEITEM]),
+            q("Q2full", &[PART, SUPPLIER, PARTSUPP, NATION, REGION]),
+            q("Q3", &[CUSTOMER, ORDERS, LINEITEM]),
+            q("Q4", &[ORDERS, LINEITEM]),
+            q("Q5", &[CUSTOMER, ORDERS, LINEITEM, SUPPLIER, NATION, REGION]),
+            q("Q6", &[LINEITEM]),
+            q("Q7", &[SUPPLIER, LINEITEM, ORDERS, CUSTOMER, NATION]),
+            q("Q8", &[PART, SUPPLIER, LINEITEM, ORDERS, CUSTOMER, NATION, REGION]),
+            q("Q9", &[PART, SUPPLIER, LINEITEM, PARTSUPP, ORDERS, NATION]),
+            q("Q10", &[CUSTOMER, ORDERS, LINEITEM, NATION]),
+            q("Q11", &[PARTSUPP, SUPPLIER, NATION]),
+            q("Q12", &[ORDERS, LINEITEM]),
+            q("Q13", &[CUSTOMER, ORDERS]),
+            q("Q14", &[LINEITEM, PART]),
+            q("Q15", &[SUPPLIER, LINEITEM]),
+            q("Q16", &[PARTSUPP, PART, SUPPLIER]),
+            q("Q17", &[LINEITEM, PART]),
+            q("Q18", &[CUSTOMER, ORDERS, LINEITEM]),
+            q("Q19", &[LINEITEM, PART]),
+            q("Q20", &[SUPPLIER, NATION, PARTSUPP, PART]),
+            q("Q21", &[SUPPLIER, LINEITEM, ORDERS, NATION]),
+            q("Q22", &[CUSTOMER, ORDERS]),
+        ]
+    }
+
+    /// Generate a random connected query over `k` relations of the given
+    /// graph by a random graph walk (Fig. 15(a) generates queries "having
+    /// increasing number of joins, up to as many as the number of tables").
+    pub fn random_connected(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        k: usize,
+        seed: u64,
+    ) -> QuerySpec {
+        assert!(k >= 1 && k <= catalog.len(), "k must be in [1, #tables]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = TableId(rng.gen_range(0..catalog.len() as u32));
+        let mut chosen = vec![start];
+        // Grow the set along frontier edges until it has k relations. The
+        // schema generators guarantee a connected graph, so the frontier is
+        // only empty when chosen already spans the component.
+        while chosen.len() < k {
+            let frontier: Vec<TableId> = graph
+                .edges()
+                .iter()
+                .filter_map(|e| {
+                    let a_in = chosen.contains(&e.a);
+                    let b_in = chosen.contains(&e.b);
+                    match (a_in, b_in) {
+                        (true, false) => Some(e.b),
+                        (false, true) => Some(e.a),
+                        _ => None,
+                    }
+                })
+                .collect();
+            assert!(
+                !frontier.is_empty(),
+                "graph component exhausted before reaching k={k} relations"
+            );
+            let next = frontier[rng.gen_range(0..frontier.len())];
+            if !chosen.contains(&next) {
+                chosen.push(next);
+            }
+        }
+        QuerySpec::new(format!("rand{k}"), chosen)
+    }
+}
+
+impl std::fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({} joins)", self.name, self.num_joins())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RandomSchemaConfig;
+
+    #[test]
+    fn tpch_queries_have_paper_join_counts() {
+        let schema = TpchSchema::new(1.0);
+        assert_eq!(QuerySpec::tpch_q12().num_joins(), 1);
+        assert_eq!(QuerySpec::tpch_q3().num_joins(), 2);
+        assert_eq!(QuerySpec::tpch_q2().num_joins(), 3);
+        assert_eq!(QuerySpec::tpch_all(&schema).num_joins(), 7);
+    }
+
+    #[test]
+    fn tpch_queries_are_connected() {
+        let schema = TpchSchema::new(1.0);
+        for q in QuerySpec::tpch_suite(&schema) {
+            assert!(q.is_connected(&schema.graph), "{} disconnected", q.name);
+        }
+    }
+
+    #[test]
+    fn full_suite_covers_all_22_queries_and_is_connected() {
+        let schema = TpchSchema::new(1.0);
+        let suite = QuerySpec::tpch_full_suite();
+        assert_eq!(suite.len(), 22);
+        for q in &suite {
+            assert!(
+                q.is_connected(&schema.graph),
+                "{} is not connected over the TPC-H join graph",
+                q.name
+            );
+        }
+        // Spot-check join counts.
+        let joins = |name: &str| suite.iter().find(|q| q.name == name).unwrap().num_joins();
+        assert_eq!(joins("Q1"), 0);
+        assert_eq!(joins("Q5"), 5);
+        assert_eq!(joins("Q8"), 6);
+        assert_eq!(joins("Q14"), 1);
+    }
+
+    #[test]
+    fn relations_sorted_and_deduped() {
+        let q = QuerySpec::new("q", vec![TableId(3), TableId(1), TableId(3)]);
+        assert_eq!(q.relations, vec![TableId(1), TableId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relation")]
+    fn empty_query_rejected() {
+        QuerySpec::new("q", vec![]);
+    }
+
+    #[test]
+    fn random_queries_are_connected_for_every_size() {
+        let schema = RandomSchemaConfig::with_tables(30, 9).generate();
+        for k in 1..=30 {
+            let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, k as u64);
+            assert_eq!(q.relations.len(), k);
+            assert!(q.is_connected(&schema.graph), "k={k} disconnected");
+        }
+    }
+
+    #[test]
+    fn random_query_deterministic_by_seed() {
+        let schema = RandomSchemaConfig::with_tables(15, 9).generate();
+        let a = QuerySpec::random_connected(&schema.catalog, &schema.graph, 7, 5);
+        let b = QuerySpec::random_connected(&schema.catalog, &schema.graph, 7, 5);
+        assert_eq!(a.relations, b.relations);
+    }
+
+    #[test]
+    fn display_mentions_join_count() {
+        let q = QuerySpec::tpch_q3();
+        assert_eq!(format!("{q}"), "Q3(2 joins)");
+    }
+}

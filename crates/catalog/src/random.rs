@@ -1,0 +1,198 @@
+//! Randomly generated schemas, exactly as §VII Setup prescribes:
+//!
+//! > "For the randomly generated schema, we generate a random number of
+//! > tables, each of which have a randomly picked row size between 100 and
+//! > 200 bytes, and a randomly picked number of rows between 100K and 2M. We
+//! > then randomly generate join edges to create the join graph (with
+//! > similar join selectivities as in the TPC-H schema)."
+//!
+//! "Similar join selectivities as in TPC-H" means key–foreign-key style:
+//! each edge gets selectivity 1 / |one endpoint|, so FK joins neither explode
+//! nor annihilate cardinalities. Generation first draws a random spanning
+//! tree (so every query over the schema can be connected) and then sprinkles
+//! extra edges at a configurable density.
+
+use crate::join_graph::JoinGraph;
+use crate::schema::{Catalog, TableId, TableStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for the random schema generator. Defaults mirror the paper.
+#[derive(Debug, Clone)]
+pub struct RandomSchemaConfig {
+    /// Number of tables to generate (the paper scales this up to 100).
+    pub tables: usize,
+    /// Row-width range in bytes, inclusive. Paper: 100–200.
+    pub row_width: (f64, f64),
+    /// Row-count range, inclusive. Paper: 100 K – 2 M.
+    pub rows: (f64, f64),
+    /// Probability of adding each possible extra (non-spanning-tree) edge.
+    /// 0.0 yields a tree; TPC-H's 8 tables / 8 edges corresponds to a graph
+    /// slightly denser than a tree, so the default is small but nonzero.
+    pub extra_edge_prob: f64,
+    /// RNG seed; the whole schema is deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for RandomSchemaConfig {
+    fn default() -> Self {
+        RandomSchemaConfig {
+            tables: 10,
+            row_width: (100.0, 200.0),
+            rows: (100_000.0, 2_000_000.0),
+            extra_edge_prob: 0.05,
+            seed: 0x52_41_51_4F, // "RAQO"
+        }
+    }
+}
+
+/// A generated schema: catalog + join graph.
+#[derive(Debug, Clone)]
+pub struct RandomSchema {
+    pub catalog: Catalog,
+    pub graph: JoinGraph,
+}
+
+impl RandomSchemaConfig {
+    pub fn with_tables(tables: usize, seed: u64) -> Self {
+        RandomSchemaConfig { tables, seed, ..Default::default() }
+    }
+
+    /// Generate the schema.
+    pub fn generate(&self) -> RandomSchema {
+        assert!(self.tables >= 1, "need at least one table");
+        assert!(self.row_width.0 > 0.0 && self.row_width.1 >= self.row_width.0);
+        assert!(self.rows.0 > 0.0 && self.rows.1 >= self.rows.0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut catalog = Catalog::new();
+        for i in 0..self.tables {
+            let width = rng.gen_range(self.row_width.0..=self.row_width.1);
+            let rows = rng.gen_range(self.rows.0..=self.rows.1);
+            catalog.add_stats_only(format!("r{i}"), TableStats::new(rows.round(), width.round()));
+        }
+
+        let mut graph = JoinGraph::new();
+        // Random spanning tree: connect table i to a random earlier table.
+        // This is a uniform random recursive tree — enough variety for the
+        // scalability experiments while guaranteeing connectivity.
+        for i in 1..self.tables {
+            let j = rng.gen_range(0..i);
+            let (a, b) = (TableId(i as u32), TableId(j as u32));
+            graph.add_edge(a, b, fk_selectivity(&catalog, a, b));
+        }
+        // Extra edges at the configured density.
+        if self.extra_edge_prob > 0.0 {
+            for i in 0..self.tables {
+                for j in (i + 1)..self.tables {
+                    // Skip pairs already joined by the spanning tree.
+                    let (a, b) = (TableId(i as u32), TableId(j as u32));
+                    let tree_edge = graph
+                        .edges()
+                        .iter()
+                        .any(|e| e.touches(a) && e.touches(b));
+                    if !tree_edge && rng.gen_bool(self.extra_edge_prob) {
+                        graph.add_edge(a, b, fk_selectivity(&catalog, a, b));
+                    }
+                }
+            }
+        }
+
+        RandomSchema { catalog, graph }
+    }
+}
+
+/// Key–foreign-key style selectivity: 1 / rows of the smaller-cardinality
+/// endpoint (the "primary key" side), mirroring TPC-H's referential edges.
+fn fk_selectivity(catalog: &Catalog, a: TableId, b: TableId) -> f64 {
+    let ra = catalog.table(a).stats.rows;
+    let rb = catalog.table(b).stats.rows;
+    1.0 / ra.min(rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_paper_ranges() {
+        let schema = RandomSchemaConfig::with_tables(50, 7).generate();
+        assert_eq!(schema.catalog.len(), 50);
+        for t in schema.catalog.tables() {
+            assert!(
+                (100.0..=200.0).contains(&t.stats.row_width),
+                "row width {} out of paper range",
+                t.stats.row_width
+            );
+            assert!(
+                (100_000.0..=2_000_000.0).contains(&t.stats.rows),
+                "rows {} out of paper range",
+                t.stats.rows
+            );
+        }
+    }
+
+    #[test]
+    fn is_deterministic_given_seed() {
+        let a = RandomSchemaConfig::with_tables(20, 42).generate();
+        let b = RandomSchemaConfig::with_tables(20, 42).generate();
+        for (x, y) in a.catalog.tables().iter().zip(b.catalog.tables()) {
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(a.graph.edges().len(), b.graph.edges().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomSchemaConfig::with_tables(20, 1).generate();
+        let b = RandomSchemaConfig::with_tables(20, 2).generate();
+        let same = a
+            .catalog
+            .tables()
+            .iter()
+            .zip(b.catalog.tables())
+            .all(|(x, y)| x.stats == y.stats);
+        assert!(!same, "independent seeds should give different stats");
+    }
+
+    #[test]
+    fn whole_schema_is_connected() {
+        for seed in 0..5 {
+            let schema = RandomSchemaConfig::with_tables(30, seed).generate();
+            let all: Vec<_> = schema.catalog.table_ids().collect();
+            assert!(schema.graph.is_connected(&all), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn tree_when_no_extra_edges() {
+        let cfg = RandomSchemaConfig {
+            tables: 25,
+            extra_edge_prob: 0.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let schema = cfg.generate();
+        assert_eq!(schema.graph.edges().len(), 24); // |V| - 1
+    }
+
+    #[test]
+    fn selectivities_are_fk_like() {
+        let schema = RandomSchemaConfig::with_tables(10, 11).generate();
+        for e in schema.graph.edges() {
+            let ra = schema.catalog.table(e.a).stats.rows;
+            let rb = schema.catalog.table(e.b).stats.rows;
+            let expect = 1.0 / ra.min(rb);
+            assert!((e.selectivity - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hundred_table_schema_for_scalability_experiment() {
+        // Fig. 15(a) uses a 100-table random schema.
+        let schema = RandomSchemaConfig::with_tables(100, 5).generate();
+        assert_eq!(schema.catalog.len(), 100);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        assert!(schema.graph.is_connected(&all));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for schemas, join graphs, and query generation.
+
+use proptest::prelude::*;
+use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+
+proptest! {
+    /// Generated schemas always satisfy the paper's stat ranges and are
+    /// connected, for any size/seed.
+    #[test]
+    fn random_schema_invariants(tables in 1usize..60, seed in 0u64..1000) {
+        let schema = RandomSchemaConfig::with_tables(tables, seed).generate();
+        prop_assert_eq!(schema.catalog.len(), tables);
+        for t in schema.catalog.tables() {
+            prop_assert!((100.0..=200.0).contains(&t.stats.row_width));
+            prop_assert!((100_000.0..=2_000_000.0).contains(&t.stats.rows));
+        }
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        prop_assert!(schema.graph.is_connected(&all));
+    }
+
+    /// Cardinalities over arbitrary connected sub-queries are finite,
+    /// positive, and no larger than the plain cross product.
+    #[test]
+    fn cardinalities_bounded_by_cross_product(
+        tables in 2usize..30,
+        seed in 0u64..200,
+        k in 2usize..10,
+    ) {
+        let k = k.min(tables);
+        let schema = RandomSchemaConfig::with_tables(tables, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let card = schema.graph.join_cardinality(&schema.catalog, &q.relations);
+        prop_assert!(card.is_finite() && card > 0.0);
+        let log_cross: f64 = q
+            .relations
+            .iter()
+            .map(|&t| schema.catalog.table(t).stats.rows.ln())
+            .sum();
+        prop_assert!(card.ln() <= log_cross + 1e-9, "selectivities must only shrink");
+    }
+
+    /// Random connected queries contain exactly k distinct relations and
+    /// are answerable without cross products.
+    #[test]
+    fn random_queries_well_formed(
+        tables in 2usize..40,
+        seed in 0u64..300,
+    ) {
+        let schema = RandomSchemaConfig::with_tables(tables, seed).generate();
+        for k in [2, tables / 2 + 1, tables] {
+            let k = k.clamp(1, tables);
+            let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed ^ 7);
+            prop_assert_eq!(q.relations.len(), k);
+            prop_assert!(q.is_connected(&schema.graph));
+            // Sorted and deduplicated.
+            for w in q.relations.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// Sampling a table scales cardinalities proportionally.
+    #[test]
+    fn sampling_scales_cardinality(fraction in 0.01f64..1.0) {
+        let mut schema = RandomSchemaConfig::with_tables(5, 3).generate();
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        let before = schema.graph.join_cardinality(&schema.catalog, &all);
+        schema.catalog.sample_table(all[0], fraction);
+        let after = schema.graph.join_cardinality(&schema.catalog, &all);
+        let ratio = after / before;
+        prop_assert!((ratio - fraction).abs() < 1e-9, "ratio {ratio} vs {fraction}");
+    }
+}

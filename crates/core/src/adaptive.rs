@@ -1,0 +1,220 @@
+//! Bridging RAQO plans to the runtime scheduler (§VIII, "Interaction with
+//! DAG scheduler" + "Adaptive RAQO").
+//!
+//! RAQO emits precise per-operator resource requests; at submission time
+//! the cluster may not have them. The scheduler (in `raqo-sim`) supports a
+//! "consider multiple query/resource plan alternatives and pick the most
+//! appropriate at runtime" policy — this module produces those ranked
+//! alternatives from the optimizer's own cost model: for each join, the
+//! preferred configuration plus fallbacks planned under successively
+//! tighter memory caps.
+
+use crate::optimizer::RaqoPlan;
+use raqo_cost::OperatorCost;
+use raqo_planner::JoinIo;
+use raqo_resource::{hill_climb, ClusterConditions, ResourceConfig};
+use raqo_sim::engine::JoinImpl;
+use raqo_sim::scheduler::{JobSpec, StageCandidate, StageSpec};
+
+/// Memory-cap fractions for the fallback ladder (relative to the cluster's
+/// full memory bound). The first level reproduces the preferred plan.
+pub const FALLBACK_LEVELS: [f64; 4] = [1.0, 0.5, 0.25, 0.1];
+
+/// Plan one join operator under a memory-capped cluster, returning the
+/// cheapest feasible (implementation, configuration, time).
+fn plan_under_cap<M: OperatorCost>(
+    model: &M,
+    io: &JoinIo,
+    cluster: &ClusterConditions,
+    cap_fraction: f64,
+) -> Option<StageCandidate> {
+    // Cap the container-count axis so that the footprint at max container
+    // size stays within the fraction. (Capping one axis keeps the grid
+    // rectangular, which Algorithm 1 requires.)
+    let full_mem = cluster.max.containers() * cluster.max.container_size_gb();
+    let target_mem = full_mem * cap_fraction;
+    let max_nc = (target_mem / cluster.max.container_size_gb())
+        .floor()
+        .max(cluster.min.containers());
+    let capped = ClusterConditions::two_dim(
+        cluster.min.containers()..=max_nc,
+        cluster.min.container_size_gb()..=cluster.max.container_size_gb(),
+        cluster.discrete_steps().containers(),
+        cluster.discrete_steps().container_size_gb(),
+    );
+
+    let mut best: Option<(f64, ResourceConfig)> = None;
+    for join in JoinImpl::ALL {
+        let cost_fn = |r: &ResourceConfig| -> f64 {
+            model
+                .join_cost(join, io.build_gb, io.probe_gb, r.containers(), r.container_size_gb())
+                .unwrap_or(f64::INFINITY)
+        };
+        // Feasible start for BHJ: smallest container size that fits.
+        let mut start = capped.min;
+        if join == JoinImpl::BroadcastHash {
+            let mut cs = capped.min.container_size_gb();
+            let step = capped.discrete_steps().container_size_gb();
+            let mut found = false;
+            while cs <= capped.max.container_size_gb() {
+                if model
+                    .join_cost(join, io.build_gb, io.probe_gb, start.containers(), cs)
+                    .is_some()
+                {
+                    start.set(1, cs);
+                    found = true;
+                    break;
+                }
+                cs += step;
+            }
+            if !found {
+                continue;
+            }
+        }
+        let out = hill_climb(&capped, start, cost_fn);
+        if out.cost.is_finite() {
+            match best {
+                Some((c, _)) if c <= out.cost => {}
+                _ => best = Some((out.cost, out.config)),
+            }
+        }
+    }
+    best.map(|(time, r)| StageCandidate {
+        containers: r.containers(),
+        container_size_gb: r.container_size_gb(),
+        duration_sec: time,
+    })
+}
+
+/// Convert a joint plan into a scheduler job: one stage per join, each with
+/// the preferred request plus RAQO-planned fallbacks at the
+/// [`FALLBACK_LEVELS`] memory caps.
+pub fn plan_to_job<M: OperatorCost>(
+    plan: &RaqoPlan,
+    model: &M,
+    cluster: &ClusterConditions,
+    arrival_sec: f64,
+) -> JobSpec {
+    let stages = plan
+        .query
+        .joins
+        .iter()
+        .map(|join| {
+            let mut alternatives = Vec::new();
+            // Preferred: the plan's own decision.
+            if let Some((nc, cs)) = join.decision.resources {
+                alternatives.push(StageCandidate {
+                    containers: nc,
+                    container_size_gb: cs,
+                    duration_sec: join.decision.objectives.time_sec,
+                });
+            }
+            for &level in &FALLBACK_LEVELS[1..] {
+                if let Some(c) = plan_under_cap(model, &join.io, cluster, level) {
+                    // Skip duplicates of an existing candidate.
+                    let dup = alternatives.iter().any(|a: &StageCandidate| {
+                        a.containers == c.containers && a.container_size_gb == c.container_size_gb
+                    });
+                    if !dup {
+                        alternatives.push(c);
+                    }
+                }
+            }
+            assert!(
+                !alternatives.is_empty(),
+                "every join has at least one plannable configuration"
+            );
+            StageSpec { alternatives }
+        })
+        .collect();
+    JobSpec { arrival_sec, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{PlannerKind, RaqoOptimizer};
+    use crate::raqo_coster::ResourceStrategy;
+    use raqo_catalog::tpch::TpchSchema;
+    use raqo_catalog::QuerySpec;
+    use raqo_cost::SimOracleCost;
+
+    fn plan_and_job() -> (RaqoPlan, JobSpec) {
+        let schema = TpchSchema::sf100();
+        let model = SimOracleCost::hive();
+        let cluster = ClusterConditions::paper_default();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let job = plan_to_job(&plan, &model, &cluster, 0.0);
+        (plan, job)
+    }
+
+    #[test]
+    fn job_mirrors_plan_structure() {
+        let (plan, job) = plan_and_job();
+        assert_eq!(job.stages.len(), plan.query.joins.len());
+        for (stage, join) in job.stages.iter().zip(&plan.query.joins) {
+            let preferred = stage.preferred();
+            let (nc, cs) = join.decision.resources.unwrap();
+            assert_eq!(preferred.containers, nc);
+            assert_eq!(preferred.container_size_gb, cs);
+            assert!((preferred.duration_sec - join.decision.objectives.time_sec).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fallbacks_use_less_memory_and_more_time() {
+        let (_, job) = plan_and_job();
+        for stage in &job.stages {
+            assert!(stage.alternatives.len() >= 2, "no fallbacks generated");
+            let preferred = stage.preferred();
+            for alt in &stage.alternatives[1..] {
+                assert!(
+                    alt.memory_gb() < preferred.memory_gb() + 1e-9,
+                    "fallback uses more memory than preferred"
+                );
+                // Fallbacks are capped, so they cannot be faster than the
+                // unconstrained optimum.
+                assert!(alt.duration_sec >= preferred.duration_sec - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_durations_are_honest() {
+        // Each fallback's duration must equal the simulator's time for
+        // *some* join implementation at that configuration.
+        let schema = TpchSchema::sf100();
+        let engine = raqo_sim::engine::Engine::hive();
+        let model = SimOracleCost::hive();
+        let cluster = ClusterConditions::paper_default();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let job = plan_to_job(&plan, &model, &cluster, 0.0);
+        for (stage, join) in job.stages.iter().zip(&plan.query.joins) {
+            for alt in &stage.alternatives {
+                let matches = JoinImpl::ALL.iter().any(|&ji| {
+                    engine
+                        .join_time(ji, join.io.build_gb, join.io.probe_gb, alt.containers, alt.container_size_gb)
+                        .map(|t| (t - alt.duration_sec).abs() < 1e-6)
+                        .unwrap_or(false)
+                });
+                assert!(matches, "fallback duration not explained by any impl: {alt:?}");
+            }
+        }
+    }
+}

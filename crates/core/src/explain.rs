@@ -1,0 +1,102 @@
+//! `EXPLAIN` for joint plans.
+//!
+//! §VIII (Redefining the user's role): "How will the 'explain' command look
+//! in such systems?" — like this: the operator tree annotated with the
+//! per-operator resource requests and the estimated time/money bill.
+
+use crate::optimizer::RaqoPlan;
+use raqo_catalog::Catalog;
+use raqo_planner::plan::render;
+
+/// Render a joint query/resource plan the way an `EXPLAIN` statement
+/// would: tree, per-join operator + resources + estimates, totals.
+pub fn explain(plan: &RaqoPlan, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Plan: {}\n", render(&plan.query.tree, catalog)));
+    for (i, join) in plan.query.joins.iter().enumerate() {
+        let left: Vec<&str> =
+            join.left.iter().map(|t| catalog.table(*t).name.as_str()).collect();
+        let right: Vec<&str> =
+            join.right.iter().map(|t| catalog.table(*t).name.as_str()).collect();
+        out.push_str(&format!(
+            "  Join {}: {} [{}] x [{}]\n",
+            i + 1,
+            join.decision.join,
+            left.join(", "),
+            right.join(", "),
+        ));
+        out.push_str(&format!(
+            "    inputs: build {:.2} GB, probe {:.2} GB; output ~{:.2} GB\n",
+            join.io.build_gb, join.io.probe_gb, join.io.out_gb
+        ));
+        match join.decision.resources {
+            Some((nc, cs)) => out.push_str(&format!(
+                "    resources: {nc} containers x {cs} GB ({} GB total)\n",
+                nc * cs
+            )),
+            None => out.push_str("    resources: externally provided\n"),
+        }
+        out.push_str(&format!(
+            "    estimate: {:.1} s, {:.2} TB*s\n",
+            join.decision.objectives.time_sec, join.decision.objectives.money_tb_sec
+        ));
+    }
+    out.push_str(&format!(
+        "Total estimate: {:.1} s, {:.2} TB*s (planner: {} getPlanCost calls, {} resource configurations)\n",
+        plan.time_sec(),
+        plan.money_tb_sec(),
+        plan.stats.plan_cost_calls,
+        plan.stats.resource_iterations,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{PlannerKind, RaqoOptimizer};
+    use crate::raqo_coster::ResourceStrategy;
+    use raqo_catalog::tpch::TpchSchema;
+    use raqo_catalog::QuerySpec;
+    use raqo_cost::SimOracleCost;
+    use raqo_resource::ClusterConditions;
+
+    #[test]
+    fn explain_names_tables_operators_and_resources() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let text = explain(&plan, &schema.catalog);
+        assert!(text.contains("lineitem"), "{text}");
+        assert!(text.contains("customer"), "{text}");
+        assert!(text.contains("containers x"), "{text}");
+        assert!(text.contains("Total estimate"), "{text}");
+        assert!(text.contains("SMJ") || text.contains("BHJ"), "{text}");
+    }
+
+    #[test]
+    fn explain_marks_fixed_resource_plans() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let planned = opt.plan_for_resources(&QuerySpec::tpch_q3(), 10.0, 4.0).unwrap();
+        let plan = RaqoPlan { query: planned, stats: Default::default() };
+        let text = explain(&plan, &schema.catalog);
+        assert!(text.contains("externally provided"), "{text}");
+    }
+}

@@ -1,0 +1,341 @@
+//! The RAQO optimizer: joint query + resource planning and the §IV
+//! use-cases.
+
+use crate::raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
+use raqo_catalog::{Catalog, JoinGraph, QuerySpec};
+use raqo_cost::OperatorCost;
+use raqo_planner::coster::FixedResourceCoster;
+use raqo_planner::{
+    CardinalityEstimator, PlanTree, PlannedQuery, RandomizedConfig, RandomizedPlanner,
+    SelingerPlanner,
+};
+use raqo_resource::{CacheLookup, ClusterConditions};
+use serde::{Deserialize, Serialize};
+
+/// Which join-ordering algorithm drives the search (§VII-A evaluates both).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlannerKind {
+    /// System-R bottom-up DP over left-deep trees.
+    Selinger,
+    /// The fast randomized multi-objective planner.
+    FastRandomized(RandomizedConfig),
+}
+
+impl PlannerKind {
+    pub fn fast_randomized(seed: u64) -> Self {
+        PlannerKind::FastRandomized(RandomizedConfig { seed, ..Default::default() })
+    }
+}
+
+/// A joint query and resource plan — RAQO's output (§IV): "the operator DAG
+/// to be executed by the runtime and the resources to be requested to the
+/// RM for each operator in the DAG", plus planner accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaqoPlan {
+    pub query: PlannedQuery,
+    pub stats: RaqoStats,
+}
+
+impl RaqoPlan {
+    /// Total estimated execution time (seconds).
+    pub fn time_sec(&self) -> f64 {
+        self.query.objectives.time_sec
+    }
+
+    /// Total estimated monetary cost (TB·s).
+    pub fn money_tb_sec(&self) -> f64 {
+        self.query.objectives.money_tb_sec
+    }
+}
+
+/// The RAQO optimizer (Fig. 8(b)): one layer that owns the query planner,
+/// the resource planner, and the link to current cluster conditions.
+pub struct RaqoOptimizer<'a, M: OperatorCost> {
+    pub catalog: &'a Catalog,
+    pub graph: &'a JoinGraph,
+    pub model: &'a M,
+    pub planner: PlannerKind,
+    coster: RaqoCoster<'a, M>,
+}
+
+impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
+    pub fn new(
+        catalog: &'a Catalog,
+        graph: &'a JoinGraph,
+        model: &'a M,
+        cluster: ClusterConditions,
+        planner: PlannerKind,
+        strategy: ResourceStrategy,
+    ) -> Self {
+        let coster = RaqoCoster::new(model, cluster, strategy, Objective::Time);
+        RaqoOptimizer { catalog, graph, model, planner, coster }
+    }
+
+    /// Convenience: hill climbing + nearest-neighbour caching, the
+    /// configuration Fig. 15 runs.
+    pub fn with_defaults(
+        catalog: &'a Catalog,
+        graph: &'a JoinGraph,
+        model: &'a M,
+        cluster: ClusterConditions,
+    ) -> Self {
+        RaqoOptimizer::new(
+            catalog,
+            graph,
+            model,
+            cluster,
+            PlannerKind::fast_randomized(42),
+            ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
+        )
+    }
+
+    /// Planner statistics accumulated so far.
+    pub fn stats(&self) -> RaqoStats {
+        self.coster.stats
+    }
+
+    /// Clear the resource-plan cache ("we always cleared the resource plan
+    /// cache before each query run" — call this between queries unless
+    /// evaluating across-query caching).
+    pub fn clear_cache(&mut self) {
+        self.coster.clear_cache();
+    }
+
+    /// Adaptive RAQO: cluster conditions changed; re-optimize against the
+    /// new bounds.
+    pub fn set_cluster(&mut self, cluster: ClusterConditions) {
+        self.coster.set_cluster(cluster);
+    }
+
+    fn run_planner(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
+        match &self.planner {
+            PlannerKind::Selinger => {
+                SelingerPlanner::plan(self.catalog, self.graph, query, &mut self.coster)
+            }
+            PlannerKind::FastRandomized(cfg) => {
+                let cfg = cfg.clone();
+                RandomizedPlanner::plan(self.catalog, self.graph, query, &mut self.coster, &cfg)
+                    .map(|o| o.best)
+            }
+        }
+    }
+
+    // ---- The §IV use-cases ---------------------------------------------
+
+    /// Use-case `(p, r)`: "optimize for performance by picking the best
+    /// query and resource plan combination". The headline RAQO mode.
+    pub fn optimize(&mut self, query: &QuerySpec) -> Option<RaqoPlan> {
+        self.coster.reset_stats();
+        self.coster.objective = Objective::Time;
+        let planned = self.run_planner(query)?;
+        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+    }
+
+    /// Use-case `r ⇒ p`: "in case of constrained resources ... pick the
+    /// best plan for a given resource budget". Plain query optimization at
+    /// fixed resources (no resource planning at all).
+    pub fn plan_for_resources(
+        &mut self,
+        query: &QuerySpec,
+        containers: f64,
+        container_size_gb: f64,
+    ) -> Option<PlannedQuery> {
+        let mut fixed = FixedResourceCoster::new(self.model, containers, container_size_gb);
+        match &self.planner {
+            PlannerKind::Selinger => {
+                SelingerPlanner::plan(self.catalog, self.graph, query, &mut fixed)
+            }
+            PlannerKind::FastRandomized(cfg) => {
+                let cfg = cfg.clone();
+                RandomizedPlanner::plan(self.catalog, self.graph, query, &mut fixed, &cfg)
+                    .map(|o| o.best)
+            }
+        }
+    }
+
+    /// Use-case `p ⇒ (r, c)`: the user is happy with a given plan shape;
+    /// find resources (and hence a price) for it — here minimizing monetary
+    /// cost, "adjusting the resources to have possibly lower monetary
+    /// cost".
+    pub fn resources_for_plan(&mut self, tree: &PlanTree) -> Option<RaqoPlan> {
+        self.coster.reset_stats();
+        self.coster.objective = Objective::Money;
+        let est = CardinalityEstimator::new(self.catalog, self.graph);
+        let planned = raqo_planner::coster::cost_tree(tree, &est, &mut self.coster)?;
+        self.coster.objective = Objective::Time;
+        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+    }
+
+    /// Use-case `c ⇒ (p, r)`: "constrain the monetary cost ... ask the
+    /// optimizer to adjust the shape of resources to produce the best
+    /// performance for a given price point". Returns `None` when no joint
+    /// plan fits the budget.
+    ///
+    /// Resources are planned per operator (§VI-B), so the budget is split
+    /// evenly across the query's joins — a conservative allocation whose
+    /// per-operator caps always sum to the query budget.
+    pub fn optimize_under_budget(
+        &mut self,
+        query: &QuerySpec,
+        money_budget_tb_sec: f64,
+    ) -> Option<RaqoPlan> {
+        self.coster.reset_stats();
+        let per_op = money_budget_tb_sec / query.num_joins().max(1) as f64;
+        self.coster.objective = Objective::TimeUnderBudget { money_budget_tb_sec: per_op };
+        let planned = self.run_planner(query);
+        self.coster.objective = Objective::Time;
+        let planned = planned?;
+        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqo_catalog::tpch::TpchSchema;
+    use raqo_cost::SimOracleCost;
+    use raqo_resource::ResourceConfig;
+
+    fn optimizer(
+        schema: &TpchSchema,
+        model: &'static SimOracleCost,
+        planner: PlannerKind,
+        strategy: ResourceStrategy,
+    ) -> RaqoOptimizer<'static, SimOracleCost> {
+        // Tests keep schema alive for 'static via leak — simplest way to
+        // hold references in the helper.
+        let schema: &'static TpchSchema = Box::leak(Box::new(schema.clone()));
+        RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            model,
+            ClusterConditions::paper_default(),
+            planner,
+            strategy,
+        )
+    }
+
+    fn model() -> &'static SimOracleCost {
+        static MODEL: std::sync::OnceLock<SimOracleCost> = std::sync::OnceLock::new();
+        MODEL.get_or_init(SimOracleCost::hive)
+    }
+
+    #[test]
+    fn joint_optimization_emits_plan_and_resources() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).expect("plan");
+        assert_eq!(plan.query.joins.len(), 2);
+        for j in &plan.query.joins {
+            let (nc, cs) = j.decision.resources.expect("RAQO emits resources per join");
+            assert!(ClusterConditions::paper_default()
+                .contains(&ResourceConfig::containers_and_size(nc, cs)));
+        }
+        assert!(plan.stats.resource_iterations > 0);
+        assert!(plan.time_sec() > 0.0);
+        assert!(plan.money_tb_sec() > 0.0);
+    }
+
+    #[test]
+    fn joint_beats_fixed_resources() {
+        // The Fig. 2 claim: joint (p, r) at least matches the best plan
+        // under any *fixed* configuration the user might have guessed.
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let query = QuerySpec::tpch_q3();
+        let joint = opt.optimize(&query).unwrap();
+        for (nc, cs) in [(10.0, 2.0), (10.0, 10.0), (50.0, 5.0), (100.0, 10.0)] {
+            let fixed = opt.plan_for_resources(&query, nc, cs).unwrap();
+            assert!(
+                joint.time_sec() <= fixed.objectives.time_sec + 1e-6,
+                "joint {} vs fixed({nc},{cs}) {}",
+                joint.time_sec(),
+                fixed.objectives.time_sec
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_resource_planning_emits_no_resources() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+        let planned = opt.plan_for_resources(&QuerySpec::tpch_q3(), 10.0, 4.0).unwrap();
+        assert!(planned.joins.iter().all(|j| j.decision.resources.is_none()));
+    }
+
+    #[test]
+    fn resources_for_plan_minimizes_money() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let query = QuerySpec::tpch_q3();
+        let joint = opt.optimize(&query).unwrap();
+        let tree = joint.query.tree.clone();
+        let money_plan = opt.resources_for_plan(&tree).unwrap();
+        // Same plan shape, but cheaper (or equal) in money than the
+        // time-optimal resource choice.
+        assert!(money_plan.money_tb_sec() <= joint.money_tb_sec() + 1e-9);
+    }
+
+    #[test]
+    fn budget_use_case_trades_time_for_money() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let query = QuerySpec::tpch_q3();
+        let unconstrained = opt.optimize(&query).unwrap();
+        // Budget at half the unconstrained plan's spend.
+        let budget = unconstrained.money_tb_sec() * 0.5;
+        if let Some(constrained) = opt.optimize_under_budget(&query, budget) {
+            assert!(constrained.money_tb_sec() <= budget + 1e-9);
+            assert!(constrained.time_sec() >= unconstrained.time_sec() - 1e-9);
+        }
+        // An absurdly small budget must be infeasible.
+        assert!(opt.optimize_under_budget(&query, 1e-9).is_none());
+    }
+
+    #[test]
+    fn randomized_planner_mode_works_end_to_end() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt = optimizer(
+            &schema,
+            model(),
+            PlannerKind::fast_randomized(3),
+            ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
+        );
+        let plan = opt.optimize(&QuerySpec::tpch_all(&schema)).expect("plan");
+        assert_eq!(plan.query.joins.len(), 7);
+        assert!(plan.stats.plan_cost_calls > 7);
+    }
+
+    #[test]
+    fn reoptimization_adapts_to_shrunken_cluster() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let query = QuerySpec::tpch_q3();
+        let before = opt.optimize(&query).unwrap();
+        // The cluster shrinks to 8 containers of 2 GB.
+        opt.set_cluster(ClusterConditions::two_dim(1.0..=8.0, 1.0..=2.0, 1.0, 1.0));
+        let after = opt.optimize(&query).unwrap();
+        for j in &after.query.joins {
+            let (nc, cs) = j.decision.resources.unwrap();
+            assert!(nc <= 8.0 && cs <= 2.0);
+        }
+        // Less resources, no faster.
+        assert!(after.time_sec() >= before.time_sec() - 1e-9);
+    }
+
+    #[test]
+    fn stats_reset_between_optimize_calls() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+        let a = opt.optimize(&QuerySpec::tpch_q12()).unwrap();
+        let b = opt.optimize(&QuerySpec::tpch_q12()).unwrap();
+        assert_eq!(a.stats.resource_iterations, b.stats.resource_iterations);
+    }
+}

@@ -1,0 +1,495 @@
+//! The RAQO coster: resource planning inside `getPlanCost` (§VI-C).
+//!
+//! > "Due to the fact that we compute the resource configurations locally
+//! > for each operator, we only need to invoke the resource planner when
+//! > computing the costs of a sub-plan. Thus, we extended the getPlanCost
+//! > method of our cost model to first perform the resource planning (or
+//! > lookup in the cache) and then return the sub-plan cost."
+//!
+//! For every candidate join the planner proposes, [`RaqoCoster`] searches
+//! the resource space once per operator implementation, picks the
+//! implementation whose *best* resource configuration is cheapest, and
+//! returns the joint decision. Search strategies mirror §VI-B: exhaustive
+//! [`ResourceStrategy::BruteForce`], Algorithm-1
+//! [`ResourceStrategy::HillClimb`], and hill climbing behind the
+//! resource-plan cache keyed on the operator's data characteristics.
+
+use raqo_cost::objective::CostVector;
+use raqo_cost::OperatorCost;
+use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
+use raqo_resource::{
+    brute_force, hill_climb, CacheBank, CacheLookup, CacheStats, ClusterConditions,
+    PlanningOutcome, ResourceConfig,
+};
+use raqo_sim::engine::JoinImpl;
+use serde::{Deserialize, Serialize};
+
+/// How to search the per-operator resource space (§VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ResourceStrategy {
+    /// Exhaustive grid search.
+    BruteForce,
+    /// Algorithm 1 from the minimum allocation.
+    HillClimb,
+    /// Hill climbing behind the resource-plan cache with the given lookup
+    /// policy; the cache key is the operator's smaller-input size in GB.
+    HillClimbCached(CacheLookup),
+}
+
+/// What the per-operator resource planning minimizes. §IV: "the optimizer
+/// can essentially tune the execution time and the monetary cost".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize estimated execution time.
+    Time,
+    /// Minimize estimated monetary cost (TB·s).
+    Money,
+    /// Minimize `w·time + (1−w)·money`.
+    Weighted { time_weight: f64 },
+    /// Minimize time among configurations whose estimated monetary cost
+    /// stays within the budget — the `c ⇒ (p, r)` use-case.
+    TimeUnderBudget { money_budget_tb_sec: f64 },
+}
+
+impl Objective {
+    /// Scalarize an estimated time under a resource configuration;
+    /// `INFINITY` = rejected. Three-dimensional configurations price their
+    /// cores at the serverless memory-equivalent rate.
+    fn score(&self, time_sec: f64, r: &ResourceConfig) -> f64 {
+        let money = money_of(time_sec, r);
+        match self {
+            Objective::Time => time_sec,
+            Objective::Money => money,
+            Objective::Weighted { time_weight } => {
+                time_weight * time_sec + (1.0 - time_weight) * money
+            }
+            Objective::TimeUnderBudget { money_budget_tb_sec } => {
+                if money <= *money_budget_tb_sec {
+                    time_sec
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// Monetary cost of holding configuration `r` for `time_sec`: plain
+/// memory-seconds in the 2-D space, memory + core-equivalents in 3-D.
+fn money_of(time_sec: f64, r: &ResourceConfig) -> f64 {
+    if r.dims() >= 3 {
+        raqo_sim::money::monetary_cost_with_cores(
+            time_sec,
+            r.containers(),
+            r.container_size_gb(),
+            r.get(2),
+        )
+    } else {
+        raqo_sim::money::monetary_cost_tb_sec(time_sec, r.containers(), r.container_size_gb())
+    }
+}
+
+/// Counters behind Figs. 12–14.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RaqoStats {
+    /// Resource configurations explored (cost-model evaluations inside the
+    /// resource planner) — the paper's "#Resource-Iterations".
+    pub resource_iterations: u64,
+    /// `getPlanCost` invocations (candidate sub-plans costed).
+    pub plan_cost_calls: u64,
+    /// Resource-planning invocations answered by the cache.
+    pub cache_hits: u64,
+}
+
+/// Stable cache identifiers per operator implementation.
+fn impl_cache_id(join: JoinImpl) -> u32 {
+    match join {
+        JoinImpl::SortMerge => 0,
+        JoinImpl::BroadcastHash => 1,
+    }
+}
+
+/// Operator kind inside the cache bank; only joins for now ("a single join
+/// operator for now", §VI-B), scans pipeline into them.
+const OP_JOIN: u32 = 0;
+
+/// The resource-planning coster.
+pub struct RaqoCoster<'a, M: OperatorCost> {
+    pub model: &'a M,
+    pub cluster: ClusterConditions,
+    pub strategy: ResourceStrategy,
+    pub objective: Objective,
+    pub stats: RaqoStats,
+    cache: CacheBank,
+}
+
+impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
+    pub fn new(
+        model: &'a M,
+        cluster: ClusterConditions,
+        strategy: ResourceStrategy,
+        objective: Objective,
+    ) -> Self {
+        RaqoCoster { model, cluster, strategy, objective, stats: RaqoStats::default(), cache: CacheBank::new() }
+    }
+
+    /// Clear the resource-plan cache (the evaluation clears it between
+    /// queries unless across-query caching is under test, §VII).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Aggregate cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.aggregate_stats()
+    }
+
+    /// Reset counters (the cache is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = RaqoStats::default();
+    }
+
+    /// Update the cluster conditions (adaptive RAQO: "If the cluster
+    /// conditions change until or during the execution of the query, the
+    /// dataflow/runtime can further adjust the query/resource plan by
+    /// consulting the optimizer", §IV). Cached configurations from other
+    /// conditions are clamped on use.
+    pub fn set_cluster(&mut self, cluster: ClusterConditions) {
+        self.cluster = cluster;
+    }
+
+    /// Resource-plan one operator implementation for one join. Returns the
+    /// chosen configuration and its *time* estimate, or `None` when the
+    /// implementation is infeasible everywhere reachable.
+    fn plan_operator(&mut self, join: JoinImpl, io: &JoinIo) -> Option<(ResourceConfig, f64)> {
+        // The scalarized cost surface for the search.
+        let model = self.model;
+        let objective = self.objective;
+        let build = io.build_gb;
+        let probe = io.probe_gb;
+        let cost_fn = |r: &ResourceConfig| -> f64 {
+            match model.join_cost_at(join, build, probe, r) {
+                Some(t) => objective.score(t, r),
+                None => f64::INFINITY,
+            }
+        };
+
+        let outcome: PlanningOutcome = match self.strategy {
+            ResourceStrategy::BruteForce => brute_force(&self.cluster, cost_fn),
+            ResourceStrategy::HillClimb => {
+                let start = self.feasible_start(join, io)?;
+                hill_climb(&self.cluster, start, cost_fn)
+            }
+            ResourceStrategy::HillClimbCached(lookup) => {
+                let cache = self.cache.cache(impl_cache_id(join), OP_JOIN);
+                if let Some(cached) = cache.lookup(io.build_gb, lookup) {
+                    // Cached configurations may come from interpolation or
+                    // (after re-optimization) other cluster conditions:
+                    // clamp and snap to the grid before use.
+                    let snapped = snap_to_grid(&self.cluster, &cached);
+                    self.stats.cache_hits += 1;
+                    let c = cost_fn(&snapped);
+                    PlanningOutcome { config: snapped, cost: c, iterations: 1 }
+                } else {
+                    let start = self.feasible_start(join, io)?;
+                    let out = hill_climb(&self.cluster, start, cost_fn);
+                    if out.cost.is_finite() {
+                        self.cache
+                            .cache(impl_cache_id(join), OP_JOIN)
+                            .insert(io.build_gb, out.config);
+                    }
+                    out
+                }
+            }
+        };
+        self.stats.resource_iterations += outcome.iterations;
+        if !outcome.cost.is_finite() {
+            return None;
+        }
+        // Recover the raw time estimate under the chosen configuration.
+        let r = outcome.config;
+        let time = model.join_cost_at(join, build, probe, &r)?;
+        Some((r, time))
+    }
+
+    /// Smallest in-bounds starting configuration where `join` is feasible.
+    /// Hill climbing needs this: a BHJ is infeasible (infinite cost) at the
+    /// minimum allocation whenever the build side does not fit in the
+    /// smallest container, and Algorithm 1 cannot cross an infinite
+    /// plateau. §VIII anticipates exactly this pruning: "a broadcast join
+    /// requires one relation to fit in memory".
+    fn feasible_start(&self, join: JoinImpl, io: &JoinIo) -> Option<ResourceConfig> {
+        let mut start = self.cluster.min;
+        if join == JoinImpl::SortMerge {
+            return Some(start);
+        }
+        let step = self.cluster.discrete_steps().get(1);
+        let mut cs = self.cluster.min.get(1);
+        while cs <= self.cluster.max.get(1) {
+            if self
+                .model
+                .join_cost(join, io.build_gb, io.probe_gb, start.containers(), cs)
+                .is_some()
+            {
+                start.set(1, cs);
+                return Some(start);
+            }
+            cs += step;
+        }
+        None
+    }
+}
+
+/// Clamp into bounds and round onto the discrete grid.
+fn snap_to_grid(cluster: &ClusterConditions, r: &ResourceConfig) -> ResourceConfig {
+    let mut out = cluster.clamp(r);
+    let steps = cluster.discrete_steps();
+    for i in 0..out.dims() {
+        let offset = out.get(i) - cluster.min.get(i);
+        let snapped = cluster.min.get(i) + (offset / steps.get(i)).round() * steps.get(i);
+        out.set(i, snapped.clamp(cluster.min.get(i), cluster.max.get(i)));
+    }
+    out
+}
+
+impl<M: OperatorCost> PlanCoster for RaqoCoster<'_, M> {
+    fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
+        self.stats.plan_cost_calls += 1;
+        let mut best: Option<JoinDecision> = None;
+        for join in JoinImpl::ALL {
+            let Some((r, time)) = self.plan_operator(join, io) else { continue };
+            let (nc, cs) = (r.containers(), r.container_size_gb());
+            let cost = self.objective.score(time, &r);
+            if !cost.is_finite() {
+                continue;
+            }
+            let decision = JoinDecision {
+                join,
+                cost,
+                objectives: CostVector { time_sec: time, money_tb_sec: money_of(time, &r) },
+                resources: Some((nc, cs)),
+                cores: (r.dims() >= 3).then(|| r.get(2)),
+            };
+            match &best {
+                Some(b) if b.cost <= decision.cost => {}
+                _ => best = Some(decision),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqo_cost::SimOracleCost;
+    use raqo_planner::JoinIo;
+
+    fn io(build: f64, probe: f64) -> JoinIo {
+        JoinIo { build_gb: build, probe_gb: probe, out_gb: build + probe, out_rows: 1e6 }
+    }
+
+    fn coster(strategy: ResourceStrategy) -> RaqoCoster<'static, SimOracleCost> {
+        static MODEL: std::sync::OnceLock<SimOracleCost> = std::sync::OnceLock::new();
+        let model = MODEL.get_or_init(SimOracleCost::hive);
+        RaqoCoster::new(model, ClusterConditions::paper_default(), strategy, Objective::Time)
+    }
+
+    #[test]
+    fn brute_force_explores_entire_grid_per_operator() {
+        let mut c = coster(ResourceStrategy::BruteForce);
+        let d = c.join_cost(&io(2.0, 40.0)).expect("feasible");
+        // 1000 grid points × 2 implementations.
+        assert_eq!(c.stats.resource_iterations, 2000);
+        assert_eq!(c.stats.plan_cost_calls, 1);
+        assert!(d.resources.is_some());
+        assert!(d.cost > 0.0 && d.cost.is_finite());
+    }
+
+    #[test]
+    fn hill_climb_explores_far_fewer_than_brute_force() {
+        // Fig. 13: "in general, hill climbing explores 4 times less
+        // resource configurations than brute force". The oracle model's
+        // surface is monotone in parallelism, forcing the longest possible
+        // climb, so require 3× here; the Fig. 13 bench reproduces the 4×
+        // on the learned model the paper used.
+        let mut bf = coster(ResourceStrategy::BruteForce);
+        bf.join_cost(&io(2.0, 40.0)).unwrap();
+        let mut hc = coster(ResourceStrategy::HillClimb);
+        hc.join_cost(&io(2.0, 40.0)).unwrap();
+        assert!(
+            hc.stats.resource_iterations * 3 <= bf.stats.resource_iterations,
+            "hc={} bf={}",
+            hc.stats.resource_iterations,
+            bf.stats.resource_iterations
+        );
+    }
+
+    #[test]
+    fn hill_climb_quality_close_to_brute_force() {
+        // Local optima are allowed, but on the engine's surfaces the
+        // greedy climb should land within 25% of the global optimum.
+        for join_io in [io(0.5, 20.0), io(2.0, 40.0), io(3.4, 77.0), io(6.0, 77.0)] {
+            let mut bf = coster(ResourceStrategy::BruteForce);
+            let db = bf.join_cost(&join_io).unwrap();
+            let mut hc = coster(ResourceStrategy::HillClimb);
+            let dh = hc.join_cost(&join_io).unwrap();
+            assert!(
+                dh.cost <= db.cost * 1.25 + 1e-9,
+                "hc={} bf={} at {:?}",
+                dh.cost,
+                db.cost,
+                join_io
+            );
+        }
+    }
+
+    #[test]
+    fn bhj_feasible_start_skips_oom_plateau() {
+        // Build side of 6 GB cannot fit a 1 GB container; hill climbing
+        // must still consider BHJ by starting at a feasible container size.
+        let mut hc = coster(ResourceStrategy::HillClimb);
+        let d = hc.join_cost(&io(6.0, 77.0)).expect("feasible join exists");
+        // Whatever wins, BHJ must have been plannable: directly check.
+        let model = SimOracleCost::hive();
+        let mut raw = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::HillClimb,
+            Objective::Time,
+        );
+        let bhj = raw.plan_operator(JoinImpl::BroadcastHash, &io(6.0, 77.0));
+        assert!(bhj.is_some(), "BHJ should be reachable via feasible start");
+        let (r, _) = bhj.unwrap();
+        assert!(model.join_cost(JoinImpl::BroadcastHash, 6.0, 77.0, r.containers(), r.container_size_gb()).is_some());
+        assert!(d.cost.is_finite());
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none_for_that_impl() {
+        // 100 GB build side never fits a 10 GB container: only SMJ remains.
+        let mut hc = coster(ResourceStrategy::HillClimb);
+        let d = hc.join_cost(&io(100.0, 200.0)).expect("SMJ still feasible");
+        assert_eq!(d.join, JoinImpl::SortMerge);
+    }
+
+    #[test]
+    fn cache_cuts_iterations_on_repeated_characteristics() {
+        let mut c = coster(ResourceStrategy::HillClimbCached(CacheLookup::Exact));
+        c.join_cost(&io(2.0, 40.0)).unwrap();
+        let after_first = c.stats.resource_iterations;
+        c.join_cost(&io(2.0, 40.0)).unwrap();
+        let delta = c.stats.resource_iterations - after_first;
+        // Second call: 1 re-evaluation per implementation.
+        assert!(delta <= 4, "cache ineffective: {delta} iterations");
+        assert_eq!(c.stats.cache_hits, 2); // SMJ + BHJ
+    }
+
+    #[test]
+    fn nearest_neighbor_cache_hits_similar_sizes() {
+        let mut c = coster(ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+            threshold: 0.1,
+        }));
+        c.join_cost(&io(2.0, 40.0)).unwrap();
+        let before = c.stats.resource_iterations;
+        c.join_cost(&io(2.05, 40.0)).unwrap(); // within threshold
+        assert!(c.stats.cache_hits >= 2);
+        assert!(c.stats.resource_iterations - before <= 4);
+        let before = c.stats.resource_iterations;
+        c.join_cost(&io(3.5, 40.0)).unwrap(); // outside threshold
+        assert!(c.stats.resource_iterations - before > 4);
+    }
+
+    #[test]
+    fn weighted_average_cache_interpolates_and_snaps_to_grid() {
+        let mut c = coster(ResourceStrategy::HillClimbCached(CacheLookup::WeightedAverage {
+            threshold: 1.0,
+        }));
+        c.join_cost(&io(2.0, 40.0)).unwrap();
+        c.join_cost(&io(3.0, 40.0)).unwrap();
+        let d = c.join_cost(&io(2.5, 40.0)).unwrap();
+        let (nc, cs) = d.resources.unwrap();
+        // Snapped onto the unit grid.
+        assert_eq!(nc.fract(), 0.0);
+        assert_eq!(cs.fract(), 0.0);
+    }
+
+    #[test]
+    fn money_objective_prefers_cheaper_configs_than_time_objective() {
+        let model = SimOracleCost::hive();
+        let mut time_c = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::BruteForce,
+            Objective::Time,
+        );
+        let mut money_c = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::BruteForce,
+            Objective::Money,
+        );
+        let dt = time_c.join_cost(&io(2.0, 77.0)).unwrap();
+        let dm = money_c.join_cost(&io(2.0, 77.0)).unwrap();
+        assert!(dm.objectives.money_tb_sec <= dt.objectives.money_tb_sec + 1e-9);
+        assert!(dm.objectives.time_sec >= dt.objectives.time_sec - 1e-9);
+    }
+
+    #[test]
+    fn budget_objective_respects_budget() {
+        let model = SimOracleCost::hive();
+        // First find the unconstrained money-optimal to set a tight budget.
+        let mut money_c = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::BruteForce,
+            Objective::Money,
+        );
+        let cheapest = money_c.join_cost(&io(2.0, 77.0)).unwrap().objectives.money_tb_sec;
+        let budget = cheapest * 1.5;
+        let mut budget_c = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::BruteForce,
+            Objective::TimeUnderBudget { money_budget_tb_sec: budget },
+        );
+        let d = budget_c.join_cost(&io(2.0, 77.0)).unwrap();
+        assert!(d.objectives.money_tb_sec <= budget + 1e-9);
+        // Impossible budget: no decision at all.
+        let mut strict = RaqoCoster::new(
+            &model,
+            ClusterConditions::paper_default(),
+            ResourceStrategy::BruteForce,
+            Objective::TimeUnderBudget { money_budget_tb_sec: cheapest * 0.5 },
+        );
+        assert!(strict.join_cost(&io(2.0, 77.0)).is_none());
+    }
+
+    #[test]
+    fn snap_to_grid_rounds_and_clamps() {
+        let cluster = ClusterConditions::paper_default();
+        let r = snap_to_grid(&cluster, &ResourceConfig::containers_and_size(10.4, 3.6));
+        assert_eq!(r, ResourceConfig::containers_and_size(10.0, 4.0));
+        let r = snap_to_grid(&cluster, &ResourceConfig::containers_and_size(400.0, 0.2));
+        assert_eq!(r, ResourceConfig::containers_and_size(100.0, 1.0));
+    }
+
+    #[test]
+    fn set_cluster_changes_search_bounds() {
+        let model = SimOracleCost::hive();
+        let mut c = RaqoCoster::new(
+            &model,
+            ClusterConditions::two_dim(1.0..=4.0, 1.0..=2.0, 1.0, 1.0),
+            ResourceStrategy::BruteForce,
+            Objective::Time,
+        );
+        let d_small = c.join_cost(&io(0.5, 20.0)).unwrap();
+        let (nc, cs) = d_small.resources.unwrap();
+        assert!(nc <= 4.0 && cs <= 2.0);
+        c.set_cluster(ClusterConditions::paper_default());
+        c.reset_stats();
+        let d_big = c.join_cost(&io(0.5, 20.0)).unwrap();
+        assert!(d_big.cost <= d_small.cost);
+        assert_eq!(c.stats.resource_iterations, 2000);
+    }
+}

@@ -1,0 +1,478 @@
+//! Rule-based RAQO (§V).
+//!
+//! > "we can simply plug these decision trees into Hive and Spark in order
+//! > to make resource aware query planning decisions in those systems. We
+//! > still pick the join operator implementations for each join operator in
+//! > the query DAG independently, however, we use the RAQO decision tree
+//! > instead. We traverse the tree using the current cluster conditions ...
+//! > and the resources available for the query ... The leaf of the tree
+//! > gives the best query plan for those resources."
+//!
+//! [`train_raqo_tree`] reproduces the Fig. 11 trees: CART over the labelled
+//! data–resource grid the simulator generates (the paper's "switch point
+//! results"). [`RuleBasedCoster`] plugs a tree into the query planner: join
+//! implementations come from the tree, not from cost comparison.
+
+use raqo_cost::objective::CostVector;
+use raqo_cost::OperatorCost;
+use raqo_dtree::default_trees::{class, feature};
+use raqo_dtree::{CartConfig, DecisionTree, Sample};
+use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
+use raqo_sim::engine::{Engine, JoinImpl};
+use raqo_sim::profile::{labeled_grid, ProfileGrid};
+
+/// Train the RAQO decision tree for an engine over its switch-point grid
+/// (Fig. 11). Features: data size, container size, concurrent containers,
+/// total containers; classes: BHJ, SMJ.
+pub fn train_raqo_tree(engine: &Engine, grid: &ProfileGrid) -> DecisionTree {
+    let samples: Vec<Sample> = labeled_grid(engine, grid)
+        .into_iter()
+        .map(|l| {
+            let label = match l.best {
+                JoinImpl::BroadcastHash => class::BHJ,
+                JoinImpl::SortMerge => class::SMJ,
+            };
+            Sample::new(l.features().to_vec(), label)
+        })
+        .collect();
+    CartConfig::default().fit(
+        &samples,
+        feature::NAMES.iter().map(|s| s.to_string()).collect(),
+        class::NAMES.iter().map(|s| s.to_string()).collect(),
+    )
+}
+
+/// One executed join from a workload trace: what ran, where, how long.
+///
+/// §V-B: "building decisions trees as described above is a practical
+/// solution since most enterprises that run data analytics have traces of
+/// past workload executions (including query plans and resources used),
+/// and hence these could be leveraged as training data for the decision
+/// trees." This is that trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Smaller-input size of the join, GB.
+    pub data_gb: f64,
+    pub container_size_gb: f64,
+    pub containers: f64,
+    pub total_containers: f64,
+    pub join: JoinImpl,
+    /// Observed execution time; `None` records a failed run (OOM) — still
+    /// useful: it teaches the tree that the other implementation wins
+    /// there.
+    pub time_sec: Option<f64>,
+}
+
+/// Train a RAQO tree from workload traces instead of controlled profile
+/// runs. Records are bucketed by (rounded data size, container size,
+/// containers); a bucket becomes a training sample when at least one
+/// implementation succeeded in it, labelled with the faster observed one
+/// (failed runs lose to any success). Returns `None` when no bucket has a
+/// usable label or only one class is present (a one-class tree would just
+/// re-encode the trace's bias).
+pub fn train_raqo_tree_from_traces(traces: &[TraceRecord]) -> Option<DecisionTree> {
+    use std::collections::HashMap;
+
+    // Bucket key: data size at 100 MB granularity + exact resources.
+    let key = |t: &TraceRecord| -> (u64, u64, u64) {
+        ((t.data_gb * 10.0).round() as u64, t.container_size_gb.round() as u64, t.containers.round() as u64)
+    };
+
+    #[derive(Default)]
+    struct Bucket {
+        best: HashMap<u8, f64>, // impl tag -> best observed time
+        features: Option<[f64; 4]>,
+    }
+    let tag = |j: JoinImpl| -> u8 {
+        match j {
+            JoinImpl::BroadcastHash => 0,
+            JoinImpl::SortMerge => 1,
+        }
+    };
+
+    let mut buckets: HashMap<(u64, u64, u64), Bucket> = HashMap::new();
+    for t in traces {
+        let b = buckets.entry(key(t)).or_default();
+        b.features.get_or_insert([
+            t.data_gb,
+            t.container_size_gb,
+            t.containers,
+            t.total_containers,
+        ]);
+        if let Some(time) = t.time_sec {
+            let e = b.best.entry(tag(t.join)).or_insert(f64::INFINITY);
+            *e = e.min(time);
+        }
+    }
+
+    let mut samples = Vec::new();
+    for b in buckets.values() {
+        let Some(features) = b.features else { continue };
+        let bhj = b.best.get(&0).copied();
+        let smj = b.best.get(&1).copied();
+        let label = match (bhj, smj) {
+            (None, None) => continue, // only failures observed
+            (Some(_), None) => class::BHJ,
+            (None, Some(_)) => class::SMJ,
+            (Some(b), Some(s)) => {
+                if b < s {
+                    class::BHJ
+                } else {
+                    class::SMJ
+                }
+            }
+        };
+        samples.push(Sample::new(features.to_vec(), label));
+    }
+
+    let classes: std::collections::HashSet<usize> = samples.iter().map(|s| s.label).collect();
+    if samples.is_empty() || classes.len() < 2 {
+        return None;
+    }
+    Some(CartConfig::default().fit(
+        &samples,
+        feature::NAMES.iter().map(|s| s.to_string()).collect(),
+        class::NAMES.iter().map(|s| s.to_string()).collect(),
+    ))
+}
+
+/// Classify one join with a (default or RAQO) tree under given resources.
+pub fn tree_pick_join(
+    tree: &DecisionTree,
+    data_gb: f64,
+    container_size_gb: f64,
+    containers: f64,
+    total_containers: f64,
+) -> JoinImpl {
+    let features = [data_gb, container_size_gb, containers, total_containers];
+    if tree.predict(&features) == class::BHJ {
+        JoinImpl::BroadcastHash
+    } else {
+        JoinImpl::SortMerge
+    }
+}
+
+/// A [`PlanCoster`] that selects join implementations by decision tree —
+/// the "rule-based RAQO plugged into the optimizer" mode. Resources are the
+/// fixed, externally provided ones (rule-based RAQO makes resource-*aware*
+/// choices but does not plan resources).
+pub struct RuleBasedCoster<'a, M: OperatorCost> {
+    pub tree: &'a DecisionTree,
+    pub model: &'a M,
+    pub containers: f64,
+    pub container_size_gb: f64,
+    /// Total tasks per vertex estimate (containers × waves); used as the
+    /// tree's fourth feature.
+    pub total_containers: f64,
+}
+
+impl<'a, M: OperatorCost> RuleBasedCoster<'a, M> {
+    pub fn new(
+        tree: &'a DecisionTree,
+        model: &'a M,
+        containers: f64,
+        container_size_gb: f64,
+    ) -> Self {
+        RuleBasedCoster {
+            tree,
+            model,
+            containers,
+            container_size_gb,
+            total_containers: containers,
+        }
+    }
+}
+
+impl<M: OperatorCost> PlanCoster for RuleBasedCoster<'_, M> {
+    fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
+        let picked = tree_pick_join(
+            self.tree,
+            io.build_gb,
+            self.container_size_gb,
+            self.containers,
+            self.total_containers,
+        );
+        // The tree picks the implementation; the cost model prices it (for
+        // join ordering). If the tree's pick is infeasible (it has no OOM
+        // notion), fall back to SMJ — exactly what Hive does at runtime.
+        let (join, cost) = match self.model.join_cost(
+            picked,
+            io.build_gb,
+            io.probe_gb,
+            self.containers,
+            self.container_size_gb,
+        ) {
+            Some(c) => (picked, c),
+            None => {
+                let c = self.model.join_cost(
+                    JoinImpl::SortMerge,
+                    io.build_gb,
+                    io.probe_gb,
+                    self.containers,
+                    self.container_size_gb,
+                )?;
+                (JoinImpl::SortMerge, c)
+            }
+        };
+        Some(JoinDecision {
+            join,
+            cost,
+            objectives: CostVector::from_run(cost, self.containers, self.container_size_gb),
+            resources: None,
+            cores: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raqo_dtree::default_trees::default_hive_tree;
+
+    fn trained() -> DecisionTree {
+        train_raqo_tree(&Engine::hive(), &ProfileGrid::paper_default())
+    }
+
+    #[test]
+    fn raqo_tree_fits_its_grid() {
+        // Fig. 11's trees are grown to purity over their training grids.
+        let engine = Engine::hive();
+        let grid = ProfileGrid::paper_default();
+        let tree = train_raqo_tree(&engine, &grid);
+        let samples: Vec<Sample> = labeled_grid(&engine, &grid)
+            .into_iter()
+            .map(|l| {
+                Sample::new(
+                    l.features().to_vec(),
+                    if l.best == JoinImpl::BroadcastHash { class::BHJ } else { class::SMJ },
+                )
+            })
+            .collect();
+        assert_eq!(tree.accuracy(&samples), 1.0);
+    }
+
+    #[test]
+    fn raqo_tree_branches_on_resources_not_just_data() {
+        // "The RAQO trees ... have more branching based on not only the
+        // data sizes, but also the container sizes and the number of
+        // containers."
+        let tree = trained();
+        let text = tree.render();
+        assert!(text.contains("Data Size"), "{text}");
+        assert!(
+            text.contains("Container Size") || text.contains("Concurrent Containers"),
+            "tree never tests a resource feature:\n{text}"
+        );
+    }
+
+    #[test]
+    fn raqo_tree_path_length_is_paper_scale() {
+        // Paper: max path length 6 (Hive) / 7 (Spark). Our grids are
+        // larger, so allow some slack — but the tree must stay shallow
+        // enough to be a practical rule set.
+        let tree = trained();
+        assert!(
+            (3..=14).contains(&tree.max_path_len()),
+            "path length {}",
+            tree.max_path_len()
+        );
+    }
+
+    #[test]
+    fn raqo_tree_disagrees_with_default_rule_where_it_matters() {
+        // The 3.4 GB / 3 GB / varying-containers scenario of Fig. 3(b):
+        // the default tree says SMJ everywhere (> 10 MB); the RAQO tree
+        // must pick BHJ at low parallelism and SMJ at high.
+        let raqo = trained();
+        let default = default_hive_tree();
+        let low = tree_pick_join(&raqo, 3.4, 3.0, 10.0, 310.0);
+        let high = tree_pick_join(&raqo, 3.4, 3.0, 40.0, 1240.0);
+        assert_eq!(low, JoinImpl::BroadcastHash);
+        assert_eq!(high, JoinImpl::SortMerge);
+        assert_eq!(tree_pick_join(&default, 3.4, 3.0, 10.0, 310.0), JoinImpl::SortMerge);
+    }
+
+    #[test]
+    fn hive_and_spark_trees_differ() {
+        let hive = train_raqo_tree(&Engine::hive(), &ProfileGrid::paper_default());
+        let spark = train_raqo_tree(&Engine::spark(), &ProfileGrid::paper_default());
+        assert_ne!(hive, spark);
+    }
+
+    #[test]
+    fn rule_based_coster_follows_tree_and_survives_oom_picks() {
+        use raqo_cost::SimOracleCost;
+        let tree = trained();
+        let model = SimOracleCost::hive();
+        let mut coster = RuleBasedCoster::new(&tree, &model, 10.0, 3.0);
+        // Feasible BHJ region.
+        let io = JoinIo { build_gb: 0.5, probe_gb: 40.0, out_gb: 40.0, out_rows: 1e6 };
+        let d = coster.join_cost(&io).unwrap();
+        assert_eq!(d.join, tree_pick_join(&tree, 0.5, 3.0, 10.0, 10.0));
+        // A pick that would OOM falls back to SMJ.
+        let io = JoinIo { build_gb: 30.0, probe_gb: 60.0, out_gb: 90.0, out_rows: 1e6 };
+        let d = coster.join_cost(&io).unwrap();
+        assert_eq!(d.join, JoinImpl::SortMerge);
+    }
+
+    fn traces_from_profile(engine: &Engine, grid: &ProfileGrid) -> Vec<TraceRecord> {
+        raqo_sim::profile::profile(engine, grid)
+            .into_iter()
+            .map(|r| TraceRecord {
+                data_gb: r.small_gb,
+                container_size_gb: r.container_size_gb,
+                containers: r.containers,
+                total_containers: r.containers * (r.large_gb / 0.256 / r.containers).ceil().max(1.0),
+                join: r.join,
+                time_sec: r.time_sec,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trace_trained_tree_matches_grid_trained_decisions() {
+        // A complete trace (both implementations observed everywhere they
+        // run) must reproduce the grid-trained tree's decisions.
+        let engine = Engine::hive();
+        let grid = ProfileGrid::paper_default();
+        let grid_tree = train_raqo_tree(&engine, &grid);
+        let trace_tree =
+            train_raqo_tree_from_traces(&traces_from_profile(&engine, &grid)).expect("trains");
+        let mut agree = 0;
+        let mut total = 0;
+        for l in labeled_grid(&engine, &grid) {
+            let f = l.features();
+            total += 1;
+            if grid_tree.predict(&f) == trace_tree.predict(&f) {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree as f64 / total as f64 > 0.97,
+            "only {agree}/{total} agreement"
+        );
+    }
+
+    #[test]
+    fn trace_training_survives_incomplete_traces() {
+        // Real traces only contain what actually ran: drop half the SMJ
+        // records; the tree must still train on the remainder.
+        let engine = Engine::hive();
+        let grid = ProfileGrid::paper_default();
+        let traces: Vec<TraceRecord> = traces_from_profile(&engine, &grid)
+            .into_iter()
+            .enumerate()
+            .filter(|(i, t)| !(i % 4 == 0 && t.join == JoinImpl::SortMerge))
+            .map(|(_, t)| t)
+            .collect();
+        let tree = train_raqo_tree_from_traces(&traces).expect("trains on partial traces");
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn trace_training_uses_oom_failures_as_evidence() {
+        // A trace where BHJ always OOMs and SMJ always succeeds: every
+        // bucket labels SMJ → one class only → refuse to train.
+        let traces: Vec<TraceRecord> = (0..20)
+            .flat_map(|i| {
+                let data = 1.0 + i as f64 * 0.5;
+                [
+                    TraceRecord {
+                        data_gb: data,
+                        container_size_gb: 2.0,
+                        containers: 10.0,
+                        total_containers: 100.0,
+                        join: JoinImpl::BroadcastHash,
+                        time_sec: None, // OOM
+                    },
+                    TraceRecord {
+                        data_gb: data,
+                        container_size_gb: 2.0,
+                        containers: 10.0,
+                        total_containers: 100.0,
+                        join: JoinImpl::SortMerge,
+                        time_sec: Some(100.0 + data),
+                    },
+                ]
+            })
+            .collect();
+        assert!(train_raqo_tree_from_traces(&traces).is_none());
+        // Add one region where BHJ wins: now trainable, and it must
+        // remember both the OOM region and the BHJ region.
+        let mut traces = traces;
+        traces.push(TraceRecord {
+            data_gb: 0.1,
+            container_size_gb: 8.0,
+            containers: 10.0,
+            total_containers: 100.0,
+            join: JoinImpl::BroadcastHash,
+            time_sec: Some(10.0),
+        });
+        traces.push(TraceRecord {
+            data_gb: 0.1,
+            container_size_gb: 8.0,
+            containers: 10.0,
+            total_containers: 100.0,
+            join: JoinImpl::SortMerge,
+            time_sec: Some(50.0),
+        });
+        let tree = train_raqo_tree_from_traces(&traces).expect("two classes now");
+        assert_eq!(
+            tree_pick_join(&tree, 3.0, 2.0, 10.0, 100.0),
+            JoinImpl::SortMerge,
+            "OOM region must classify SMJ"
+        );
+        assert_eq!(
+            tree_pick_join(&tree, 0.1, 8.0, 10.0, 100.0),
+            JoinImpl::BroadcastHash
+        );
+    }
+
+    #[test]
+    fn empty_traces_do_not_train() {
+        assert!(train_raqo_tree_from_traces(&[]).is_none());
+    }
+
+    #[test]
+    fn rule_based_improves_over_default_rule_on_oracle_costs() {
+        // Aggregate over the grid: tree-chosen implementations must cost
+        // no more than default-rule choices, and strictly less overall.
+        use raqo_cost::SimOracleCost;
+        let engine = Engine::hive();
+        let grid = ProfileGrid::paper_default();
+        let raqo = train_raqo_tree(&engine, &grid);
+        let default = default_hive_tree();
+        let model = SimOracleCost::hive();
+        let mut raqo_total = 0.0;
+        let mut default_total = 0.0;
+        for l in labeled_grid(&engine, &grid) {
+            let run = |tree: &DecisionTree| -> f64 {
+                let pick = tree_pick_join(
+                    tree,
+                    l.data_gb,
+                    l.container_size_gb,
+                    l.containers,
+                    l.total_containers,
+                );
+                model
+                    .join_cost(pick, l.data_gb, 77.0, l.containers, l.container_size_gb)
+                    .or_else(|| {
+                        model.join_cost(
+                            JoinImpl::SortMerge,
+                            l.data_gb,
+                            77.0,
+                            l.containers,
+                            l.container_size_gb,
+                        )
+                    })
+                    .expect("SMJ always feasible")
+            };
+            raqo_total += run(&raqo);
+            default_total += run(&default);
+        }
+        assert!(
+            raqo_total < default_total * 0.95,
+            "raqo={raqo_total:.0} default={default_total:.0}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The §VI-A feature map.
+
+/// Number of features in the paper's final feature vector.
+pub const NUM_FEATURES: usize = 7;
+
+/// Human-readable names, in coefficient order.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] =
+    ["ss", "ss^2", "cs", "cs^2", "nc", "nc^2", "cs*nc"];
+
+/// Build the paper's feature vector `[ss, ss², cs, cs², nc, nc², cs·nc]`
+/// from the smaller input size (GB), container size (GB), and number of
+/// containers.
+#[inline]
+pub fn feature_vector(ss: f64, cs: f64, nc: f64) -> [f64; NUM_FEATURES] {
+    [ss, ss * ss, cs, cs * cs, nc, nc * nc, cs * nc]
+}
+
+/// Number of features in the extended map.
+pub const NUM_EXTENDED_FEATURES: usize = 10;
+
+/// Extended feature map: the paper's seven plus `1/nc`, `ss/nc`, and an
+/// intercept.
+///
+/// §VI-A: "We could further tune the above cost model by adding more
+/// features" — the polynomial map cannot represent the hyperbolic `1/nc`
+/// shape of parallel scans (speed-up ∝ parallelism), which caps its fit
+/// quality; these three terms fix that. The extended map is used where plan
+/// *quality* matters; the 7-feature map stays the faithful default for the
+/// paper's planner-overhead experiments.
+#[inline]
+pub fn extended_feature_vector(ss: f64, cs: f64, nc: f64) -> [f64; NUM_EXTENDED_FEATURES] {
+    debug_assert!(nc > 0.0);
+    [ss, ss * ss, cs, cs * cs, nc, nc * nc, cs * nc, 1.0 / nc, ss / nc, 1.0]
+}
+
+/// Which feature map a model was trained over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FeatureMap {
+    /// The paper's `[ss, ss², cs, cs², nc, nc², cs·nc]`.
+    Paper,
+    /// Paper's seven + `1/nc` + `ss/nc` + intercept.
+    Extended,
+}
+
+impl FeatureMap {
+    /// Build the feature vector for this map.
+    pub fn build(&self, ss: f64, cs: f64, nc: f64) -> Vec<f64> {
+        match self {
+            FeatureMap::Paper => feature_vector(ss, cs, nc).to_vec(),
+            FeatureMap::Extended => extended_feature_vector(ss, cs, nc).to_vec(),
+        }
+    }
+
+    /// Number of features produced.
+    pub fn arity(&self) -> usize {
+        match self {
+            FeatureMap::Paper => NUM_FEATURES,
+            FeatureMap::Extended => NUM_EXTENDED_FEATURES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_matches_paper_order() {
+        let f = feature_vector(2.0, 3.0, 10.0);
+        assert_eq!(f, [2.0, 4.0, 3.0, 9.0, 10.0, 100.0, 30.0]);
+    }
+
+    #[test]
+    fn names_align_with_length() {
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+        assert_eq!(feature_vector(1.0, 1.0, 1.0).len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn zero_inputs_zero_features() {
+        assert_eq!(feature_vector(0.0, 0.0, 0.0), [0.0; NUM_FEATURES]);
+    }
+
+    #[test]
+    fn extended_map_prefixes_paper_map() {
+        let paper = feature_vector(2.0, 3.0, 10.0);
+        let ext = extended_feature_vector(2.0, 3.0, 10.0);
+        assert_eq!(&ext[..NUM_FEATURES], &paper[..]);
+        assert_eq!(ext[7], 0.1); // 1/nc
+        assert_eq!(ext[8], 0.2); // ss/nc
+        assert_eq!(ext[9], 1.0); // intercept
+    }
+
+    #[test]
+    fn feature_map_dispatch() {
+        assert_eq!(FeatureMap::Paper.arity(), NUM_FEATURES);
+        assert_eq!(FeatureMap::Extended.arity(), NUM_EXTENDED_FEATURES);
+        assert_eq!(FeatureMap::Paper.build(1.0, 2.0, 4.0).len(), NUM_FEATURES);
+        assert_eq!(FeatureMap::Extended.build(1.0, 2.0, 4.0).len(), NUM_EXTENDED_FEATURES);
+    }
+}

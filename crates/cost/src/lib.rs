@@ -1,0 +1,42 @@
+//! # raqo-cost
+//!
+//! The learned data-and-resource cost model of §VI-A.
+//!
+//! > "Given the multi-dimensional space of data and resources, we perform a
+//! > regression analysis to learn the query costs as a function of the input
+//! > data and resources, i.e., f(d, r) → C. [...] Specifically for our
+//! > scenario, we trained linear regression models for SMJ and BHJ using
+//! > smaller input size (ss), container size (cs), and the number of
+//! > containers (nc) as features. We further augmented the feature set with
+//! > the following non-linear functions: ss², cs², nc², and (cs·nc). [...]
+//! > The final feature vector is: [ss, ss², cs, cs², nc, nc², cs·nc]. The
+//! > total cost of a query plan is the sum of costs of all join operators in
+//! > that plan."
+//!
+//! This crate provides:
+//!
+//! * [`features`] — the 7-entry feature map;
+//! * [`regression`] — ordinary least squares from scratch (normal equations
+//!   solved by Gaussian elimination with partial pivoting), replacing the
+//!   paper's offline regression tooling;
+//! * [`paper`] — the published SMJ/BHJ coefficient vectors, embedded
+//!   verbatim;
+//! * [`model`] — the [`model::OperatorCost`] trait the planners consume,
+//!   with a learned implementation (trained on `raqo-sim` profile runs, as
+//!   the paper trained on Hive profile runs) and a simulator-oracle
+//!   implementation for ground-truth comparisons;
+//! * [`objective`] — multi-objective cost vectors (execution time, monetary
+//!   cost) and Pareto dominance, for the multi-objective planner.
+
+pub mod features;
+pub mod model;
+pub mod objective;
+pub mod paper;
+pub mod pricing;
+pub mod regression;
+
+pub use features::{feature_vector, NUM_FEATURES};
+pub use model::{JoinCostModel, OperatorCost, SimOracleCost};
+pub use objective::CostVector;
+pub use pricing::PricingModel;
+pub use regression::{LinearModel, RegressionError};

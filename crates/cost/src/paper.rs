@@ -1,0 +1,98 @@
+//! The published §VI-A regression coefficients, embedded verbatim.
+//!
+//! > "Our regression analysis over the SMJ and BHJ profile runs on Hive
+//! > yielded the following coefficients: ..."
+//!
+//! The paper highlights the sign structure: "SMJ has positive coefficients
+//! for container size and negative for the number of containers, while it
+//! is opposite for BHJ. This makes sense because ... SMJ improves more with
+//! larger parallelism while BHJ improves more with larger container sizes."
+//! (The signs the prose refers to are the *marginal* effects at the
+//! operating points of their profile runs; see the tests.)
+
+use crate::features::NUM_FEATURES;
+use crate::regression::LinearModel;
+
+/// SMJ coefficients over `[ss, ss², cs, cs², nc, nc², cs·nc]`, §VI-A.
+pub const SMJ_COEFFICIENTS: [f64; NUM_FEATURES] = [
+    1.62643613e+01,
+    9.68774888e-01,
+    1.33866542e-02,
+    1.60639851e-01,
+    -7.82618920e-03,
+    -3.91309460e-01,
+    1.10387975e-01,
+];
+
+/// BHJ coefficients over `[ss, ss², cs, cs², nc, nc², cs·nc]`, §VI-A.
+pub const BHJ_COEFFICIENTS: [f64; NUM_FEATURES] = [
+    1.00739509e+04,
+    -6.72184592e+02,
+    -1.37392901e+01,
+    -1.64871481e+02,
+    2.44721676e-02,
+    1.22360838e+00,
+    -1.37319484e+02,
+];
+
+/// The paper's SMJ model as a [`LinearModel`].
+pub fn smj_model() -> LinearModel {
+    LinearModel::from_coefficients(SMJ_COEFFICIENTS.to_vec())
+}
+
+/// The paper's BHJ model as a [`LinearModel`].
+pub fn bhj_model() -> LinearModel {
+    LinearModel::from_coefficients(BHJ_COEFFICIENTS.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::feature_vector;
+
+    #[test]
+    fn coefficient_vectors_have_paper_arity() {
+        assert_eq!(SMJ_COEFFICIENTS.len(), 7);
+        assert_eq!(BHJ_COEFFICIENTS.len(), 7);
+        assert_eq!(smj_model().coefficients.len(), 7);
+        assert_eq!(bhj_model().coefficients.len(), 7);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the test subject
+    fn sign_structure_matches_paper_discussion() {
+        // "SMJ has positive coefficients for container size and negative
+        // for the number of containers, while it is opposite for BHJ."
+        // cs coefficients are indices 2,3; nc coefficients are 4,5.
+        assert!(SMJ_COEFFICIENTS[2] > 0.0 && SMJ_COEFFICIENTS[3] > 0.0);
+        assert!(SMJ_COEFFICIENTS[4] < 0.0 && SMJ_COEFFICIENTS[5] < 0.0);
+        assert!(BHJ_COEFFICIENTS[2] < 0.0 && BHJ_COEFFICIENTS[3] < 0.0);
+        assert!(BHJ_COEFFICIENTS[4] > 0.0 && BHJ_COEFFICIENTS[5] > 0.0);
+    }
+
+    #[test]
+    fn smj_cost_grows_with_data() {
+        let m = smj_model();
+        let small = m.predict(&feature_vector(1.0, 3.0, 10.0));
+        let big = m.predict(&feature_vector(8.0, 3.0, 10.0));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn bhj_marginal_effect_of_memory_is_negative() {
+        // More container memory must not increase the BHJ estimate at the
+        // paper's operating points.
+        let m = bhj_model();
+        let at = |cs: f64| m.predict(&feature_vector(2.0, cs, 10.0));
+        assert!(at(6.0) < at(3.0));
+    }
+
+    #[test]
+    fn smj_marginal_effect_of_parallelism_is_negative_at_scale() {
+        // The nc² coefficient dominates for moderate nc: more containers
+        // lower the SMJ estimate.
+        let m = smj_model();
+        let at = |nc: f64| m.predict(&feature_vector(2.0, 3.0, nc));
+        assert!(at(40.0) < at(10.0));
+    }
+}

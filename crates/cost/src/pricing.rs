@@ -1,0 +1,189 @@
+//! Cloud pricing models (§VIII, "RAQO and pricing").
+//!
+//! > "it would be interesting to see if our findings from RAQO can be used
+//! > to suggest new pricing models for cloud environments."
+//!
+//! The paper bills serverless memory-seconds at a flat rate. Real clouds do
+//! not: large-memory instances carry premiums, and reserved capacity is
+//! cheaper than on-demand burst. Because RAQO plans resources *per
+//! operator* against an arbitrary cost surface, a pricing model simply
+//! composes with the resource planner: price the (time, configuration)
+//! pair and minimize dollars instead of TB·seconds. The experiments show
+//! the chosen configuration shifting with the tariff — evidence that
+//! pricing design and query optimization genuinely interact.
+
+use raqo_sim::money::monetary_cost_tb_sec;
+use serde::{Deserialize, Serialize};
+
+/// A tariff: dollars for holding `nc` containers of `cs` GB for
+/// `time_sec` seconds.
+pub trait PricingModel {
+    fn dollars(&self, time_sec: f64, nc: f64, cs: f64) -> f64;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's model: a flat rate per TB·second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlatRate {
+    pub per_tb_sec: f64,
+}
+
+impl FlatRate {
+    /// $1 per TB·second — the unit tariff used across the experiments.
+    pub fn unit() -> Self {
+        FlatRate { per_tb_sec: 1.0 }
+    }
+}
+
+impl PricingModel for FlatRate {
+    fn dollars(&self, time_sec: f64, nc: f64, cs: f64) -> f64 {
+        monetary_cost_tb_sec(time_sec, nc, cs) * self.per_tb_sec
+    }
+
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+}
+
+/// Large containers carry a premium (memory-optimized instance classes):
+/// the per-GB rate scales by `1 + surcharge · max(0, cs − knee)/knee`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LargeContainerPremium {
+    pub base: FlatRate,
+    /// Container size (GB) where the premium starts.
+    pub knee_gb: f64,
+    /// Premium slope: at `cs = 2·knee` the rate is `1 + surcharge` times
+    /// the base rate.
+    pub surcharge: f64,
+}
+
+impl LargeContainerPremium {
+    pub fn typical() -> Self {
+        LargeContainerPremium { base: FlatRate::unit(), knee_gb: 4.0, surcharge: 1.5 }
+    }
+}
+
+impl PricingModel for LargeContainerPremium {
+    fn dollars(&self, time_sec: f64, nc: f64, cs: f64) -> f64 {
+        let premium = 1.0 + self.surcharge * ((cs - self.knee_gb).max(0.0) / self.knee_gb);
+        self.base.dollars(time_sec, nc, cs) * premium
+    }
+
+    fn name(&self) -> &'static str {
+        "large-container premium"
+    }
+}
+
+/// Reserved-plus-on-demand: the first `reserved_containers` are billed at
+/// the base rate, anything above at `on_demand_multiplier` times it.
+/// (Rayon-style reservations, with bursts priced like spot/on-demand.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservedPlusOnDemand {
+    pub base: FlatRate,
+    pub reserved_containers: f64,
+    pub on_demand_multiplier: f64,
+}
+
+impl ReservedPlusOnDemand {
+    pub fn typical() -> Self {
+        ReservedPlusOnDemand {
+            base: FlatRate::unit(),
+            reserved_containers: 20.0,
+            on_demand_multiplier: 3.0,
+        }
+    }
+}
+
+impl PricingModel for ReservedPlusOnDemand {
+    fn dollars(&self, time_sec: f64, nc: f64, cs: f64) -> f64 {
+        let reserved = nc.min(self.reserved_containers);
+        let burst = (nc - self.reserved_containers).max(0.0);
+        self.base.dollars(time_sec, reserved, cs)
+            + self.base.dollars(time_sec, burst, cs) * self.on_demand_multiplier
+    }
+
+    fn name(&self) -> &'static str {
+        "reserved + on-demand"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_rate_is_linear_in_everything() {
+        let p = FlatRate::unit();
+        let base = p.dollars(100.0, 10.0, 4.0);
+        assert!((p.dollars(200.0, 10.0, 4.0) - 2.0 * base).abs() < 1e-9);
+        assert!((p.dollars(100.0, 20.0, 4.0) - 2.0 * base).abs() < 1e-9);
+        assert!((p.dollars(100.0, 10.0, 8.0) - 2.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn premium_kicks_in_above_knee_only() {
+        let p = LargeContainerPremium::typical();
+        let flat = FlatRate::unit();
+        // At/below the knee: identical to flat.
+        assert_eq!(p.dollars(100.0, 10.0, 4.0), flat.dollars(100.0, 10.0, 4.0));
+        assert_eq!(p.dollars(100.0, 10.0, 2.0), flat.dollars(100.0, 10.0, 2.0));
+        // At 8 GB (2× knee): 1 + 1.5 = 2.5× the flat rate.
+        let want = flat.dollars(100.0, 10.0, 8.0) * 2.5;
+        assert!((p.dollars(100.0, 10.0, 8.0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reserved_pricing_discounts_small_footprints() {
+        let p = ReservedPlusOnDemand::typical();
+        let flat = FlatRate::unit();
+        // Within the reservation: flat.
+        assert_eq!(p.dollars(100.0, 20.0, 4.0), flat.dollars(100.0, 20.0, 4.0));
+        // Above: the extra containers cost 3x.
+        let within = flat.dollars(100.0, 20.0, 4.0);
+        let extra = flat.dollars(100.0, 10.0, 4.0) * 3.0;
+        assert!((p.dollars(100.0, 30.0, 4.0) - (within + extra)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tariffs_shift_the_optimal_configuration() {
+        // The §VIII point: the dollar-optimal (nc, cs) depends on the
+        // tariff. Plan the Fig. 3(a) join under each model with the
+        // simulator as the time oracle.
+        use crate::model::{OperatorCost, SimOracleCost};
+        
+
+        let model = SimOracleCost::hive();
+        let best_under = |pricing: &dyn PricingModel| -> (f64, f64) {
+            let mut best = (f64::INFINITY, 0.0, 0.0);
+            for nc in 1..=100 {
+                for cs in 1..=10 {
+                    let (nc, cs) = (nc as f64, cs as f64);
+                    if let Some((_, t)) = model.best_impl(3.4, 77.0, nc, cs) {
+                        let d = pricing.dollars(t, nc, cs);
+                        if d < best.0 {
+                            best = (d, nc, cs);
+                        }
+                    }
+                }
+            }
+            (best.1, best.2)
+        };
+
+        let flat = best_under(&FlatRate::unit());
+        let premium = best_under(&LargeContainerPremium::typical());
+        let reserved = best_under(&ReservedPlusOnDemand::typical());
+
+        // Premium pricing must not pick larger containers than flat.
+        assert!(premium.1 <= flat.1, "premium {premium:?} vs flat {flat:?}");
+        // Reserved pricing must not burst further beyond the reservation
+        // than flat pricing does.
+        assert!(reserved.0 <= flat.0.max(20.0), "reserved {reserved:?} vs flat {flat:?}");
+        // And at least one tariff changes the decision at all.
+        assert!(
+            premium != flat || reserved != flat,
+            "pricing had no effect: {flat:?}"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the regression and cost-model layer.
+
+use proptest::prelude::*;
+use raqo_cost::features::{extended_feature_vector, feature_vector, FeatureMap};
+use raqo_cost::{LinearModel, OperatorCost, SimOracleCost};
+use raqo_sim::engine::JoinImpl;
+
+proptest! {
+    /// OLS residuals are orthogonal to every feature column (the normal
+    /// equations' defining property), on arbitrary noisy data.
+    #[test]
+    fn residuals_orthogonal_to_features(
+        rows in proptest::collection::vec(
+            (0.1f64..10.0, 1.0f64..10.0, 1.0f64..50.0, -5.0f64..5.0),
+            20..120,
+        ),
+    ) {
+        let xs: Vec<Vec<f64>> =
+            rows.iter().map(|&(ss, cs, nc, _)| feature_vector(ss, cs, nc).to_vec()).collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|&(ss, cs, nc, noise)| 3.0 * ss + 0.5 * cs * nc + noise)
+            .collect();
+        if let Ok(model) = LinearModel::fit(&xs, &ys) {
+            let residuals: Vec<f64> =
+                xs.iter().zip(&ys).map(|(x, y)| y - model.predict(x)).collect();
+            // Scale-invariant check: |Xᵀr| relative to |Xᵀ||r|.
+            for j in 0..7 {
+                let dot: f64 = xs.iter().zip(&residuals).map(|(x, r)| x[j] * r).sum();
+                let xnorm: f64 = xs.iter().map(|x| x[j] * x[j]).sum::<f64>().sqrt();
+                let rnorm: f64 = residuals.iter().map(|r| r * r).sum::<f64>().sqrt();
+                let denom = (xnorm * rnorm).max(1e-12);
+                prop_assert!(dot.abs() / denom < 1e-6, "column {j}: {}", dot.abs() / denom);
+            }
+        }
+    }
+
+    /// Predictions are linear: predict(x + y) = predict(x) + predict(y).
+    #[test]
+    fn prediction_is_linear(
+        coeffs in proptest::collection::vec(-10.0f64..10.0, 7),
+        a in (0.1f64..5.0, 1.0f64..10.0, 1.0f64..50.0),
+        b in (0.1f64..5.0, 1.0f64..10.0, 1.0f64..50.0),
+    ) {
+        let model = LinearModel::from_coefficients(coeffs);
+        let fa = feature_vector(a.0, a.1, a.2);
+        let fb = feature_vector(b.0, b.1, b.2);
+        let summed: Vec<f64> = fa.iter().zip(&fb).map(|(x, y)| x + y).collect();
+        let lhs = model.predict(&summed);
+        let rhs = model.predict(&fa) + model.predict(&fb);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    /// The extended feature map extends the paper map exactly.
+    #[test]
+    fn extended_map_prefix_property(
+        ss in 0.01f64..10.0,
+        cs in 1.0f64..10.0,
+        nc in 1.0f64..100.0,
+    ) {
+        let paper = FeatureMap::Paper.build(ss, cs, nc);
+        let ext = FeatureMap::Extended.build(ss, cs, nc);
+        prop_assert_eq!(&ext[..7], &paper[..]);
+        prop_assert_eq!(ext, extended_feature_vector(ss, cs, nc).to_vec());
+    }
+
+    /// The oracle model's BHJ feasibility is exactly the engine's OOM rule:
+    /// feasible iff the build side fits the per-container capacity.
+    #[test]
+    fn oracle_feasibility_matches_capacity_rule(
+        ss in 0.1f64..20.0,
+        nc in 1.0f64..64.0,
+        cs in 1.0f64..10.0,
+    ) {
+        let oracle = SimOracleCost::hive();
+        let nc = nc.round();
+        let cs = cs.round().max(1.0);
+        let fits = ss <= oracle.engine.bhj_capacity_gb(cs);
+        let feasible = oracle.join_cost(JoinImpl::BroadcastHash, ss, 77.0, nc, cs).is_some();
+        prop_assert_eq!(fits, feasible);
+        // SMJ is feasible everywhere.
+        prop_assert!(oracle.join_cost(JoinImpl::SortMerge, ss, 77.0, nc, cs).is_some());
+    }
+}

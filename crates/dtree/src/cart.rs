@@ -1,0 +1,315 @@
+//! CART: greedy top-down induction with Gini impurity — the algorithm
+//! behind scikit-learn's `DecisionTreeClassifier` that the paper ran over
+//! its switch-point grids (§V-B).
+
+use crate::tree::{gini, majority, DecisionTree, Node, Sample};
+
+/// Learner knobs. The defaults grow the tree to purity like the paper's
+/// figures (their Fig. 11 trees terminate in gini = 0 leaves); the paper
+/// notes pruning "is currently not a problem for the set of resources that
+/// we have considered".
+#[derive(Debug, Clone, Copy)]
+pub struct CartConfig {
+    /// Stop splitting below this many samples.
+    pub min_samples_split: usize,
+    /// Maximum tree depth (nodes on a path), if any.
+    pub max_depth: Option<usize>,
+}
+
+impl Default for CartConfig {
+    fn default() -> Self {
+        CartConfig { min_samples_split: 2, max_depth: None }
+    }
+}
+
+impl CartConfig {
+    /// Fit a tree. `feature_names` and `class_names` label the model;
+    /// every sample must have `feature_names.len()` features and a label
+    /// `< class_names.len()`.
+    ///
+    /// ```
+    /// use raqo_dtree::{CartConfig, Sample};
+    ///
+    /// // 1-D data, class flips at x = 3.
+    /// let samples: Vec<Sample> = (0..10)
+    ///     .map(|i| Sample::new(vec![i as f64], usize::from(i >= 3)))
+    ///     .collect();
+    /// let tree = CartConfig::default().fit(
+    ///     &samples,
+    ///     vec!["x".into()],
+    ///     vec!["lo".into(), "hi".into()],
+    /// );
+    /// assert_eq!(tree.predict(&[1.0]), 0);
+    /// assert_eq!(tree.predict(&[9.0]), 1);
+    /// assert_eq!(tree.accuracy(&samples), 1.0);
+    /// ```
+    pub fn fit(
+        &self,
+        samples: &[Sample],
+        feature_names: Vec<String>,
+        class_names: Vec<String>,
+    ) -> DecisionTree {
+        assert!(!samples.is_empty(), "cannot fit a tree on zero samples");
+        let k = feature_names.len();
+        assert!(k > 0, "need at least one feature");
+        for s in samples {
+            assert_eq!(s.features.len(), k, "feature arity mismatch");
+            assert!(s.label < class_names.len(), "label out of range");
+        }
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let root = self.grow(samples, &idx, class_names.len(), 1);
+        DecisionTree { root, feature_names, class_names }
+    }
+
+    fn grow(&self, samples: &[Sample], idx: &[usize], classes: usize, depth: usize) -> Node {
+        let mut value = vec![0usize; classes];
+        for &i in idx {
+            value[samples[i].label] += 1;
+        }
+        let node_gini = gini(&value);
+        let class = majority(&value);
+
+        let stop = node_gini == 0.0
+            || idx.len() < self.min_samples_split
+            || self.max_depth.is_some_and(|d| depth >= d);
+        if stop {
+            return Node::Leaf { value, gini: node_gini, class };
+        }
+
+        let Some((feature, threshold)) = best_split(samples, idx, classes) else {
+            // No split separates anything (duplicate feature vectors with
+            // mixed labels).
+            return Node::Leaf { value, gini: node_gini, class };
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| samples[i].features[feature] <= threshold);
+        debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+
+        let left = self.grow(samples, &left_idx, classes, depth + 1);
+        let right = self.grow(samples, &right_idx, classes, depth + 1);
+        Node::Split {
+            feature,
+            threshold,
+            value,
+            gini: node_gini,
+            class,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+/// Best (feature, threshold) by weighted-Gini reduction; thresholds are
+/// midpoints between consecutive distinct feature values (scikit-learn's
+/// choice). Returns `None` when no split produces two non-empty children
+/// with impurity improvement.
+fn best_split(samples: &[Sample], idx: &[usize], classes: usize) -> Option<(usize, f64)> {
+    let k = samples[idx[0]].features.len();
+    let n = idx.len() as f64;
+    let mut parent_value = vec![0usize; classes];
+    for &i in idx {
+        parent_value[samples[i].label] += 1;
+    }
+    let parent_gini = gini(&parent_value);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (weighted gini, feature, threshold)
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+    for feature in 0..k {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| {
+            samples[a].features[feature]
+                .partial_cmp(&samples[b].features[feature])
+                .expect("features are finite")
+        });
+
+        // Sweep split positions, maintaining left/right class counts.
+        let mut left = vec![0usize; classes];
+        let mut right = parent_value.clone();
+        for w in 0..order.len() - 1 {
+            let i = order[w];
+            left[samples[i].label] += 1;
+            right[samples[i].label] -= 1;
+            let a = samples[order[w]].features[feature];
+            let b = samples[order[w + 1]].features[feature];
+            if a == b {
+                continue; // can't split between equal values
+            }
+            let threshold = 0.5 * (a + b);
+            let nl = (w + 1) as f64;
+            let nr = n - nl;
+            let weighted = (nl / n) * gini(&left) + (nr / n) * gini(&right);
+            let better = match best {
+                None => weighted < parent_gini - 1e-12,
+                Some((bw, _, _)) => weighted < bw - 1e-12,
+            };
+            if better {
+                best = Some((weighted, feature, threshold));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn names(fs: &[&str], cs: &[&str]) -> (Vec<String>, Vec<String>) {
+        (
+            fs.iter().map(|s| s.to_string()).collect(),
+            cs.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    #[test]
+    fn fits_single_threshold_exactly() {
+        // 1-D separable data: class 0 below 3, class 1 above.
+        let samples: Vec<Sample> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 0.5;
+                Sample::new(vec![x], (x > 3.0) as usize)
+            })
+            .collect();
+        let (f, c) = names(&["x"], &["lo", "hi"]);
+        let tree = CartConfig::default().fit(&samples, f, c);
+        assert_eq!(tree.accuracy(&samples), 1.0);
+        assert_eq!(tree.node_count(), 3); // one split, two leaves
+        if let Node::Split { threshold, .. } = &tree.root {
+            assert!((3.0..3.5).contains(threshold), "threshold {threshold}");
+        } else {
+            panic!("expected split at root");
+        }
+    }
+
+    #[test]
+    fn fits_axis_aligned_2d_boundary() {
+        // Class = (x > 2) XOR-free region: needs two levels of splits.
+        let mut samples = Vec::new();
+        for xi in 0..10 {
+            for yi in 0..10 {
+                let (x, y) = (xi as f64, yi as f64);
+                let label = usize::from(x > 4.5 && y > 4.5);
+                samples.push(Sample::new(vec![x, y], label));
+            }
+        }
+        let (f, c) = names(&["x", "y"], &["out", "in"]);
+        let tree = CartConfig::default().fit(&samples, f, c);
+        assert_eq!(tree.accuracy(&samples), 1.0);
+        assert!(tree.max_path_len() >= 3);
+    }
+
+    #[test]
+    fn all_leaves_pure_when_fully_grown() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<Sample> = (0..200)
+            .map(|_| {
+                let x = rng.gen_range(0.0..10.0);
+                let y = rng.gen_range(0.0..10.0);
+                Sample::new(vec![x, y], usize::from(x + y > 10.0))
+            })
+            .collect();
+        let (f, c) = names(&["x", "y"], &["a", "b"]);
+        let tree = CartConfig::default().fit(&samples, f, c);
+        fn check_leaves(n: &Node) {
+            match n {
+                Node::Leaf { gini, .. } => assert_eq!(*gini, 0.0),
+                Node::Split { left, right, .. } => {
+                    check_leaves(left);
+                    check_leaves(right);
+                }
+            }
+        }
+        check_leaves(&tree.root);
+        assert_eq!(tree.accuracy(&samples), 1.0);
+    }
+
+    #[test]
+    fn max_depth_caps_paths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<Sample> = (0..200)
+            .map(|_| {
+                let x = rng.gen_range(0.0..10.0);
+                Sample::new(vec![x], usize::from((x as u64).is_multiple_of(2)))
+            })
+            .collect();
+        let (f, c) = names(&["x"], &["even", "odd"]);
+        let cfg = CartConfig { max_depth: Some(3), ..Default::default() };
+        let tree = cfg.fit(&samples, f, c);
+        assert!(tree.max_path_len() <= 3);
+    }
+
+    #[test]
+    fn contradictory_samples_become_majority_leaf() {
+        // Identical features, mixed labels: no split possible.
+        let samples = vec![
+            Sample::new(vec![1.0], 0),
+            Sample::new(vec![1.0], 0),
+            Sample::new(vec![1.0], 1),
+        ];
+        let (f, c) = names(&["x"], &["a", "b"]);
+        let tree = CartConfig::default().fit(&samples, f, c);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn root_stats_match_training_set() {
+        let samples = vec![
+            Sample::new(vec![0.0], 0),
+            Sample::new(vec![1.0], 0),
+            Sample::new(vec![2.0], 1),
+            Sample::new(vec![3.0], 1),
+        ];
+        let (f, c) = names(&["x"], &["a", "b"]);
+        let tree = CartConfig::default().fit(&samples, f, c);
+        assert_eq!(tree.root.value(), &[2, 2]);
+        assert!((tree.root.gini() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_samples_split_stops_early() {
+        let samples = vec![
+            Sample::new(vec![0.0], 0),
+            Sample::new(vec![1.0], 1),
+        ];
+        let (f, c) = names(&["x"], &["a", "b"]);
+        let cfg = CartConfig { min_samples_split: 3, ..Default::default() };
+        let tree = cfg.fit(&samples, f, c);
+        assert_eq!(tree.node_count(), 1); // would split, but too few samples
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_training_set_rejected() {
+        let (f, c) = names(&["x"], &["a"]);
+        CartConfig::default().fit(&[], f, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn ragged_features_rejected() {
+        let (f, c) = names(&["x", "y"], &["a", "b"]);
+        CartConfig::default().fit(&[Sample::new(vec![1.0], 0)], f, c);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<Sample> = (0..100)
+            .map(|_| {
+                let x = rng.gen_range(0.0..1.0);
+                let y = rng.gen_range(0.0..1.0);
+                Sample::new(vec![x, y], usize::from(x > y))
+            })
+            .collect();
+        let (f1, c1) = names(&["x", "y"], &["a", "b"]);
+        let (f2, c2) = names(&["x", "y"], &["a", "b"]);
+        let t1 = CartConfig::default().fit(&samples, f1, c1);
+        let t2 = CartConfig::default().fit(&samples, f2, c2);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,111 @@
+//! The *default* decision trees of Hive and Spark (Fig. 10).
+//!
+//! Both systems pick the join implementation with a single data-size rule:
+//! "the default Hive and Spark rules ... choose BHJ when the small relation
+//! is smaller than 10 MB" (§V-A). Fig. 10 renders exactly these depth-2
+//! trees, fitted on two samples each. Resources do not appear anywhere —
+//! that absence is the paper's point.
+
+use crate::tree::{DecisionTree, Node};
+
+/// 10 MB in GB: Hive's `hive.auto.convert.join.noconditionaltask.size` and
+/// Spark's `spark.sql.autoBroadcastJoinThreshold` default.
+pub const DEFAULT_BROADCAST_THRESHOLD_GB: f64 = 0.01;
+
+/// Class indices shared by all join-selection trees in this workspace.
+pub mod class {
+    pub const BHJ: usize = 0;
+    pub const SMJ: usize = 1;
+    pub const NAMES: [&str; 2] = ["BHJ", "SMJ"];
+}
+
+/// Feature indices for the join-selection feature vector (matches
+/// `raqo_sim::profile::LabeledRun::features`).
+pub mod feature {
+    pub const DATA_SIZE_GB: usize = 0;
+    pub const CONTAINER_SIZE_GB: usize = 1;
+    pub const CONCURRENT_CONTAINERS: usize = 2;
+    pub const TOTAL_CONTAINERS: usize = 3;
+    pub const NAMES: [&str; 4] =
+        ["Data Size (GB)", "Container Size", "Concurrent Containers", "Total Containers"];
+}
+
+fn single_rule_tree(threshold_gb: f64) -> DecisionTree {
+    // Fig. 10: root gini = 0.5, samples = 2, value = [1, 1], class = BHJ;
+    // pure single-sample leaves.
+    DecisionTree {
+        root: Node::Split {
+            feature: feature::DATA_SIZE_GB,
+            threshold: threshold_gb,
+            value: vec![1, 1],
+            gini: 0.5,
+            class: class::BHJ,
+            left: Box::new(Node::Leaf { value: vec![1, 0], gini: 0.0, class: class::BHJ }),
+            right: Box::new(Node::Leaf { value: vec![0, 1], gini: 0.0, class: class::SMJ }),
+        },
+        feature_names: feature::NAMES.iter().map(|s| s.to_string()).collect(),
+        class_names: class::NAMES.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Fig. 10(a): Hive's default join-selection tree — BHJ iff the small
+/// relation is ≤ 10 MB.
+pub fn default_hive_tree() -> DecisionTree {
+    single_rule_tree(DEFAULT_BROADCAST_THRESHOLD_GB)
+}
+
+/// Fig. 10(b): Spark's default join-selection tree — same 10 MB rule
+/// (`spark.sql.autoBroadcastJoinThreshold`).
+pub fn default_spark_tree() -> DecisionTree {
+    single_rule_tree(DEFAULT_BROADCAST_THRESHOLD_GB)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(data_gb: f64, cs: f64, nc: f64, total: f64) -> Vec<f64> {
+        vec![data_gb, cs, nc, total]
+    }
+
+    #[test]
+    fn ten_mb_rule() {
+        for tree in [default_hive_tree(), default_spark_tree()] {
+            // 5 MB table: broadcast.
+            assert_eq!(tree.predict(&features(0.005, 4.0, 10.0, 100.0)), class::BHJ);
+            // 5 GB table: shuffle.
+            assert_eq!(tree.predict(&features(5.0, 4.0, 10.0, 100.0)), class::SMJ);
+        }
+    }
+
+    #[test]
+    fn default_trees_ignore_resources() {
+        // The whole §III problem: identical decisions regardless of
+        // resources.
+        let tree = default_hive_tree();
+        let a = tree.predict(&features(2.0, 1.0, 5.0, 10.0));
+        let b = tree.predict(&features(2.0, 100.0, 1000.0, 100000.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_fig10_statistics() {
+        let tree = default_hive_tree();
+        assert_eq!(tree.root.value(), &[1, 1]);
+        assert!((tree.root.gini() - 0.5).abs() < 1e-12);
+        assert_eq!(tree.max_path_len(), 2);
+        assert_eq!(tree.node_count(), 3);
+        let text = tree.render();
+        assert!(text.contains("Data Size (GB) <= 0.01"), "{text}");
+    }
+
+    #[test]
+    fn class_and_feature_tables_consistent() {
+        assert_eq!(class::NAMES[class::BHJ], "BHJ");
+        assert_eq!(class::NAMES[class::SMJ], "SMJ");
+        assert_eq!(feature::NAMES.len(), 4);
+        let tree = default_hive_tree();
+        assert_eq!(tree.class_names.len(), 2);
+        assert_eq!(tree.feature_names.len(), 4);
+    }
+}

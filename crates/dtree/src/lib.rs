@@ -1,0 +1,23 @@
+//! # raqo-dtree
+//!
+//! Decision trees for rule-based RAQO (§V).
+//!
+//! > "We can encode our observations from the data-resource space above into
+//! > a decision tree. To do this, we ran the decision tree classifier from
+//! > scikit-learn in python over the switch point results ... with two
+//! > target classes namely SMJ and BHJ." (§V-B)
+//!
+//! This crate replaces scikit-learn with a from-scratch CART learner
+//! ([`cart`]) using Gini impurity — the same algorithm and the same node
+//! statistics (`gini`, `samples`, `value`, `class`) the paper's Figs. 10–11
+//! display — plus the *default* one-rule trees of Hive and Spark
+//! ([`default_trees`]): both systems "choose BHJ when the small relation is
+//! smaller than 10 MB", ignoring resources entirely.
+
+pub mod cart;
+pub mod default_trees;
+pub mod tree;
+
+pub use cart::CartConfig;
+pub use default_trees::{default_hive_tree, default_spark_tree, DEFAULT_BROADCAST_THRESHOLD_GB};
+pub use tree::{DecisionTree, Node, Sample};

@@ -1,0 +1,97 @@
+//! Property tests for the CART learner.
+
+use proptest::prelude::*;
+use raqo_dtree::{CartConfig, Node, Sample};
+
+fn names() -> (Vec<String>, Vec<String>) {
+    (
+        vec!["x".into(), "y".into()],
+        vec!["a".into(), "b".into()],
+    )
+}
+
+proptest! {
+    /// A fully grown tree perfectly fits any axis-separable labelling.
+    #[test]
+    fn perfect_fit_on_separable_data(
+        threshold_x in 0.5f64..9.5,
+        points in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 10..80),
+    ) {
+        let samples: Vec<Sample> = points
+            .iter()
+            .map(|&(x, y)| Sample::new(vec![x, y], usize::from(x > threshold_x)))
+            .collect();
+        let (f, c) = names();
+        let tree = CartConfig::default().fit(&samples, f, c);
+        prop_assert_eq!(tree.accuracy(&samples), 1.0);
+    }
+
+    /// Node statistics are consistent: every split's value vector is the
+    /// element-wise sum of its children's, and sample counts add up.
+    #[test]
+    fn node_counts_are_consistent(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 5..60),
+        flip in proptest::collection::vec(proptest::bool::ANY, 60),
+    ) {
+        let samples: Vec<Sample> = points
+            .iter()
+            .zip(&flip)
+            .map(|(&(x, y), &f)| Sample::new(vec![x, y], usize::from(f)))
+            .collect();
+        let (fnames, cnames) = names();
+        let tree = CartConfig::default().fit(&samples, fnames, cnames);
+
+        fn check(node: &Node) {
+            if let Node::Split { value, left, right, .. } = node {
+                let l = left.value();
+                let r = right.value();
+                for i in 0..value.len() {
+                    assert_eq!(value[i], l[i] + r[i], "class counts must sum");
+                }
+                assert!(l.iter().sum::<usize>() > 0, "empty left child");
+                assert!(r.iter().sum::<usize>() > 0, "empty right child");
+                check(left);
+                check(right);
+            }
+        }
+        check(&tree.root);
+        let total: usize = tree.root.value().iter().sum();
+        prop_assert_eq!(total, samples.len());
+    }
+
+    /// Depth limits are always honoured.
+    #[test]
+    fn depth_limit_holds(
+        depth in 1usize..6,
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 20..100),
+    ) {
+        let samples: Vec<Sample> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Sample::new(vec![x, y], i % 2))
+            .collect();
+        let (f, c) = names();
+        let cfg = CartConfig { max_depth: Some(depth), ..Default::default() };
+        let tree = cfg.fit(&samples, f, c);
+        prop_assert!(tree.max_path_len() <= depth);
+    }
+
+    /// Predictions always return a valid class index, for any inputs —
+    /// including ones far outside the training range.
+    #[test]
+    fn predictions_are_valid_classes(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 4..40),
+        probe_x in -1e6f64..1e6,
+        probe_y in -1e6f64..1e6,
+    ) {
+        let samples: Vec<Sample> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Sample::new(vec![x, y], i % 2))
+            .collect();
+        let (f, c) = names();
+        let tree = CartConfig::default().fit(&samples, f, c);
+        let class = tree.predict(&[probe_x, probe_y]);
+        prop_assert!(class < 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # raqo-planner
+//!
+//! The query planners RAQO integrates with (§VII-A):
+//!
+//! > "We tested RAQO using two query planner prototypes: a modern randomized
+//! > algorithm to pick the best join ordering [Trummer & Koch 2016], and a
+//! > traditional System R style bottom-up join ordering algorithm (also
+//! > known as Selinger optimizer)."
+//!
+//! * [`plan`] — join-plan trees with the associativity and exchange
+//!   mutations of the randomized planner;
+//! * [`cardinality`] — System-R cardinality/size estimation over the join
+//!   graph;
+//! * [`coster`] — the [`coster::PlanCoster`] seam between join *ordering*
+//!   and per-operator costing. RAQO's resource planning plugs in here: "we
+//!   extended the getPlanCost method of our cost model to first perform the
+//!   resource planning (or lookup in the cache) and then return the
+//!   sub-plan cost" (§VI-C);
+//! * [`selinger`] — bottom-up dynamic programming over left-deep trees;
+//! * [`randomized`] — the fast randomized multi-objective planner
+//!   re-implementation (associativity + exchange mutations, ε-Pareto
+//!   archive, iterative improvement).
+
+pub mod cardinality;
+pub mod coster;
+pub mod plan;
+pub mod randomized;
+pub mod selinger;
+
+pub use cardinality::{CardinalityEstimator, JoinIo};
+pub use coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
+pub use plan::PlanTree;
+pub use randomized::{RandomizedConfig, RandomizedPlanner};
+pub use selinger::SelingerPlanner;

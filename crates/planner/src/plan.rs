@@ -1,0 +1,350 @@
+//! Join-plan trees and the randomized planner's mutations.
+//!
+//! §VII-A: "For each node in the plan tree, we considered the associativity
+//! and the exchange mutations as described in [Steinbrunn et al.]."
+
+use raqo_catalog::{Catalog, JoinGraph, TableId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A (possibly bushy) join tree over base relations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanTree {
+    Leaf(TableId),
+    Join(Box<PlanTree>, Box<PlanTree>),
+}
+
+impl PlanTree {
+    pub fn leaf(t: TableId) -> Self {
+        PlanTree::Leaf(t)
+    }
+
+    pub fn join(left: PlanTree, right: PlanTree) -> Self {
+        PlanTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// Left-deep tree joining `order[0] ⋈ order[1] ⋈ ...` left to right.
+    pub fn left_deep(order: &[TableId]) -> Self {
+        assert!(!order.is_empty(), "cannot build a plan over zero relations");
+        let mut tree = PlanTree::leaf(order[0]);
+        for &t in &order[1..] {
+            tree = PlanTree::join(tree, PlanTree::leaf(t));
+        }
+        tree
+    }
+
+    /// All base relations in the tree, in leaf order.
+    pub fn relations(&self) -> Vec<TableId> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<TableId>) {
+        match self {
+            PlanTree::Leaf(t) => out.push(*t),
+            PlanTree::Join(l, r) => {
+                l.collect_relations(out);
+                r.collect_relations(out);
+            }
+        }
+    }
+
+    /// Number of join nodes (= relations − 1).
+    pub fn num_joins(&self) -> usize {
+        match self {
+            PlanTree::Leaf(_) => 0,
+            PlanTree::Join(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// Is the tree fully left-deep (every right child a leaf)?
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            PlanTree::Leaf(_) => true,
+            PlanTree::Join(l, r) => matches!(**r, PlanTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+
+    /// Random connected bushy plan: repeatedly merge two subtrees whose
+    /// relation sets are joined by a graph edge (falling back to an
+    /// arbitrary merge when the query graph leaves no choice). This is the
+    /// randomized planner's start-plan generator.
+    pub fn random_connected(
+        graph: &JoinGraph,
+        relations: &[TableId],
+        rng: &mut StdRng,
+    ) -> PlanTree {
+        assert!(!relations.is_empty());
+        let mut forest: Vec<(PlanTree, Vec<TableId>)> = relations
+            .iter()
+            .map(|&t| (PlanTree::leaf(t), vec![t]))
+            .collect();
+        while forest.len() > 1 {
+            // Candidate pairs connected by an edge.
+            let mut pairs = Vec::new();
+            for i in 0..forest.len() {
+                for j in (i + 1)..forest.len() {
+                    if graph.connects(&forest[i].1, &forest[j].1) {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            let (i, j) = if pairs.is_empty() {
+                // Disconnected query: accept a cross product.
+                let i = rng.gen_range(0..forest.len());
+                let mut j = rng.gen_range(0..forest.len() - 1);
+                if j >= i {
+                    j += 1;
+                }
+                (i.min(j), i.max(j))
+            } else {
+                pairs[rng.gen_range(0..pairs.len())]
+            };
+            let (tree_j, rels_j) = forest.swap_remove(j);
+            let (tree_i, rels_i) = forest.swap_remove(i);
+            let mut rels = rels_i;
+            rels.extend(rels_j);
+            // Random orientation.
+            let merged = if rng.gen_bool(0.5) {
+                PlanTree::join(tree_i, tree_j)
+            } else {
+                PlanTree::join(tree_j, tree_i)
+            };
+            forest.push((merged, rels));
+        }
+        forest.pop().expect("one tree remains").0
+    }
+
+    /// Number of internal (join) nodes addressable by [`PlanTree::mutate`].
+    pub fn mutation_sites(&self) -> usize {
+        self.num_joins()
+    }
+
+    /// Apply a mutation at the `site`-th join node (preorder index among
+    /// join nodes). Returns the mutated tree, or `None` when the chosen
+    /// mutation does not apply at that node (e.g. associativity on a node
+    /// whose left child is a leaf).
+    pub fn mutate(&self, site: usize, mutation: Mutation) -> Option<PlanTree> {
+        let mut counter = 0usize;
+        self.mutate_inner(site, mutation, &mut counter)
+    }
+
+    fn mutate_inner(
+        &self,
+        site: usize,
+        mutation: Mutation,
+        counter: &mut usize,
+    ) -> Option<PlanTree> {
+        match self {
+            PlanTree::Leaf(_) => None,
+            PlanTree::Join(l, r) => {
+                let here = *counter;
+                *counter += 1;
+                if here == site {
+                    return mutation.apply(l, r);
+                }
+                if let Some(nl) = l.mutate_inner(site, mutation, counter) {
+                    return Some(PlanTree::join(nl, (**r).clone()));
+                }
+                r.mutate_inner(site, mutation, counter)
+                    .map(|nr| PlanTree::join((**l).clone(), nr))
+            }
+        }
+    }
+}
+
+/// The two plan mutations of [Steinbrunn et al. 1997] the paper uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Swap the children: `A ⋈ B → B ⋈ A` (exchange/commutativity).
+    Exchange,
+    /// Left rotation: `(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)`.
+    AssociateRight,
+    /// Right rotation: `A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C`.
+    AssociateLeft,
+}
+
+impl Mutation {
+    pub const ALL: [Mutation; 3] =
+        [Mutation::Exchange, Mutation::AssociateRight, Mutation::AssociateLeft];
+
+    fn apply(&self, l: &PlanTree, r: &PlanTree) -> Option<PlanTree> {
+        match self {
+            Mutation::Exchange => Some(PlanTree::join(r.clone(), l.clone())),
+            Mutation::AssociateRight => match l {
+                PlanTree::Join(a, b) => Some(PlanTree::join(
+                    (**a).clone(),
+                    PlanTree::join((**b).clone(), r.clone()),
+                )),
+                PlanTree::Leaf(_) => None,
+            },
+            Mutation::AssociateLeft => match r {
+                PlanTree::Join(b, c) => Some(PlanTree::join(
+                    PlanTree::join(l.clone(), (**b).clone()),
+                    (**c).clone(),
+                )),
+                PlanTree::Leaf(_) => None,
+            },
+        }
+    }
+}
+
+/// Validate a plan covers exactly the query's relations (each exactly once).
+pub fn covers_exactly(tree: &PlanTree, relations: &[TableId]) -> bool {
+    let mut got = tree.relations();
+    got.sort_unstable();
+    let mut want = relations.to_vec();
+    want.sort_unstable();
+    want.dedup();
+    got == want
+}
+
+/// Pretty-print a plan as nested parentheses with table names.
+pub fn render(tree: &PlanTree, catalog: &Catalog) -> String {
+    match tree {
+        PlanTree::Leaf(t) => catalog.table(*t).name.clone(),
+        PlanTree::Join(l, r) => {
+            format!("({} ⋈ {})", render(l, catalog), render(r, catalog))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use raqo_catalog::tpch::TpchSchema;
+
+    fn t(i: u32) -> TableId {
+        TableId(i)
+    }
+
+    #[test]
+    fn left_deep_shape() {
+        let tree = PlanTree::left_deep(&[t(0), t(1), t(2)]);
+        assert_eq!(tree.relations(), vec![t(0), t(1), t(2)]);
+        assert_eq!(tree.num_joins(), 2);
+        assert!(tree.is_left_deep());
+    }
+
+    #[test]
+    fn bushy_is_not_left_deep() {
+        let bushy = PlanTree::join(
+            PlanTree::join(PlanTree::leaf(t(0)), PlanTree::leaf(t(1))),
+            PlanTree::join(PlanTree::leaf(t(2)), PlanTree::leaf(t(3))),
+        );
+        assert!(!bushy.is_left_deep());
+        assert_eq!(bushy.num_joins(), 3);
+    }
+
+    #[test]
+    fn exchange_swaps_children() {
+        let tree = PlanTree::left_deep(&[t(0), t(1)]);
+        let m = tree.mutate(0, Mutation::Exchange).unwrap();
+        assert_eq!(m.relations(), vec![t(1), t(0)]);
+        // Exchange twice is identity.
+        let back = m.mutate(0, Mutation::Exchange).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn associativity_rotations_invert_each_other() {
+        // ((0 ⋈ 1) ⋈ 2) --right--> (0 ⋈ (1 ⋈ 2)) --left--> back.
+        let tree = PlanTree::left_deep(&[t(0), t(1), t(2)]);
+        let rot = tree.mutate(0, Mutation::AssociateRight).unwrap();
+        assert_eq!(
+            rot,
+            PlanTree::join(
+                PlanTree::leaf(t(0)),
+                PlanTree::join(PlanTree::leaf(t(1)), PlanTree::leaf(t(2)))
+            )
+        );
+        let back = rot.mutate(0, Mutation::AssociateLeft).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let tree = PlanTree::left_deep(&[t(0), t(1)]);
+        // Left child is a leaf: cannot associate right; right child is a
+        // leaf: cannot associate left.
+        assert_eq!(tree.mutate(0, Mutation::AssociateRight), None);
+        assert_eq!(tree.mutate(0, Mutation::AssociateLeft), None);
+        // Out-of-range site.
+        assert_eq!(tree.mutate(5, Mutation::Exchange), None);
+    }
+
+    #[test]
+    fn mutations_preserve_relation_sets() {
+        // Property: any applicable mutation at any site keeps the same
+        // multiset of relations.
+        let mut rng = StdRng::seed_from_u64(3);
+        let schema = TpchSchema::new(1.0);
+        let rels: Vec<TableId> = schema.catalog.table_ids().collect();
+        let mut tree = PlanTree::random_connected(&schema.graph, &rels, &mut rng);
+        for round in 0..200 {
+            let site = rng.gen_range(0..tree.mutation_sites());
+            let mutation = Mutation::ALL[rng.gen_range(0..3)];
+            if let Some(m) = tree.mutate(site, mutation) {
+                assert!(
+                    covers_exactly(&m, &rels),
+                    "round {round}: mutation {mutation:?}@{site} broke coverage"
+                );
+                tree = m;
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_covers_and_follows_edges() {
+        let schema = TpchSchema::new(1.0);
+        let rels: Vec<TableId> = schema.catalog.table_ids().collect();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let tree = PlanTree::random_connected(&schema.graph, &rels, &mut rng);
+            assert!(covers_exactly(&tree, &rels));
+            // Every join node must connect its two sides through the graph
+            // (TPC-H is connected, so no cross products should appear).
+            fn check(tree: &PlanTree, graph: &raqo_catalog::JoinGraph) {
+                if let PlanTree::Join(l, r) = tree {
+                    assert!(
+                        graph.connects(&l.relations(), &r.relations()),
+                        "cross product in generated plan"
+                    );
+                    check(l, graph);
+                    check(r, graph);
+                }
+            }
+            check(&tree, &schema.graph);
+        }
+    }
+
+    #[test]
+    fn random_plans_vary_by_seed() {
+        let schema = TpchSchema::new(1.0);
+        let rels: Vec<TableId> = schema.catalog.table_ids().collect();
+        let a = PlanTree::random_connected(&schema.graph, &rels, &mut StdRng::seed_from_u64(1));
+        let b = PlanTree::random_connected(&schema.graph, &rels, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn render_names_tables() {
+        let schema = TpchSchema::new(1.0);
+        let tree = PlanTree::left_deep(&[
+            raqo_catalog::tpch::table::ORDERS,
+            raqo_catalog::tpch::table::LINEITEM,
+        ]);
+        assert_eq!(render(&tree, &schema.catalog), "(orders ⋈ lineitem)");
+    }
+
+    #[test]
+    fn single_relation_plan() {
+        let tree = PlanTree::left_deep(&[t(5)]);
+        assert_eq!(tree.num_joins(), 0);
+        assert_eq!(tree.mutation_sites(), 0);
+        assert!(covers_exactly(&tree, &[t(5)]));
+    }
+}

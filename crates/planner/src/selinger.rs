@@ -1,0 +1,304 @@
+//! The System-R (Selinger) bottom-up join-ordering optimizer.
+//!
+//! §VII-A: "For System R style optimization, we implemented the Selinger
+//! algorithm for left deep trees". Classic dynamic programming over
+//! relation subsets: the best plan for a set S is the best plan for S∖{t}
+//! extended by joining table t, minimized over t. Cross products are
+//! avoided when the query graph allows (the standard Selinger heuristic);
+//! if no cross-product-free left-deep plan exists the search is rerun with
+//! cross products admitted.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::coster::{cost_tree, PlanCoster, PlannedQuery};
+use crate::plan::PlanTree;
+use raqo_catalog::{Catalog, JoinGraph, QuerySpec, TableId};
+
+/// Maximum relations the bitset DP supports. 2^20 subsets is already far
+/// beyond anything the paper runs through Selinger (TPC-H "All" is 8).
+pub const MAX_RELATIONS: usize = 20;
+
+/// The Selinger planner.
+pub struct SelingerPlanner;
+
+impl SelingerPlanner {
+    /// Find the cheapest left-deep join order for `query`, costing every
+    /// candidate sub-plan through `coster` (which is where RAQO's resource
+    /// planning hooks in). Returns `None` if every complete plan has an
+    /// infeasible join.
+    ///
+    /// # Panics
+    /// If the query exceeds [`MAX_RELATIONS`].
+    pub fn plan(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        query: &QuerySpec,
+        coster: &mut dyn PlanCoster,
+    ) -> Option<PlannedQuery> {
+        let rels = &query.relations;
+        let n = rels.len();
+        assert!(
+            n <= MAX_RELATIONS,
+            "Selinger DP supports up to {MAX_RELATIONS} relations, query has {n}"
+        );
+        let est = CardinalityEstimator::new(catalog, graph);
+        if n == 1 {
+            return cost_tree(&PlanTree::leaf(rels[0]), &est, coster);
+        }
+
+        // First pass avoids cross products; fall back if that fails.
+        Self::plan_inner(rels, graph, &est, coster, false)
+            .or_else(|| Self::plan_inner(rels, graph, &est, coster, true))
+    }
+
+    fn plan_inner(
+        rels: &[TableId],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        allow_cross: bool,
+    ) -> Option<PlannedQuery> {
+        let n = rels.len();
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+        #[derive(Clone, Copy)]
+        struct Entry {
+            cost: f64,
+            /// Local index of the last-joined table.
+            last: usize,
+        }
+
+        let mut dp: Vec<Option<Entry>> = vec![None; (full as usize) + 1];
+        for i in 0..n {
+            dp[1usize << i] = Some(Entry { cost: 0.0, last: i });
+        }
+
+        // Scratch: tables of a mask.
+        let tables_of = |mask: u32| -> Vec<TableId> {
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| rels[i]).collect()
+        };
+
+        for mask in 1..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let mask_us = mask as usize;
+            #[allow(clippy::needless_range_loop)] // i is also the bit index
+            for i in 0..n {
+                let bit = 1u32 << i;
+                if mask & bit == 0 {
+                    continue;
+                }
+                let rest = mask & !bit;
+                let Some(prev) = dp[rest as usize] else { continue };
+                let rest_tables = tables_of(rest);
+                let t_table = [rels[i]];
+                if !allow_cross && !graph.connects(&rest_tables, &t_table) {
+                    continue;
+                }
+                let io = est.join_io(&rest_tables, &t_table);
+                let Some(decision) = coster.join_cost(&io) else { continue };
+                let cost = prev.cost + decision.cost;
+                match dp[mask_us] {
+                    Some(e) if e.cost <= cost => {}
+                    _ => dp[mask_us] = Some(Entry { cost, last: i }),
+                }
+            }
+        }
+
+        dp[full as usize]?;
+
+        // Reconstruct the left-deep order by peeling off `last` tables.
+        let mut order_rev = Vec::with_capacity(n);
+        let mut mask = full;
+        while mask.count_ones() > 1 {
+            let e = dp[mask as usize].expect("reachable by construction");
+            order_rev.push(rels[e.last]);
+            mask &= !(1u32 << e.last);
+        }
+        order_rev.push(tables_of(mask)[0]);
+        order_rev.reverse();
+
+        // Re-cost the final tree so the returned decisions are exactly the
+        // winning plan's (the DP only kept scalar costs).
+        let tree = PlanTree::left_deep(&order_rev);
+        cost_tree(&tree, est, coster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::JoinIo;
+    use crate::coster::{FixedResourceCoster, JoinDecision};
+    use raqo_catalog::tpch::{table, TpchSchema};
+    use raqo_catalog::RandomSchemaConfig;
+    use raqo_cost::SimOracleCost;
+
+    /// Exhaustive left-deep search (no cross-product pruning) for
+    /// cross-checking DP optimality on small queries.
+    fn exhaustive_best(
+        schema: &TpchSchema,
+        query: &QuerySpec,
+        model: &SimOracleCost,
+        nc: f64,
+        cs: f64,
+    ) -> Option<f64> {
+        fn permutations(items: &[TableId]) -> Vec<Vec<TableId>> {
+            if items.len() <= 1 {
+                return vec![items.to_vec()];
+            }
+            let mut out = Vec::new();
+            for (i, &head) in items.iter().enumerate() {
+                let mut rest = items.to_vec();
+                rest.remove(i);
+                for mut tail in permutations(&rest) {
+                    tail.insert(0, head);
+                    out.push(tail);
+                }
+            }
+            out
+        }
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let mut best: Option<f64> = None;
+        for perm in permutations(&query.relations) {
+            let mut coster = FixedResourceCoster::new(model, nc, cs);
+            let tree = PlanTree::left_deep(&perm);
+            if let Some(p) = cost_tree(&tree, &est, &mut coster) {
+                best = Some(best.map_or(p.cost, |b: f64| b.min(p.cost)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_q3() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_q3();
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let dp = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+            .expect("plan exists");
+        let brute = exhaustive_best(&schema, &query, &model, 10.0, 4.0).unwrap();
+        assert!(
+            (dp.cost - brute).abs() < 1e-6,
+            "dp={} brute={brute}",
+            dp.cost
+        );
+    }
+
+    #[test]
+    fn matches_exhaustive_search_on_q2() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_q2();
+        let mut coster = FixedResourceCoster::new(&model, 20.0, 6.0);
+        let dp = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+            .expect("plan exists");
+        let brute = exhaustive_best(&schema, &query, &model, 20.0, 6.0).unwrap();
+        assert!((dp.cost - brute).abs() < 1e-6, "dp={} brute={brute}", dp.cost);
+    }
+
+    #[test]
+    fn plans_all_eight_tpch_tables() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_all(&schema);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let planned =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+                .expect("plan exists");
+        assert_eq!(planned.joins.len(), 7);
+        assert!(planned.tree.is_left_deep());
+        assert!(crate::plan::covers_exactly(&planned.tree, &query.relations));
+        // The coster was consulted for many candidate sub-plans, far more
+        // than the 7 joins of the final plan.
+        assert!(coster.calls > 100, "only {} calls", coster.calls);
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::new("single", vec![table::ORDERS]);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let planned =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster).unwrap();
+        assert_eq!(planned.cost, 0.0);
+    }
+
+    #[test]
+    fn respects_infeasible_joins() {
+        // A coster that rejects every join forces `None`.
+        struct Never;
+        impl PlanCoster for Never {
+            fn join_cost(&mut self, _io: &JoinIo) -> Option<JoinDecision> {
+                None
+            }
+        }
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        assert!(SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut Never)
+            .is_none());
+    }
+
+    #[test]
+    fn falls_back_to_cross_products_when_required() {
+        // Two tables with no join edge: only a cross-product plan exists.
+        let mut catalog = Catalog::new();
+        let a = catalog.add_stats_only("a", raqo_catalog::TableStats::new(1000.0, 100.0));
+        let b = catalog.add_stats_only("b", raqo_catalog::TableStats::new(1000.0, 100.0));
+        let graph = JoinGraph::new();
+        let model = SimOracleCost::hive();
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let query = QuerySpec::new("cross", vec![a, b]);
+        let planned =
+            SelingerPlanner::plan(&catalog, &graph, &query, &mut coster).expect("cross plan");
+        assert_eq!(planned.joins.len(), 1);
+    }
+
+    #[test]
+    fn prefers_cheap_join_orders() {
+        // On Q3 the optimizer should join customer with orders first
+        // (small intermediates) rather than starting from lineitem ⋈
+        // customer (a cross product).
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_q3();
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let planned =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster).unwrap();
+        for j in &planned.joins {
+            // No join in the winning plan is a cross product.
+            assert!(schema.graph.connects(&j.left, &j.right));
+        }
+    }
+
+    #[test]
+    fn works_on_random_schemas() {
+        let schema = RandomSchemaConfig::with_tables(12, 77).generate();
+        let model = SimOracleCost::hive();
+        for k in [2, 5, 8] {
+            let query =
+                QuerySpec::random_connected(&schema.catalog, &schema.graph, k, k as u64);
+            let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+            let planned =
+                SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+                    .unwrap_or_else(|| panic!("no plan for k={k}"));
+            assert_eq!(planned.joins.len(), k - 1);
+        }
+    }
+
+    /// Costs are deterministic, so planning twice gives identical results.
+    #[test]
+    fn deterministic() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_all(&schema);
+        let mut c1 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let mut c2 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let p1 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut c1).unwrap();
+        let p2 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut c2).unwrap();
+        assert_eq!(p1.cost, p2.cost);
+        assert_eq!(p1.tree, p2.tree);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the planner layer.
+
+use proptest::prelude::*;
+use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+use raqo_cost::SimOracleCost;
+use raqo_planner::coster::{cost_tree, FixedResourceCoster};
+use raqo_planner::{
+    CardinalityEstimator, PlanTree, RandomizedConfig, RandomizedPlanner, SelingerPlanner,
+};
+
+proptest! {
+    /// Plan cost is the sum of its join decisions' costs, for arbitrary
+    /// random plans on arbitrary random schemas.
+    #[test]
+    fn plan_cost_is_additive(seed in 0u64..300, k in 2usize..9) {
+        use rand::SeedableRng;
+        let schema = RandomSchemaConfig::with_tables(12, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tree = PlanTree::random_connected(&schema.graph, &q.relations, &mut rng);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        if let Some(planned) = cost_tree(&tree, &est, &mut coster) {
+            let sum: f64 = planned.joins.iter().map(|j| j.decision.cost).sum();
+            prop_assert!((planned.cost - sum).abs() < 1e-9);
+            prop_assert_eq!(planned.joins.len(), k - 1);
+            // Objectives accumulate too.
+            let t: f64 = planned.joins.iter().map(|j| j.decision.objectives.time_sec).sum();
+            prop_assert!((planned.objectives.time_sec - t).abs() < 1e-9);
+        }
+    }
+
+    /// Selinger's result is invariant to the order relations are listed in
+    /// the query spec.
+    #[test]
+    fn selinger_invariant_to_relation_listing(seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let schema = RandomSchemaConfig::with_tables(10, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, 6, seed);
+        let model = SimOracleCost::hive();
+
+        let mut shuffled = q.relations.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed ^ 99));
+        let q2 = QuerySpec::new("shuffled", shuffled);
+
+        let mut c1 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let p1 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &q, &mut c1);
+        let mut c2 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let p2 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &q2, &mut c2);
+        match (p1, p2) {
+            (Some(p1), Some(p2)) => prop_assert!((p1.cost - p2.cost).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "one ordering planned, the other did not"),
+        }
+    }
+
+    /// The randomized planner always produces a valid covering plan and
+    /// never beats the DP on queries small enough for both (left-deep DP
+    /// can be beaten by bushy plans, so allow it to *win*, never to
+    /// produce an invalid tree).
+    #[test]
+    fn randomized_plans_are_valid(seed in 0u64..60) {
+        let schema = RandomSchemaConfig::with_tables(10, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, 7, seed);
+        let model = SimOracleCost::hive();
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let cfg = RandomizedConfig { restarts: 3, rounds_per_join: 8, epsilon: 0.05, seed };
+        if let Some(out) =
+            RandomizedPlanner::plan(&schema.catalog, &schema.graph, &q, &mut coster, &cfg)
+        {
+            prop_assert!(raqo_planner::plan::covers_exactly(&out.best.tree, &q.relations));
+            prop_assert!(out.best.cost.is_finite() && out.best.cost > 0.0);
+            prop_assert!(!out.frontier.is_empty());
+        } else {
+            prop_assert!(false, "no plan found");
+        }
+    }
+}

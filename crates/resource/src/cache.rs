@@ -1,0 +1,428 @@
+//! The resource-plan cache (§VI-B3).
+//!
+//! > "Our key insight is that for the same cost model and sub-plan (e.g.,
+//! > join operation), same (or similar) data characteristics, e.g., data
+//! > size, will require same (or similar) resource configuration. [...] For
+//! > each cost model (e.g., SMJ, BHJ) and sub-plan (e.g., join operator,
+//! > scan operator), we maintain an in-memory index of data characteristic
+//! > keys, each of which point to the best resource configuration for those
+//! > data characteristics. Our current prototype keeps a sorted array of
+//! > keys, with automatic resizing whenever the array gets full, and we
+//! > perform a binary search for lookup."
+//!
+//! [`ResourcePlanCache`] is that sorted array (a `Vec` gives the
+//! automatically resizing contiguous storage; lookups are binary searches).
+//! [`CacheBank`] keys one cache per (cost model, operator) pair.
+//! The three lookup modes of the paper — exact match, nearest neighbour,
+//! weighted average — are [`CacheLookup`] variants. Both approximate modes
+//! "first look for exact match before trying the interpolation" (§VII-B).
+
+use crate::config::ResourceConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cache lookup policy (§VI-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheLookup {
+    /// "returns a hit only when exact same data characteristics match."
+    Exact,
+    /// "returns the resource configuration corresponding to the nearest data
+    /// characteristic match (within a threshold)." The threshold is in key
+    /// units (GB of smaller-input size in the paper's Fig. 14 sweeps).
+    NearestNeighbor { threshold: f64 },
+    /// "returns the weighted average of neighboring resource configurations
+    /// when their data characteristics are within a threshold." Weights are
+    /// inverse distances; the result is snapped back onto the resource grid
+    /// by the caller if needed.
+    WeightedAverage { threshold: f64 },
+}
+
+/// Hit/miss counters, used by the Fig. 14 experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in \[0,1\]; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sorted-array cache from a scalar data-characteristic key (the paper
+/// keys on data size) to the best known resource configuration.
+///
+/// ```
+/// use raqo_resource::{CacheLookup, ResourceConfig, ResourcePlanCache};
+///
+/// let mut cache = ResourcePlanCache::new();
+/// cache.insert(3.4, ResourceConfig::containers_and_size(10.0, 3.0));
+/// // Exact hit:
+/// assert!(cache.lookup(3.4, CacheLookup::Exact).is_some());
+/// // Similar data characteristics reuse the plan (§VI-B3):
+/// let near = cache.lookup(3.45, CacheLookup::NearestNeighbor { threshold: 0.1 });
+/// assert_eq!(near, Some(ResourceConfig::containers_and_size(10.0, 3.0)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResourcePlanCache {
+    /// Sorted by key. `Vec` doubles on demand — the "automatic resizing
+    /// whenever the array gets full" of the prototype.
+    entries: Vec<(f64, ResourceConfig)>,
+    stats: CacheStats,
+}
+
+impl ResourcePlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached configurations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all entries (the evaluation "always cleared the resource plan
+    /// cache before each query run" unless testing across-query caching).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stats = CacheStats::default();
+    }
+
+    /// Binary search for the insertion point of `key`.
+    fn partition(&self, key: f64) -> usize {
+        self.entries.partition_point(|(k, _)| *k < key)
+    }
+
+    /// Insert (or overwrite) the configuration for `key`, keeping the array
+    /// sorted. "In case of a miss, we run the hill climbing ... and insert
+    /// the newly found resource configuration into the cache."
+    pub fn insert(&mut self, key: f64, config: ResourceConfig) {
+        assert!(key.is_finite(), "cache keys must be finite");
+        let i = self.partition(key);
+        if i < self.entries.len() && self.entries[i].0 == key {
+            self.entries[i].1 = config;
+        } else {
+            self.entries.insert(i, (key, config));
+        }
+        self.stats.insertions += 1;
+    }
+
+    /// Look up a configuration for `key` under the given policy. Counts a
+    /// hit or a miss in [`CacheStats`].
+    pub fn lookup(&mut self, key: f64, mode: CacheLookup) -> Option<ResourceConfig> {
+        let found = self.lookup_inner(key, mode);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    fn lookup_inner(&self, key: f64, mode: CacheLookup) -> Option<ResourceConfig> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = self.partition(key);
+        // Exact match first, for every mode (§VII-B: "Both variants first
+        // look for exact match before trying the interpolation").
+        if i < self.entries.len() && self.entries[i].0 == key {
+            return Some(self.entries[i].1);
+        }
+        match mode {
+            CacheLookup::Exact => None,
+            CacheLookup::NearestNeighbor { threshold } => {
+                let (dist, cfg) = self.nearest(key, i)?;
+                (dist <= threshold).then_some(cfg)
+            }
+            CacheLookup::WeightedAverage { threshold } => {
+                let neighbors = self.neighbors_within(key, threshold);
+                if neighbors.is_empty() {
+                    return None;
+                }
+                Some(weighted_average(key, &neighbors))
+            }
+        }
+    }
+
+    /// Nearest entry to `key`, given the partition point `i`. Returns the
+    /// distance and configuration.
+    fn nearest(&self, key: f64, i: usize) -> Option<(f64, ResourceConfig)> {
+        let lo = i.checked_sub(1).map(|j| self.entries[j]);
+        let hi = (i < self.entries.len()).then(|| self.entries[i]);
+        match (lo, hi) {
+            (None, None) => None,
+            (Some((k, c)), None) | (None, Some((k, c))) => Some(((key - k).abs(), c)),
+            (Some((kl, cl)), Some((kh, ch))) => {
+                let dl = (key - kl).abs();
+                let dh = (key - kh).abs();
+                Some(if dl <= dh { (dl, cl) } else { (dh, ch) })
+            }
+        }
+    }
+
+    /// All entries with |entry.key − key| ≤ threshold.
+    fn neighbors_within(&self, key: f64, threshold: f64) -> Vec<(f64, ResourceConfig)> {
+        let lo = self.entries.partition_point(|(k, _)| *k < key - threshold);
+        let hi = self.entries.partition_point(|(k, _)| *k <= key + threshold);
+        self.entries[lo..hi].to_vec()
+    }
+}
+
+/// Inverse-distance weighted average of the neighbours' configurations.
+fn weighted_average(key: f64, neighbors: &[(f64, ResourceConfig)]) -> ResourceConfig {
+    debug_assert!(!neighbors.is_empty());
+    let dims = neighbors[0].1.dims();
+    let mut acc = vec![0.0; dims];
+    let mut wsum = 0.0;
+    for (k, cfg) in neighbors {
+        // Guard distance away from zero; exact matches were already
+        // returned before interpolation.
+        let w = 1.0 / ((key - k).abs()).max(1e-12);
+        wsum += w;
+        for (d, a) in acc.iter_mut().enumerate() {
+            *a += w * cfg.get(d);
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= wsum;
+    }
+    ResourceConfig::from_slice(&acc)
+}
+
+/// One [`ResourcePlanCache`] per (cost model, operator kind) pair, as §VI-B3
+/// prescribes. Model/operator identifiers are small integers assigned by the
+/// optimizer layer.
+#[derive(Debug, Clone, Default)]
+pub struct CacheBank {
+    caches: BTreeMap<(u32, u32), ResourcePlanCache>,
+}
+
+impl CacheBank {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cache for a (model, operator) pair, created on first use.
+    pub fn cache(&mut self, model: u32, operator: u32) -> &mut ResourcePlanCache {
+        self.caches.entry((model, operator)).or_default()
+    }
+
+    /// Total entries across all member caches.
+    pub fn total_entries(&self) -> usize {
+        self.caches.values().map(|c| c.len()).sum()
+    }
+
+    /// Aggregate statistics across all member caches.
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for c in self.caches.values() {
+            s.hits += c.stats().hits;
+            s.misses += c.stats().misses;
+            s.insertions += c.stats().insertions;
+        }
+        s
+    }
+
+    /// Clear every member cache (between queries, unless across-query
+    /// caching is being evaluated as in Fig. 15(b)).
+    pub fn clear(&mut self) {
+        self.caches.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(c: f64, s: f64) -> ResourceConfig {
+        ResourceConfig::containers_and_size(c, s)
+    }
+
+    #[test]
+    fn exact_roundtrip() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(3.4, cfg(10.0, 3.0));
+        assert_eq!(cache.lookup(3.4, CacheLookup::Exact), Some(cfg(10.0, 3.0)));
+        assert_eq!(cache.lookup(3.5, CacheLookup::Exact), None);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn insert_overwrites_same_key() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(1.0, 1.0));
+        cache.insert(1.0, cfg(9.0, 9.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(1.0, CacheLookup::Exact), Some(cfg(9.0, 9.0)));
+    }
+
+    #[test]
+    fn entries_stay_sorted() {
+        let mut cache = ResourcePlanCache::new();
+        for k in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            cache.insert(k, cfg(k, k));
+        }
+        // Nearest-neighbour lookups only work if the array is sorted.
+        for k in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            assert_eq!(cache.lookup(k, CacheLookup::Exact), Some(cfg(k, k)));
+        }
+    }
+
+    #[test]
+    fn nearest_neighbor_within_threshold() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(10.0, 2.0));
+        cache.insert(2.0, cfg(20.0, 4.0));
+        // 1.4 is nearer to 1.0.
+        assert_eq!(
+            cache.lookup(1.4, CacheLookup::NearestNeighbor { threshold: 0.5 }),
+            Some(cfg(10.0, 2.0))
+        );
+        // 1.6 is nearer to 2.0.
+        assert_eq!(
+            cache.lookup(1.6, CacheLookup::NearestNeighbor { threshold: 0.5 }),
+            Some(cfg(20.0, 4.0))
+        );
+        // Outside the threshold: miss.
+        assert_eq!(
+            cache.lookup(5.0, CacheLookup::NearestNeighbor { threshold: 0.5 }),
+            None
+        );
+    }
+
+    #[test]
+    fn nearest_neighbor_at_boundaries() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(10.0, cfg(5.0, 5.0));
+        // Query below the only key and above it.
+        assert_eq!(
+            cache.lookup(9.9, CacheLookup::NearestNeighbor { threshold: 0.2 }),
+            Some(cfg(5.0, 5.0))
+        );
+        assert_eq!(
+            cache.lookup(10.1, CacheLookup::NearestNeighbor { threshold: 0.2 }),
+            Some(cfg(5.0, 5.0))
+        );
+    }
+
+    #[test]
+    fn weighted_average_interpolates() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(10.0, 2.0));
+        cache.insert(3.0, cfg(30.0, 6.0));
+        // Midpoint: equal weights → arithmetic mean.
+        let got = cache
+            .lookup(2.0, CacheLookup::WeightedAverage { threshold: 1.5 })
+            .unwrap();
+        assert!((got.containers() - 20.0).abs() < 1e-9);
+        assert!((got.container_size_gb() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_average_weights_by_inverse_distance() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(0.0, cfg(0.0, 0.0));
+        cache.insert(4.0, cfg(4.0, 4.0));
+        // Query at 1.0: weights 1/1 and 1/3 → value (0*1 + 4*(1/3))/(4/3) = 1.
+        let got = cache
+            .lookup(1.0, CacheLookup::WeightedAverage { threshold: 10.0 })
+            .unwrap();
+        assert!((got.containers() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_average_misses_outside_threshold() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(10.0, 2.0));
+        assert_eq!(
+            cache.lookup(2.0, CacheLookup::WeightedAverage { threshold: 0.5 }),
+            None
+        );
+    }
+
+    #[test]
+    fn approximate_modes_prefer_exact_match() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(10.0, 2.0));
+        cache.insert(1.1, cfg(99.0, 9.0));
+        // Exact key present: both modes must return it untouched.
+        assert_eq!(
+            cache.lookup(1.0, CacheLookup::NearestNeighbor { threshold: 1.0 }),
+            Some(cfg(10.0, 2.0))
+        );
+        assert_eq!(
+            cache.lookup(1.0, CacheLookup::WeightedAverage { threshold: 1.0 }),
+            Some(cfg(10.0, 2.0))
+        );
+    }
+
+    #[test]
+    fn empty_cache_misses_all_modes() {
+        let mut cache = ResourcePlanCache::new();
+        for mode in [
+            CacheLookup::Exact,
+            CacheLookup::NearestNeighbor { threshold: 1.0 },
+            CacheLookup::WeightedAverage { threshold: 1.0 },
+        ] {
+            assert_eq!(cache.lookup(1.0, mode), None);
+        }
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn clear_resets_entries_and_stats() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(1.0, 1.0));
+        cache.lookup(1.0, CacheLookup::Exact);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn bank_separates_model_operator_pairs() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(1.0, cfg(1.0, 1.0));
+        bank.cache(1, 0).insert(1.0, cfg(2.0, 2.0));
+        assert_eq!(bank.cache(0, 0).lookup(1.0, CacheLookup::Exact), Some(cfg(1.0, 1.0)));
+        assert_eq!(bank.cache(1, 0).lookup(1.0, CacheLookup::Exact), Some(cfg(2.0, 2.0)));
+        assert_eq!(bank.total_entries(), 2);
+        let stats = bank.aggregate_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.insertions, 2);
+        bank.clear();
+        assert_eq!(bank.total_entries(), 0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CacheStats { hits: 3, misses: 1, insertions: 0 };
+        assert_eq!(s.hit_rate(), 0.75);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_key_rejected() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(f64::NAN, cfg(1.0, 1.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Cluster conditions: the dynamically changing min/max/step bounds of the
+//! resource space.
+//!
+//! §VI-B: Algorithm 1 takes "the current cluster conditions (mainly providing
+//! the minimum and maximum cluster resources available currently)" and
+//! "gathers the hill climb step sizes along all resource dimensions"
+//! (`GetDiscreteSteps`). §VII Setup instantiates this as: "a cluster of 100
+//! containers each having a maximum size of 10GB. Minimum allocation is 1
+//! container of size 1GB and resources could be increased in discrete
+//! intervals of 1 on either axis."
+
+use crate::config::ResourceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Bounds and granularity of the resource space, per dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConditions {
+    pub min: ResourceConfig,
+    pub max: ResourceConfig,
+    step: ResourceConfig,
+}
+
+impl ClusterConditions {
+    /// Build conditions from per-dimension min/max/step vectors.
+    pub fn new(min: ResourceConfig, max: ResourceConfig, step: ResourceConfig) -> Self {
+        assert_eq!(min.dims(), max.dims(), "min/max dimensionality mismatch");
+        assert_eq!(min.dims(), step.dims(), "min/step dimensionality mismatch");
+        for i in 0..min.dims() {
+            assert!(
+                min.get(i) <= max.get(i),
+                "dimension {i}: min {} > max {}",
+                min.get(i),
+                max.get(i)
+            );
+            assert!(step.get(i) > 0.0, "dimension {i}: step must be positive");
+        }
+        ClusterConditions { min, max, step }
+    }
+
+    /// The paper's default evaluation cluster (§VII Setup): 1–100 containers,
+    /// 1–10 GB each, unit steps on both axes.
+    pub fn paper_default() -> Self {
+        ClusterConditions::two_dim(1.0..=100.0, 1.0..=10.0, 1.0, 1.0)
+    }
+
+    /// Convenience constructor for the 2-D ⟨containers, size⟩ space.
+    pub fn two_dim(
+        containers: std::ops::RangeInclusive<f64>,
+        size_gb: std::ops::RangeInclusive<f64>,
+        container_step: f64,
+        size_step: f64,
+    ) -> Self {
+        ClusterConditions::new(
+            ResourceConfig::containers_and_size(*containers.start(), *size_gb.start()),
+            ResourceConfig::containers_and_size(*containers.end(), *size_gb.end()),
+            ResourceConfig::containers_and_size(container_step, size_step),
+        )
+    }
+
+    /// `GetDiscreteSteps` of Algorithm 1.
+    #[inline]
+    pub fn discrete_steps(&self) -> ResourceConfig {
+        self.step
+    }
+
+    /// Number of resource dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.min.dims()
+    }
+
+    /// Number of grid points along dimension `i`.
+    pub fn points_along(&self, i: usize) -> u64 {
+        ((self.max.get(i) - self.min.get(i)) / self.step.get(i)).floor() as u64 + 1
+    }
+
+    /// Total number of grid points in the space (the brute-force search
+    /// size; `rp · rc` in the paper's search-space formula §VI-B).
+    pub fn grid_size(&self) -> u64 {
+        (0..self.dims()).map(|i| self.points_along(i)).product()
+    }
+
+    /// Is `r` inside the bounds on every dimension? (Algorithm 1 lines
+    /// 11–12 check each step against `cluster.min`/`cluster.max`.)
+    pub fn contains(&self, r: &ResourceConfig) -> bool {
+        (0..self.dims()).all(|i| r.get(i) >= self.min.get(i) && r.get(i) <= self.max.get(i))
+    }
+
+    /// Clamp `r` into bounds (used when cached configurations from a larger
+    /// cluster are replayed under shrunken conditions).
+    pub fn clamp(&self, r: &ResourceConfig) -> ResourceConfig {
+        let mut out = *r;
+        for i in 0..self.dims() {
+            out.set(i, r.get(i).clamp(self.min.get(i), self.max.get(i)));
+        }
+        out
+    }
+
+    /// Iterate every grid point (row-major over dimensions). Used by the
+    /// brute-force planner and by tests that cross-check hill climbing.
+    pub fn grid(&self) -> GridIter {
+        GridIter { cond: *self, current: Some(self.min) }
+    }
+}
+
+/// Iterator over all grid points of a [`ClusterConditions`] space.
+pub struct GridIter {
+    cond: ClusterConditions,
+    current: Option<ResourceConfig>,
+}
+
+impl Iterator for GridIter {
+    type Item = ResourceConfig;
+
+    fn next(&mut self) -> Option<ResourceConfig> {
+        let out = self.current?;
+        // Advance like an odometer, least-significant dimension last.
+        let mut next = out;
+        let dims = self.cond.dims();
+        let mut i = dims;
+        loop {
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            let stepped = next.get(i) + self.cond.discrete_steps().get(i);
+            if stepped <= self.cond.max.get(i) + 1e-9 {
+                next.set(i, stepped);
+                self.current = Some(next);
+                break;
+            }
+            next.set(i, self.cond.min.get(i));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_grid_is_100_by_10() {
+        let c = ClusterConditions::paper_default();
+        assert_eq!(c.points_along(0), 100);
+        assert_eq!(c.points_along(1), 10);
+        assert_eq!(c.grid_size(), 1000);
+    }
+
+    #[test]
+    fn contains_checks_all_dims() {
+        let c = ClusterConditions::paper_default();
+        assert!(c.contains(&ResourceConfig::containers_and_size(1.0, 1.0)));
+        assert!(c.contains(&ResourceConfig::containers_and_size(100.0, 10.0)));
+        assert!(!c.contains(&ResourceConfig::containers_and_size(101.0, 10.0)));
+        assert!(!c.contains(&ResourceConfig::containers_and_size(100.0, 10.5)));
+        assert!(!c.contains(&ResourceConfig::containers_and_size(0.0, 5.0)));
+    }
+
+    #[test]
+    fn clamp_pulls_into_bounds() {
+        let c = ClusterConditions::paper_default();
+        let r = c.clamp(&ResourceConfig::containers_and_size(500.0, 0.5));
+        assert_eq!(r, ResourceConfig::containers_and_size(100.0, 1.0));
+    }
+
+    #[test]
+    fn grid_enumerates_every_point_once() {
+        let c = ClusterConditions::two_dim(1.0..=3.0, 1.0..=2.0, 1.0, 1.0);
+        let pts: Vec<_> = c.grid().collect();
+        assert_eq!(pts.len() as u64, c.grid_size());
+        assert_eq!(pts.len(), 6);
+        // All unique.
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Bounds respected.
+        assert!(pts.iter().all(|p| c.contains(p)));
+    }
+
+    #[test]
+    fn grid_handles_non_unit_steps() {
+        let c = ClusterConditions::two_dim(10.0..=50.0, 2.0..=8.0, 10.0, 2.0);
+        assert_eq!(c.points_along(0), 5);
+        assert_eq!(c.points_along(1), 4);
+        let pts: Vec<_> = c.grid().collect();
+        assert_eq!(pts.len(), 20);
+    }
+
+    #[test]
+    fn single_point_grid() {
+        let c = ClusterConditions::two_dim(5.0..=5.0, 3.0..=3.0, 1.0, 1.0);
+        let pts: Vec<_> = c.grid().collect();
+        assert_eq!(pts, vec![ResourceConfig::containers_and_size(5.0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min")]
+    fn inverted_bounds_rejected() {
+        ClusterConditions::two_dim(10.0..=1.0, 1.0..=10.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step")]
+    fn zero_step_rejected() {
+        ClusterConditions::two_dim(1.0..=10.0, 1.0..=10.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn fig15b_scaled_cluster_sizes() {
+        // Fig. 15(b): up to 100K containers and 100 GB container sizes.
+        let c = ClusterConditions::two_dim(1.0..=100_000.0, 1.0..=100.0, 1.0, 1.0);
+        assert_eq!(c.grid_size(), 10_000_000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Resource planners: brute force (§VI-B1) and hill climbing (Algorithm 1).
+
+use crate::cluster::ClusterConditions;
+use crate::config::ResourceConfig;
+
+/// Result of one resource-planning call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanningOutcome {
+    /// The chosen resource configuration.
+    pub config: ResourceConfig,
+    /// The cost model's value at `config`.
+    pub cost: f64,
+    /// Number of cost-model evaluations performed — the paper's "resource
+    /// configurations explored" metric (Figs. 12–14).
+    pub iterations: u64,
+}
+
+/// Exhaustive search over the whole resource grid (§VI-B1):
+///
+/// > "The brute force approach to resource planning would perform an
+/// > exhaustive search of all possible resource configurations to find the
+/// > best one."
+///
+/// Ties are broken toward the earlier grid point, which — because the grid
+/// starts at the minimum allocation — prefers smaller resource footprints.
+pub fn brute_force<F>(cluster: &ClusterConditions, mut cost_fn: F) -> PlanningOutcome
+where
+    F: FnMut(&ResourceConfig) -> f64,
+{
+    let mut best: Option<(ResourceConfig, f64)> = None;
+    let mut iterations = 0u64;
+    for r in cluster.grid() {
+        let c = cost_fn(&r);
+        iterations += 1;
+        match best {
+            Some((_, bc)) if bc <= c => {}
+            _ => best = Some((r, c)),
+        }
+    }
+    let (config, cost) = best.expect("cluster grid is never empty");
+    PlanningOutcome { config, cost, iterations }
+}
+
+/// Hill-climbing resource planning — a faithful transcription of the paper's
+/// **Algorithm 1 (HillClimbResourcePlanning)**.
+///
+/// Starting from `start` (typically the minimum allocation,
+/// `cluster.min`), each round considers a forward and a backward discrete
+/// step (`candidate = [-1, 1]`) along every resource dimension, applies the
+/// step that improves the cost most for that dimension (lines 7–19), and
+/// terminates when no candidate step on any dimension improves on the
+/// current configuration (lines 20–21, return at the local optimum).
+///
+/// The returned [`PlanningOutcome::iterations`] counts cost-model
+/// evaluations, matching how the paper reports "resource configurations
+/// explored" for the hill climber in Fig. 13(a).
+///
+/// ```
+/// use raqo_resource::{hill_climb, ClusterConditions, ResourceConfig};
+///
+/// // A convex cost bowl with its optimum at 40 containers × 7 GB.
+/// let cluster = ClusterConditions::paper_default();
+/// let cost = |r: &ResourceConfig| {
+///     (r.containers() - 40.0).powi(2) + 3.0 * (r.container_size_gb() - 7.0).powi(2)
+/// };
+/// let found = hill_climb(&cluster, cluster.min, cost);
+/// assert_eq!(found.config, ResourceConfig::containers_and_size(40.0, 7.0));
+/// assert!(found.iterations < cluster.grid_size()); // far fewer than brute force
+/// ```
+pub fn hill_climb<F>(
+    cluster: &ClusterConditions,
+    start: ResourceConfig,
+    mut cost_fn: F,
+) -> PlanningOutcome
+where
+    F: FnMut(&ResourceConfig) -> f64,
+{
+    assert_eq!(start.dims(), cluster.dims(), "start/cluster dimensionality mismatch");
+    debug_assert!(cluster.contains(&start), "start must lie inside the cluster bounds");
+
+    let step_size = cluster.discrete_steps(); // line 1: GetDiscreteSteps
+    let candidate = [-1.0, 1.0]; // line 2
+    let mut curr_res = start; // line 3
+    let mut iterations = 0u64;
+
+    loop {
+        // line 5: current cost
+        let curr_cost = cost_fn(&curr_res);
+        iterations += 1;
+        let mut best_cost = curr_cost; // line 6
+
+        for i in 0..curr_res.dims() {
+            // lines 7–19: probe ±1 step on dimension i
+            let mut best = None; // line 8: best = -1
+            for &cand in &candidate {
+                let i_val = step_size.get(i) * cand; // line 10
+                let stepped = curr_res.get(i) + i_val;
+                // line 11: respect cluster bounds
+                if stepped <= cluster.max.get(i) && stepped >= cluster.min.get(i) {
+                    curr_res.nudge(i, i_val); // line 12
+                    let temp = cost_fn(&curr_res); // line 13
+                    iterations += 1;
+                    curr_res.nudge(i, -i_val); // line 14: backtrack
+                    if temp < best_cost {
+                        // lines 15–17
+                        best_cost = temp;
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some(cand) = best {
+                // lines 18–19: reapply the winning step
+                curr_res.nudge(i, step_size.get(i) * cand);
+            }
+        }
+
+        // lines 20–21: no better neighbour on any dimension → local optimum
+        if best_cost >= curr_cost {
+            return PlanningOutcome { config: curr_res, cost: curr_cost, iterations };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cluster() -> ClusterConditions {
+        ClusterConditions::paper_default()
+    }
+
+    /// A convex bowl with minimum at (40, 7): hill climbing must find the
+    /// global optimum of a unimodal cost surface.
+    fn bowl(r: &ResourceConfig) -> f64 {
+        let dc = r.containers() - 40.0;
+        let ds = r.container_size_gb() - 7.0;
+        dc * dc + 3.0 * ds * ds
+    }
+
+    #[test]
+    fn brute_force_explores_whole_grid() {
+        let out = brute_force(&paper_cluster(), bowl);
+        assert_eq!(out.iterations, 1000);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(40.0, 7.0));
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn hill_climb_matches_brute_force_on_convex_surface() {
+        let cluster = paper_cluster();
+        let bf = brute_force(&cluster, bowl);
+        let hc = hill_climb(&cluster, cluster.min, bowl);
+        assert_eq!(hc.config, bf.config);
+        assert_eq!(hc.cost, bf.cost);
+    }
+
+    #[test]
+    fn hill_climb_uses_far_fewer_iterations() {
+        // Fig. 13: "hill climbing explores 4 times less resource
+        // configurations than brute force" — on this toy surface the gap is
+        // much larger; assert at least 4x.
+        let cluster = paper_cluster();
+        let bf = brute_force(&cluster, bowl);
+        let hc = hill_climb(&cluster, cluster.min, bowl);
+        assert!(
+            hc.iterations * 4 <= bf.iterations,
+            "hc={} bf={}",
+            hc.iterations,
+            bf.iterations
+        );
+    }
+
+    #[test]
+    fn hill_climb_stops_at_local_optimum_of_multimodal_surface() {
+        // Two basins: a shallow one near the start and a deep one far away.
+        // Greedy climbing from the minimum allocation must settle in the
+        // nearer basin — that is the documented local-optimum behaviour.
+        let two_basins = |r: &ResourceConfig| -> f64 {
+            let near = (r.containers() - 5.0).powi(2) + (r.container_size_gb() - 2.0).powi(2);
+            let far =
+                (r.containers() - 90.0).powi(2) + (r.container_size_gb() - 9.0).powi(2) - 50.0;
+            near.min(far)
+        };
+        let cluster = paper_cluster();
+        let hc = hill_climb(&cluster, cluster.min, two_basins);
+        assert_eq!(hc.config, ResourceConfig::containers_and_size(5.0, 2.0));
+        let bf = brute_force(&cluster, two_basins);
+        assert_eq!(bf.config, ResourceConfig::containers_and_size(90.0, 9.0));
+        assert!(bf.cost < hc.cost);
+    }
+
+    #[test]
+    fn hill_climb_never_leaves_cluster_bounds() {
+        // Cost decreasing toward huge configurations: the climber must stop
+        // at the max corner rather than stepping outside.
+        let decreasing = |r: &ResourceConfig| -> f64 { -(r.containers() + r.container_size_gb()) };
+        let cluster = paper_cluster();
+        let out = hill_climb(&cluster, cluster.min, decreasing);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(100.0, 10.0));
+    }
+
+    #[test]
+    fn hill_climb_with_flat_cost_returns_start_immediately() {
+        let cluster = paper_cluster();
+        let out = hill_climb(&cluster, cluster.min, |_| 42.0);
+        assert_eq!(out.config, cluster.min);
+        assert_eq!(out.cost, 42.0);
+        // 1 current evaluation + 1 inbound probe per dimension (the -1 step
+        // is out of bounds at the minimum corner).
+        assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    fn hill_climb_from_interior_start() {
+        let cluster = paper_cluster();
+        let start = ResourceConfig::containers_and_size(60.0, 9.0);
+        let out = hill_climb(&cluster, start, bowl);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(40.0, 7.0));
+    }
+
+    #[test]
+    fn brute_force_tie_break_prefers_first_grid_point() {
+        let cluster = ClusterConditions::two_dim(1.0..=3.0, 1.0..=1.0, 1.0, 1.0);
+        let out = brute_force(&cluster, |_| 1.0);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(1.0, 1.0));
+    }
+
+    #[test]
+    fn hill_climb_respects_non_unit_steps() {
+        let cluster = ClusterConditions::two_dim(10.0..=100.0, 10.0..=100.0, 10.0, 10.0);
+        let target = |r: &ResourceConfig| -> f64 {
+            (r.containers() - 50.0).abs() + (r.container_size_gb() - 30.0).abs()
+        };
+        let out = hill_climb(&cluster, cluster.min, target);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(50.0, 30.0));
+    }
+}

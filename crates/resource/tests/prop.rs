@@ -1,0 +1,100 @@
+//! Property tests for the resource-planning primitives.
+
+use proptest::prelude::*;
+use raqo_resource::{
+    brute_force, hill_climb, CacheLookup, ClusterConditions, ResourceConfig, ResourcePlanCache,
+};
+
+proptest! {
+    /// The grid iterator enumerates exactly `grid_size()` in-bounds points
+    /// for arbitrary bounds and steps.
+    #[test]
+    fn grid_iterator_is_exact(
+        nc_lo in 1.0f64..20.0,
+        nc_extra in 0.0f64..40.0,
+        cs_lo in 1.0f64..5.0,
+        cs_extra in 0.0f64..10.0,
+        nc_step in 1.0f64..4.0,
+        cs_step in 1.0f64..3.0,
+    ) {
+        let (nc_lo, cs_lo) = (nc_lo.round(), cs_lo.round());
+        let (nc_step, cs_step) = (nc_step.round(), cs_step.round());
+        let cluster = ClusterConditions::two_dim(
+            nc_lo..=(nc_lo + nc_extra.round()),
+            cs_lo..=(cs_lo + cs_extra.round()),
+            nc_step,
+            cs_step,
+        );
+        let pts: Vec<ResourceConfig> = cluster.grid().collect();
+        prop_assert_eq!(pts.len() as u64, cluster.grid_size());
+        for p in &pts {
+            prop_assert!(cluster.contains(p));
+        }
+        // Pairwise distinct.
+        for (i, a) in pts.iter().enumerate() {
+            for b in &pts[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    /// Hill climbing on a surface with a flat plateau terminates (no
+    /// infinite loop) and stays in bounds.
+    #[test]
+    fn hill_climb_terminates_on_plateaus(
+        plateau in 0.0f64..50.0,
+        cx in 1.0f64..100.0,
+    ) {
+        let cluster = ClusterConditions::paper_default();
+        let cost = |r: &ResourceConfig| -> f64 {
+            let d = (r.containers() - cx).abs();
+            if d < plateau { 0.0 } else { d }
+        };
+        let out = hill_climb(&cluster, cluster.min, cost);
+        prop_assert!(cluster.contains(&out.config));
+        prop_assert!(out.iterations < 10_000);
+    }
+
+    /// Weighted-average cache results stay inside the bounding box of the
+    /// neighbours that produced them.
+    #[test]
+    fn weighted_average_stays_in_neighbor_hull(
+        keys in proptest::collection::vec((0.0f64..10.0, 1.0f64..100.0, 1.0f64..10.0), 2..12),
+        query in 0.0f64..10.0,
+        threshold in 0.1f64..5.0,
+    ) {
+        let mut cache = ResourcePlanCache::new();
+        for (k, nc, cs) in &keys {
+            cache.insert(*k, ResourceConfig::containers_and_size(nc.round(), cs.round()));
+        }
+        if let Some(cfg) = cache.lookup(query, CacheLookup::WeightedAverage { threshold }) {
+            let neighbors: Vec<_> = keys
+                .iter()
+                .filter(|(k, _, _)| (k - query).abs() <= threshold)
+                .collect();
+            if !neighbors.is_empty() {
+                // Exact hits return a stored config, which is in the hull
+                // trivially; interpolations must be too.
+                let (lo_nc, hi_nc) = neighbors.iter().fold((f64::INFINITY, 0.0f64), |(l, h), (_, nc, _)| {
+                    (l.min(nc.round()), h.max(nc.round()))
+                });
+                prop_assert!(cfg.containers() >= lo_nc - 1e-9 && cfg.containers() <= hi_nc + 1e-9,
+                    "containers {} outside [{lo_nc}, {hi_nc}]", cfg.containers());
+            }
+        }
+    }
+
+    /// On strictly monotone surfaces brute force and hill climbing agree
+    /// on the optimum (a corner).
+    #[test]
+    fn monotone_surfaces_agree(sign_nc in proptest::bool::ANY, sign_cs in proptest::bool::ANY) {
+        let cluster = ClusterConditions::two_dim(1.0..=25.0, 1.0..=8.0, 1.0, 1.0);
+        let a = if sign_nc { 1.0 } else { -1.0 };
+        let b = if sign_cs { 1.0 } else { -1.0 };
+        let cost = |r: &ResourceConfig| a * r.containers() + b * r.container_size_gb();
+        let bf = brute_force(&cluster, cost);
+        let hc = hill_climb(&cluster, cluster.min, cost);
+        prop_assert!((bf.cost - hc.cost).abs() < 1e-9, "bf {} hc {}", bf.cost, hc.cost);
+        prop_assert_eq!(bf.config, hc.config);
+    }
+}

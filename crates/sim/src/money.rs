@@ -1,0 +1,89 @@
+//! Monetary cost of a run (§III-C).
+//!
+//! > "We consider the recent trend of serverless analytics, where the users
+//! > only pay for the total container hours consumed by their analytical
+//! > queries."
+//!
+//! The paper reports "total resources used" as memory × time (its Fig. 2
+//! y-axis is labelled TB·sec) and "monetary cost" as a price proportional to
+//! it. We expose the TB·second quantity directly and let callers apply a
+//! $-rate; since both joins run on the *same* resource configuration in a
+//! sweep, the switch points in money coincide with the switch points in
+//! time while the absolute values scale with `nc · cs` — exactly the §III-C
+//! observation ("while the switching points remain the same, the absolute
+//! values of monetary value change very differently").
+
+/// Resources consumed by a run, in TB·seconds: `nc` containers of `cs` GB
+/// held for `time_sec` seconds.
+pub fn monetary_cost_tb_sec(time_sec: f64, nc: f64, cs_gb: f64) -> f64 {
+    assert!(time_sec >= 0.0 && nc >= 0.0 && cs_gb >= 0.0);
+    time_sec * nc * cs_gb / 1024.0
+}
+
+/// Dollar cost at a given price per TB·second (serverless billing).
+pub fn dollars(time_sec: f64, nc: f64, cs_gb: f64, price_per_tb_sec: f64) -> f64 {
+    monetary_cost_tb_sec(time_sec, nc, cs_gb) * price_per_tb_sec
+}
+
+/// Memory-equivalent price of one core, in GB: serverless SKUs bundle CPU
+/// with memory at roughly this exchange rate (e.g. 1 vCPU ≈ 2 GB steps in
+/// common container SKUs). Used by three-dimensional resource planning.
+pub const CORE_GB_EQUIVALENT: f64 = 2.0;
+
+/// TB·second-equivalent cost of a run that also holds `cores` CPU cores
+/// per container: memory plus the cores' memory-equivalent.
+pub fn monetary_cost_with_cores(time_sec: f64, nc: f64, cs_gb: f64, cores: f64) -> f64 {
+    assert!(cores >= 0.0);
+    monetary_cost_tb_sec(time_sec, nc, cs_gb + CORE_GB_EQUIVALENT * cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, JoinImpl};
+
+    #[test]
+    fn tb_seconds_arithmetic() {
+        // 10 containers x 10 GB for 1024 s = 100 GB * 1024 s = 100 TB*s.
+        assert!((monetary_cost_tb_sec(1024.0, 10.0, 10.0) - 100.0).abs() < 1e-9);
+        assert_eq!(monetary_cost_tb_sec(0.0, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn dollars_scale_linearly_with_price() {
+        let a = dollars(100.0, 10.0, 4.0, 1.0);
+        let b = dollars(100.0, 10.0, 4.0, 2.5);
+        assert!((b / a - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig6_monetary_switch_points_match_time_switch_points() {
+        // §III-C: on a shared resource sweep, the cheaper join in time is
+        // the cheaper join in money at every point, because money is a
+        // positive multiple of time at fixed (nc, cs).
+        let e = Engine::hive();
+        for cs in 5..=10 {
+            let cs = cs as f64;
+            let smj_t = e.join_time(JoinImpl::SortMerge, 5.1, 77.0, 10.0, cs).unwrap();
+            let bhj_t = e.join_time(JoinImpl::BroadcastHash, 5.1, 77.0, 10.0, cs).unwrap();
+            let smj_m = monetary_cost_tb_sec(smj_t, 10.0, cs);
+            let bhj_m = monetary_cost_tb_sec(bhj_t, 10.0, cs);
+            assert_eq!(smj_t < bhj_t, smj_m < bhj_m, "winner flipped at cs={cs}");
+        }
+    }
+
+    #[test]
+    fn fig6_absolute_money_grows_with_resources_even_when_time_shrinks() {
+        // §III-C: "the absolute values of monetary value change very
+        // differently" — BHJ gets faster with bigger containers, but the
+        // bill can still grow because you pay for the extra memory.
+        let e = Engine::hive();
+        let t6 = e.join_time(JoinImpl::BroadcastHash, 5.1, 77.0, 10.0, 6.0).unwrap();
+        let t10 = e.join_time(JoinImpl::BroadcastHash, 5.1, 77.0, 10.0, 10.0).unwrap();
+        assert!(t10 < t6, "BHJ should speed up with memory");
+        let m6 = monetary_cost_tb_sec(t6, 10.0, 6.0);
+        let m10 = monetary_cost_tb_sec(t10, 10.0, 10.0);
+        // Speedup from 6->10 GB is < 10/6, so money increases.
+        assert!(m10 > m6, "money should grow: m6={m6:.2} m10={m10:.2}");
+    }
+}

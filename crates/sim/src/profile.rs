@@ -1,0 +1,211 @@
+//! Profile-run generation.
+//!
+//! §VI-A: "our approach requires profile runs in order to train the cost
+//! model. However, this is a one-time investment for each system." And §V-B:
+//! decision trees are trained over "the switch point results", i.e. labelled
+//! grids of (data, resources) → best join.
+//!
+//! This module runs the engine simulator over configurable grids and emits
+//! both raw timing profiles (for the OLS regression in `raqo-cost`) and
+//! labelled samples (for the CART learner in `raqo-dtree`).
+
+use crate::engine::{Engine, JoinImpl};
+use serde::{Deserialize, Serialize};
+
+/// One profiled execution: a join implementation timed at a grid point.
+/// `time_sec` is `None` when the run failed (BHJ OOM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRun {
+    pub join: JoinImpl,
+    /// Smaller (build) input, GB.
+    pub small_gb: f64,
+    /// Larger (probe) input, GB.
+    pub large_gb: f64,
+    /// Number of containers.
+    pub containers: f64,
+    /// Container size, GB.
+    pub container_size_gb: f64,
+    pub time_sec: Option<f64>,
+}
+
+/// The grid over which to profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileGrid {
+    pub small_gb: Vec<f64>,
+    pub large_gb: f64,
+    pub containers: Vec<f64>,
+    pub container_size_gb: Vec<f64>,
+}
+
+impl ProfileGrid {
+    /// The grid the paper's §III/§V experiments sweep: build sides up to a
+    /// few GB, 5–45 containers, 1–10 GB container sizes.
+    pub fn paper_default() -> Self {
+        ProfileGrid {
+            small_gb: vec![0.2, 0.5, 0.85, 1.7, 2.55, 3.4, 4.25, 5.1, 6.4, 8.0],
+            large_gb: 77.0,
+            containers: vec![5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0],
+            container_size_gb: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        }
+    }
+
+    /// Total grid points (per join implementation).
+    pub fn points(&self) -> usize {
+        self.small_gb.len() * self.containers.len() * self.container_size_gb.len()
+    }
+}
+
+/// Time both join implementations at every grid point.
+pub fn profile(engine: &Engine, grid: &ProfileGrid) -> Vec<ProfileRun> {
+    let mut out = Vec::with_capacity(2 * grid.points());
+    for &ss in &grid.small_gb {
+        for &nc in &grid.containers {
+            for &cs in &grid.container_size_gb {
+                for join in JoinImpl::ALL {
+                    let time_sec = engine.join_time(join, ss, grid.large_gb, nc, cs).ok();
+                    out.push(ProfileRun {
+                        join,
+                        small_gb: ss,
+                        large_gb: grid.large_gb,
+                        containers: nc,
+                        container_size_gb: cs,
+                        time_sec,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A labelled sample for the decision-tree learner: the features Fig. 11's
+/// trees branch on, plus the winning implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRun {
+    /// Size of the smaller relation, GB ("Data Size").
+    pub data_gb: f64,
+    /// Container size, GB.
+    pub container_size_gb: f64,
+    /// Concurrent containers.
+    pub containers: f64,
+    /// Total containers across the job's tasks ("Total Containers" in
+    /// Fig. 11) — modelled as containers × waves, where waves grow with the
+    /// probe side.
+    pub total_containers: f64,
+    pub best: JoinImpl,
+}
+
+impl LabeledRun {
+    /// Feature vector in the order the trees report:
+    /// [data size, container size, concurrent containers, total containers].
+    pub fn features(&self) -> [f64; 4] {
+        [self.data_gb, self.container_size_gb, self.containers, self.total_containers]
+    }
+
+    /// Human-readable names for the features, aligned with Fig. 11.
+    pub const FEATURE_NAMES: [&'static str; 4] =
+        ["Data Size (GB)", "Container Size", "Concurrent Containers", "Total Containers"];
+}
+
+/// Label every grid point with the faster feasible implementation.
+pub fn labeled_grid(engine: &Engine, grid: &ProfileGrid) -> Vec<LabeledRun> {
+    let mut out = Vec::with_capacity(grid.points());
+    for &ss in &grid.small_gb {
+        for &nc in &grid.containers {
+            for &cs in &grid.container_size_gb {
+                let (best, _) = engine.best_join(ss, grid.large_gb, nc, cs);
+                // Tasks per vertex ≈ probe splits; 256 MB split size as in
+                // the paper's Hive setup.
+                let waves = (grid.large_gb / 0.256 / nc).ceil().max(1.0);
+                out.push(LabeledRun {
+                    data_gb: ss,
+                    container_size_gb: cs,
+                    containers: nc,
+                    total_containers: nc * waves,
+                    best,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_grid_twice() {
+        let grid = ProfileGrid::paper_default();
+        let runs = profile(&Engine::hive(), &grid);
+        assert_eq!(runs.len(), 2 * grid.points());
+    }
+
+    #[test]
+    fn smj_rows_always_timed_bhj_rows_oom_when_too_big() {
+        let grid = ProfileGrid::paper_default();
+        let runs = profile(&Engine::hive(), &grid);
+        let engine = Engine::hive();
+        for r in &runs {
+            match r.join {
+                JoinImpl::SortMerge => assert!(r.time_sec.is_some()),
+                JoinImpl::BroadcastHash => {
+                    let fits = r.small_gb <= engine.bhj_capacity_gb(r.container_size_gb);
+                    assert_eq!(r.time_sec.is_some(), fits, "{r:?}");
+                }
+            }
+        }
+        // The paper-default grid must contain both feasible and OOM BHJ
+        // points, otherwise it cannot teach the OOM boundary.
+        let bhj: Vec<_> = runs.iter().filter(|r| r.join == JoinImpl::BroadcastHash).collect();
+        assert!(bhj.iter().any(|r| r.time_sec.is_some()));
+        assert!(bhj.iter().any(|r| r.time_sec.is_none()));
+    }
+
+    #[test]
+    fn labeled_grid_has_both_classes() {
+        // The decision tree needs both SMJ- and BHJ-labelled regions
+        // (Fig. 11 trees have both classes at their leaves).
+        let grid = ProfileGrid::paper_default();
+        let labels = labeled_grid(&Engine::hive(), &grid);
+        assert_eq!(labels.len(), grid.points());
+        let bhj = labels.iter().filter(|l| l.best == JoinImpl::BroadcastHash).count();
+        let smj = labels.len() - bhj;
+        assert!(bhj > 50, "too few BHJ labels: {bhj}");
+        assert!(smj > 50, "too few SMJ labels: {smj}");
+    }
+
+    #[test]
+    fn labels_match_engine_best_join() {
+        let grid = ProfileGrid::paper_default();
+        let e = Engine::hive();
+        for l in labeled_grid(&e, &grid).iter().step_by(17) {
+            let (best, _) = e.best_join(l.data_gb, grid.large_gb, l.containers, l.container_size_gb);
+            assert_eq!(best, l.best);
+        }
+    }
+
+    #[test]
+    fn total_containers_accounts_for_waves() {
+        let grid = ProfileGrid::paper_default();
+        let labels = labeled_grid(&Engine::hive(), &grid);
+        for l in &labels {
+            assert!(l.total_containers >= l.containers);
+            let waves = l.total_containers / l.containers;
+            assert_eq!(waves.fract(), 0.0, "waves must be integral");
+        }
+    }
+
+    #[test]
+    fn feature_vector_order_matches_names() {
+        let l = LabeledRun {
+            data_gb: 1.0,
+            container_size_gb: 2.0,
+            containers: 3.0,
+            total_containers: 4.0,
+            best: JoinImpl::SortMerge,
+        };
+        assert_eq!(l.features(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(LabeledRun::FEATURE_NAMES.len(), 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the engine simulator.
+
+use proptest::prelude::*;
+use raqo_sim::engine::{Engine, JoinImpl};
+use raqo_sim::sweeps::{switch_point_small_size, SwitchPoint};
+
+proptest! {
+    /// Execution times are positive and finite wherever defined, for both
+    /// engines and both join implementations.
+    #[test]
+    fn times_positive_finite(
+        ss in 0.01f64..12.0,
+        ls in 1.0f64..200.0,
+        nc in 1.0f64..128.0,
+        cs in 1.0f64..16.0,
+    ) {
+        for engine in [Engine::hive(), Engine::spark()] {
+            let nc = nc.round();
+            for join in JoinImpl::ALL {
+                if let Ok(t) = engine.join_time(join, ss, ls, nc, cs) {
+                    prop_assert!(t.is_finite() && t > 0.0, "{join} -> {t}");
+                }
+            }
+        }
+    }
+
+    /// More parallelism never hurts SMJ (its cost divides by nc).
+    #[test]
+    fn smj_monotone_in_parallelism(
+        ss in 0.01f64..5.0,
+        ls in 10.0f64..100.0,
+        nc in 1.0f64..60.0,
+        cs in 1.0f64..10.0,
+    ) {
+        let engine = Engine::hive();
+        let nc = nc.round();
+        let t1 = engine.join_time(JoinImpl::SortMerge, ss, ls, nc, cs).unwrap();
+        let t2 = engine.join_time(JoinImpl::SortMerge, ss, ls, nc + 8.0, cs).unwrap();
+        prop_assert!(t2 <= t1 + 1e-9, "smj({nc})={t1} smj({})={t2}", nc + 8.0);
+    }
+
+    /// More memory never hurts BHJ where it runs (pressure only eases).
+    #[test]
+    fn bhj_monotone_in_memory(
+        ss in 0.1f64..6.0,
+        ls in 10.0f64..100.0,
+        nc in 1.0f64..60.0,
+        cs in 1.0f64..9.0,
+    ) {
+        let engine = Engine::hive();
+        let nc = nc.round();
+        if let (Ok(t1), Ok(t2)) = (
+            engine.join_time(JoinImpl::BroadcastHash, ss, ls, nc, cs),
+            engine.join_time(JoinImpl::BroadcastHash, ss, ls, nc, cs + 2.0),
+        ) {
+            prop_assert!(t2 <= t1 + 1e-9, "bhj({cs})={t1} bhj({})={t2}", cs + 2.0);
+        }
+    }
+
+    /// The OOM boundary is exact: BHJ errs iff the build exceeds capacity.
+    #[test]
+    fn oom_boundary_exact(
+        ss in 0.1f64..20.0,
+        cs in 1.0f64..12.0,
+    ) {
+        let engine = Engine::hive();
+        let cap = engine.bhj_capacity_gb(cs);
+        let runs = engine.join_time(JoinImpl::BroadcastHash, ss, 50.0, 10.0, cs).is_ok();
+        prop_assert_eq!(runs, ss <= cap);
+    }
+
+    /// Switch points returned by the sweep are consistent: just below the
+    /// point BHJ is preferred (when the kind says BHJ ever wins).
+    #[test]
+    fn switch_point_consistency(
+        nc in 4.0f64..48.0,
+        cs in 2.0f64..12.0,
+    ) {
+        let engine = Engine::hive();
+        let nc = nc.round();
+        let cs = cs.round();
+        let sp: SwitchPoint = switch_point_small_size(&engine, 77.0, nc, cs, 0.05, 12.0);
+        use raqo_sim::sweeps::SwitchKind::*;
+        match sp.kind {
+            CostCrossover | OomBound => {
+                let below = (sp.small_gb - 0.05).max(0.01);
+                let bhj = engine.join_time(JoinImpl::BroadcastHash, below, 77.0, nc, cs);
+                let smj = engine.join_time(JoinImpl::SortMerge, below, 77.0, nc, cs).unwrap();
+                if let Ok(bhj) = bhj {
+                    prop_assert!(bhj <= smj + 1e-6, "BHJ not preferred just below switch");
+                }
+            }
+            BhjNeverWins | BhjAlwaysWins => {}
+        }
+    }
+
+    /// Fused map-join chains never cost more than the same joins as
+    /// separate stages — as long as the combined hash tables stay below
+    /// the memory-pressure knee. (Under pressure the chain's *combined*
+    /// occupancy can exceed the stages' individual ones, so fusing can
+    /// legitimately lose; the planner sees that through the cost model.)
+    #[test]
+    fn chains_never_slower_than_stages(
+        b1 in 0.05f64..0.7,
+        b2 in 0.05f64..0.7,
+        probe in 5.0f64..100.0,
+        nc in 1.0f64..40.0,
+        cs in 4.0f64..10.0,
+    ) {
+        let engine = Engine::hive();
+        let nc = nc.round();
+        if let Ok(chain) = engine.map_join_chain_time(&[b1, b2], probe, nc, cs) {
+            let s1 = engine.join_time(JoinImpl::BroadcastHash, b1, probe, nc, cs);
+            let s2 = engine.join_time(JoinImpl::BroadcastHash, b2, probe + b1, nc, cs);
+            if let (Ok(s1), Ok(s2)) = (s1, s2) {
+                prop_assert!(chain <= s1 + s2 + 1e-9, "chain {chain} > staged {}", s1 + s2);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: jointly optimize a TPC-H query's join order, join
+//! implementations, and per-operator resource requests.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use raqo::planner::plan::render;
+use raqo::prelude::*;
+
+fn main() {
+    // TPC-H at scale factor 100 — lineitem is ~77 GB, as in the paper's
+    // cluster experiments.
+    let schema = TpchSchema::sf100();
+
+    // Cost model: the ground-truth simulator oracle. Swap in
+    // `JoinCostModel::trained_hive()` for the paper's learned model.
+    let model = SimOracleCost::hive();
+
+    // Current cluster conditions, as the resource manager would report
+    // them: up to 100 containers of up to 10 GB, unit-step allocations.
+    let cluster = ClusterConditions::paper_default();
+
+    let mut optimizer = RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        &model,
+        cluster,
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimb,
+    );
+
+    for query in QuerySpec::tpch_suite(&schema) {
+        let plan = optimizer.optimize(&query).expect("every TPC-H query has a plan");
+        println!("=== {query} ===");
+        println!("plan: {}", render(&plan.query.tree, &schema.catalog));
+        for (i, join) in plan.query.joins.iter().enumerate() {
+            let (containers, gb) = join.decision.resources.expect("RAQO plans resources");
+            println!(
+                "  join {}: {:<3} build {:>7.2} GB, probe {:>7.2} GB -> {} containers x {} GB, est {:>7.1}s",
+                i + 1,
+                join.decision.join.abbrev(),
+                join.io.build_gb,
+                join.io.probe_gb,
+                containers,
+                gb,
+                join.decision.objectives.time_sec,
+            );
+        }
+        println!(
+            "estimated: {:.0}s, {:.1} TB*s; planner explored {} resource configurations\n",
+            plan.time_sec(),
+            plan.money_tb_sec(),
+            plan.stats.resource_iterations,
+        );
+    }
+}

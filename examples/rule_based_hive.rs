@@ -1,0 +1,93 @@
+//! Rule-based RAQO (§V): replace Hive's static 10 MB broadcast rule with a
+//! decision tree trained on the data–resource switch-point grid, and watch
+//! the decisions diverge.
+//!
+//! ```sh
+//! cargo run --release --example rule_based_hive
+//! ```
+
+use raqo::core::rule_based::{train_raqo_tree, tree_pick_join};
+use raqo::dtree::default_hive_tree;
+use raqo::prelude::*;
+use raqo::sim::profile::ProfileGrid;
+
+fn main() {
+    let engine = Engine::hive();
+    let grid = ProfileGrid::paper_default();
+
+    // Fig. 10(a): the default tree. Fig. 11(a): the RAQO tree.
+    let default_tree = default_hive_tree();
+    let raqo_tree = train_raqo_tree(&engine, &grid);
+
+    println!("--- default Hive tree (Fig. 10a) ---\n{}", default_tree.render());
+    println!("--- RAQO tree (Fig. 11a) ---\n{}", raqo_tree.render());
+    println!(
+        "RAQO tree: {} nodes, max path length {}\n",
+        raqo_tree.node_count(),
+        raqo_tree.max_path_len()
+    );
+
+    // Decision matrix for a 3.4 GB build side (the Fig. 3(b) scenario):
+    // the default rule is blind to resources; the RAQO tree flips from
+    // BHJ to SMJ as parallelism grows.
+    println!("join choice for a 3.4 GB build side (default | RAQO), by resources:");
+    print!("{:>18}", "containers →");
+    let containers = [5.0, 10.0, 20.0, 30.0, 40.0];
+    for nc in containers {
+        print!("{nc:>12}");
+    }
+    println!();
+    for cs in [3.0, 6.0, 9.0] {
+        print!("{:>15} GB", cs);
+        for nc in containers {
+            let waves = (77.0_f64 / 0.256 / nc).ceil().max(1.0);
+            let d = tree_pick_join(&default_tree, 3.4, cs, nc, nc * waves);
+            let r = tree_pick_join(&raqo_tree, 3.4, cs, nc, nc * waves);
+            print!("{:>12}", format!("{}|{}", d.abbrev(), r.abbrev()));
+        }
+        println!();
+    }
+
+    // How much the better rules are worth, summed over the whole grid.
+    let model = SimOracleCost::hive();
+    let mut default_cost = 0.0;
+    let mut raqo_cost = 0.0;
+    for l in raqo::sim::profile::labeled_grid(&engine, &grid) {
+        let time_of = |pick: JoinImpl| {
+            model
+                .join_cost(pick, l.data_gb, 77.0, l.containers, l.container_size_gb)
+                .or_else(|| {
+                    // OOM fallback, as Hive would do at runtime.
+                    model.join_cost(
+                        JoinImpl::SortMerge,
+                        l.data_gb,
+                        77.0,
+                        l.containers,
+                        l.container_size_gb,
+                    )
+                })
+                .expect("SMJ always runs")
+        };
+        default_cost += time_of(tree_pick_join(
+            &default_tree,
+            l.data_gb,
+            l.container_size_gb,
+            l.containers,
+            l.total_containers,
+        ));
+        raqo_cost += time_of(tree_pick_join(
+            &raqo_tree,
+            l.data_gb,
+            l.container_size_gb,
+            l.containers,
+            l.total_containers,
+        ));
+    }
+    println!(
+        "\ntotal simulated time across the {}-point grid: default {:.0}s, RAQO {:.0}s ({:.1}% saved)",
+        grid.points(),
+        default_cost,
+        raqo_cost,
+        100.0 * (1.0 - raqo_cost / default_cost)
+    );
+}

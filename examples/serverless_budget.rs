@@ -1,0 +1,66 @@
+//! Serverless cost control: the paper's §IV use-cases around money.
+//!
+//! A cloud analytics user pays per TB·second of held memory. This example
+//! walks the three money-facing RAQO modes on TPC-H Q3:
+//!
+//! 1. `(p, r)` — time-optimal joint plan (what does "fast" cost?);
+//! 2. `p ⇒ (r, c)` — keep that plan shape, re-plan resources to minimize
+//!    the bill;
+//! 3. `c ⇒ (p, r)` — sweep price points and watch the optimizer trade
+//!    execution time against budget.
+//!
+//! ```sh
+//! cargo run --release --example serverless_budget
+//! ```
+
+use raqo::prelude::*;
+
+fn main() {
+    let schema = TpchSchema::sf100();
+    let model = SimOracleCost::hive();
+    let mut optimizer = RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        &model,
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::BruteForce, // exact answers for the comparison
+    );
+    let query = QuerySpec::tpch_q3();
+
+    // 1. Time-optimal joint plan.
+    let fast = optimizer.optimize(&query).expect("plan");
+    println!(
+        "time-optimal: {:.0}s for {:.1} TB*s",
+        fast.time_sec(),
+        fast.money_tb_sec()
+    );
+
+    // 2. Same plan shape, cheapest resources.
+    let tree = fast.query.tree.clone();
+    let frugal = optimizer.resources_for_plan(&tree).expect("plan");
+    println!(
+        "same plan, money-optimal resources: {:.0}s for {:.1} TB*s ({:.0}% cheaper)",
+        frugal.time_sec(),
+        frugal.money_tb_sec(),
+        100.0 * (1.0 - frugal.money_tb_sec() / fast.money_tb_sec()),
+    );
+
+    // 3. Budget sweep: "produce the best performance for a given price
+    // point".
+    println!("\nbudget sweep (c => (p, r)):");
+    println!("{:>14}  {:>10}  {:>10}", "budget (TB*s)", "time (s)", "bill (TB*s)");
+    let base = frugal.money_tb_sec();
+    for factor in [1.0, 1.5, 2.0, 3.0, 5.0, 10.0] {
+        let budget = base * factor;
+        match optimizer.optimize_under_budget(&query, budget) {
+            Some(plan) => println!(
+                "{:>14.1}  {:>10.0}  {:>10.1}",
+                budget,
+                plan.time_sec(),
+                plan.money_tb_sec()
+            ),
+            None => println!("{budget:>14.1}  {:>10}  {:>10}", "infeasible", "-"),
+        }
+    }
+}

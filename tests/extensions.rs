@@ -1,0 +1,193 @@
+//! Integration tests for the §VIII research-agenda extensions: scheduler
+//! interaction, plan dispatching, pricing, trace-driven training, and the
+//! third resource dimension — exercised end to end across crates.
+
+use raqo::core::adaptive::plan_to_job;
+use raqo::core::{explain, PlanDispatcher};
+use raqo::cost::pricing::{FlatRate, LargeContainerPremium, PricingModel};
+use raqo::prelude::*;
+use raqo::sim::scheduler::{ContentionPolicy, Scheduler};
+
+fn optimizer<'a>(
+    schema: &'a TpchSchema,
+    model: &'a SimOracleCost,
+) -> RaqoOptimizer<'a, SimOracleCost> {
+    RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        model,
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimb,
+    )
+}
+
+/// A RAQO plan, turned into a scheduler job with alternatives, runs to
+/// completion on a pool smaller than its preferred footprint — via the
+/// fallbacks — while the delay policy waits forever-ish behind a blocker.
+#[test]
+fn plans_flow_through_the_scheduler_end_to_end() {
+    let schema = TpchSchema::sf100();
+    let model = SimOracleCost::hive();
+    let cluster = ClusterConditions::paper_default();
+    let mut opt = optimizer(&schema, &model);
+    let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+    let job = plan_to_job(&plan, &model, &cluster, 0.0);
+
+    // Pool half the preferred footprint of the largest stage.
+    let max_stage_gb = job
+        .stages
+        .iter()
+        .map(|s| s.preferred().memory_gb())
+        .fold(0.0f64, f64::max);
+    let pool = Scheduler::new(max_stage_gb * 0.5, ContentionPolicy::BestAlternative);
+    let outcomes = pool.run(std::slice::from_ref(&job));
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].finish_sec > 0.0);
+    // The fallbacks cost time: at least the unconstrained estimate.
+    assert!(outcomes[0].running_sec >= plan.time_sec() - 1e-6);
+}
+
+/// The dispatcher's precomputed plans behave like freshly optimized ones
+/// under their own conditions.
+#[test]
+fn dispatcher_matches_fresh_optimization() {
+    let schema = TpchSchema::sf100();
+    let model = SimOracleCost::hive();
+    let mut opt = optimizer(&schema, &model);
+    let grid = vec![
+        ClusterConditions::two_dim(1.0..=20.0, 1.0..=4.0, 1.0, 1.0),
+        ClusterConditions::paper_default(),
+    ];
+    let query = QuerySpec::tpch_q3();
+    let dispatcher = PlanDispatcher::build(&mut opt, &query, &grid).unwrap();
+    for cluster in &grid {
+        let dispatched = dispatcher.dispatch(cluster);
+        let mut fresh_opt = optimizer(&schema, &model);
+        fresh_opt.set_cluster(*cluster);
+        let fresh = fresh_opt.optimize(&query).unwrap();
+        assert!((dispatched.time_sec() - fresh.time_sec()).abs() < 1e-6);
+    }
+}
+
+/// Explain output is stable across the dispatcher path.
+#[test]
+fn explain_renders_for_dispatched_plans() {
+    let schema = TpchSchema::sf100();
+    let model = SimOracleCost::hive();
+    let mut opt = optimizer(&schema, &model);
+    let dispatcher = PlanDispatcher::build(
+        &mut opt,
+        &QuerySpec::tpch_q12(),
+        &[ClusterConditions::paper_default()],
+    )
+    .unwrap();
+    let text = explain(dispatcher.dispatch(&ClusterConditions::paper_default()), &schema.catalog);
+    assert!(text.contains("Join 1"));
+    assert!(text.contains("Total estimate"));
+}
+
+/// Pricing models compose with planned runs: the premium tariff never
+/// charges less than flat for the same run, and the optimizer's chosen
+/// configurations stay priceable.
+#[test]
+fn pricing_composes_with_raqo_plans() {
+    let schema = TpchSchema::sf100();
+    let model = SimOracleCost::hive();
+    let mut opt = optimizer(&schema, &model);
+    let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+    let flat = FlatRate::unit();
+    let premium = LargeContainerPremium::typical();
+    for join in &plan.query.joins {
+        let (nc, cs) = join.decision.resources.unwrap();
+        let t = join.decision.objectives.time_sec;
+        assert!(premium.dollars(t, nc, cs) >= flat.dollars(t, nc, cs) - 1e-9);
+    }
+}
+
+/// The 3-D planning path produces executable joins whose simulated time at
+/// the planned cores matches the estimate.
+#[test]
+fn three_dimensional_plans_are_honest() {
+    use raqo::core::{Objective, RaqoCoster};
+    use raqo::planner::{JoinIo, PlanCoster};
+    use raqo::resource::ResourceConfig;
+
+    let model = SimOracleCost::hive();
+    let cluster = ClusterConditions::new(
+        ResourceConfig::from_slice(&[1.0, 1.0, 1.0]),
+        ResourceConfig::from_slice(&[100.0, 10.0, 8.0]),
+        ResourceConfig::from_slice(&[1.0, 1.0, 1.0]),
+    );
+    let mut coster =
+        RaqoCoster::new(&model, cluster, ResourceStrategy::HillClimb, Objective::Time);
+    let io = JoinIo { build_gb: 2.0, probe_gb: 60.0, out_gb: 62.0, out_rows: 1e7 };
+    let d = coster.join_cost(&io).expect("feasible");
+    let (nc, cs) = d.resources.unwrap();
+    let cores = d.cores.expect("3-D planning reports cores");
+    let engine = Engine::hive();
+    let simulated = engine
+        .join_time_with_cores(d.join, io.build_gb, io.probe_gb, nc, cs, cores)
+        .expect("planned config runs");
+    assert!((simulated - d.objectives.time_sec).abs() < 1e-6);
+    // More cores than the 2-D default were worth taking for a time goal.
+    assert!(cores >= 4.0);
+}
+
+/// Trace-driven training on a workload executed through the optimizer:
+/// collect (join, resources, time) from planned queries and train a tree.
+#[test]
+fn trace_driven_training_from_executed_plans() {
+    use raqo::core::{train_raqo_tree_from_traces, TraceRecord};
+
+    let schema = TpchSchema::sf100();
+    let engine = Engine::hive();
+    let mut traces = Vec::new();
+    // Execute both implementations at a few resource settings, like a
+    // history of runs under different user configurations would.
+    for (nc, cs) in [(10.0, 3.0), (10.0, 9.0), (40.0, 3.0), (40.0, 9.0)] {
+        for frac in [0.01, 0.05, 0.2, 0.5, 1.0] {
+            let mut s = schema.clone();
+            s.catalog.sample_table(raqo::catalog::tpch::table::ORDERS, frac);
+            let est = raqo::planner::CardinalityEstimator::new(&s.catalog, &s.graph);
+            let io = est.join_io(
+                &[raqo::catalog::tpch::table::ORDERS],
+                &[raqo::catalog::tpch::table::LINEITEM],
+            );
+            for join in JoinImpl::ALL {
+                traces.push(TraceRecord {
+                    data_gb: io.build_gb,
+                    container_size_gb: cs,
+                    containers: nc,
+                    total_containers: nc,
+                    join,
+                    time_sec: engine.join_time(join, io.build_gb, io.probe_gb, nc, cs).ok(),
+                });
+            }
+        }
+    }
+    let tree = train_raqo_tree_from_traces(&traces).expect("trains");
+    // The tree reproduces the observed winners.
+    let mut correct = 0;
+    let mut total = 0;
+    for chunk in traces.chunks(2) {
+        let (smj, bhj) = (&chunk[0], &chunk[1]);
+        let winner = match (bhj.time_sec, smj.time_sec) {
+            (Some(b), Some(s)) if b < s => JoinImpl::BroadcastHash,
+            (Some(_), None) => JoinImpl::BroadcastHash,
+            _ => JoinImpl::SortMerge,
+        };
+        let picked = raqo::core::rule_based::tree_pick_join(
+            &tree,
+            smj.data_gb,
+            smj.container_size_gb,
+            smj.containers,
+            smj.total_containers,
+        );
+        total += 1;
+        if picked == winner {
+            correct += 1;
+        }
+    }
+    assert!(correct * 10 >= total * 9, "tree fits only {correct}/{total} of its trace");
+}

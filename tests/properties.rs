@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) on the core invariants, spanning
+//! crates.
+
+use proptest::prelude::*;
+use raqo::cost::features::feature_vector;
+use raqo::cost::LinearModel;
+use raqo::planner::plan::{covers_exactly, Mutation};
+use raqo::prelude::*;
+use raqo::resource::{brute_force, hill_climb};
+use raqo::sim::money::monetary_cost_tb_sec;
+
+proptest! {
+    /// Hill climbing never leaves the cluster bounds and never returns a
+    /// cost worse than its starting point, on arbitrary quadratic cost
+    /// surfaces.
+    #[test]
+    fn hill_climb_stays_in_bounds_and_never_regresses(
+        ax in -5.0f64..5.0, ay in -5.0f64..5.0,
+        bx in 0.01f64..2.0, by in 0.01f64..2.0,
+        cx in 1.0f64..80.0, cy in 1.0f64..9.0,
+    ) {
+        let cluster = ClusterConditions::paper_default();
+        let cost = |r: &ResourceConfig| -> f64 {
+            let dx = r.containers() - cx;
+            let dy = r.container_size_gb() - cy;
+            bx * dx * dx + by * dy * dy + ax * dx + ay * dy
+        };
+        let start_cost = cost(&cluster.min);
+        let out = hill_climb(&cluster, cluster.min, cost);
+        prop_assert!(cluster.contains(&out.config), "left bounds: {}", out.config);
+        prop_assert!(out.cost <= start_cost + 1e-9);
+        // And it is a local optimum: no unit step improves it.
+        for (dim, delta) in [(0, 1.0), (0, -1.0), (1, 1.0), (1, -1.0)] {
+            let mut probe = out.config;
+            probe.nudge(dim, delta);
+            if cluster.contains(&probe) {
+                prop_assert!(cost(&probe) >= out.cost - 1e-9, "not a local optimum");
+            }
+        }
+    }
+
+    /// Brute force finds the global optimum of any cost surface; hill
+    /// climbing can only match or exceed it.
+    #[test]
+    fn brute_force_lower_bounds_hill_climb(
+        cx in 1.0f64..100.0, cy in 1.0f64..10.0,
+        tilt in -1.0f64..1.0,
+    ) {
+        let cluster = ClusterConditions::two_dim(1.0..=20.0, 1.0..=5.0, 1.0, 1.0);
+        let cost = |r: &ResourceConfig| -> f64 {
+            (r.containers() - cx).abs() + (r.container_size_gb() - cy).abs()
+                + tilt * r.containers()
+        };
+        let bf = brute_force(&cluster, cost);
+        let hc = hill_climb(&cluster, cluster.min, cost);
+        prop_assert!(bf.cost <= hc.cost + 1e-9);
+        prop_assert_eq!(bf.iterations, cluster.grid_size());
+    }
+
+    /// Cache round-trip: whatever is inserted under a key is returned by
+    /// exact lookup, regardless of insertion order.
+    #[test]
+    fn cache_exact_roundtrip(keys in proptest::collection::vec(0.0f64..100.0, 1..40)) {
+        use raqo::resource::{CacheLookup, ResourcePlanCache};
+        let mut cache = ResourcePlanCache::new();
+        for (i, &k) in keys.iter().enumerate() {
+            cache.insert(k, ResourceConfig::containers_and_size(i as f64 + 1.0, 1.0));
+        }
+        // The *last* insertion per distinct key wins.
+        for (i, &k) in keys.iter().enumerate() {
+            let last = keys.iter().rposition(|&x| x == k).unwrap();
+            let got = cache.lookup(k, CacheLookup::Exact);
+            prop_assert_eq!(
+                got,
+                Some(ResourceConfig::containers_and_size(last as f64 + 1.0, 1.0)),
+                "key {} inserted at {} lookup mismatch", k, i
+            );
+        }
+    }
+
+    /// Nearest-neighbour lookups never return a config whose key distance
+    /// exceeds the threshold.
+    #[test]
+    fn cache_nn_respects_threshold(
+        keys in proptest::collection::vec(0.0f64..10.0, 1..20),
+        query in 0.0f64..10.0,
+        threshold in 0.0f64..2.0,
+    ) {
+        use raqo::resource::{CacheLookup, ResourcePlanCache};
+        let mut cache = ResourcePlanCache::new();
+        for &k in &keys {
+            cache.insert(k, ResourceConfig::containers_and_size(k.max(1.0), 1.0));
+        }
+        if let Some(_cfg) = cache.lookup(query, CacheLookup::NearestNeighbor { threshold }) {
+            let nearest = keys
+                .iter()
+                .map(|k| (k - query).abs())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(nearest <= threshold + 1e-12);
+        }
+    }
+
+    /// OLS on exactly-linear data over the paper's feature map recovers
+    /// the generating coefficients.
+    #[test]
+    fn ols_recovers_generating_model(
+        coeffs in proptest::array::uniform7(-10.0f64..10.0),
+    ) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for ss in [0.3, 0.9, 2.1, 3.7, 5.5] {
+            for cs in [1.0, 2.5, 4.0, 7.0, 9.5] {
+                for nc in [4.0, 9.0, 17.0, 33.0] {
+                    let f = feature_vector(ss, cs, nc);
+                    ys.push(f.iter().zip(&coeffs).map(|(a, b)| a * b).sum::<f64>());
+                    xs.push(f.to_vec());
+                }
+            }
+        }
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        for (got, want) in m.coefficients.iter().zip(&coeffs) {
+            prop_assert!((got - want).abs() < 1e-5, "got {} want {}", got, want);
+        }
+    }
+
+    /// Simulator sanity: join times are positive, finite, and monotone in
+    /// the probe size; monetary cost is consistent with time.
+    #[test]
+    fn simulator_costs_are_sane(
+        ss in 0.01f64..3.0,
+        ls in 10.0f64..100.0,
+        nc in 1.0f64..64.0,
+        cs in 1.0f64..10.0,
+    ) {
+        let engine = Engine::hive();
+        let nc = nc.round();
+        let cs = cs.round().max(1.0);
+        let smj = engine.join_time(JoinImpl::SortMerge, ss, ls, nc, cs).unwrap();
+        prop_assert!(smj.is_finite() && smj > 0.0);
+        let smj_bigger = engine.join_time(JoinImpl::SortMerge, ss, ls * 1.5, nc, cs).unwrap();
+        prop_assert!(smj_bigger > smj);
+        let money = monetary_cost_tb_sec(smj, nc, cs);
+        prop_assert!((money - smj * nc * cs / 1024.0).abs() < 1e-9);
+        if let Ok(bhj) = engine.join_time(JoinImpl::BroadcastHash, ss, ls, nc, cs) {
+            prop_assert!(bhj.is_finite() && bhj > 0.0);
+        }
+    }
+
+    /// Plan mutations preserve the relation multiset on random schemas
+    /// and random mutation sequences.
+    #[test]
+    fn mutations_preserve_relations_on_random_schemas(
+        seed in 0u64..500,
+        steps in 1usize..40,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let schema = RandomSchemaConfig::with_tables(12, seed).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 8, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut tree = PlanTree::random_connected(&schema.graph, &query.relations, &mut rng);
+        for _ in 0..steps {
+            let site = rng.gen_range(0..tree.mutation_sites());
+            let mutation = Mutation::ALL[rng.gen_range(0..3)];
+            if let Some(next) = tree.mutate(site, mutation) {
+                tree = next;
+            }
+        }
+        prop_assert!(covers_exactly(&tree, &query.relations));
+    }
+
+    /// Selinger's plan is never beaten by any random plan tree costed with
+    /// the same fixed-resource coster (DP optimality, modulo the left-deep
+    /// restriction: compare against random *left-deep* plans).
+    #[test]
+    fn selinger_beats_random_left_deep_orders(seed in 0u64..100) {
+        use rand::rngs::StdRng;
+        use rand::{seq::SliceRandom, SeedableRng};
+        use raqo::planner::coster::{cost_tree, FixedResourceCoster};
+        use raqo::planner::{CardinalityEstimator, SelingerPlanner};
+
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_q2();
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let best = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+            .expect("plan");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order = query.relations.clone();
+        order.shuffle(&mut rng);
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let mut coster2 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        if let Some(random_plan) = cost_tree(&PlanTree::left_deep(&order), &est, &mut coster2) {
+            prop_assert!(best.cost <= random_plan.cost + 1e-9);
+        }
+    }
+}

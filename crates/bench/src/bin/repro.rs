@@ -5,17 +5,21 @@
 //! repro --fig 13               # one figure
 //! repro --fig 15 --quick       # reduced sweep sizes
 //! repro --all --json out.json  # machine-readable tables as well
+//! repro --smoke                # fast path: every figure at tiny sizes
+//! repro --bench-json [path]    # planner speedup bench -> BENCH_planner.json
 //! repro --list                 # what exists
 //! ```
 
-use raqo_bench::experiments::registry;
-use raqo_bench::Table;
+use raqo_bench::experiments::{registry, timed};
+use raqo_bench::{speedup, Table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let all = args.iter().any(|a| a == "--all");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let bench_json = args.iter().position(|a| a == "--bench-json");
     let fig = args
         .iter()
         .position(|a| a == "--fig")
@@ -24,11 +28,49 @@ fn main() {
 
     let experiments = registry();
 
+    // The joint-planning hot-path benchmark: three modes, JSON report.
+    if let Some(i) = bench_json {
+        let path = args
+            .get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_planner.json".to_string());
+        let report = speedup::measure(quick);
+        speedup::table(&report).print();
+        println!(
+            "speedup: {:.2}x ({} -> {} over {} workers), plans identical: {}",
+            report.speedup,
+            report.runs[0].wall_ms.round(),
+            report.runs[report.runs.len() - 1].wall_ms.round(),
+            report.worker_threads,
+            report.plans_identical
+        );
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote planner bench report to {path}");
+        return;
+    }
+
+    // CI fast path: every figure module at its tiny sweep sizes, with a
+    // per-figure pass/timing line instead of the full tables.
+    if smoke {
+        let mut total_ms = 0.0;
+        for e in &experiments {
+            let (tables, ms) = timed(|| (e.run)(true));
+            total_ms += ms;
+            println!("fig {:>2}  ok  {:>8.0} ms  {} table(s)  {}", e.id, ms, tables.len(), e.title);
+        }
+        println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
+        return;
+    }
+
     if list || (!all && fig.is_none()) {
         println!("Available experiments (run with --fig <id> or --all):");
         for e in &experiments {
             println!("  --fig {:>2}  {}", e.id, e.title);
         }
+        println!("  --smoke      every figure at tiny sizes (CI fast path)");
+        println!("  --bench-json planner speedup benchmark -> BENCH_planner.json");
         if !list {
             std::process::exit(2);
         }

@@ -16,7 +16,7 @@ use crate::Table;
 use raqo_catalog::{QuerySpec, RandomSchemaConfig};
 use raqo_core::{PlannerKind, RaqoOptimizer, ResourceStrategy};
 use raqo_cost::SimOracleCost;
-use raqo_resource::{CacheLookup, ClusterConditions};
+use raqo_resource::{CacheLookup, ClusterConditions, SharedCacheBank};
 
 fn cached_strategy() -> ResourceStrategy {
     ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 })
@@ -102,15 +102,10 @@ pub fn measure_cluster_scaling(quick: bool) -> Vec<ScaleClusterRow> {
         (1..=10).map(|i| 10.0 * i as f64).collect()
     };
 
-    // The across-query optimizer persists its cache over all conditions.
-    let mut across = RaqoOptimizer::new(
-        &schema.catalog,
-        &schema.graph,
-        &model,
-        ClusterConditions::paper_default(),
-        planner.clone(),
-        cached_strategy(),
-    );
+    // Across-query caching: every condition gets a fresh optimizer, but all
+    // of them adopt the same shared bank — the cache outlives any single
+    // optimizer run, which is exactly the paper's across-query mode.
+    let bank = SharedCacheBank::new();
 
     let mut out = Vec::new();
     for &max_nc in container_scales {
@@ -127,7 +122,15 @@ pub fn measure_cluster_scaling(quick: bool) -> Vec<ScaleClusterRow> {
             );
             let (plan, per_query_ms) = timed(|| per_query.optimize(&query).expect("plan"));
 
-            across.set_cluster(cluster);
+            let mut across = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                planner.clone(),
+                cached_strategy(),
+            );
+            across.share_cache(bank.clone());
             let (_, across_ms) = timed(|| across.optimize(&query).expect("plan"));
 
             out.push(ScaleClusterRow {

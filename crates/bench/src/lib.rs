@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod speedup;
 
 pub use report::{Cell, Table};

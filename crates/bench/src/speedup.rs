@@ -1,0 +1,189 @@
+//! The joint-planning hot-path benchmark behind `BENCH_planner.json`.
+//!
+//! A Fig. 15(b)-style workload — a 100-table random join planned by the
+//! fast randomized planner with exhaustive per-operator resource planning
+//! over a 10 000-point cluster grid — run in three modes:
+//!
+//! 1. `sequential` — `Parallelism::Off`, no memoization: the seed
+//!    code path, whose plans, costs, and iteration counts the other two
+//!    modes must reproduce exactly;
+//! 2. `memoized` — `Parallelism::Off` + sub-plan cost memoization
+//!    ([`raqo_planner::RandomizedConfig::memoize`]): mutation rounds
+//!    re-cost only the joins a mutation changed;
+//! 3. `parallel+memoized` — `Parallelism::Auto` on top: the brute-force
+//!    grid scan also splits across worker threads (bit-identical merge).
+//!
+//! `repro --bench-json` writes the report as JSON; the headline number is
+//! `speedup` (sequential wall-clock over `parallel+memoized` wall-clock).
+
+use crate::experiments::timed;
+use crate::Table;
+use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::JoinCostModel;
+use raqo_planner::RandomizedConfig;
+use raqo_resource::ClusterConditions;
+use serde::Serialize;
+
+/// One benchmark mode's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeResult {
+    pub name: String,
+    pub parallelism: String,
+    pub memoize: bool,
+    pub wall_ms: f64,
+    /// Total plan cost under the planning objective (determinism witness).
+    pub plan_cost: f64,
+    pub plan_cost_calls: u64,
+    pub resource_iterations: u64,
+    pub memo_hits: u64,
+}
+
+/// The full report serialized to `BENCH_planner.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlannerBenchReport {
+    pub workload: String,
+    pub tables: usize,
+    pub grid_points: u64,
+    pub worker_threads: usize,
+    pub runs: Vec<ModeResult>,
+    /// sequential wall-clock / parallel+memoized wall-clock.
+    pub speedup: f64,
+    /// All modes produced the same plan tree and cost (bitwise).
+    pub plans_identical: bool,
+}
+
+fn mode_name(parallelism: Parallelism) -> String {
+    match parallelism {
+        Parallelism::Off => "off".into(),
+        Parallelism::Threads(n) => format!("threads({n})"),
+        Parallelism::Auto => "auto".into(),
+    }
+}
+
+/// Run the three modes on the Fig. 15(b)-style workload.
+pub fn measure(quick: bool) -> PlannerBenchReport {
+    let tables = if quick { 24 } else { 100 };
+    // ≥10K grid points in the full run: 1..=1000 containers × 1..=10 GB.
+    let cluster = if quick {
+        ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0)
+    } else {
+        ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0)
+    };
+    let schema = RandomSchemaConfig::with_tables(tables, 5).generate();
+    let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, tables, 3);
+    let model = JoinCostModel::trained_hive();
+
+    let config = |memoize: bool| RandomizedConfig {
+        restarts: 1,
+        rounds_per_join: 2,
+        epsilon: 0.05,
+        seed: 17,
+        memoize,
+    };
+
+    let modes: [(&str, Parallelism, bool); 3] = [
+        ("sequential", Parallelism::Off, false),
+        ("memoized", Parallelism::Off, true),
+        ("parallel+memoized", Parallelism::Auto, true),
+    ];
+
+    let mut runs = Vec::new();
+    let mut plans: Vec<(raqo_planner::PlanTree, f64)> = Vec::new();
+    for (name, parallelism, memoize) in modes {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::FastRandomized(config(memoize)),
+            ResourceStrategy::BruteForce,
+        )
+        .with_parallelism(parallelism);
+        let (plan, wall_ms) = timed(|| opt.optimize(&query).expect("plan"));
+        runs.push(ModeResult {
+            name: name.into(),
+            parallelism: mode_name(parallelism),
+            memoize,
+            wall_ms,
+            plan_cost: plan.query.cost,
+            plan_cost_calls: plan.stats.plan_cost_calls,
+            resource_iterations: plan.stats.resource_iterations,
+            memo_hits: plan.stats.memo_hits,
+        });
+        plans.push((plan.query.tree.clone(), plan.query.cost));
+    }
+
+    let plans_identical = plans
+        .windows(2)
+        .all(|w| w[0].0 == w[1].0 && w[0].1.to_bits() == w[1].1.to_bits());
+    let speedup = runs[0].wall_ms / runs[2].wall_ms.max(1e-9);
+
+    PlannerBenchReport {
+        workload: format!(
+            "{tables}-table random connected join, fast randomized planner, \
+             brute-force resource planning over {} grid points",
+            cluster.grid_size()
+        ),
+        tables,
+        grid_points: cluster.grid_size(),
+        worker_threads: Parallelism::Auto.workers(),
+        runs,
+        speedup,
+        plans_identical,
+    }
+}
+
+/// Render the report as a printable [`Table`].
+pub fn table(report: &PlannerBenchReport) -> Table {
+    let mut t = Table::new(
+        format!("Joint-planning hot path — {}", report.workload),
+        &[
+            "mode",
+            "parallelism",
+            "memoize",
+            "wall (ms)",
+            "#getPlanCost calls",
+            "#resource iterations",
+            "#memo hits",
+        ],
+    );
+    for r in &report.runs {
+        t.row(vec![
+            r.name.clone().into(),
+            r.parallelism.clone().into(),
+            if r.memoize { "yes" } else { "no" }.into(),
+            r.wall_ms.into(),
+            r.plan_cost_calls.into(),
+            r.resource_iterations.into(),
+            r.memo_hits.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_modes_reproduce_the_sequential_plan_and_win_wall_clock() {
+        let report = measure(true);
+        assert!(report.plans_identical, "modes disagree: {report:?}");
+        let seq = &report.runs[0];
+        let memo = &report.runs[1];
+        let both = &report.runs[2];
+        assert_eq!(seq.memo_hits, 0);
+        assert!(memo.memo_hits > 0);
+        // Memoization shows up as skipped getPlanCost calls, 1:1.
+        assert_eq!(memo.plan_cost_calls + memo.memo_hits, seq.plan_cost_calls);
+        assert_eq!(both.plan_cost_calls, memo.plan_cost_calls);
+        // The acceptance bar: ≥2× on the quick workload already (the full
+        // workload's larger grid only widens the gap).
+        assert!(
+            report.speedup >= 2.0,
+            "speedup {:.2}x below the 2x bar: {report:?}",
+            report.speedup
+        );
+    }
+}

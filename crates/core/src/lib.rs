@@ -28,10 +28,13 @@ pub mod explain;
 pub mod optimizer;
 pub mod raqo_coster;
 pub mod rule_based;
+pub mod shared;
 
 pub use adaptive::plan_to_job;
 pub use dispatcher::PlanDispatcher;
 pub use explain::explain;
 pub use optimizer::{PlannerKind, RaqoOptimizer, RaqoPlan};
 pub use raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
+pub use raqo_resource::{Parallelism, SharedCacheBank};
+pub use shared::Shared;
 pub use rule_based::{train_raqo_tree, train_raqo_tree_from_traces, RuleBasedCoster, TraceRecord};

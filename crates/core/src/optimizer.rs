@@ -2,6 +2,7 @@
 //! use-cases.
 
 use crate::raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
+use crate::shared::Shared;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec};
 use raqo_cost::OperatorCost;
 use raqo_planner::coster::FixedResourceCoster;
@@ -9,7 +10,7 @@ use raqo_planner::{
     CardinalityEstimator, PlanTree, PlannedQuery, RandomizedConfig, RandomizedPlanner,
     SelingerPlanner,
 };
-use raqo_resource::{CacheLookup, ClusterConditions};
+use raqo_resource::{CacheLookup, ClusterConditions, Parallelism, SharedCacheBank};
 use serde::{Deserialize, Serialize};
 
 /// Which join-ordering algorithm drives the search (§VII-A evaluates both).
@@ -24,6 +25,14 @@ pub enum PlannerKind {
 impl PlannerKind {
     pub fn fast_randomized(seed: u64) -> Self {
         PlannerKind::FastRandomized(RandomizedConfig { seed, ..Default::default() })
+    }
+
+    /// Fast randomized planner with sub-plan cost memoization: mutation
+    /// rounds re-cost only the joins a mutation actually changed. Identical
+    /// plans and costs to [`PlannerKind::fast_randomized`] whenever the
+    /// coster is deterministic in a join's IO characteristics.
+    pub fn fast_randomized_memoized(seed: u64) -> Self {
+        PlannerKind::FastRandomized(RandomizedConfig { seed, memoize: true, ..Default::default() })
     }
 }
 
@@ -50,33 +59,38 @@ impl RaqoPlan {
 
 /// The RAQO optimizer (Fig. 8(b)): one layer that owns the query planner,
 /// the resource planner, and the link to current cluster conditions.
+///
+/// Inputs are [`Shared`]: pass plain references (as before) or `Arc`s when
+/// the optimizer should co-own its catalog/graph/model — no more leaking
+/// boxes to manufacture `'static` lifetimes.
 pub struct RaqoOptimizer<'a, M: OperatorCost> {
-    pub catalog: &'a Catalog,
-    pub graph: &'a JoinGraph,
-    pub model: &'a M,
+    pub catalog: Shared<'a, Catalog>,
+    pub graph: Shared<'a, JoinGraph>,
+    pub model: Shared<'a, M>,
     pub planner: PlannerKind,
     coster: RaqoCoster<'a, M>,
 }
 
-impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
+impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     pub fn new(
-        catalog: &'a Catalog,
-        graph: &'a JoinGraph,
-        model: &'a M,
+        catalog: impl Into<Shared<'a, Catalog>>,
+        graph: impl Into<Shared<'a, JoinGraph>>,
+        model: impl Into<Shared<'a, M>>,
         cluster: ClusterConditions,
         planner: PlannerKind,
         strategy: ResourceStrategy,
     ) -> Self {
-        let coster = RaqoCoster::new(model, cluster, strategy, Objective::Time);
-        RaqoOptimizer { catalog, graph, model, planner, coster }
+        let model = model.into();
+        let coster = RaqoCoster::new(model.clone(), cluster, strategy, Objective::Time);
+        RaqoOptimizer { catalog: catalog.into(), graph: graph.into(), model, planner, coster }
     }
 
     /// Convenience: hill climbing + nearest-neighbour caching, the
     /// configuration Fig. 15 runs.
     pub fn with_defaults(
-        catalog: &'a Catalog,
-        graph: &'a JoinGraph,
-        model: &'a M,
+        catalog: impl Into<Shared<'a, Catalog>>,
+        graph: impl Into<Shared<'a, JoinGraph>>,
+        model: impl Into<Shared<'a, M>>,
         cluster: ClusterConditions,
     ) -> Self {
         RaqoOptimizer::new(
@@ -87,6 +101,19 @@ impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
             PlannerKind::fast_randomized(42),
             ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
         )
+    }
+
+    /// Builder form of [`RaqoOptimizer::set_parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.coster.parallelism = parallelism;
+        self
+    }
+
+    /// Thread parallelism for the per-operator resource search.
+    /// [`Parallelism::Off`] (the default) reproduces the sequential
+    /// planners' results and iteration accounting exactly.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.coster.parallelism = parallelism;
     }
 
     /// Planner statistics accumulated so far.
@@ -101,6 +128,18 @@ impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
         self.coster.clear_cache();
     }
 
+    /// A cloneable handle onto the resource-plan cache; hand it to another
+    /// optimizer via [`RaqoOptimizer::share_cache`] for the Fig. 15(b)
+    /// across-query caching mode.
+    pub fn shared_cache(&self) -> SharedCacheBank {
+        self.coster.shared_cache()
+    }
+
+    /// Adopt `bank` as this optimizer's resource-plan cache.
+    pub fn share_cache(&mut self, bank: SharedCacheBank) {
+        self.coster.share_cache(bank);
+    }
+
     /// Adaptive RAQO: cluster conditions changed; re-optimize against the
     /// new bounds.
     pub fn set_cluster(&mut self, cluster: ClusterConditions) {
@@ -110,12 +149,14 @@ impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
     fn run_planner(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
         match &self.planner {
             PlannerKind::Selinger => {
-                SelingerPlanner::plan(self.catalog, self.graph, query, &mut self.coster)
+                SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut self.coster)
             }
             PlannerKind::FastRandomized(cfg) => {
                 let cfg = cfg.clone();
-                RandomizedPlanner::plan(self.catalog, self.graph, query, &mut self.coster, &cfg)
-                    .map(|o| o.best)
+                let out =
+                    RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut self.coster, &cfg)?;
+                self.coster.stats.memo_hits += out.memo_hits;
+                Some(out.best)
             }
         }
     }
@@ -140,14 +181,14 @@ impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
         containers: f64,
         container_size_gb: f64,
     ) -> Option<PlannedQuery> {
-        let mut fixed = FixedResourceCoster::new(self.model, containers, container_size_gb);
+        let mut fixed = FixedResourceCoster::new(&*self.model, containers, container_size_gb);
         match &self.planner {
             PlannerKind::Selinger => {
-                SelingerPlanner::plan(self.catalog, self.graph, query, &mut fixed)
+                SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut fixed)
             }
             PlannerKind::FastRandomized(cfg) => {
                 let cfg = cfg.clone();
-                RandomizedPlanner::plan(self.catalog, self.graph, query, &mut fixed, &cfg)
+                RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &cfg)
                     .map(|o| o.best)
             }
         }
@@ -160,7 +201,7 @@ impl<'a, M: OperatorCost> RaqoOptimizer<'a, M> {
     pub fn resources_for_plan(&mut self, tree: &PlanTree) -> Option<RaqoPlan> {
         self.coster.reset_stats();
         self.coster.objective = Objective::Money;
-        let est = CardinalityEstimator::new(self.catalog, self.graph);
+        let est = CardinalityEstimator::new(&self.catalog, &self.graph);
         let planned = raqo_planner::coster::cost_tree(tree, &est, &mut self.coster)?;
         self.coster.objective = Objective::Time;
         Some(RaqoPlan { query: planned, stats: self.coster.stats })
@@ -202,12 +243,11 @@ mod tests {
         planner: PlannerKind,
         strategy: ResourceStrategy,
     ) -> RaqoOptimizer<'static, SimOracleCost> {
-        // Tests keep schema alive for 'static via leak — simplest way to
-        // hold references in the helper.
-        let schema: &'static TpchSchema = Box::leak(Box::new(schema.clone()));
+        // The optimizer co-owns catalog and graph via `Shared::Owned`, so
+        // the helper needs no leaked boxes to return a `'static` optimizer.
         RaqoOptimizer::new(
-            &schema.catalog,
-            &schema.graph,
+            std::sync::Arc::new(schema.catalog.clone()),
+            std::sync::Arc::new(schema.graph.clone()),
             model,
             ClusterConditions::paper_default(),
             planner,
@@ -327,6 +367,75 @@ mod tests {
         }
         // Less resources, no faster.
         assert!(after.time_sec() >= before.time_sec() - 1e-9);
+    }
+
+    #[test]
+    fn memoized_randomized_matches_unmemoized_plan_and_cost() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_all(&schema);
+        let mut plain = optimizer(
+            &schema,
+            model(),
+            PlannerKind::fast_randomized(11),
+            ResourceStrategy::HillClimb,
+        );
+        let a = plain.optimize(&query).unwrap();
+        let mut memo = optimizer(
+            &schema,
+            model(),
+            PlannerKind::fast_randomized_memoized(11),
+            ResourceStrategy::HillClimb,
+        );
+        let b = memo.optimize(&query).unwrap();
+        // Deterministic coster ⇒ identical joint plan, fewer searches.
+        assert_eq!(a.query.tree, b.query.tree);
+        assert_eq!(a.query.cost, b.query.cost);
+        assert_eq!(a.stats.memo_hits, 0);
+        assert!(b.stats.memo_hits > 0, "memo never hit");
+        assert!(
+            b.stats.plan_cost_calls + b.stats.memo_hits == a.stats.plan_cost_calls,
+            "every skipped getPlanCost call must be a memo hit: plain={} memo={} hits={}",
+            a.stats.plan_cost_calls,
+            b.stats.plan_cost_calls,
+            b.stats.memo_hits
+        );
+        assert!(b.stats.resource_iterations < a.stats.resource_iterations);
+    }
+
+    #[test]
+    fn parallel_resource_planning_reproduces_sequential_joint_plan() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let mut seq =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let a = seq.optimize(&query).unwrap();
+        let mut par =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce)
+                .with_parallelism(Parallelism::Threads(4));
+        let b = par.optimize(&query).unwrap();
+        assert_eq!(a.query, b.query, "parallel grid scan must be bit-identical");
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn shared_cache_warms_across_optimizers() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let strategy = ResourceStrategy::HillClimbCached(CacheLookup::Exact);
+        let mut first = optimizer(&schema, model(), PlannerKind::Selinger, strategy);
+        first.optimize(&query).unwrap();
+        // Repeated join IOs already hit within one run; a second optimizer
+        // adopting the warmed bank must do strictly better than that.
+        let mut second = optimizer(&schema, model(), PlannerKind::Selinger, strategy);
+        second.share_cache(first.shared_cache());
+        second.optimize(&query).unwrap();
+        assert!(
+            second.stats().cache_hits > first.stats().cache_hits,
+            "across-query cache never hit: first={} second={}",
+            first.stats().cache_hits,
+            second.stats().cache_hits
+        );
+        assert!(second.stats().resource_iterations < first.stats().resource_iterations);
     }
 
     #[test]

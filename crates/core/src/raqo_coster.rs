@@ -14,12 +14,13 @@
 //! [`ResourceStrategy::HillClimb`], and hill climbing behind the
 //! resource-plan cache keyed on the operator's data characteristics.
 
+use crate::shared::Shared;
 use raqo_cost::objective::CostVector;
 use raqo_cost::OperatorCost;
 use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
 use raqo_resource::{
-    brute_force, hill_climb, CacheBank, CacheLookup, CacheStats, ClusterConditions,
-    PlanningOutcome, ResourceConfig,
+    brute_force_parallel, hill_climb, hill_climb_multi, CacheLookup, CacheStats,
+    ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig, SharedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,10 @@ pub struct RaqoStats {
     pub plan_cost_calls: u64,
     /// Resource-planning invocations answered by the cache.
     pub cache_hits: u64,
+    /// `getPlanCost` invocations answered by the planner's sub-plan memo
+    /// (randomized planner with [`raqo_planner::RandomizedConfig::memoize`]);
+    /// each hit skipped a full resource-planning search.
+    pub memo_hits: u64,
 }
 
 /// Stable cache identifiers per operator implementation.
@@ -115,22 +120,43 @@ const OP_JOIN: u32 = 0;
 
 /// The resource-planning coster.
 pub struct RaqoCoster<'a, M: OperatorCost> {
-    pub model: &'a M,
+    pub model: Shared<'a, M>,
     pub cluster: ClusterConditions,
     pub strategy: ResourceStrategy,
     pub objective: Objective,
+    /// Thread parallelism for the per-operator resource search.
+    /// [`Parallelism::Off`] (the default) preserves the sequential planners'
+    /// evaluation order and iteration accounting exactly, keeping the
+    /// Figs. 12–14 counters reproducible; `Threads(n)`/`Auto` split the
+    /// brute-force grid across workers (bit-identical result) and upgrade
+    /// hill climbing to deterministic multi-start.
+    pub parallelism: Parallelism,
     pub stats: RaqoStats,
-    cache: CacheBank,
+    cache: SharedCacheBank,
 }
 
-impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
+impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
     pub fn new(
-        model: &'a M,
+        model: impl Into<Shared<'a, M>>,
         cluster: ClusterConditions,
         strategy: ResourceStrategy,
         objective: Objective,
     ) -> Self {
-        RaqoCoster { model, cluster, strategy, objective, stats: RaqoStats::default(), cache: CacheBank::new() }
+        RaqoCoster {
+            model: model.into(),
+            cluster,
+            strategy,
+            objective,
+            parallelism: Parallelism::Off,
+            stats: RaqoStats::default(),
+            cache: SharedCacheBank::new(),
+        }
+    }
+
+    /// Builder form of setting [`RaqoCoster::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Clear the resource-plan cache (the evaluation clears it between
@@ -142,6 +168,19 @@ impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
     /// Aggregate cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.aggregate_stats()
+    }
+
+    /// A handle onto this coster's resource-plan cache. Clones share state,
+    /// so handing the handle to another coster realizes the Fig. 15(b)
+    /// across-query caching mode.
+    pub fn shared_cache(&self) -> SharedCacheBank {
+        self.cache.clone()
+    }
+
+    /// Adopt `bank` as this coster's resource-plan cache (e.g. one warmed
+    /// by earlier queries or shared with concurrent costers).
+    pub fn share_cache(&mut self, bank: SharedCacheBank) {
+        self.cache = bank;
     }
 
     /// Reset counters (the cache is kept).
@@ -163,7 +202,7 @@ impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
     /// implementation is infeasible everywhere reachable.
     fn plan_operator(&mut self, join: JoinImpl, io: &JoinIo) -> Option<(ResourceConfig, f64)> {
         // The scalarized cost surface for the search.
-        let model = self.model;
+        let model = &self.model;
         let objective = self.objective;
         let build = io.build_gb;
         let probe = io.probe_gb;
@@ -175,14 +214,28 @@ impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
         };
 
         let outcome: PlanningOutcome = match self.strategy {
-            ResourceStrategy::BruteForce => brute_force(&self.cluster, cost_fn),
+            // Off routes through the sequential scan inside
+            // `brute_force_parallel`; any other setting splits the grid
+            // across workers with a bit-identical merged result.
+            ResourceStrategy::BruteForce => {
+                brute_force_parallel(&self.cluster, cost_fn, self.parallelism)
+            }
             ResourceStrategy::HillClimb => {
-                let start = self.feasible_start(join, io)?;
-                hill_climb(&self.cluster, start, cost_fn)
+                if self.parallelism == Parallelism::Off {
+                    let start = self.feasible_start(join, io)?;
+                    hill_climb(&self.cluster, start, cost_fn)
+                } else {
+                    // Parallel mode upgrades to multi-start climbing. The
+                    // corner seeds subsume `feasible_start`: BHJ feasibility
+                    // is monotone in container size, so whenever any start
+                    // is feasible the max-size corner is too.
+                    hill_climb_multi(&self.cluster, cost_fn, self.parallelism)
+                }
             }
             ResourceStrategy::HillClimbCached(lookup) => {
-                let cache = self.cache.cache(impl_cache_id(join), OP_JOIN);
-                if let Some(cached) = cache.lookup(io.build_gb, lookup) {
+                if let Some(cached) =
+                    self.cache.lookup(impl_cache_id(join), OP_JOIN, io.build_gb, lookup)
+                {
                     // Cached configurations may come from interpolation or
                     // (after re-optimization) other cluster conditions:
                     // clamp and snap to the grid before use.
@@ -191,12 +244,14 @@ impl<'a, M: OperatorCost> RaqoCoster<'a, M> {
                     let c = cost_fn(&snapped);
                     PlanningOutcome { config: snapped, cost: c, iterations: 1 }
                 } else {
+                    // The cached strategy stays single-start even in
+                    // parallel mode: its point is spending few iterations
+                    // per miss and letting the cache amortize, so a
+                    // multi-start search would defeat the accounting.
                     let start = self.feasible_start(join, io)?;
                     let out = hill_climb(&self.cluster, start, cost_fn);
                     if out.cost.is_finite() {
-                        self.cache
-                            .cache(impl_cache_id(join), OP_JOIN)
-                            .insert(io.build_gb, out.config);
+                        self.cache.insert(impl_cache_id(join), OP_JOIN, io.build_gb, out.config);
                     }
                     out
                 }
@@ -252,7 +307,7 @@ fn snap_to_grid(cluster: &ClusterConditions, r: &ResourceConfig) -> ResourceConf
     out
 }
 
-impl<M: OperatorCost> PlanCoster for RaqoCoster<'_, M> {
+impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
     fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
         self.stats.plan_cost_calls += 1;
         let mut best: Option<JoinDecision> = None;
@@ -412,6 +467,44 @@ mod tests {
         // Snapped onto the unit grid.
         assert_eq!(nc.fract(), 0.0);
         assert_eq!(cs.fract(), 0.0);
+    }
+
+    #[test]
+    fn parallel_brute_force_matches_sequential_through_coster() {
+        let mut seq = coster(ResourceStrategy::BruteForce);
+        let ds = seq.join_cost(&io(2.0, 40.0)).unwrap();
+        for p in [Parallelism::Threads(3), Parallelism::Auto] {
+            let mut par = coster(ResourceStrategy::BruteForce).with_parallelism(p);
+            let dp = par.join_cost(&io(2.0, 40.0)).unwrap();
+            assert_eq!(ds, dp, "{p:?} must be bit-identical to sequential");
+            assert_eq!(seq.stats, par.stats, "{p:?} iteration accounting must match");
+        }
+    }
+
+    #[test]
+    fn parallel_hill_climb_upgrades_to_multi_start() {
+        let mut single = coster(ResourceStrategy::HillClimb);
+        let ds = single.join_cost(&io(2.0, 40.0)).unwrap();
+        let mut multi = coster(ResourceStrategy::HillClimb).with_parallelism(Parallelism::Auto);
+        let dm = multi.join_cost(&io(2.0, 40.0)).unwrap();
+        // Multi-start can only match or beat the single greedy climb, and
+        // its summed accounting reflects the extra climbs honestly.
+        assert!(dm.cost <= ds.cost + 1e-9, "multi {} vs single {}", dm.cost, ds.cost);
+        assert!(multi.stats.resource_iterations >= single.stats.resource_iterations);
+    }
+
+    #[test]
+    fn shared_cache_carries_hits_across_costers() {
+        let mut a = coster(ResourceStrategy::HillClimbCached(CacheLookup::Exact));
+        a.join_cost(&io(2.0, 40.0)).unwrap();
+        assert_eq!(a.stats.cache_hits, 0);
+        // A second coster adopting a's bank answers straight from it: the
+        // Fig. 15(b) across-query caching mode.
+        let mut b = coster(ResourceStrategy::HillClimbCached(CacheLookup::Exact));
+        b.share_cache(a.shared_cache());
+        b.join_cost(&io(2.0, 40.0)).unwrap();
+        assert_eq!(b.stats.cache_hits, 2, "SMJ + BHJ both warm");
+        assert!(b.stats.resource_iterations <= 4);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Borrowed-or-owned handles for optimizer inputs.
+//!
+//! [`RaqoOptimizer`](crate::RaqoOptimizer) historically borrowed its
+//! catalog, join graph, and cost model for `'a`, which forced owners of
+//! short-lived inputs (tests, services that build a schema per request) into
+//! `Box::leak` gymnastics to manufacture `'static` references. [`Shared`]
+//! removes that: it is either a plain borrow (zero-cost, the common
+//! embedding) or an `Arc` the optimizer co-owns. `From` impls for `&'a T`
+//! and `Arc<T>` let constructors accept `impl Into<Shared<'a, T>>` so every
+//! existing reference-passing call site compiles unchanged.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A value that is either borrowed from the caller or co-owned via `Arc`.
+pub enum Shared<'a, T> {
+    /// Borrowed from the caller for `'a`.
+    Borrowed(&'a T),
+    /// Co-owned; the handle keeps the value alive.
+    Owned(Arc<T>),
+}
+
+impl<T> Deref for Shared<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Shared::Borrowed(r) => r,
+            Shared::Owned(a) => a,
+        }
+    }
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        match self {
+            Shared::Borrowed(r) => Shared::Borrowed(r),
+            Shared::Owned(a) => Shared::Owned(Arc::clone(a)),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<'a, T> From<&'a T> for Shared<'a, T> {
+    fn from(r: &'a T) -> Self {
+        Shared::Borrowed(r)
+    }
+}
+
+impl<T> From<Arc<T>> for Shared<'_, T> {
+    fn from(a: Arc<T>) -> Self {
+        Shared::Owned(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_and_owned_deref_to_same_value() {
+        let v = 7usize;
+        let b: Shared<'_, usize> = (&v).into();
+        let o: Shared<'static, usize> = Arc::new(7usize).into();
+        assert_eq!(*b, *o);
+        assert_eq!(format!("{b:?}"), "7");
+    }
+
+    #[test]
+    fn owned_handle_outlives_construction_scope() {
+        let o: Shared<'static, String> = {
+            let s = Arc::new(String::from("alive"));
+            Shared::from(Arc::clone(&s))
+        };
+        assert_eq!(&*o, "alive");
+        let o2 = o.clone();
+        assert_eq!(&*o2, "alive");
+    }
+}

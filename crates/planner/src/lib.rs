@@ -19,16 +19,20 @@
 //! * [`selinger`] — bottom-up dynamic programming over left-deep trees;
 //! * [`randomized`] — the fast randomized multi-objective planner
 //!   re-implementation (associativity + exchange mutations, ε-Pareto
-//!   archive, iterative improvement).
+//!   archive, iterative improvement);
+//! * [`memo`] — sub-plan cost memoization keyed on relation bitsets, so the
+//!   randomized planner re-costs only the joins a mutation actually changed.
 
 pub mod cardinality;
 pub mod coster;
+pub mod memo;
 pub mod plan;
 pub mod randomized;
 pub mod selinger;
 
 pub use cardinality::{CardinalityEstimator, JoinIo};
 pub use coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
+pub use memo::{cost_tree_memo, CostMemo};
 pub use plan::PlanTree;
 pub use randomized::{RandomizedConfig, RandomizedPlanner};
 pub use selinger::SelingerPlanner;

@@ -1,0 +1,261 @@
+//! Sub-plan cost memoization for the randomized planner.
+//!
+//! `getPlanCost` (the [`PlanCoster::join_cost`] seam) is by far the hottest
+//! call in joint planning: in RAQO mode every invocation runs a full
+//! resource-planning search. The randomized planner re-costs the *whole*
+//! mutated tree each round, yet a mutation changes at most a couple of join
+//! nodes — every other join in the tree is re-submitted with an identical
+//! (left relation set, right relation set) pair and, because both the
+//! cardinality estimator and a deterministic coster are pure functions of
+//! those sets, gets an identical answer.
+//!
+//! [`CostMemo`] exploits that: it keys each join decision on the canonical
+//! relation-bitsets of its inputs (relative to the query's relation list)
+//! and replays the stored [`JoinIo`] + [`JoinDecision`] on a hit —
+//! infeasible joins are memoized too, so repeated dead-end mutants cost
+//! nothing. [`cost_tree_memo`] is the drop-in [`cost_tree`] variant that
+//! consults the memo.
+//!
+//! Correctness requires the coster to be deterministic in the join's IO
+//! characteristics (true for fixed-resource costing and for RAQO costing
+//! with brute-force/hill-climb planning; a resource cache in
+//! nearest-neighbour mode can in principle return different configurations
+//! as it warms, which is why memoization is opt-in via
+//! [`crate::RandomizedConfig::memoize`]). Queries with more than
+//! [`CostMemo::MAX_RELATIONS`] relations silently bypass the memo.
+
+use crate::cardinality::{CardinalityEstimator, JoinIo};
+use crate::coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
+use crate::plan::PlanTree;
+use raqo_catalog::TableId;
+use raqo_cost::objective::CostVector;
+use std::collections::HashMap;
+
+/// Memo of join decisions keyed on (left bitset, right bitset) of the join
+/// inputs. `None` records an infeasible join.
+#[derive(Debug, Default)]
+pub struct CostMemo {
+    /// Query-relative dense index of each relation (bit position).
+    index: HashMap<TableId, u32>,
+    /// (left, right) → io + decision, or `None` for "coster said infeasible".
+    entries: HashMap<(u128, u128), Option<(JoinIo, JoinDecision)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CostMemo {
+    /// Bitset width: queries with more relations bypass the memo.
+    pub const MAX_RELATIONS: usize = 128;
+
+    /// Build a memo for one planner run over `relations` (the query's
+    /// relation list; duplicates collapse onto one bit, which is safe
+    /// because identical tables are interchangeable in cost).
+    pub fn new(relations: &[TableId]) -> Self {
+        let mut index = HashMap::with_capacity(relations.len());
+        if relations.len() <= Self::MAX_RELATIONS {
+            for &t in relations {
+                let next = index.len() as u32;
+                index.entry(t).or_insert(next);
+            }
+        }
+        CostMemo { index, ..Default::default() }
+    }
+
+    /// Is the memo active? (False for >[`Self::MAX_RELATIONS`]-relation
+    /// queries and for relations outside the indexed set.)
+    pub fn enabled(&self) -> bool {
+        !self.index.is_empty()
+    }
+
+    /// Memo hits so far (each one is a skipped `getPlanCost` call).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo misses so far (joins that went to the coster).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Canonical bitset of a relation set; `None` when the memo is disabled
+    /// or a relation is unknown.
+    fn key_of(&self, rels: &[TableId]) -> Option<u128> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mut key = 0u128;
+        for t in rels {
+            key |= 1u128 << *self.index.get(t)?;
+        }
+        Some(key)
+    }
+
+    /// Cost one join through the memo, falling back to `est` + `coster` on
+    /// a miss. Returns the join's IO and decision, or `None` if infeasible.
+    pub fn join_cost(
+        &mut self,
+        lrels: &[TableId],
+        rrels: &[TableId],
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+    ) -> Option<(JoinIo, JoinDecision)> {
+        let Some(key) = self.key_of(lrels).zip(self.key_of(rrels)) else {
+            // Memo bypass: behave exactly like the unmemoized path.
+            let io = est.join_io(lrels, rrels);
+            return coster.join_cost(&io).map(|d| (io, d));
+        };
+        if let Some(cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return *cached;
+        }
+        self.misses += 1;
+        let io = est.join_io(lrels, rrels);
+        let outcome = coster.join_cost(&io).map(|d| (io, d));
+        self.entries.insert(key, outcome);
+        outcome
+    }
+}
+
+/// [`crate::coster::cost_tree`] with sub-plan memoization: identical
+/// (left, right) joins across candidate trees are costed once per memo.
+pub fn cost_tree_memo(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    memo: &mut CostMemo,
+) -> Option<PlannedQuery> {
+    let mut joins = Vec::new();
+    let rels = cost_rec_memo(tree, est, coster, memo, &mut joins)?;
+    debug_assert_eq!(rels.len(), tree.relations().len());
+    let cost = joins.iter().map(|j| j.decision.cost).sum();
+    let objectives = joins
+        .iter()
+        .fold(CostVector::ZERO, |acc, j| acc.add(&j.decision.objectives));
+    Some(PlannedQuery { tree: tree.clone(), joins, cost, objectives })
+}
+
+fn cost_rec_memo(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    memo: &mut CostMemo,
+    joins: &mut Vec<PlannedJoin>,
+) -> Option<Vec<TableId>> {
+    match tree {
+        PlanTree::Leaf(t) => Some(vec![*t]),
+        PlanTree::Join(l, r) => {
+            let lrels = cost_rec_memo(l, est, coster, memo, joins)?;
+            let rrels = cost_rec_memo(r, est, coster, memo, joins)?;
+            let (io, decision) = memo.join_cost(&lrels, &rrels, est, coster)?;
+            let mut all = lrels.clone();
+            all.extend_from_slice(&rrels);
+            joins.push(PlannedJoin { left: lrels, right: rrels, io, decision });
+            Some(all)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::CardinalityEstimator;
+    use crate::coster::{cost_tree, FixedResourceCoster};
+    use raqo_catalog::tpch::{table, TpchSchema};
+    use raqo_cost::SimOracleCost;
+
+    #[test]
+    fn memoized_tree_cost_matches_unmemoized() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM];
+        let tree = PlanTree::left_deep(&rels);
+
+        let mut plain_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let plain = cost_tree(&tree, &est, &mut plain_coster).unwrap();
+
+        let mut memo = CostMemo::new(&rels);
+        let mut memo_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let memoized = cost_tree_memo(&tree, &est, &mut memo_coster, &mut memo).unwrap();
+        assert_eq!(plain, memoized);
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.misses(), 2);
+    }
+
+    #[test]
+    fn repeat_costing_hits_memo_and_skips_coster() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM];
+        let tree = PlanTree::left_deep(&rels);
+
+        let mut memo = CostMemo::new(&rels);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let first = cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        let calls_after_first = coster.calls;
+        let second = cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(coster.calls, calls_after_first, "second pass must not re-cost");
+        assert_eq!(memo.hits(), 2);
+    }
+
+    #[test]
+    fn shared_subtrees_across_different_trees_hit() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM, table::SUPPLIER];
+        let mut memo = CostMemo::new(&rels);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+
+        // Both trees share the bottom join customer ⋈ orders.
+        let t1 = PlanTree::left_deep(&[table::CUSTOMER, table::ORDERS, table::LINEITEM]);
+        let t2 = PlanTree::left_deep(&[table::CUSTOMER, table::ORDERS, table::SUPPLIER]);
+        cost_tree_memo(&t1, &est, &mut coster, &mut memo).unwrap();
+        let calls_after_t1 = coster.calls;
+        cost_tree_memo(&t2, &est, &mut coster, &mut memo).unwrap();
+        // Only the top join of t2 needed the coster.
+        assert_eq!(coster.calls, calls_after_t1 + 1);
+        assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn infeasible_joins_are_memoized() {
+        struct CountingNever(u64);
+        impl PlanCoster for CountingNever {
+            fn join_cost(&mut self, _io: &JoinIo) -> Option<JoinDecision> {
+                self.0 += 1;
+                None
+            }
+        }
+        let schema = TpchSchema::new(1.0);
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS];
+        let tree = PlanTree::left_deep(&rels);
+        let mut memo = CostMemo::new(&rels);
+        let mut never = CountingNever(0);
+        assert!(cost_tree_memo(&tree, &est, &mut never, &mut memo).is_none());
+        assert!(cost_tree_memo(&tree, &est, &mut never, &mut memo).is_none());
+        assert_eq!(never.0, 1, "infeasibility must be cached");
+        assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn oversized_queries_bypass_memo() {
+        let rels: Vec<TableId> = (0..200).map(TableId).collect();
+        let memo = CostMemo::new(&rels);
+        assert!(!memo.enabled());
+        // Bypass still costs correctly through the fallback path.
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let tree = PlanTree::left_deep(&[table::CUSTOMER, table::ORDERS]);
+        let mut memo = CostMemo::new(&rels);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let got = cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        let mut coster2 = FixedResourceCoster::new(&model, 10.0, 4.0);
+        assert_eq!(got, cost_tree(&tree, &est, &mut coster2).unwrap());
+        assert_eq!(memo.hits() + memo.misses(), 0);
+    }
+}

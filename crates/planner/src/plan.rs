@@ -286,7 +286,7 @@ mod tests {
         let mut tree = PlanTree::random_connected(&schema.graph, &rels, &mut rng);
         for round in 0..200 {
             let site = rng.gen_range(0..tree.mutation_sites());
-            let mutation = Mutation::ALL[rng.gen_range(0..3)];
+            let mutation = Mutation::ALL[rng.gen_range(0..3usize)];
             if let Some(m) = tree.mutate(site, mutation) {
                 assert!(
                     covers_exactly(&m, &rels),

@@ -58,7 +58,14 @@ impl SelingerPlanner {
         allow_cross: bool,
     ) -> Option<PlannedQuery> {
         let n = rels.len();
-        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        // `plan` enforces the MAX_RELATIONS (=20) bound, so `1 << n` cannot
+        // overflow the u32 masks; keep the invariant checked here because
+        // the shift silently wraps if it is ever violated.
+        debug_assert!(
+            (1..=MAX_RELATIONS).contains(&n),
+            "plan_inner requires 1..={MAX_RELATIONS} relations, got {n}"
+        );
+        let full: u32 = (1u32 << n) - 1;
 
         #[derive(Clone, Copy)]
         struct Entry {
@@ -72,10 +79,10 @@ impl SelingerPlanner {
             dp[1usize << i] = Some(Entry { cost: 0.0, last: i });
         }
 
-        // Scratch: tables of a mask.
-        let tables_of = |mask: u32| -> Vec<TableId> {
-            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| rels[i]).collect()
-        };
+        // Scratch buffer, reused across all (mask, i) iterations: the inner
+        // loop runs n·2ⁿ times and a per-iteration Vec allocation dominates
+        // its runtime once costing is cheap (fixed-resource mode).
+        let mut rest_tables: Vec<TableId> = Vec::with_capacity(n);
 
         for mask in 1..=full {
             if mask.count_ones() < 2 {
@@ -90,7 +97,8 @@ impl SelingerPlanner {
                 }
                 let rest = mask & !bit;
                 let Some(prev) = dp[rest as usize] else { continue };
-                let rest_tables = tables_of(rest);
+                rest_tables.clear();
+                rest_tables.extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
                 let t_table = [rels[i]];
                 if !allow_cross && !graph.connects(&rest_tables, &t_table) {
                     continue;
@@ -115,7 +123,7 @@ impl SelingerPlanner {
             order_rev.push(rels[e.last]);
             mask &= !(1u32 << e.last);
         }
-        order_rev.push(tables_of(mask)[0]);
+        order_rev.push(rels[mask.trailing_zeros() as usize]);
         order_rev.reverse();
 
         // Re-cost the final tree so the returned decisions are exactly the

@@ -66,7 +66,7 @@ proptest! {
         let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, 7, seed);
         let model = SimOracleCost::hive();
         let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
-        let cfg = RandomizedConfig { restarts: 3, rounds_per_join: 8, epsilon: 0.05, seed };
+        let cfg = RandomizedConfig { restarts: 3, rounds_per_join: 8, epsilon: 0.05, seed, memoize: false };
         if let Some(out) =
             RandomizedPlanner::plan(&schema.catalog, &schema.graph, &q, &mut coster, &cfg)
         {

@@ -101,6 +101,37 @@ impl ClusterConditions {
     pub fn grid(&self) -> GridIter {
         GridIter { cond: *self, current: Some(self.min) }
     }
+
+    /// The grid point at row-major `index` (dimension 0 most significant,
+    /// matching [`ClusterConditions::grid`] enumeration order). Lets the
+    /// parallel brute-force planner split the grid into index ranges and
+    /// break ties by global index, identically to a sequential scan.
+    pub fn point_at(&self, index: u64) -> ResourceConfig {
+        debug_assert!(index < self.grid_size(), "grid index out of range");
+        let mut rem = index;
+        let mut out = self.min;
+        for i in (0..self.dims()).rev() {
+            let n = self.points_along(i);
+            let coord = rem % n;
+            rem /= n;
+            // Accumulate by repeated addition exactly as GridIter does, so
+            // chunked scans see bit-identical coordinates even when the
+            // step is not exactly representable (e.g. 0.1).
+            let mut v = self.min.get(i);
+            for _ in 0..coord {
+                v += self.step.get(i);
+            }
+            out.set(i, v);
+        }
+        out
+    }
+
+    /// Iterate grid points starting from row-major `index` (same order as
+    /// [`ClusterConditions::grid`]); combine with `take` to scan a chunk.
+    pub fn grid_from(&self, index: u64) -> GridIter {
+        let current = (index < self.grid_size()).then(|| self.point_at(index));
+        GridIter { cond: *self, current }
+    }
 }
 
 /// Iterator over all grid points of a [`ClusterConditions`] space.

@@ -27,9 +27,13 @@
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod parallel;
 pub mod planner;
+pub mod shared;
 
 pub use cache::{CacheBank, CacheLookup, CacheStats, ResourcePlanCache};
 pub use cluster::ClusterConditions;
 pub use config::{ResourceConfig, MAX_DIMS};
+pub use parallel::{brute_force_parallel, hill_climb_multi, multi_start_seeds, Parallelism};
 pub use planner::{brute_force, hill_climb, PlanningOutcome};
+pub use shared::SharedCacheBank;

@@ -1,0 +1,284 @@
+//! Parallel resource planning: chunked brute force and multi-start hill
+//! climbing over OS threads.
+//!
+//! The paper's resource planners are embarrassingly parallel — every grid
+//! point (brute force) and every start point (hill climbing) is an
+//! independent cost-model evaluation. This module exploits that with
+//! `std::thread::scope` workers while keeping results *deterministic*:
+//!
+//! * [`brute_force_parallel`] splits the grid into contiguous index ranges
+//!   and merges per-chunk winners by `(cost, global grid index)`, which is
+//!   exactly the sequential scan's "earlier grid point wins ties" rule —
+//!   the outcome is bit-identical to [`brute_force`] for any worker count.
+//! * [`hill_climb_multi`] climbs from the cluster's corner configurations
+//!   plus its centroid. Each climb is independent, so scheduling cannot
+//!   change the merged result: the best local optimum wins, ties broken
+//!   toward the earlier seed, and `iterations` sums all climbs (the true
+//!   total of cost evaluations spent).
+//!
+//! [`Parallelism::Off`] routes both entry points through the sequential
+//! code paths so the paper's Figs. 12–14 iteration accounting stays
+//! reproducible run-to-run regardless of the host's core count.
+
+use crate::cluster::ClusterConditions;
+use crate::config::ResourceConfig;
+use crate::planner::{brute_force, hill_climb, PlanningOutcome};
+
+/// How much thread parallelism resource planning may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Strictly sequential: identical evaluation order and iteration
+    /// accounting to the scalar planners (the reproducibility mode).
+    Off,
+    /// Exactly `n` worker threads (clamped to at least 1).
+    Threads(usize),
+    /// One worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolved worker count (≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+        }
+    }
+}
+
+/// Exhaustive grid search split across worker threads.
+///
+/// Bit-identical to [`brute_force`]: each worker scans a contiguous
+/// row-major index range of the grid, tracking the lowest-cost point in its
+/// range (first such point on ties); the merge then prefers lower cost and,
+/// on equal cost, the lower global index — the same total order a single
+/// sequential scan applies. `iterations` is the full grid size, as for the
+/// sequential planner.
+pub fn brute_force_parallel<F>(
+    cluster: &ClusterConditions,
+    cost_fn: F,
+    parallelism: Parallelism,
+) -> PlanningOutcome
+where
+    F: Fn(&ResourceConfig) -> f64 + Sync,
+{
+    let total = cluster.grid_size();
+    let workers = parallelism.workers().min(total.max(1) as usize).max(1);
+    if matches!(parallelism, Parallelism::Off) || workers == 1 {
+        return brute_force(cluster, |r| cost_fn(r));
+    }
+
+    let chunk = total.div_ceil(workers as u64);
+    let cost_fn = &cost_fn;
+    let mut per_chunk: Vec<Option<(u64, ResourceConfig, f64)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(total);
+                    scope.spawn(move || {
+                        let mut best: Option<(u64, ResourceConfig, f64)> = None;
+                        for (off, r) in
+                            cluster.grid_from(lo).take((hi.saturating_sub(lo)) as usize).enumerate()
+                        {
+                            let c = cost_fn(&r);
+                            match best {
+                                Some((_, _, bc)) if bc <= c => {}
+                                _ => best = Some((lo + off as u64, r, c)),
+                            }
+                        }
+                        best
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
+        });
+
+    let (_, config, cost) = per_chunk
+        .drain(..)
+        .flatten()
+        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+        .expect("cluster grid is never empty");
+    PlanningOutcome { config, cost, iterations: total }
+}
+
+/// Deterministic multi-start seeds: every corner of the bounding box
+/// (2^dims points, deduplicated when min == max on a dimension) followed by
+/// the grid-snapped centroid. The minimum corner comes first so a single
+/// seed degenerates to the paper's Algorithm 1 start.
+pub fn multi_start_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
+    let dims = cluster.dims();
+    let mut seeds: Vec<ResourceConfig> = Vec::with_capacity((1 << dims) + 1);
+    for corner in 0u32..(1 << dims) {
+        let mut r = cluster.min;
+        for i in 0..dims {
+            if corner & (1 << i) != 0 {
+                // Top of the *grid*, not the raw max bound: step from min so
+                // the seed is always a reachable grid point.
+                let n = cluster.points_along(i);
+                let mut v = cluster.min.get(i);
+                for _ in 1..n {
+                    v += cluster.discrete_steps().get(i);
+                }
+                r.set(i, v);
+            }
+        }
+        if !seeds.contains(&r) {
+            seeds.push(r);
+        }
+    }
+    let mut centroid = cluster.min;
+    for i in 0..dims {
+        let mid = cluster.points_along(i) / 2;
+        let mut v = cluster.min.get(i);
+        for _ in 0..mid {
+            v += cluster.discrete_steps().get(i);
+        }
+        centroid.set(i, v);
+    }
+    if !seeds.contains(&centroid) {
+        seeds.push(centroid);
+    }
+    seeds
+}
+
+/// Multi-start hill climbing: run Algorithm 1 from every
+/// [`multi_start_seeds`] point and keep the best local optimum.
+///
+/// The merged outcome is independent of the worker count: climbs do not
+/// interact, the winner is the lowest-cost optimum with ties broken toward
+/// the earlier seed, and `iterations` is the sum over all climbs — the
+/// actual number of cost evaluations spent, so speed/quality trade-offs
+/// stay visible in the Figs. 13–14 accounting.
+pub fn hill_climb_multi<F>(
+    cluster: &ClusterConditions,
+    cost_fn: F,
+    parallelism: Parallelism,
+) -> PlanningOutcome
+where
+    F: Fn(&ResourceConfig) -> f64 + Sync,
+{
+    let seeds = multi_start_seeds(cluster);
+    let outcomes: Vec<PlanningOutcome> = if matches!(parallelism, Parallelism::Off)
+        || parallelism.workers() == 1
+        || seeds.len() == 1
+    {
+        seeds.iter().map(|&s| hill_climb(cluster, s, |r| cost_fn(r))).collect()
+    } else {
+        let cost_fn = &cost_fn;
+        let seeds = &seeds;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seeds
+                .iter()
+                .map(|&s| scope.spawn(move || hill_climb(cluster, s, |r| cost_fn(r))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("climb worker panicked")).collect()
+        })
+    };
+
+    let iterations = outcomes.iter().map(|o| o.iterations).sum();
+    let best = outcomes
+        .into_iter()
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| a.cost.total_cmp(&b.cost).then(ai.cmp(bi)))
+        .map(|(_, o)| o)
+        .expect("at least one seed");
+    PlanningOutcome { iterations, ..best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bowl(r: &ResourceConfig) -> f64 {
+        let dc = r.containers() - 40.0;
+        let ds = r.container_size_gb() - 7.0;
+        dc * dc + 3.0 * ds * ds
+    }
+
+    #[test]
+    fn parallelism_workers_resolve() {
+        assert_eq!(Parallelism::Off.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn parallel_brute_force_matches_sequential_bitwise() {
+        let cluster = ClusterConditions::paper_default();
+        let seq = brute_force(&cluster, bowl);
+        for par in [Parallelism::Off, Parallelism::Threads(3), Parallelism::Threads(7), Parallelism::Auto] {
+            let out = brute_force_parallel(&cluster, bowl, par);
+            assert_eq!(out.config, seq.config, "{par:?}");
+            assert!(out.cost.to_bits() == seq.cost.to_bits(), "{par:?}");
+            assert_eq!(out.iterations, seq.iterations, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_brute_force_tie_break_matches_sequential() {
+        // Constant surface: every point ties; the winner must be the first
+        // grid point for any chunking.
+        let cluster = ClusterConditions::two_dim(1.0..=13.0, 1.0..=5.0, 1.0, 1.0);
+        let seq = brute_force(&cluster, |_| 2.5);
+        for n in 1..=8 {
+            let out = brute_force_parallel(&cluster, |_| 2.5, Parallelism::Threads(n));
+            assert_eq!(out.config, seq.config, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_grid_points() {
+        let cluster = ClusterConditions::two_dim(1.0..=2.0, 1.0..=1.0, 1.0, 1.0);
+        let out = brute_force_parallel(&cluster, bowl, Parallelism::Threads(16));
+        assert_eq!(out, brute_force(&cluster, bowl));
+    }
+
+    #[test]
+    fn seeds_cover_corners_and_centroid() {
+        let cluster = ClusterConditions::paper_default();
+        let seeds = multi_start_seeds(&cluster);
+        assert_eq!(seeds.len(), 5); // 4 corners + centroid
+        assert_eq!(seeds[0], cluster.min);
+        assert!(seeds.contains(&ResourceConfig::containers_and_size(100.0, 10.0)));
+        assert!(seeds.iter().all(|s| cluster.contains(s)));
+        // Degenerate 1-point cluster: corners and centroid all coincide.
+        let tiny = ClusterConditions::two_dim(3.0..=3.0, 2.0..=2.0, 1.0, 1.0);
+        assert_eq!(multi_start_seeds(&tiny), vec![ResourceConfig::containers_and_size(3.0, 2.0)]);
+    }
+
+    #[test]
+    fn multi_start_escapes_local_optimum_single_start_falls_into() {
+        // Deep basin near the max corner, shallow one near the min corner:
+        // Algorithm 1 (start = min) settles in the shallow basin, while a
+        // corner-seeded climb finds the deep one.
+        let two_basins = |r: &ResourceConfig| -> f64 {
+            let near = (r.containers() - 5.0).powi(2) + (r.container_size_gb() - 2.0).powi(2);
+            let far =
+                (r.containers() - 90.0).powi(2) + (r.container_size_gb() - 9.0).powi(2) - 50.0;
+            near.min(far)
+        };
+        let cluster = ClusterConditions::paper_default();
+        let single = hill_climb(&cluster, cluster.min, two_basins);
+        let multi = hill_climb_multi(&cluster, two_basins, Parallelism::Auto);
+        assert!(multi.cost < single.cost);
+        assert_eq!(multi.config, ResourceConfig::containers_and_size(90.0, 9.0));
+    }
+
+    #[test]
+    fn multi_start_is_scheduling_invariant() {
+        let cluster = ClusterConditions::paper_default();
+        let seq = hill_climb_multi(&cluster, bowl, Parallelism::Off);
+        let par = hill_climb_multi(&cluster, bowl, Parallelism::Threads(4));
+        assert_eq!(seq, par);
+        // All seeds converge on the single bowl minimum.
+        assert_eq!(seq.config, ResourceConfig::containers_and_size(40.0, 7.0));
+        // Iterations are summed over all climbs, so the multi-start run
+        // spends more than a single Algorithm 1 climb.
+        assert!(seq.iterations > hill_climb(&cluster, cluster.min, bowl).iterations);
+    }
+}

@@ -51,9 +51,17 @@ where
 /// terminates when no candidate step on any dimension improves on the
 /// current configuration (lines 20–21, return at the local optimum).
 ///
-/// The returned [`PlanningOutcome::iterations`] counts cost-model
-/// evaluations, matching how the paper reports "resource configurations
-/// explored" for the hill climber in Fig. 13(a).
+/// The returned [`PlanningOutcome::iterations`] counts *distinct resource
+/// configurations probed* (the start plus every neighbour evaluation).
+/// This deviates from a literal reading of Algorithm 1, whose line 5
+/// re-evaluates `cost(currRes)` at the top of every round: the winning
+/// neighbour's cost from the previous round *is* the current
+/// configuration's cost, so this implementation carries it forward instead
+/// of recomputing it. The search trajectory — every step taken and the
+/// final configuration — is unchanged; only redundant cost-model calls are
+/// dropped, which matters once each call runs a full resource planning
+/// simulation. Fig. 13(a)'s "resource configurations explored" metric is
+/// reported in the same units.
 ///
 /// ```
 /// use raqo_resource::{hill_climb, ClusterConditions, ResourceConfig};
@@ -81,12 +89,12 @@ where
     let step_size = cluster.discrete_steps(); // line 1: GetDiscreteSteps
     let candidate = [-1.0, 1.0]; // line 2
     let mut curr_res = start; // line 3
-    let mut iterations = 0u64;
+    // Evaluate the start once; every later round reuses the winning
+    // neighbour's cost instead of re-running line 5 of Algorithm 1.
+    let mut curr_cost = cost_fn(&curr_res);
+    let mut iterations = 1u64;
 
     loop {
-        // line 5: current cost
-        let curr_cost = cost_fn(&curr_res);
-        iterations += 1;
         let mut best_cost = curr_cost; // line 6
 
         for i in 0..curr_res.dims() {
@@ -118,6 +126,10 @@ where
         if best_cost >= curr_cost {
             return PlanningOutcome { config: curr_res, cost: curr_cost, iterations };
         }
+        // A step was accepted: the last accepted probe was evaluated at the
+        // configuration `curr_res` now holds, so `best_cost` is exactly
+        // `cost_fn(&curr_res)` — carry it into the next round.
+        curr_cost = best_cost;
     }
 }
 

@@ -1,0 +1,152 @@
+//! Thread-safe resource-plan cache sharing.
+//!
+//! Two RAQO modes need one cache visible from several places at once:
+//! concurrent costers during parallel resource planning, and the Fig. 15(b)
+//! "across-query caching" mode where a workload's queries warm a cache that
+//! outlives any single optimizer run. [`SharedCacheBank`] wraps the §VI-B3
+//! [`CacheBank`] in `Arc<RwLock<_>>`: clones are handles onto the same
+//! underlying bank, lookups and insertions take the write lock (lookups
+//! mutate hit/miss statistics), and the Exact / NearestNeighbor /
+//! WeightedAverage semantics are exactly those of the wrapped bank — the
+//! lock adds atomicity per operation, nothing else.
+
+use crate::cache::{CacheBank, CacheLookup, CacheStats};
+use crate::config::ResourceConfig;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable handle to a [`CacheBank`] shared across threads and queries.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCacheBank {
+    inner: Arc<RwLock<CacheBank>>,
+}
+
+impl SharedCacheBank {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing bank (e.g. one pre-warmed by an earlier workload).
+    pub fn from_bank(bank: CacheBank) -> Self {
+        SharedCacheBank { inner: Arc::new(RwLock::new(bank)) }
+    }
+
+    /// Look up the (model, operator) cache under `mode`. Counts a hit or a
+    /// miss, as the unshared cache does.
+    pub fn lookup(
+        &self,
+        model: u32,
+        operator: u32,
+        key: f64,
+        mode: CacheLookup,
+    ) -> Option<ResourceConfig> {
+        self.inner.write().cache(model, operator).lookup(key, mode)
+    }
+
+    /// Insert the best configuration found for `key` into the
+    /// (model, operator) cache.
+    pub fn insert(&self, model: u32, operator: u32, key: f64, config: ResourceConfig) {
+        self.inner.write().cache(model, operator).insert(key, config);
+    }
+
+    /// Aggregate hit/miss/insertion counters across all member caches.
+    pub fn aggregate_stats(&self) -> CacheStats {
+        self.inner.read().aggregate_stats()
+    }
+
+    /// Total entries across all member caches.
+    pub fn total_entries(&self) -> usize {
+        self.inner.read().total_entries()
+    }
+
+    /// Clear every member cache (between queries, unless evaluating
+    /// across-query caching).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+
+    /// Number of live handles to this bank (diagnostics/tests).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Run `f` with exclusive access to the underlying bank, for callers
+    /// that need multi-step atomic sections or APIs not mirrored here.
+    pub fn with_bank<T>(&self, f: impl FnOnce(&mut CacheBank) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(c: f64, s: f64) -> ResourceConfig {
+        ResourceConfig::containers_and_size(c, s)
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedCacheBank::new();
+        let b = a.clone();
+        a.insert(0, 0, 1.5, cfg(10.0, 3.0));
+        assert_eq!(b.lookup(0, 0, 1.5, CacheLookup::Exact), Some(cfg(10.0, 3.0)));
+        assert_eq!(b.total_entries(), 1);
+        assert_eq!(a.handle_count(), 2);
+        b.clear();
+        assert_eq!(a.total_entries(), 0);
+    }
+
+    #[test]
+    fn lookup_modes_match_unshared_semantics() {
+        let shared = SharedCacheBank::new();
+        shared.insert(0, 0, 1.0, cfg(10.0, 2.0));
+        shared.insert(0, 0, 3.0, cfg(30.0, 6.0));
+        assert_eq!(shared.lookup(0, 0, 2.0, CacheLookup::Exact), None);
+        assert_eq!(
+            shared.lookup(0, 0, 2.2, CacheLookup::NearestNeighbor { threshold: 1.0 }),
+            Some(cfg(30.0, 6.0))
+        );
+        let wa = shared
+            .lookup(0, 0, 2.0, CacheLookup::WeightedAverage { threshold: 1.5 })
+            .unwrap();
+        assert!((wa.containers() - 20.0).abs() < 1e-9);
+        // 1 miss + 2 hits recorded, as the unshared cache would.
+        let stats = shared.aggregate_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn model_operator_pairs_stay_separate() {
+        let shared = SharedCacheBank::new();
+        shared.insert(0, 0, 1.0, cfg(1.0, 1.0));
+        shared.insert(1, 0, 1.0, cfg(2.0, 2.0));
+        assert_eq!(shared.lookup(0, 0, 1.0, CacheLookup::Exact), Some(cfg(1.0, 1.0)));
+        assert_eq!(shared.lookup(1, 0, 1.0, CacheLookup::Exact), Some(cfg(2.0, 2.0)));
+    }
+
+    #[test]
+    fn concurrent_insert_lookup_round_trips() {
+        let shared = SharedCacheBank::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    for k in 0..50u32 {
+                        let key = (t * 1000 + k) as f64;
+                        handle.insert(0, t, key, cfg(k as f64 + 1.0, t as f64 + 1.0));
+                        assert_eq!(
+                            handle.lookup(0, t, key, CacheLookup::Exact),
+                            Some(cfg(k as f64 + 1.0, t as f64 + 1.0)),
+                            "thread {t} lost its own insert for key {key}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.total_entries(), 200);
+        let stats = shared.aggregate_stats();
+        assert_eq!(stats.insertions, 200);
+        assert_eq!(stats.hits, 200);
+    }
+}

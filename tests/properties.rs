@@ -161,12 +161,118 @@ proptest! {
         let mut tree = PlanTree::random_connected(&schema.graph, &query.relations, &mut rng);
         for _ in 0..steps {
             let site = rng.gen_range(0..tree.mutation_sites());
-            let mutation = Mutation::ALL[rng.gen_range(0..3)];
+            let mutation = Mutation::ALL[rng.gen_range(0..3usize)];
             if let Some(next) = tree.mutate(site, mutation) {
                 tree = next;
             }
         }
         prop_assert!(covers_exactly(&tree, &query.relations));
+    }
+
+    /// Parallel brute force is bit-identical to the sequential scan —
+    /// same config, same cost bits, same iteration count — for random
+    /// grids, random cost surfaces, and any worker count.
+    #[test]
+    fn parallel_brute_force_bit_identical_on_random_grids(
+        max_nc in 2.0f64..30.0,
+        max_cs in 2.0f64..8.0,
+        cx in 1.0f64..30.0,
+        cy in 1.0f64..8.0,
+        tilt in -1.0f64..1.0,
+        workers in 1usize..9,
+    ) {
+        use raqo::resource::{brute_force_parallel, Parallelism};
+        let cluster =
+            ClusterConditions::two_dim(1.0..=max_nc.floor(), 1.0..=max_cs.floor(), 1.0, 1.0);
+        let cost = |r: &ResourceConfig| -> f64 {
+            (r.containers() - cx).abs() + (r.container_size_gb() - cy).abs()
+                + tilt * r.containers()
+        };
+        let seq = brute_force(&cluster, cost);
+        let par = brute_force_parallel(&cluster, cost, Parallelism::Threads(workers));
+        prop_assert_eq!(par.config, seq.config);
+        prop_assert_eq!(par.cost.to_bits(), seq.cost.to_bits());
+        prop_assert_eq!(par.iterations, seq.iterations);
+    }
+
+    /// Sub-plan memoization is invisible in the result: for any seed the
+    /// memoized randomized planner returns the same plan tree and cost as
+    /// the unmemoized run, and every saved coster call is a memo hit.
+    #[test]
+    fn memoized_randomized_planner_matches_unmemoized(seed in 0u64..40) {
+        use raqo::planner::coster::FixedResourceCoster;
+        use raqo::planner::randomized::RandomizedPlanner;
+
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_all(&schema);
+
+        let plain_cfg = RandomizedConfig { seed, ..Default::default() };
+        let mut plain_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let plain =
+            RandomizedPlanner::plan(&schema.catalog, &schema.graph, &query, &mut plain_coster, &plain_cfg)
+                .expect("plan");
+
+        let memo_cfg = RandomizedConfig { seed, memoize: true, ..Default::default() };
+        let mut memo_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let memoized =
+            RandomizedPlanner::plan(&schema.catalog, &schema.graph, &query, &mut memo_coster, &memo_cfg)
+                .expect("plan");
+
+        prop_assert_eq!(&plain.best.tree, &memoized.best.tree);
+        prop_assert_eq!(plain.best.cost.to_bits(), memoized.best.cost.to_bits());
+        prop_assert!(memoized.memo_hits > 0);
+        prop_assert_eq!(memo_coster.calls + memoized.memo_hits, plain_coster.calls);
+    }
+
+    /// `SharedCacheBank` under concurrent insert/lookup from 4 threads
+    /// preserves exact-lookup round-trips: no thread ever loses its own
+    /// insert, and all entries survive.
+    #[test]
+    fn shared_cache_bank_concurrent_roundtrips(
+        keys in proptest::collection::vec(0.0f64..1000.0, 4..40),
+    ) {
+        use raqo::resource::SharedCacheBank;
+        let shared = SharedCacheBank::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = shared.clone();
+                let keys = &keys;
+                scope.spawn(move || {
+                    // Each thread owns a distinct operator id, so key
+                    // collisions across threads cannot overwrite entries.
+                    for (i, &k) in keys.iter().enumerate() {
+                        let cfg = ResourceConfig::containers_and_size(
+                            i as f64 + 1.0,
+                            t as f64 + 1.0,
+                        );
+                        handle.insert(0, t, k, cfg);
+                        assert_eq!(
+                            handle.lookup(0, t, k, CacheLookup::Exact),
+                            Some(cfg),
+                            "thread {t} lost key {k}"
+                        );
+                    }
+                });
+            }
+        });
+        let distinct = {
+            let mut sorted = keys.clone();
+            sorted.sort_by(f64::total_cmp);
+            sorted.dedup();
+            sorted.len()
+        };
+        prop_assert_eq!(shared.total_entries(), 4 * distinct);
+        for &k in &keys {
+            // Last writer wins per (operator, key), as the unshared cache.
+            let last = keys.iter().rposition(|&x| x == k).unwrap();
+            for t in 0..4u32 {
+                prop_assert_eq!(
+                    shared.lookup(0, t, k, CacheLookup::Exact),
+                    Some(ResourceConfig::containers_and_size(last as f64 + 1.0, t as f64 + 1.0))
+                );
+            }
+        }
     }
 
     /// Selinger's plan is never beaten by any random plan tree costed with

@@ -1,0 +1,303 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro over named strategy bindings, numeric-range and
+//! tuple strategies, [`collection::vec`], [`bool::ANY`], and the
+//! `prop_assert*` macros. Inputs are sampled from a deterministic RNG
+//! (seed fixed per test function name hash would break determinism across
+//! runs, so a constant seed is used); there is no shrinking — a failing
+//! case reports the assertion message with the debug-printed inputs.
+//!
+//! Case count defaults to 48 and honours the `PROPTEST_CASES` environment
+//! variable like the real crate.
+
+use rand::rngs::StdRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value: std::fmt::Debug + Clone;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+pub mod array {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Fixed-size array strategy: N independent draws from one element
+    /// strategy (`proptest::array::uniformN`).
+    pub struct UniformArray<S: Strategy, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),* $(,)?) => {$(
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+
+    uniform_fns! {
+        uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+    }
+}
+
+/// `Just`-style constant strategy (handy in helper code).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Uniform boolean strategy, mirroring `proptest::bool::ANY`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::gen_bool(rng, 0.5)
+        }
+    }
+}
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Sizes accepted by [`vec`]: a fixed count or a half-open range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S: Strategy, R: SizeRange> {
+        element: S,
+        size: R,
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-case failure carrying the formatted assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of cases to run: `PROPTEST_CASES` env var or 48.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Driver used by the [`proptest!`] macro expansion: runs `body` over
+/// `case_count()` deterministic samples of `strategy` and panics with the
+/// inputs on the first failure (no shrinking).
+pub fn run_cases<S, F>(strategy: S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+    for case in 0..case_count() {
+        let input = strategy.generate(&mut rng);
+        if let Err(TestCaseError(msg)) = body(input.clone()) {
+            panic!("proptest case {case} failed: {msg}\n  input: {input:?}");
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy, TestCaseError,
+        TestCaseResult,
+    };
+    pub use crate::bool::ANY as any_bool;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), l, r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `left != right`\n  both: {:?}", l
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` macro: each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(($($strat,)*), |($($arg,)*)| -> $crate::TestCaseResult {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        fn ranges_in_bounds(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2..6usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        fn tuples_and_bools(t in (0.5f64..2.0, 1u32..4), b in crate::bool::ANY) {
+            prop_assert!(t.0 >= 0.5 && t.0 < 2.0);
+            prop_assert!(t.1 >= 1 && t.1 < 4);
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        crate::run_cases(0u32..10, |x| {
+            prop_assert!(x < 5, "x too large: {}", x);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! this proc-macro crate implements just enough of `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the types in this workspace: plain structs
+//! (named, tuple, unit) and enums (unit / tuple / struct variants), no
+//! generics, no `#[serde(...)]` attributes. Parsing is done directly on the
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are equally
+//! unavailable offline).
+//!
+//! `Serialize` derives emit a `to_value(&self) -> serde::Value` body that
+//! mirrors serde's default encoding: structs become JSON objects, newtype
+//! structs are transparent, enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of positional fields.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Item {
+    is_enum: bool,
+    name: String,
+    /// For structs: single entry. For enums: one per variant (name, fields).
+    bodies: Vec<(String, Fields)>,
+}
+
+/// Skip `#[...]` attributes and visibility modifiers at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on commas that sit at angle-bracket depth 0.
+/// Groups (`(..)`, `[..]`, `{..}`) are opaque single tokens in a
+/// `TokenStream`, so only `<`/`>` puncts need manual depth tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse the fields of one named-fields group body.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let is_enum = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (offline stand-in): generics are not supported on `{name}`");
+        }
+    }
+
+    if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        };
+        let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+        let mut bodies = Vec::new();
+        for variant in split_top_level_commas(&body_tokens) {
+            let mut j = skip_attrs_and_vis(&variant, 0);
+            let Some(TokenTree::Ident(vname)) = variant.get(j) else { continue };
+            let vname = vname.to_string();
+            j += 1;
+            let fields = match variant.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level_commas(&inner).len())
+                }
+                _ => Fields::Unit,
+            };
+            bodies.push((vname, fields));
+        }
+        Item { is_enum, name, bodies }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Fields::Tuple(split_top_level_commas(&inner).len())
+            }
+            _ => Fields::Unit,
+        };
+        Item { is_enum, name, bodies: vec![(String::new(), fields)] }
+    }
+}
+
+fn serialize_struct_body(prefix: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut s = String::from("::serde::Value::Object(vec![");
+            for n in names {
+                s.push_str(&format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{prefix}{n})),"
+                ));
+            }
+            s.push_str("])");
+            s
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{prefix}0)"),
+        Fields::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_value(&{prefix}{k}),"));
+            }
+            s.push_str("])");
+            s
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = if !item.is_enum {
+        serialize_struct_body("self.", &item.bodies[0].1)
+    } else {
+        // Externally tagged, serde's default.
+        let mut arms = String::new();
+        for (vname, fields) in &item.bodies {
+            match fields {
+                Fields::Unit => arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),"
+                )),
+                Fields::Named(fnames) => {
+                    let binds = fnames.join(", ");
+                    let mut obj = String::from("::serde::Value::Object(vec![");
+                    for f in fnames {
+                        obj.push_str(&format!(
+                            "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                        ));
+                    }
+                    obj.push_str("])");
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {obj})]),"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let bind_list = binds.join(", ");
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::to_value(__f0)".to_string()
+                    } else {
+                        let mut arr = String::from("::serde::Value::Array(vec![");
+                        for b in &binds {
+                            arr.push_str(&format!("::serde::Serialize::to_value({b}),"));
+                        }
+                        arr.push_str("])");
+                        arr
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{vname}({bind_list}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                    ));
+                }
+            }
+        }
+        format!("match self {{ {arms} }}")
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    // The workspace never deserializes at runtime; the impl only has to
+    // exist so `#[derive(Deserialize)]` keeps compiling.
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

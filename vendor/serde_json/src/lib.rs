@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_json`: renders the vendored mini-serde's
+//! [`serde::Value`] tree as JSON text.
+
+pub use serde::Value;
+
+/// Errors never actually occur (the value tree is always renderable); the
+/// type exists so call sites keep their `Result` shape.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json stand-in error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent, like the real
+/// serde_json).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![("a".to_string(), vec![1u64, 2]), ("b".to_string(), vec![])];
+        let compact = super::to_string(&v).unwrap();
+        assert_eq!(compact, r#"[["a",[1,2]],["b",[]]]"#);
+        let pretty = super::to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert!(pretty.starts_with('['));
+    }
+}

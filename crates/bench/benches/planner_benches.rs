@@ -185,6 +185,31 @@ fn planner_speedup(c: &mut Criterion) {
             b.iter(|| black_box(opt.optimize(&query)));
         });
     }
+
+    // The Selinger DP through the same ladder: scalar baseline vs the
+    // batched cost kernel vs batched + parallel DP levels (all brute-force
+    // resource planning, all bit-identical plans).
+    let selinger_query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 8, 3);
+    let selinger_modes: [(&str, Parallelism, bool); 3] = [
+        ("selinger_scalar", Parallelism::Off, false),
+        ("selinger_batched", Parallelism::Off, true),
+        ("selinger_parallel", Parallelism::Auto, true),
+    ];
+    for (name, parallelism, batch) in selinger_modes {
+        group.bench_function(name, |b| {
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                ResourceStrategy::BruteForce,
+            );
+            opt.set_parallelism(parallelism);
+            opt.set_batch_kernel(batch);
+            b.iter(|| black_box(opt.optimize(&selinger_query)));
+        });
+    }
     group.finish();
 }
 

@@ -7,11 +7,113 @@
 //! repro --all --json out.json  # machine-readable tables as well
 //! repro --smoke                # fast path: every figure at tiny sizes
 //! repro --bench-json [path]    # planner speedup bench -> BENCH_planner.json
+//! repro --cache-file <path>    # TPC-H sweep warm-started from a persisted cache
 //! repro --list                 # what exists
 //! ```
 
 use raqo_bench::experiments::{registry, timed};
 use raqo_bench::{speedup, Table};
+use raqo_catalog::{tpch::TpchSchema, QuerySpec};
+use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_cost::JoinCostModel;
+use raqo_resource::{CacheLookup, ClusterConditions, SharedCacheBank};
+
+/// `--cache-file`: run the TPC-H query sweep with across-query caching,
+/// warm-starting the shared resource-plan cache from `path` when it exists
+/// and persisting the (further) warmed bank back afterwards. Repeated
+/// invocations demonstrate the Fig. 15(b) payoff across *processes*.
+fn run_cache_file(path: &str) {
+    let bank = if std::path::Path::new(path).exists() {
+        let bank = SharedCacheBank::load(path)
+            .unwrap_or_else(|e| panic!("loading cache bank from {path}: {e}"));
+        println!("loaded {} cached resource plans from {path}", bank.total_entries());
+        bank
+    } else {
+        println!("no cache file at {path}; starting cold");
+        SharedCacheBank::new()
+    };
+
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let queries = [
+        ("Q2", QuerySpec::tpch_q2()),
+        ("Q3", QuerySpec::tpch_q3()),
+        ("Q12", QuerySpec::tpch_q12()),
+        ("all-tables", QuerySpec::tpch_all(&schema)),
+    ];
+    let mut total_ms = 0.0;
+    let mut hits = 0;
+    for (name, query) in &queries {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
+        );
+        opt.share_cache(bank.clone());
+        let (plan, ms) = timed(|| opt.optimize(query).expect("plan"));
+        total_ms += ms;
+        hits += plan.stats.cache_hits;
+        println!(
+            "  {name:>10}  {ms:>8.1} ms  cost {:>12.3}  {} cache hits",
+            plan.query.cost, plan.stats.cache_hits
+        );
+    }
+    bank.save(path).unwrap_or_else(|e| panic!("saving cache bank to {path}: {e}"));
+    println!(
+        "sweep: {:.1} ms, {hits} cache hits; saved {} resource plans to {path}",
+        total_ms,
+        bank.total_entries()
+    );
+}
+
+/// `--smoke` gate: one Selinger figure (TPC-H, all tables, exhaustive
+/// resource planning) through every `Parallelism` × memoization
+/// combination; all modes must agree on the joint plan.
+fn selinger_smoke_gate() {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let query = QuerySpec::tpch_all(&schema);
+    let cluster = ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0);
+    let mut base: Option<(raqo_planner::PlanTree, f64)> = None;
+    let mut combos = 0;
+    let (_, ms) = timed(|| {
+        for parallelism in [Parallelism::Off, Parallelism::Threads(2), Parallelism::Auto] {
+            for planner in [PlannerKind::Selinger, PlannerKind::SelingerMemoized] {
+                let memoized = matches!(planner, PlannerKind::SelingerMemoized);
+                let mut opt = RaqoOptimizer::new(
+                    &schema.catalog,
+                    &schema.graph,
+                    &model,
+                    cluster,
+                    planner,
+                    ResourceStrategy::BruteForce,
+                )
+                .with_parallelism(parallelism);
+                let plan = opt.optimize(&query).expect("smoke plan");
+                let (tree, cost) = (plan.query.tree.clone(), plan.query.cost);
+                match &base {
+                    None => base = Some((tree, cost)),
+                    Some((t0, c0)) => {
+                        assert_eq!(t0, &tree, "Selinger smoke: trees diverge at {parallelism:?}");
+                        // Memoized runs replay DP-time IO accumulation
+                        // order; plain runs must agree bitwise.
+                        let ok = if memoized {
+                            (c0 - cost).abs() <= 1e-9 * c0.abs()
+                        } else {
+                            c0.to_bits() == cost.to_bits()
+                        };
+                        assert!(ok, "Selinger smoke: costs diverge at {parallelism:?}: {c0} vs {cost}");
+                    }
+                }
+                combos += 1;
+            }
+        }
+    });
+    println!("selinger  ok  {ms:>8.0} ms  {combos} parallelism x memoize combinations agree");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +122,12 @@ fn main() {
     let all = args.iter().any(|a| a == "--all");
     let smoke = args.iter().any(|a| a == "--smoke");
     let bench_json = args.iter().position(|a| a == "--bench-json");
+    let cache_file = args
+        .iter()
+        .position(|a| a == "--cache-file")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
     let fig = args
         .iter()
         .position(|a| a == "--fig")
@@ -27,6 +135,15 @@ fn main() {
         .cloned();
 
     let experiments = registry();
+
+    if args.iter().any(|a| a == "--cache-file") {
+        let Some(path) = cache_file else {
+            eprintln!("--cache-file needs a path argument");
+            std::process::exit(2);
+        };
+        run_cache_file(&path);
+        return;
+    }
 
     // The joint-planning hot-path benchmark: three modes, JSON report.
     if let Some(i) = bench_json {
@@ -38,12 +155,20 @@ fn main() {
         let report = speedup::measure(quick);
         speedup::table(&report).print();
         println!(
-            "speedup: {:.2}x ({} -> {} over {} workers), plans identical: {}",
+            "randomized speedup: {:.2}x ({} -> {} over {} workers), plans identical: {}",
             report.speedup,
             report.runs[0].wall_ms.round(),
             report.runs[report.runs.len() - 1].wall_ms.round(),
             report.worker_threads,
             report.plans_identical
+        );
+        println!(
+            "selinger speedup: {:.2}x ({} -> {} over {} workers), plans identical: {}",
+            report.selinger.speedup,
+            report.selinger.runs[0].wall_ms.round(),
+            report.selinger.runs[report.selinger.runs.len() - 1].wall_ms.round(),
+            report.worker_threads,
+            report.selinger.plans_identical
         );
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -60,6 +185,7 @@ fn main() {
             total_ms += ms;
             println!("fig {:>2}  ok  {:>8.0} ms  {} table(s)  {}", e.id, ms, tables.len(), e.title);
         }
+        selinger_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
         return;
     }
@@ -71,6 +197,7 @@ fn main() {
         }
         println!("  --smoke      every figure at tiny sizes (CI fast path)");
         println!("  --bench-json planner speedup benchmark -> BENCH_planner.json");
+        println!("  --cache-file <path>  TPC-H sweep warm-started from a persisted cache");
         if !list {
             std::process::exit(2);
         }

@@ -190,6 +190,7 @@ mod tests {
         // Paper: cached RAQO ~1.29x of plain QO on average, ~6x better
         // than uncached. Require: cached average within 4x of QO, and
         // cached at least 1.5x faster than uncached on average.
+        let _serial = crate::timing_lock();
         let rows = measure_schema_scaling(true);
         let mut qo = 0.0;
         let mut cached = 0.0;
@@ -225,6 +226,7 @@ mod tests {
     fn across_query_caching_helps_on_repeated_conditions() {
         // The across-query optimizer answered later conditions from a warm
         // cache: its total time must not exceed the per-query total.
+        let _serial = crate::timing_lock();
         let rows = measure_cluster_scaling(true);
         let per: f64 = rows.iter().map(|r| r.per_query_cache_ms).sum();
         let across: f64 = rows.iter().map(|r| r.across_query_cache_ms).sum();

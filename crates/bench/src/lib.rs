@@ -15,3 +15,13 @@ pub mod report;
 pub mod speedup;
 
 pub use report::{Cell, Table};
+
+/// Serializes wall-clock-ratio tests: `cargo test` runs tests on parallel
+/// threads, and a concurrently running `Parallelism::Auto` measurement can
+/// starve another test's timing loop enough to flip its ratio assertion.
+/// Tests that assert relative timings grab this lock first.
+#[cfg(test)]
+pub(crate) fn timing_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -51,6 +51,34 @@ pub struct PlannerBenchReport {
     pub speedup: f64,
     /// All modes produced the same plan tree and cost (bitwise).
     pub plans_identical: bool,
+    /// The Selinger DP run through the same ladder of optimizations.
+    pub selinger: SelingerSeries,
+}
+
+/// The Selinger half of the report: the full System-R DP with exhaustive
+/// per-operator resource planning, run through the cumulative optimization
+/// ladder of this PR — batched cost kernel, parallel DP levels, cross-run
+/// memoization:
+///
+/// 1. `selinger_scalar` — `Parallelism::Off`, scalar kernel: the seed path;
+/// 2. `selinger_batched` — the §VI polynomial evaluated over contiguous
+///    grid slices, branch-free, same winners bit-for-bit;
+/// 3. `selinger_parallel` — DP levels fanned over worker threads with a
+///    deterministic merge, still bit-identical;
+/// 4. `selinger_parallel_memoized` — a *warm* re-optimization replaying
+///    `(left, right, context)` sub-plan decisions from the cross-run memo,
+///    the Fig. 15(b) recurring-conditions pattern.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelingerSeries {
+    pub tables: usize,
+    pub grid_points: u64,
+    pub runs: Vec<ModeResult>,
+    /// scalar-sequential wall-clock / batched+parallel+memoized wall-clock.
+    pub speedup: f64,
+    /// Scalar, batched, and parallel plans are bitwise identical; the warm
+    /// memoized run has the same tree with cost equal to fp noise (the memo
+    /// replays DP-time IO accumulation order).
+    pub plans_identical: bool,
 }
 
 fn mode_name(parallelism: Parallelism) -> String {
@@ -131,6 +159,79 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         runs,
         speedup,
         plans_identical,
+        selinger: measure_selinger(quick),
+    }
+}
+
+/// Run the Selinger optimization ladder (see [`SelingerSeries`]).
+pub fn measure_selinger(quick: bool) -> SelingerSeries {
+    // ≥10 relations and ≥10K grid points in the full run: the DP costs
+    // every connected (sub-plan, relation) extension against the whole
+    // grid, so this is the seed's slowest joint-planning path.
+    let tables = if quick { 8 } else { 10 };
+    let cluster = if quick {
+        ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0)
+    } else {
+        ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0)
+    };
+    let schema = RandomSchemaConfig::with_tables(tables, 5).generate();
+    let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, tables, 3);
+    let model = JoinCostModel::trained_hive();
+
+    // (name, planner, parallelism, batch kernel, warm runs before timing)
+    let modes: [(&str, PlannerKind, Parallelism, bool, usize); 4] = [
+        ("selinger_scalar", PlannerKind::Selinger, Parallelism::Off, false, 0),
+        ("selinger_batched", PlannerKind::Selinger, Parallelism::Off, true, 0),
+        ("selinger_parallel", PlannerKind::Selinger, Parallelism::Auto, true, 0),
+        // Timed *warm*: the memo pays off on re-optimization under
+        // recurring conditions (Fig. 15(b) cluster sweeps).
+        ("selinger_parallel_memoized", PlannerKind::SelingerMemoized, Parallelism::Auto, true, 1),
+    ];
+
+    let mut runs = Vec::new();
+    let mut plans: Vec<(raqo_planner::PlanTree, f64)> = Vec::new();
+    for (name, planner, parallelism, batch, warm_runs) in modes {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            planner,
+            ResourceStrategy::BruteForce,
+        )
+        .with_parallelism(parallelism)
+        .with_batch_kernel(batch);
+        for _ in 0..warm_runs {
+            opt.optimize(&query).expect("warm-up plan");
+        }
+        let (plan, wall_ms) = timed(|| opt.optimize(&query).expect("plan"));
+        runs.push(ModeResult {
+            name: name.into(),
+            parallelism: mode_name(parallelism),
+            memoize: warm_runs > 0,
+            wall_ms,
+            plan_cost: plan.query.cost,
+            plan_cost_calls: plan.stats.plan_cost_calls,
+            resource_iterations: plan.stats.resource_iterations,
+            memo_hits: plan.stats.memo_hits,
+        });
+        plans.push((plan.query.tree.clone(), plan.query.cost));
+    }
+
+    // Scalar, batched, and parallel DP are bit-identical; the memoized run
+    // replays DP-time IOs, so its cost agrees only up to fp noise.
+    let exact = plans[..3]
+        .windows(2)
+        .all(|w| w[0].0 == w[1].0 && w[0].1.to_bits() == w[1].1.to_bits());
+    let warm_matches = plans[3].0 == plans[0].0
+        && (plans[3].1 - plans[0].1).abs() <= 1e-9 * plans[0].1.abs();
+    let speedup = runs[0].wall_ms / runs[3].wall_ms.max(1e-9);
+    SelingerSeries {
+        tables,
+        grid_points: cluster.grid_size(),
+        runs,
+        speedup,
+        plans_identical: exact && warm_matches,
     }
 }
 
@@ -148,7 +249,7 @@ pub fn table(report: &PlannerBenchReport) -> Table {
             "#memo hits",
         ],
     );
-    for r in &report.runs {
+    for r in report.runs.iter().chain(&report.selinger.runs) {
         t.row(vec![
             r.name.clone().into(),
             r.parallelism.clone().into(),
@@ -168,6 +269,7 @@ mod tests {
 
     #[test]
     fn optimized_modes_reproduce_the_sequential_plan_and_win_wall_clock() {
+        let _serial = crate::timing_lock();
         let report = measure(true);
         assert!(report.plans_identical, "modes disagree: {report:?}");
         let seq = &report.runs[0];
@@ -184,6 +286,23 @@ mod tests {
             report.speedup >= 2.0,
             "speedup {:.2}x below the 2x bar: {report:?}",
             report.speedup
+        );
+    }
+
+    #[test]
+    fn selinger_ladder_reproduces_the_scalar_plan_and_wins_wall_clock() {
+        let _serial = crate::timing_lock();
+        let series = measure_selinger(true);
+        assert!(series.plans_identical, "modes disagree: {series:?}");
+        let scalar = &series.runs[0];
+        let warm = &series.runs[3];
+        assert_eq!(scalar.memo_hits, 0);
+        assert!(warm.memo_hits > 0, "warm memoized run never hit: {series:?}");
+        assert!(warm.plan_cost_calls < scalar.plan_cost_calls);
+        assert!(
+            series.speedup >= 2.0,
+            "Selinger speedup {:.2}x below the 2x bar: {series:?}",
+            series.speedup
         );
     }
 }

@@ -7,8 +7,8 @@ use raqo_catalog::{Catalog, JoinGraph, QuerySpec};
 use raqo_cost::OperatorCost;
 use raqo_planner::coster::FixedResourceCoster;
 use raqo_planner::{
-    CardinalityEstimator, PlanTree, PlannedQuery, RandomizedConfig, RandomizedPlanner,
-    SelingerPlanner,
+    CardinalityEstimator, CostMemo, PlanTree, PlannedQuery, RandomizedConfig,
+    RandomizedPlanner, SelingerError, SelingerPlanner,
 };
 use raqo_resource::{CacheLookup, ClusterConditions, Parallelism, SharedCacheBank};
 use serde::{Deserialize, Serialize};
@@ -18,6 +18,15 @@ use serde::{Deserialize, Serialize};
 pub enum PlannerKind {
     /// System-R bottom-up DP over left-deep trees.
     Selinger,
+    /// Selinger with a sub-plan cost memo that outlives individual
+    /// `optimize` calls: repeated planning of the same query — notably the
+    /// Fig. 15(b) cluster sweeps — replays previously costed (left, right)
+    /// sub-plans instead of re-running resource planning. The memo is
+    /// keyed on a context folding in the cluster fingerprint, objective,
+    /// and resource strategy, so changed conditions never replay stale
+    /// decisions. Identical plans to [`PlannerKind::Selinger`] whenever
+    /// the coster is deterministic in a join's IO characteristics.
+    SelingerMemoized,
     /// The fast randomized multi-objective planner.
     FastRandomized(RandomizedConfig),
 }
@@ -69,6 +78,9 @@ pub struct RaqoOptimizer<'a, M: OperatorCost> {
     pub model: Shared<'a, M>,
     pub planner: PlannerKind,
     coster: RaqoCoster<'a, M>,
+    /// Cross-run Selinger sub-plan memo ([`PlannerKind::SelingerMemoized`]),
+    /// lazily created on the first memoized run.
+    selinger_memo: Option<CostMemo>,
 }
 
 impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
@@ -82,7 +94,14 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     ) -> Self {
         let model = model.into();
         let coster = RaqoCoster::new(model.clone(), cluster, strategy, Objective::Time);
-        RaqoOptimizer { catalog: catalog.into(), graph: graph.into(), model, planner, coster }
+        RaqoOptimizer {
+            catalog: catalog.into(),
+            graph: graph.into(),
+            model,
+            planner,
+            coster,
+            selinger_memo: None,
+        }
     }
 
     /// Convenience: hill climbing + nearest-neighbour caching, the
@@ -116,6 +135,19 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.parallelism = parallelism;
     }
 
+    /// Builder form of [`RaqoOptimizer::set_batch_kernel`].
+    pub fn with_batch_kernel(mut self, on: bool) -> Self {
+        self.coster.use_batch = on;
+        self
+    }
+
+    /// Route brute-force resource scans through the batched cost kernel
+    /// (on by default; bit-identical winners either way — see
+    /// [`RaqoCoster::use_batch`]).
+    pub fn set_batch_kernel(&mut self, on: bool) {
+        self.coster.use_batch = on;
+    }
+
     /// Planner statistics accumulated so far.
     pub fn stats(&self) -> RaqoStats {
         self.coster.stats
@@ -146,10 +178,94 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.set_cluster(cluster);
     }
 
+    /// Context tag for the Selinger memo: everything a cached join
+    /// decision depends on besides the join's own IO. A change in any of
+    /// these keys the memo into a fresh partition, so stale decisions are
+    /// never replayed (restoring previous conditions revives their
+    /// entries — the Fig. 15(b) sweep-and-return pattern).
+    fn selinger_context(&self) -> u64 {
+        let c = &self.coster;
+        let (obj_tag, obj_param) = match c.objective {
+            Objective::Time => (0u64, 0.0),
+            Objective::Money => (1, 0.0),
+            Objective::Weighted { time_weight } => (2, time_weight),
+            Objective::TimeUnderBudget { money_budget_tb_sec } => (3, money_budget_tb_sec),
+        };
+        let (strat_tag, strat_param) = match c.strategy {
+            ResourceStrategy::BruteForce => (0u64, 0.0),
+            ResourceStrategy::HillClimb => (1, 0.0),
+            ResourceStrategy::HillClimbCached(lookup) => match lookup {
+                CacheLookup::Exact => (2, 0.0),
+                CacheLookup::NearestNeighbor { threshold } => (3, threshold),
+                CacheLookup::WeightedAverage { threshold } => (4, threshold),
+            },
+        };
+        // Parallel hill climbing is multi-start and can land in a different
+        // (better) optimum than the single greedy climb, so the flag is
+        // part of the context.
+        let multi_start = u64::from(c.parallelism != Parallelism::Off);
+        let words = [
+            c.cluster.fingerprint(),
+            obj_tag,
+            obj_param.to_bits(),
+            strat_tag,
+            strat_param.to_bits(),
+            multi_start,
+        ];
+        // FNV-1a over the words, matching the cluster fingerprint's scheme.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     fn run_planner(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
         match &self.planner {
-            PlannerKind::Selinger => {
-                SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut self.coster)
+            PlannerKind::Selinger | PlannerKind::SelingerMemoized => {
+                let parallelism = self.coster.parallelism;
+                let memoized = matches!(self.planner, PlannerKind::SelingerMemoized);
+                let context = self.selinger_context();
+                let hits_before = self.selinger_memo.as_ref().map_or(0, CostMemo::hits);
+                let memo = if memoized {
+                    let m = self.selinger_memo.get_or_insert_with(CostMemo::default);
+                    m.set_context(context);
+                    Some(m)
+                } else {
+                    None
+                };
+                let result = SelingerPlanner::plan_with(
+                    &self.catalog,
+                    &self.graph,
+                    query,
+                    &mut self.coster,
+                    parallelism,
+                    memo,
+                );
+                match result {
+                    Ok(planned) => {
+                        if let Some(m) = &self.selinger_memo {
+                            self.coster.stats.memo_hits += m.hits() - hits_before;
+                        }
+                        Some(planned)
+                    }
+                    Err(SelingerError::TooManyRelations { .. }) => {
+                        // Graceful fallback: the randomized planner has no
+                        // relation bound.
+                        let cfg = RandomizedConfig::default();
+                        let out = RandomizedPlanner::plan(
+                            &self.catalog,
+                            &self.graph,
+                            query,
+                            &mut self.coster,
+                            &cfg,
+                        )?;
+                        Some(out.best)
+                    }
+                    Err(SelingerError::Infeasible) => None,
+                }
             }
             PlannerKind::FastRandomized(cfg) => {
                 let cfg = cfg.clone();
@@ -183,8 +299,16 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     ) -> Option<PlannedQuery> {
         let mut fixed = FixedResourceCoster::new(&*self.model, containers, container_size_gb);
         match &self.planner {
-            PlannerKind::Selinger => {
-                SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut fixed)
+            PlannerKind::Selinger | PlannerKind::SelingerMemoized => {
+                match SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut fixed) {
+                    Ok(planned) => Some(planned),
+                    Err(SelingerError::TooManyRelations { .. }) => {
+                        let cfg = RandomizedConfig::default();
+                        RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &cfg)
+                            .map(|o| o.best)
+                    }
+                    Err(SelingerError::Infeasible) => None,
+                }
             }
             PlannerKind::FastRandomized(cfg) => {
                 let cfg = cfg.clone();
@@ -446,5 +570,109 @@ mod tests {
         let a = opt.optimize(&QuerySpec::tpch_q12()).unwrap();
         let b = opt.optimize(&QuerySpec::tpch_q12()).unwrap();
         assert_eq!(a.stats.resource_iterations, b.stats.resource_iterations);
+    }
+
+    #[test]
+    fn memoized_selinger_matches_plain_and_reuses_across_runs() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_all(&schema);
+        let mut plain =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+        let a = plain.optimize(&query).unwrap();
+        let mut memo = optimizer(
+            &schema,
+            model(),
+            PlannerKind::SelingerMemoized,
+            ResourceStrategy::HillClimb,
+        );
+        let b1 = memo.optimize(&query).unwrap();
+        let b2 = memo.optimize(&query).unwrap();
+        // Same winning join order; costs agree to fp noise (the memo
+        // replays DP-time IOs, whose float accumulation order differs from
+        // the final tree walk in the last bits).
+        assert_eq!(a.query.tree, b1.query.tree);
+        assert_eq!(b1.query.tree, b2.query.tree);
+        assert!((a.query.cost - b1.query.cost).abs() <= 1e-9 * a.query.cost.abs());
+        assert!((b1.query.cost - b2.query.cost).abs() <= 1e-9 * b1.query.cost.abs());
+        // The Fig. 15(b) cluster-sweep payoff: a repeated run replays every
+        // sub-plan decision from the memo instead of re-searching.
+        assert!(
+            b2.stats.memo_hits > b1.stats.memo_hits,
+            "second memoized run never hit: first={} second={}",
+            b1.stats.memo_hits,
+            b2.stats.memo_hits
+        );
+        assert!(b2.stats.plan_cost_calls < b1.stats.plan_cost_calls);
+    }
+
+    #[test]
+    fn memoized_selinger_never_replays_stale_cluster_decisions() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let mut opt = optimizer(
+            &schema,
+            model(),
+            PlannerKind::SelingerMemoized,
+            ResourceStrategy::BruteForce,
+        );
+        let warm = opt.optimize(&query).unwrap();
+        // The cluster shrinks: cached decisions for the old conditions must
+        // not leak into the new context.
+        let small = ClusterConditions::two_dim(1.0..=8.0, 1.0..=2.0, 1.0, 1.0);
+        opt.set_cluster(small.clone());
+        let shrunk = opt.optimize(&query).unwrap();
+        let mut fresh =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        fresh.set_cluster(small);
+        let expect = fresh.optimize(&query).unwrap();
+        assert_eq!(shrunk.query.tree, expect.query.tree);
+        assert!((shrunk.query.cost - expect.query.cost).abs() <= 1e-9 * expect.query.cost.abs());
+        // Restoring the original conditions revives the old partition.
+        opt.set_cluster(ClusterConditions::paper_default());
+        let revived = opt.optimize(&query).unwrap();
+        assert_eq!(revived.query.tree, warm.query.tree);
+        assert!(
+            revived.stats.memo_hits > 0,
+            "restored cluster should replay its original memo entries"
+        );
+    }
+
+    #[test]
+    fn batch_kernel_toggle_is_bit_identical() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_all(&schema);
+        let mut batched =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let a = batched.optimize(&query).unwrap();
+        let mut scalar =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        scalar.set_batch_kernel(false);
+        let b = scalar.optimize(&query).unwrap();
+        assert_eq!(a.query, b.query, "batched grid scan must be bit-identical to scalar");
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn too_many_relations_falls_back_to_randomized_planning() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(24, 7).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 7);
+        assert_eq!(query.relations.len(), 21);
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        // 21 relations exceed the DP's bitset bound; the optimizer degrades
+        // gracefully to the randomized planner instead of failing.
+        let planned = opt
+            .plan_for_resources(&query, 10.0, 6.0)
+            .expect("randomized fallback should still plan");
+        assert!(raqo_planner::plan::covers_exactly(&planned.tree, &query.relations));
+        assert_eq!(planned.joins.len(), 20);
+        assert!(planned.cost.is_finite() && planned.cost > 0.0);
     }
 }

@@ -19,8 +19,9 @@ use raqo_cost::objective::CostVector;
 use raqo_cost::OperatorCost;
 use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
 use raqo_resource::{
-    brute_force_parallel, hill_climb, hill_climb_multi, CacheLookup, CacheStats,
-    ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig, SharedCacheBank,
+    brute_force_parallel, brute_force_parallel_batch, hill_climb, hill_climb_multi,
+    CacheLookup, CacheStats, ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig,
+    SharedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
 use serde::{Deserialize, Serialize};
@@ -131,6 +132,12 @@ pub struct RaqoCoster<'a, M: OperatorCost> {
     /// brute-force grid across workers (bit-identical result) and upgrade
     /// hill climbing to deterministic multi-start.
     pub parallelism: Parallelism,
+    /// Route brute-force resource scans through the batched cost kernel
+    /// ([`OperatorCost::join_cost_batch_at`]), which evaluates the cost
+    /// polynomial over contiguous grid slices instead of point-by-point.
+    /// Bit-identical winners; kept switchable so benchmarks can isolate
+    /// the kernel's contribution.
+    pub use_batch: bool,
     pub stats: RaqoStats,
     cache: SharedCacheBank,
 }
@@ -148,6 +155,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             strategy,
             objective,
             parallelism: Parallelism::Off,
+            use_batch: true,
             stats: RaqoStats::default(),
             cache: SharedCacheBank::new(),
         }
@@ -158,6 +166,13 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
         self.parallelism = parallelism;
         self
     }
+
+    /// Builder form of setting [`RaqoCoster::use_batch`].
+    pub fn with_batch_kernel(mut self, on: bool) -> Self {
+        self.use_batch = on;
+        self
+    }
+
 
     /// Clear the resource-plan cache (the evaluation clears it between
     /// queries unless across-query caching is under test, §VII).
@@ -200,9 +215,46 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
     /// Resource-plan one operator implementation for one join. Returns the
     /// chosen configuration and its *time* estimate, or `None` when the
     /// implementation is infeasible everywhere reachable.
+    #[cfg(test)]
     fn plan_operator(&mut self, join: JoinImpl, io: &JoinIo) -> Option<(ResourceConfig, f64)> {
+        let ctx = CostCtx {
+            model: &*self.model,
+            cluster: &self.cluster,
+            strategy: self.strategy,
+            objective: self.objective,
+            parallelism: self.parallelism,
+            use_batch: self.use_batch,
+            cache: &self.cache,
+        };
+        ctx.plan_operator(join, io, &mut self.stats)
+    }
+}
+
+/// The read-only inputs of one `getPlanCost` evaluation, split off the
+/// coster so [`PlanCoster::join_cost_many`] can fan independent joins out
+/// over scoped threads: each worker borrows the context immutably and owns
+/// a local [`RaqoStats`] that is summed back deterministically.
+struct CostCtx<'c, M> {
+    model: &'c M,
+    cluster: &'c ClusterConditions,
+    strategy: ResourceStrategy,
+    objective: Objective,
+    /// Resource-search parallelism *inside* one join's planning.
+    parallelism: Parallelism,
+    use_batch: bool,
+    cache: &'c SharedCacheBank,
+}
+
+impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
+    /// See [`RaqoCoster::plan_operator`].
+    fn plan_operator(
+        &self,
+        join: JoinImpl,
+        io: &JoinIo,
+        stats: &mut RaqoStats,
+    ) -> Option<(ResourceConfig, f64)> {
         // The scalarized cost surface for the search.
-        let model = &self.model;
+        let model = self.model;
         let objective = self.objective;
         let build = io.build_gb;
         let probe = io.probe_gb;
@@ -214,22 +266,41 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
         };
 
         let outcome: PlanningOutcome = match self.strategy {
-            // Off routes through the sequential scan inside
-            // `brute_force_parallel`; any other setting splits the grid
-            // across workers with a bit-identical merged result.
+            // Off routes through the sequential scan inside the parallel
+            // entry points; any other setting splits the grid across
+            // workers with a bit-identical merged result.
             ResourceStrategy::BruteForce => {
-                brute_force_parallel(&self.cluster, cost_fn, self.parallelism)
+                if self.use_batch {
+                    // Whole grid slices go through the fused kernel; raw
+                    // times are scalarized afterwards. The explicit
+                    // `is_finite` guard keeps infeasible points at +∞ even
+                    // under objectives with a zero weight (0·∞ is NaN).
+                    let batch_fn = |_lo: u64, configs: &[ResourceConfig], out: &mut [f64]| {
+                        model.join_cost_batch_at(join, build, probe, configs, out);
+                        for (c, r) in out.iter_mut().zip(configs) {
+                            *c = if c.is_finite() {
+                                objective.score(*c, r)
+                            } else {
+                                f64::INFINITY
+                            };
+                        }
+                    };
+                    brute_force_parallel_batch(self.cluster, batch_fn, self.parallelism)
+                } else {
+                    brute_force_parallel(self.cluster, cost_fn, self.parallelism)
+                }
             }
             ResourceStrategy::HillClimb => {
                 if self.parallelism == Parallelism::Off {
                     let start = self.feasible_start(join, io)?;
-                    hill_climb(&self.cluster, start, cost_fn)
+                    hill_climb(self.cluster, start, cost_fn)
                 } else {
                     // Parallel mode upgrades to multi-start climbing. The
-                    // corner seeds subsume `feasible_start`: BHJ feasibility
-                    // is monotone in container size, so whenever any start
-                    // is feasible the max-size corner is too.
-                    hill_climb_multi(&self.cluster, cost_fn, self.parallelism)
+                    // seed set subsumes `feasible_start`: BHJ feasibility
+                    // is monotone in container size, and both seed
+                    // strategies include the max-size corner, so whenever
+                    // any start is feasible that corner is too.
+                    hill_climb_multi(self.cluster, cost_fn, self.parallelism)
                 }
             }
             ResourceStrategy::HillClimbCached(lookup) => {
@@ -239,8 +310,8 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
                     // Cached configurations may come from interpolation or
                     // (after re-optimization) other cluster conditions:
                     // clamp and snap to the grid before use.
-                    let snapped = snap_to_grid(&self.cluster, &cached);
-                    self.stats.cache_hits += 1;
+                    let snapped = snap_to_grid(self.cluster, &cached);
+                    stats.cache_hits += 1;
                     let c = cost_fn(&snapped);
                     PlanningOutcome { config: snapped, cost: c, iterations: 1 }
                 } else {
@@ -249,7 +320,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
                     // per miss and letting the cache amortize, so a
                     // multi-start search would defeat the accounting.
                     let start = self.feasible_start(join, io)?;
-                    let out = hill_climb(&self.cluster, start, cost_fn);
+                    let out = hill_climb(self.cluster, start, cost_fn);
                     if out.cost.is_finite() {
                         self.cache.insert(impl_cache_id(join), OP_JOIN, io.build_gb, out.config);
                     }
@@ -257,7 +328,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
                 }
             }
         };
-        self.stats.resource_iterations += outcome.iterations;
+        stats.resource_iterations += outcome.iterations;
         if !outcome.cost.is_finite() {
             return None;
         }
@@ -293,26 +364,13 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
         }
         None
     }
-}
 
-/// Clamp into bounds and round onto the discrete grid.
-fn snap_to_grid(cluster: &ClusterConditions, r: &ResourceConfig) -> ResourceConfig {
-    let mut out = cluster.clamp(r);
-    let steps = cluster.discrete_steps();
-    for i in 0..out.dims() {
-        let offset = out.get(i) - cluster.min.get(i);
-        let snapped = cluster.min.get(i) + (offset / steps.get(i)).round() * steps.get(i);
-        out.set(i, snapped.clamp(cluster.min.get(i), cluster.max.get(i)));
-    }
-    out
-}
-
-impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
-    fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
-        self.stats.plan_cost_calls += 1;
+    /// One full `getPlanCost` evaluation (both implementations, best wins).
+    fn cost_join(&self, io: &JoinIo, stats: &mut RaqoStats) -> Option<JoinDecision> {
+        stats.plan_cost_calls += 1;
         let mut best: Option<JoinDecision> = None;
         for join in JoinImpl::ALL {
-            let Some((r, time)) = self.plan_operator(join, io) else { continue };
+            let Some((r, time)) = self.plan_operator(join, io, stats) else { continue };
             let (nc, cs) = (r.containers(), r.container_size_gb());
             let cost = self.objective.score(time, &r);
             if !cost.is_finite() {
@@ -331,6 +389,101 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             }
         }
         best
+    }
+}
+
+/// Clamp into bounds and round onto the discrete grid.
+fn snap_to_grid(cluster: &ClusterConditions, r: &ResourceConfig) -> ResourceConfig {
+    let mut out = cluster.clamp(r);
+    let steps = cluster.discrete_steps();
+    for i in 0..out.dims() {
+        let offset = out.get(i) - cluster.min.get(i);
+        let snapped = cluster.min.get(i) + (offset / steps.get(i)).round() * steps.get(i);
+        out.set(i, snapped.clamp(cluster.min.get(i), cluster.max.get(i)));
+    }
+    out
+}
+
+impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
+    fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
+        let ctx = CostCtx {
+            model: &*self.model,
+            cluster: &self.cluster,
+            strategy: self.strategy,
+            objective: self.objective,
+            parallelism: self.parallelism,
+            use_batch: self.use_batch,
+            cache: &self.cache,
+        };
+        ctx.cost_join(io, &mut self.stats)
+    }
+
+    /// Fan a batch of independent joins out over `parallelism` scoped
+    /// threads (the parallel Selinger DP's per-level submission). Costing
+    /// here is a pure function of the `JoinIo` — except under
+    /// `HillClimbCached`, whose cache warms in call order, so that strategy
+    /// stays sequential. Decisions land at their input index and worker
+    /// stats are summed back in chunk order, so results and counters are
+    /// deterministic for any thread count.
+    fn join_cost_many(
+        &mut self,
+        ios: &[JoinIo],
+        parallelism: Parallelism,
+    ) -> Vec<Option<JoinDecision>> {
+        let fan_out = !matches!(parallelism, Parallelism::Off)
+            && parallelism.workers() > 1
+            && ios.len() > 1
+            && !matches!(self.strategy, ResourceStrategy::HillClimbCached(_));
+        if !fan_out {
+            return ios.iter().map(|io| self.join_cost(io)).collect();
+        }
+        // Workers keep this coster's algorithm choices (multi-start
+        // climbing iff the coster itself is parallel) but search
+        // single-threaded: the per-join fan-out already owns the threads,
+        // and both route to the same deterministic winner.
+        let worker_parallelism = if self.parallelism == Parallelism::Off {
+            Parallelism::Off
+        } else {
+            Parallelism::Threads(1)
+        };
+        let ctx = CostCtx {
+            model: &*self.model,
+            cluster: &self.cluster,
+            strategy: self.strategy,
+            objective: self.objective,
+            parallelism: worker_parallelism,
+            use_batch: self.use_batch,
+            cache: &self.cache,
+        };
+        let workers = parallelism.workers().min(ios.len());
+        let chunk = ios.len().div_ceil(workers);
+        let ctx = &ctx;
+        let per_chunk: Vec<(Vec<Option<JoinDecision>>, RaqoStats)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ios
+                    .chunks(chunk)
+                    .map(|ios_chunk| {
+                        scope.spawn(move || {
+                            let mut stats = RaqoStats::default();
+                            let decisions: Vec<Option<JoinDecision>> = ios_chunk
+                                .iter()
+                                .map(|io| ctx.cost_join(io, &mut stats))
+                                .collect();
+                            (decisions, stats)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("cost worker panicked")).collect()
+            });
+        let mut out = Vec::with_capacity(ios.len());
+        for (decisions, stats) in per_chunk {
+            out.extend(decisions);
+            self.stats.resource_iterations += stats.resource_iterations;
+            self.stats.plan_cost_calls += stats.plan_cost_calls;
+            self.stats.cache_hits += stats.cache_hits;
+            self.stats.memo_hits += stats.memo_hits;
+        }
+        out
     }
 }
 

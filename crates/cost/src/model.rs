@@ -42,6 +42,28 @@ pub trait OperatorCost {
         self.join_cost(join, build_gb, probe_gb, r.containers(), r.container_size_gb())
     }
 
+    /// Batched form of [`OperatorCost::join_cost_at`]: evaluate one join
+    /// over a slice of resource configurations, writing one cost per config
+    /// into `out` (`f64::INFINITY` where the operator is infeasible, so the
+    /// output is totally ordered and branch-free to scan). The default loops
+    /// the scalar path; models with a closed form that autovectorizes
+    /// override it.
+    fn join_cost_batch_at(
+        &self,
+        join: JoinImpl,
+        build_gb: f64,
+        probe_gb: f64,
+        configs: &[ResourceConfig],
+        out: &mut [f64],
+    ) {
+        assert_eq!(configs.len(), out.len(), "one output slot per config");
+        for (r, o) in configs.iter().zip(out.iter_mut()) {
+            *o = self
+                .join_cost_at(join, build_gb, probe_gb, r)
+                .unwrap_or(f64::INFINITY);
+        }
+    }
+
     /// Cheapest feasible implementation for one join, if any implementation
     /// is feasible (SMJ always is, for both provided models).
     fn best_impl(
@@ -140,6 +162,65 @@ impl JoinCostModel {
     pub fn trained_hive_extended() -> Self {
         JoinCostModel::train(&Engine::hive(), &ProfileGrid::paper_default(), FeatureMap::Extended)
     }
+
+    /// Branch-free batched evaluation of the §VI polynomial over a slice of
+    /// grid points: the `ss`-only terms are folded into one per-join base
+    /// constant, then a multiply-add sweep over `(cs, nc)` fills `out`
+    /// (`f64::INFINITY` where BHJ is infeasible, via a select rather than a
+    /// branch, so the loop autovectorizes).
+    ///
+    /// Bit-identical to the scalar [`OperatorCost::join_cost`]: the
+    /// accumulation replays `LinearModel::predict`'s left-to-right fold —
+    /// same operations, same order, same rounding — and the feasibility test
+    /// is the identical `build_gb > cs * capacity` comparison (SMJ uses an
+    /// infinite capacity so it never trips).
+    pub fn join_cost_batch(
+        &self,
+        join: JoinImpl,
+        build_gb: f64,
+        configs: &[ResourceConfig],
+        out: &mut [f64],
+    ) {
+        assert_eq!(configs.len(), out.len(), "one output slot per config");
+        let (model, cap) = match join {
+            JoinImpl::SortMerge => (&self.smj, f64::INFINITY),
+            JoinImpl::BroadcastHash => (&self.bhj, self.bhj_capacity_per_gb),
+        };
+        let c = &model.coefficients;
+        assert_eq!(c.len(), self.feature_map.arity(), "model arity matches feature map");
+        let ss = build_gb;
+        // `predict` is a left fold from 0.0 in feature order; features 0–1
+        // depend only on `ss`, so their partial sum is a constant per join.
+        let base = (0.0 + c[0] * ss) + c[1] * (ss * ss);
+        let floor = self.floor;
+        match self.feature_map {
+            FeatureMap::Paper => {
+                for (r, o) in configs.iter().zip(out.iter_mut()) {
+                    let nc = r.containers();
+                    let cs = r.container_size_gb();
+                    let acc = ((((base + c[2] * cs) + c[3] * (cs * cs)) + c[4] * nc)
+                        + c[5] * (nc * nc))
+                        + c[6] * (cs * nc);
+                    let cost = acc.max(floor);
+                    *o = if build_gb > cs * cap { f64::INFINITY } else { cost };
+                }
+            }
+            FeatureMap::Extended => {
+                for (r, o) in configs.iter().zip(out.iter_mut()) {
+                    let nc = r.containers();
+                    let cs = r.container_size_gb();
+                    let acc = (((((((base + c[2] * cs) + c[3] * (cs * cs)) + c[4] * nc)
+                        + c[5] * (nc * nc))
+                        + c[6] * (cs * nc))
+                        + c[7] * (1.0 / nc))
+                        + c[8] * (ss / nc))
+                        + c[9] * 1.0;
+                    let cost = acc.max(floor);
+                    *o = if build_gb > cs * cap { f64::INFINITY } else { cost };
+                }
+            }
+        }
+    }
 }
 
 impl OperatorCost for JoinCostModel {
@@ -162,6 +243,17 @@ impl OperatorCost for JoinCostModel {
                 }
             }
         }
+    }
+
+    fn join_cost_batch_at(
+        &self,
+        join: JoinImpl,
+        build_gb: f64,
+        _probe_gb: f64,
+        configs: &[ResourceConfig],
+        out: &mut [f64],
+    ) {
+        self.join_cost_batch(join, build_gb, configs, out);
     }
 }
 
@@ -310,6 +402,52 @@ mod tests {
         let b = engine.join_time(JoinImpl::SortMerge, 2.0, 40.0, 10.0, 4.0).unwrap();
         assert_eq!(a, b);
         assert!(oracle.join_cost(JoinImpl::BroadcastHash, 50.0, 60.0, 10.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_bitwise() {
+        use raqo_resource::ClusterConditions;
+        // Both feature maps, both joins, build sizes straddling the BHJ
+        // feasibility boundary: every grid point must agree bit-for-bit
+        // with the scalar path (infeasible -> INFINITY).
+        let cluster = ClusterConditions::paper_default();
+        let configs: Vec<_> = cluster.grid().collect();
+        for model in [JoinCostModel::trained_hive(), JoinCostModel::trained_hive_extended()] {
+            for join in raqo_sim::engine::JoinImpl::ALL {
+                for build_gb in [0.4, 3.4, 9.0, 40.0] {
+                    let mut batch = vec![0.0; configs.len()];
+                    model.join_cost_batch(join, build_gb, &configs, &mut batch);
+                    for (r, b) in configs.iter().zip(&batch) {
+                        let scalar = model
+                            .join_cost_at(join, build_gb, 77.0, r)
+                            .unwrap_or(f64::INFINITY);
+                        assert_eq!(
+                            scalar.to_bits(),
+                            b.to_bits(),
+                            "{join:?} ss={build_gb} at {r:?}: scalar={scalar} batch={b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_batch_impl_matches_scalar_for_oracle() {
+        use raqo_resource::ClusterConditions;
+        let oracle = SimOracleCost::hive();
+        let cluster = ClusterConditions::two_dim(1.0..=20.0, 1.0..=6.0, 1.0, 1.0);
+        let configs: Vec<_> = cluster.grid().collect();
+        let mut batch = vec![0.0; configs.len()];
+        oracle.join_cost_batch_at(JoinImpl::BroadcastHash, 5.0, 77.0, &configs, &mut batch);
+        for (r, b) in configs.iter().zip(&batch) {
+            let scalar = oracle
+                .join_cost_at(JoinImpl::BroadcastHash, 5.0, 77.0, r)
+                .unwrap_or(f64::INFINITY);
+            assert_eq!(scalar.to_bits(), b.to_bits());
+        }
+        assert!(batch.iter().any(|c| c.is_finite()));
+        assert!(batch.iter().any(|c| c.is_infinite()));
     }
 
     #[test]

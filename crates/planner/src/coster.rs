@@ -19,6 +19,7 @@ use crate::plan::PlanTree;
 use raqo_catalog::TableId;
 use raqo_cost::objective::CostVector;
 use raqo_cost::OperatorCost;
+use raqo_resource::Parallelism;
 use raqo_sim::engine::JoinImpl;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,21 @@ pub struct JoinDecision {
 /// implementation of this join is feasible.
 pub trait PlanCoster {
     fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision>;
+
+    /// Cost a batch of *independent* joins, returning one decision per
+    /// input, in input order. The parallel Selinger DP submits a whole
+    /// level's candidate extensions through this seam. The default costs
+    /// them sequentially (any coster is trivially correct); implementations
+    /// whose costing is a pure function of the `JoinIo` may fan the batch
+    /// out over `parallelism` worker threads, as long as the returned
+    /// decisions are identical to sequential per-call costing.
+    fn join_cost_many(
+        &mut self,
+        ios: &[JoinIo],
+        _parallelism: Parallelism,
+    ) -> Vec<Option<JoinDecision>> {
+        ios.iter().map(|io| self.join_cost(io)).collect()
+    }
 }
 
 /// One costed join of a finished plan.

@@ -35,4 +35,4 @@ pub use coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
 pub use memo::{cost_tree_memo, CostMemo};
 pub use plan::PlanTree;
 pub use randomized::{RandomizedConfig, RandomizedPlanner};
-pub use selinger::SelingerPlanner;
+pub use selinger::{SelingerError, SelingerPlanner};

@@ -31,14 +31,24 @@ use raqo_catalog::TableId;
 use raqo_cost::objective::CostVector;
 use std::collections::HashMap;
 
-/// Memo of join decisions keyed on (left bitset, right bitset) of the join
-/// inputs. `None` records an infeasible join.
+/// Memo of join decisions keyed on (left bitset, right bitset, context) of
+/// the join inputs. `None` records an infeasible join.
+///
+/// The *context* tag (default 0) lets one memo outlive a single planner run
+/// without ever replaying a decision under conditions it was not costed for:
+/// the optimizer folds the cluster fingerprint, objective, and resource
+/// strategy into it, so a Fig. 15(b) cluster sweep keeps per-cluster entries
+/// side by side and re-planning under previously seen conditions is free.
 #[derive(Debug, Default)]
 pub struct CostMemo {
-    /// Query-relative dense index of each relation (bit position).
+    /// Dense index of each relation (bit position), grown on demand by
+    /// [`CostMemo::ensure_relations`].
     index: HashMap<TableId, u32>,
-    /// (left, right) → io + decision, or `None` for "coster said infeasible".
-    entries: HashMap<(u128, u128), Option<(JoinIo, JoinDecision)>>,
+    /// (left, right, context) → io + decision, or `None` for "coster said
+    /// infeasible".
+    entries: HashMap<(u128, u128, u64), Option<(JoinIo, JoinDecision)>>,
+    /// Tag mixed into every key; see [`CostMemo::set_context`].
+    context: u64,
     hits: u64,
     misses: u64,
 }
@@ -65,6 +75,35 @@ impl CostMemo {
     /// queries and for relations outside the indexed set.)
     pub fn enabled(&self) -> bool {
         !self.index.is_empty()
+    }
+
+    /// Extend the relation index with any not-yet-indexed relations, as far
+    /// as the bitset width allows. Lets one memo serve successive planner
+    /// runs (the cluster-sweep reuse mode): relations beyond the capacity
+    /// simply bypass the memo via [`CostMemo::key_of`] returning `None`.
+    pub fn ensure_relations(&mut self, relations: &[TableId]) {
+        for &t in relations {
+            if self.index.len() >= Self::MAX_RELATIONS {
+                break;
+            }
+            let next = self.index.len() as u32;
+            self.index.entry(t).or_insert(next);
+        }
+    }
+
+    /// Set the context tag mixed into every memo key from now on. Callers
+    /// must change the context whenever anything a cached decision depends
+    /// on changes — cluster conditions, objective, resource strategy —
+    /// otherwise stale decisions would be replayed. Entries recorded under
+    /// other contexts stay in the memo and become live again when their
+    /// context is restored.
+    pub fn set_context(&mut self, context: u64) {
+        self.context = context;
+    }
+
+    /// The current context tag.
+    pub fn context(&self) -> u64 {
+        self.context
     }
 
     /// Memo hits so far (each one is a skipped `getPlanCost` call).
@@ -99,11 +138,12 @@ impl CostMemo {
         est: &CardinalityEstimator<'_>,
         coster: &mut dyn PlanCoster,
     ) -> Option<(JoinIo, JoinDecision)> {
-        let Some(key) = self.key_of(lrels).zip(self.key_of(rrels)) else {
+        let Some((l, r)) = self.key_of(lrels).zip(self.key_of(rrels)) else {
             // Memo bypass: behave exactly like the unmemoized path.
             let io = est.join_io(lrels, rrels);
             return coster.join_cost(&io).map(|d| (io, d));
         };
+        let key = (l, r, self.context);
         if let Some(cached) = self.entries.get(&key) {
             self.hits += 1;
             return *cached;
@@ -113,6 +153,44 @@ impl CostMemo {
         let outcome = coster.join_cost(&io).map(|d| (io, d));
         self.entries.insert(key, outcome);
         outcome
+    }
+
+    /// Look up a recorded decision without costing on a miss. Outer `None`
+    /// means "not recorded (or memo bypassed for these relations)" — the
+    /// caller costs the join itself and should [`CostMemo::record`] the
+    /// outcome; inner `None` is a recorded infeasible join. Counts a hit or
+    /// a miss when the memo is enabled for these relations.
+    pub fn get(
+        &mut self,
+        lrels: &[TableId],
+        rrels: &[TableId],
+    ) -> Option<Option<(JoinIo, JoinDecision)>> {
+        let (l, r) = self.key_of(lrels).zip(self.key_of(rrels))?;
+        match self.entries.get(&(l, r, self.context)) {
+            Some(cached) => {
+                self.hits += 1;
+                Some(*cached)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record an externally costed outcome for a (left, right) pair under
+    /// the current context (the batch-costing path pairs this with
+    /// [`CostMemo::get`]). No-op when the memo is bypassed for these
+    /// relations.
+    pub fn record(
+        &mut self,
+        lrels: &[TableId],
+        rrels: &[TableId],
+        outcome: Option<(JoinIo, JoinDecision)>,
+    ) {
+        if let Some((l, r)) = self.key_of(lrels).zip(self.key_of(rrels)) {
+            self.entries.insert((l, r, self.context), outcome);
+        }
     }
 }
 
@@ -239,6 +317,84 @@ mod tests {
         assert!(cost_tree_memo(&tree, &est, &mut never, &mut memo).is_none());
         assert_eq!(never.0, 1, "infeasibility must be cached");
         assert_eq!(memo.hits(), 1);
+    }
+
+    #[test]
+    fn context_change_isolates_entries_and_restoring_revives_them() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM];
+        let tree = PlanTree::left_deep(&rels);
+        let mut memo = CostMemo::new(&rels);
+
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (0, 2));
+
+        // A new context must not replay context-0 decisions.
+        memo.set_context(7);
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (0, 4));
+
+        // Restoring an old context makes its entries live again.
+        memo.set_context(0);
+        let calls_before = coster.calls;
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!(coster.calls, calls_before);
+        assert_eq!((memo.hits(), memo.misses()), (2, 4));
+    }
+
+    #[test]
+    fn ensure_relations_extends_an_existing_memo() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let mut memo = CostMemo::new(&[table::CUSTOMER, table::ORDERS]);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+
+        // SUPPLIER is unknown → this tree's top join bypasses the memo.
+        let tree = PlanTree::left_deep(&[table::CUSTOMER, table::ORDERS, table::SUPPLIER]);
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+
+        // After extending the index the same join is memoized normally.
+        memo.ensure_relations(&[table::SUPPLIER]);
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!((memo.hits(), memo.misses()), (3, 2));
+    }
+
+    #[test]
+    fn get_and_record_round_trip() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS];
+        let mut memo = CostMemo::new(&rels);
+
+        let l = [table::CUSTOMER];
+        let r = [table::ORDERS];
+        assert_eq!(memo.get(&l, &r), None);
+        assert_eq!((memo.hits(), memo.misses()), (0, 1));
+
+        let io = est.join_io(&l, &r);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let decision = coster.join_cost(&io).unwrap();
+        memo.record(&l, &r, Some((io, decision)));
+        assert_eq!(memo.get(&l, &r), Some(Some((io, decision))));
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+
+        // Recorded infeasibility replays as the inner None.
+        memo.record(&r, &l, None);
+        assert_eq!(memo.get(&r, &l), Some(None));
+
+        // Unknown relations bypass get/record without touching counters.
+        let (h, m) = (memo.hits(), memo.misses());
+        assert_eq!(memo.get(&l, &[table::SUPPLIER]), None);
+        memo.record(&l, &[table::SUPPLIER], None);
+        assert_eq!(memo.get(&l, &[table::SUPPLIER]), None);
+        assert_eq!((memo.hits(), memo.misses()), (h, m));
     }
 
     #[test]

@@ -7,15 +7,68 @@
 //! avoided when the query graph allows (the standard Selinger heuristic);
 //! if no cross-product-free left-deep plan exists the search is rerun with
 //! cross products admitted.
+//!
+//! Two performance levers, both off by default and bit-identical to the
+//! plain DP when engaged (see [`SelingerPlanner::plan_with`]):
+//!
+//! * **Parallel levels** — the DP is stratified by subset size, so all
+//!   candidate extensions of one level are independent. With a
+//!   [`Parallelism`] other than `Off` each level's uncached candidates are
+//!   costed in one [`PlanCoster::join_cost_many`] batch (which costers may
+//!   fan out over threads), then folded into the table in the exact order
+//!   the sequential loop would have visited them — same keep-first
+//!   tie-breaks, same winner.
+//! * **Memoization** — a [`CostMemo`] caches (left-bitset, right-bitset,
+//!   context) → decision across runs, so a Fig. 15(b) cluster sweep re-costs
+//!   only joins it has never seen under the current cluster conditions.
 
-use crate::cardinality::CardinalityEstimator;
+use crate::cardinality::{CardinalityEstimator, JoinIo};
 use crate::coster::{cost_tree, PlanCoster, PlannedQuery};
+use crate::memo::{cost_tree_memo, CostMemo};
 use crate::plan::PlanTree;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec, TableId};
+use raqo_resource::Parallelism;
+use std::fmt;
 
 /// Maximum relations the bitset DP supports. 2^20 subsets is already far
 /// beyond anything the paper runs through Selinger (TPC-H "All" is 8).
 pub const MAX_RELATIONS: usize = 20;
+
+/// Why Selinger planning failed. `TooManyRelations` is recoverable —
+/// callers (e.g. the RAQO optimizer) fall back to the randomized planner,
+/// which has no relation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelingerError {
+    /// The query exceeds the bitset DP's [`MAX_RELATIONS`] bound.
+    TooManyRelations { n: usize, max: usize },
+    /// No complete plan exists: the query is empty, or every join order
+    /// contains a join the coster rejects.
+    Infeasible,
+}
+
+impl fmt::Display for SelingerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelingerError::TooManyRelations { n, max } => write!(
+                f,
+                "Selinger DP supports up to {max} relations, query has {n}"
+            ),
+            SelingerError::Infeasible => {
+                write!(f, "every complete plan has an infeasible join")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelingerError {}
+
+/// Best plan for one DP subset: scalar cost plus the local index of the
+/// last-joined table, for order reconstruction.
+#[derive(Clone, Copy)]
+struct Entry {
+    cost: f64,
+    last: usize,
+}
 
 /// The Selinger planner.
 pub struct SelingerPlanner;
@@ -23,31 +76,55 @@ pub struct SelingerPlanner;
 impl SelingerPlanner {
     /// Find the cheapest left-deep join order for `query`, costing every
     /// candidate sub-plan through `coster` (which is where RAQO's resource
-    /// planning hooks in). Returns `None` if every complete plan has an
-    /// infeasible join.
-    ///
-    /// # Panics
-    /// If the query exceeds [`MAX_RELATIONS`].
+    /// planning hooks in). Sequential, unmemoized — equivalent to
+    /// [`SelingerPlanner::plan_with`] under `Parallelism::Off` and no memo.
     pub fn plan(
         catalog: &Catalog,
         graph: &JoinGraph,
         query: &QuerySpec,
         coster: &mut dyn PlanCoster,
-    ) -> Option<PlannedQuery> {
+    ) -> Result<PlannedQuery, SelingerError> {
+        Self::plan_with(catalog, graph, query, coster, Parallelism::Off, None)
+    }
+
+    /// [`SelingerPlanner::plan`] with the performance levers exposed.
+    ///
+    /// `parallelism` other than `Off` batches each DP level through
+    /// [`PlanCoster::join_cost_many`]; a `memo` replays previously costed
+    /// (left, right) sub-plans under the memo's current context. Both
+    /// produce bit-identical plans to the sequential unmemoized run as long
+    /// as the coster is deterministic in the join's IO characteristics.
+    pub fn plan_with(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        query: &QuerySpec,
+        coster: &mut dyn PlanCoster,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
+    ) -> Result<PlannedQuery, SelingerError> {
         let rels = &query.relations;
         let n = rels.len();
-        assert!(
-            n <= MAX_RELATIONS,
-            "Selinger DP supports up to {MAX_RELATIONS} relations, query has {n}"
-        );
+        if n > MAX_RELATIONS {
+            return Err(SelingerError::TooManyRelations { n, max: MAX_RELATIONS });
+        }
+        if n == 0 {
+            return Err(SelingerError::Infeasible);
+        }
+        if let Some(m) = memo.as_deref_mut() {
+            m.ensure_relations(rels);
+        }
         let est = CardinalityEstimator::new(catalog, graph);
         if n == 1 {
-            return cost_tree(&PlanTree::leaf(rels[0]), &est, coster);
+            return cost_tree(&PlanTree::leaf(rels[0]), &est, coster)
+                .ok_or(SelingerError::Infeasible);
         }
 
         // First pass avoids cross products; fall back if that fails.
-        Self::plan_inner(rels, graph, &est, coster, false)
-            .or_else(|| Self::plan_inner(rels, graph, &est, coster, true))
+        Self::plan_inner(rels, graph, &est, coster, false, parallelism, memo.as_deref_mut())
+            .or_else(|| {
+                Self::plan_inner(rels, graph, &est, coster, true, parallelism, memo)
+            })
+            .ok_or(SelingerError::Infeasible)
     }
 
     fn plan_inner(
@@ -56,29 +133,86 @@ impl SelingerPlanner {
         est: &CardinalityEstimator<'_>,
         coster: &mut dyn PlanCoster,
         allow_cross: bool,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
     ) -> Option<PlannedQuery> {
         let n = rels.len();
-        // `plan` enforces the MAX_RELATIONS (=20) bound, so `1 << n` cannot
-        // overflow the u32 masks; keep the invariant checked here because
-        // the shift silently wraps if it is ever violated.
+        // `plan_with` enforces the MAX_RELATIONS (=20) bound, so `1 << n`
+        // cannot overflow the u32 masks; keep the invariant checked here
+        // because the shift silently wraps if it is ever violated.
         debug_assert!(
             (1..=MAX_RELATIONS).contains(&n),
             "plan_inner requires 1..={MAX_RELATIONS} relations, got {n}"
         );
         let full: u32 = (1u32 << n) - 1;
 
-        #[derive(Clone, Copy)]
-        struct Entry {
-            cost: f64,
-            /// Local index of the last-joined table.
-            last: usize,
-        }
-
         let mut dp: Vec<Option<Entry>> = vec![None; (full as usize) + 1];
         for i in 0..n {
             dp[1usize << i] = Some(Entry { cost: 0.0, last: i });
         }
 
+        // Batching pays only when the coster can actually fan out and a
+        // level holds more than a handful of candidates.
+        if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
+            Self::fill_levels_batched(
+                rels,
+                graph,
+                est,
+                coster,
+                allow_cross,
+                parallelism,
+                memo.as_deref_mut(),
+                &mut dp,
+            );
+        } else {
+            Self::fill_sequential(
+                rels,
+                graph,
+                est,
+                coster,
+                allow_cross,
+                memo.as_deref_mut(),
+                &mut dp,
+            );
+        }
+
+        dp[full as usize]?;
+
+        // Reconstruct the left-deep order by peeling off `last` tables.
+        let mut order_rev = Vec::with_capacity(n);
+        let mut mask = full;
+        while mask.count_ones() > 1 {
+            let e = dp[mask as usize].expect("reachable by construction");
+            order_rev.push(rels[e.last]);
+            mask &= !(1u32 << e.last);
+        }
+        order_rev.push(rels[mask.trailing_zeros() as usize]);
+        order_rev.reverse();
+
+        // Re-cost the final tree so the returned decisions are exactly the
+        // winning plan's (the DP only kept scalar costs).
+        let tree = PlanTree::left_deep(&order_rev);
+        match memo {
+            Some(m) => cost_tree_memo(&tree, est, coster, m),
+            None => cost_tree(&tree, est, coster),
+        }
+    }
+
+    /// The classic mask-ascending DP loop. With a memo, each (rest, t)
+    /// extension goes through [`CostMemo::join_cost`] instead of the coster
+    /// directly; otherwise this is exactly the original sequential scan.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_sequential(
+        rels: &[TableId],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        allow_cross: bool,
+        mut memo: Option<&mut CostMemo>,
+        dp: &mut [Option<Entry>],
+    ) {
+        let n = rels.len();
+        let full: u32 = (1u32 << n) - 1;
         // Scratch buffer, reused across all (mask, i) iterations: the inner
         // loop runs n·2ⁿ times and a per-iteration Vec allocation dominates
         // its runtime once costing is cheap (fixed-resource mode).
@@ -103,33 +237,130 @@ impl SelingerPlanner {
                 if !allow_cross && !graph.connects(&rest_tables, &t_table) {
                     continue;
                 }
-                let io = est.join_io(&rest_tables, &t_table);
-                let Some(decision) = coster.join_cost(&io) else { continue };
-                let cost = prev.cost + decision.cost;
+                let decision_cost = match memo.as_deref_mut() {
+                    Some(m) => match m.join_cost(&rest_tables, &t_table, est, &mut *coster) {
+                        Some((_, d)) => d.cost,
+                        None => continue,
+                    },
+                    None => {
+                        let io = est.join_io(&rest_tables, &t_table);
+                        let Some(decision) = coster.join_cost(&io) else { continue };
+                        decision.cost
+                    }
+                };
+                let cost = prev.cost + decision_cost;
                 match dp[mask_us] {
                     Some(e) if e.cost <= cost => {}
                     _ => dp[mask_us] = Some(Entry { cost, last: i }),
                 }
             }
         }
+    }
 
-        dp[full as usize]?;
-
-        // Reconstruct the left-deep order by peeling off `last` tables.
-        let mut order_rev = Vec::with_capacity(n);
-        let mut mask = full;
-        while mask.count_ones() > 1 {
-            let e = dp[mask as usize].expect("reachable by construction");
-            order_rev.push(rels[e.last]);
-            mask &= !(1u32 << e.last);
+    /// Level-synchronous DP fill: the table is stratified by subset size
+    /// (dp[mask] only reads entries with one fewer bit), so every candidate
+    /// extension of level k is independent. Uncached candidates are costed
+    /// in one [`PlanCoster::join_cost_many`] batch per level, then folded
+    /// into the table in generation order — masks ascending (Gosper's
+    /// hack yields them in increasing numeric order), `i` ascending within
+    /// a mask — which is the exact visit order of the sequential loop
+    /// restricted to that level, so tie-breaking is identical.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_levels_batched(
+        rels: &[TableId],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        allow_cross: bool,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
+        dp: &mut [Option<Entry>],
+    ) {
+        let n = rels.len();
+        struct Cand {
+            mask_us: usize,
+            /// Local index of the table this candidate joins in.
+            i: usize,
+            prev_cost: f64,
         }
-        order_rev.push(rels[mask.trailing_zeros() as usize]);
-        order_rev.reverse();
+        let mut rest_tables: Vec<TableId> = Vec::with_capacity(n);
+        let limit: u32 = 1u32 << n;
 
-        // Re-cost the final tree so the returned decisions are exactly the
-        // winning plan's (the DP only kept scalar costs).
-        let tree = PlanTree::left_deep(&order_rev);
-        cost_tree(&tree, est, coster)
+        for k in 2..=n as u32 {
+            let mut cands: Vec<Cand> = Vec::new();
+            // Outer None = pending (goes to the batch); inner None =
+            // infeasible; Some(cost) = the join's scalar cost.
+            let mut resolved: Vec<Option<Option<f64>>> = Vec::new();
+            let mut ios: Vec<JoinIo> = Vec::new();
+            // Candidate index of each pending io, parallel to `ios`.
+            let mut pending: Vec<usize> = Vec::new();
+
+            let mut mask: u32 = (1u32 << k) - 1;
+            while mask < limit {
+                let mask_us = mask as usize;
+                for i in 0..n {
+                    let bit = 1u32 << i;
+                    if mask & bit == 0 {
+                        continue;
+                    }
+                    let rest = mask & !bit;
+                    let Some(prev) = dp[rest as usize] else { continue };
+                    rest_tables.clear();
+                    rest_tables
+                        .extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
+                    let t_table = [rels[i]];
+                    if !allow_cross && !graph.connects(&rest_tables, &t_table) {
+                        continue;
+                    }
+                    cands.push(Cand { mask_us, i, prev_cost: prev.cost });
+                    let cached =
+                        memo.as_deref_mut().and_then(|m| m.get(&rest_tables, &t_table));
+                    match cached {
+                        Some(outcome) => resolved.push(Some(outcome.map(|(_, d)| d.cost))),
+                        None => {
+                            resolved.push(None);
+                            ios.push(est.join_io(&rest_tables, &t_table));
+                            pending.push(cands.len() - 1);
+                        }
+                    }
+                }
+                // Gosper's hack: next mask with the same popcount. Cannot
+                // wrap: n ≤ 20, so intermediate values stay below 2²¹.
+                let c = mask & mask.wrapping_neg();
+                let r = mask + c;
+                mask = (((r ^ mask) >> 2) / c) | r;
+            }
+
+            if !ios.is_empty() {
+                let results = coster.join_cost_many(&ios, parallelism);
+                debug_assert_eq!(results.len(), ios.len());
+                for (slot, outcome) in results.into_iter().enumerate() {
+                    let idx = pending[slot];
+                    if let Some(m) = memo.as_deref_mut() {
+                        let cand = &cands[idx];
+                        let rest = cand.mask_us & !(1usize << cand.i);
+                        rest_tables.clear();
+                        rest_tables
+                            .extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
+                        m.record(
+                            &rest_tables,
+                            &[rels[cand.i]],
+                            outcome.map(|d| (ios[slot], d)),
+                        );
+                    }
+                    resolved[idx] = Some(outcome.map(|d| d.cost));
+                }
+            }
+
+            for (cand, res) in cands.iter().zip(resolved) {
+                let Some(Some(decision_cost)) = res else { continue };
+                let cost = cand.prev_cost + decision_cost;
+                match dp[cand.mask_us] {
+                    Some(e) if e.cost <= cost => {}
+                    _ => dp[cand.mask_us] = Some(Entry { cost, last: cand.i }),
+                }
+            }
+        }
     }
 }
 
@@ -236,7 +467,7 @@ mod tests {
 
     #[test]
     fn respects_infeasible_joins() {
-        // A coster that rejects every join forces `None`.
+        // A coster that rejects every join forces `Infeasible`.
         struct Never;
         impl PlanCoster for Never {
             fn join_cost(&mut self, _io: &JoinIo) -> Option<JoinDecision> {
@@ -245,8 +476,27 @@ mod tests {
         }
         let schema = TpchSchema::new(1.0);
         let query = QuerySpec::tpch_q3();
-        assert!(SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut Never)
-            .is_none());
+        assert_eq!(
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut Never),
+            Err(SelingerError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn too_many_relations_is_a_typed_error() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let rels: Vec<TableId> = (0..(MAX_RELATIONS as u32 + 1)).map(TableId).collect();
+        let query = QuerySpec::new("huge", rels);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let err = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SelingerError::TooManyRelations { n: MAX_RELATIONS + 1, max: MAX_RELATIONS }
+        );
+        // The error explains itself (it is surfaced to CLI users).
+        assert!(err.to_string().contains("21"));
     }
 
     #[test]
@@ -291,7 +541,7 @@ mod tests {
             let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
             let planned =
                 SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
-                    .unwrap_or_else(|| panic!("no plan for k={k}"));
+                    .unwrap_or_else(|e| panic!("no plan for k={k}: {e}"));
             assert_eq!(planned.joins.len(), k - 1);
         }
     }
@@ -308,5 +558,103 @@ mod tests {
         let p2 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut c2).unwrap();
         assert_eq!(p1.cost, p2.cost);
         assert_eq!(p1.tree, p2.tree);
+    }
+
+    /// The parallel level-batched DP must produce bit-identical plans to
+    /// the sequential loop for every `Parallelism` mode.
+    #[test]
+    fn parallel_levels_match_sequential_for_every_mode() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        for query in [QuerySpec::tpch_q3(), QuerySpec::tpch_all(&schema)] {
+            let mut seq_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+            let seq = SelingerPlanner::plan(
+                &schema.catalog,
+                &schema.graph,
+                &query,
+                &mut seq_coster,
+            )
+            .unwrap();
+            for par in [
+                Parallelism::Off,
+                Parallelism::Threads(2),
+                Parallelism::Threads(5),
+                Parallelism::Auto,
+            ] {
+                let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+                let got = SelingerPlanner::plan_with(
+                    &schema.catalog,
+                    &schema.graph,
+                    &query,
+                    &mut coster,
+                    par,
+                    None,
+                )
+                .unwrap();
+                assert_eq!(seq.tree, got.tree, "{par:?}");
+                assert_eq!(seq.cost.to_bits(), got.cost.to_bits(), "{par:?}");
+                assert_eq!(seq.joins, got.joins, "{par:?}");
+                // Same candidates costed: the batch seam must not skip or
+                // duplicate work.
+                assert_eq!(seq_coster.calls, coster.calls, "{par:?}");
+            }
+        }
+    }
+
+    /// Memoized planning is bit-identical to plain planning, and a second
+    /// run under the same context answers every candidate from the memo.
+    #[test]
+    fn memoized_matches_plain_and_replays() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_all(&schema);
+        let mut plain_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let plain =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut plain_coster)
+                .unwrap();
+
+        for par in [Parallelism::Off, Parallelism::Auto] {
+            let mut memo = CostMemo::new(&query.relations);
+            let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+            let first = SelingerPlanner::plan_with(
+                &schema.catalog,
+                &schema.graph,
+                &query,
+                &mut coster,
+                par,
+                Some(&mut memo),
+            )
+            .unwrap();
+            assert_eq!(plain.tree, first.tree, "{par:?}");
+            // The memo replays each join's DP-time IO, whose floats were
+            // accumulated over bit-ordered (not tree-ordered) relation
+            // lists; costs agree to fp noise, the tree exactly.
+            assert!(
+                (plain.cost - first.cost).abs() <= 1e-9 * plain.cost.abs(),
+                "{par:?}: plain={} memoized={}",
+                plain.cost,
+                first.cost
+            );
+            for (p, m) in plain.joins.iter().zip(&first.joins) {
+                assert_eq!(p.decision.join, m.decision.join, "{par:?}");
+            }
+
+            let calls_after_first = coster.calls;
+            let second = SelingerPlanner::plan_with(
+                &schema.catalog,
+                &schema.graph,
+                &query,
+                &mut coster,
+                par,
+                Some(&mut memo),
+            )
+            .unwrap();
+            assert_eq!(first, second, "{par:?}");
+            assert_eq!(
+                coster.calls, calls_after_first,
+                "second {par:?} run must be answered entirely from the memo"
+            );
+            assert!(memo.hits() > 0, "{par:?}");
+        }
     }
 }

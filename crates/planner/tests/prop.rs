@@ -5,8 +5,10 @@ use raqo_catalog::{QuerySpec, RandomSchemaConfig};
 use raqo_cost::SimOracleCost;
 use raqo_planner::coster::{cost_tree, FixedResourceCoster};
 use raqo_planner::{
-    CardinalityEstimator, PlanTree, RandomizedConfig, RandomizedPlanner, SelingerPlanner,
+    CardinalityEstimator, CostMemo, PlanTree, RandomizedConfig, RandomizedPlanner,
+    SelingerPlanner,
 };
+use raqo_resource::Parallelism;
 
 proptest! {
     /// Plan cost is the sum of its join decisions' costs, for arbitrary
@@ -50,9 +52,50 @@ proptest! {
         let mut c2 = FixedResourceCoster::new(&model, 10.0, 6.0);
         let p2 = SelingerPlanner::plan(&schema.catalog, &schema.graph, &q2, &mut c2);
         match (p1, p2) {
-            (Some(p1), Some(p2)) => prop_assert!((p1.cost - p2.cost).abs() < 1e-9),
-            (None, None) => {}
+            (Ok(p1), Ok(p2)) => prop_assert!((p1.cost - p2.cost).abs() < 1e-9),
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
             _ => prop_assert!(false, "one ordering planned, the other did not"),
+        }
+    }
+
+    /// Parallel level-batched and memoized Selinger runs are bit-identical
+    /// to the plain sequential DP on arbitrary random schemas, for every
+    /// `Parallelism` mode and with/without a memo.
+    #[test]
+    fn selinger_modes_agree(seed in 0u64..40, k in 2usize..8) {
+        let schema = RandomSchemaConfig::with_tables(10, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let model = SimOracleCost::hive();
+        let mut c0 = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let base = SelingerPlanner::plan(&schema.catalog, &schema.graph, &q, &mut c0);
+        for par in [Parallelism::Off, Parallelism::Threads(3), Parallelism::Auto] {
+            let mut memo = CostMemo::new(&q.relations);
+            for memoized in [false, true] {
+                let mut c = FixedResourceCoster::new(&model, 10.0, 6.0);
+                let got = SelingerPlanner::plan_with(
+                    &schema.catalog,
+                    &schema.graph,
+                    &q,
+                    &mut c,
+                    par,
+                    memoized.then_some(&mut memo),
+                );
+                match (&base, &got) {
+                    (Ok(b), Ok(g)) => {
+                        prop_assert_eq!(&b.tree, &g.tree);
+                        if memoized {
+                            // Memo replays DP-time IOs (bit-ordered float
+                            // accumulation): costs agree to fp noise.
+                            prop_assert!((b.cost - g.cost).abs() <= 1e-9 * b.cost.abs());
+                        } else {
+                            prop_assert_eq!(b.cost.to_bits(), g.cost.to_bits());
+                            prop_assert_eq!(&b.joins, &g.joins);
+                        }
+                    }
+                    (Err(b), Err(g)) => prop_assert_eq!(b, g),
+                    _ => prop_assert!(false, "modes disagree on feasibility"),
+                }
+            }
         }
     }
 

@@ -104,6 +104,25 @@ impl ResourcePlanCache {
         self.stats = CacheStats::default();
     }
 
+    /// The sorted `(key, config)` entries — read access for persistence and
+    /// diagnostics.
+    pub fn entries(&self) -> &[(f64, ResourceConfig)] {
+        &self.entries
+    }
+
+    /// Rebuild a cache from `(key, config)` pairs (persistence load path).
+    /// Entries are sorted by key and deduplicated (last wins, matching
+    /// repeated [`ResourcePlanCache::insert`] calls); statistics start
+    /// fresh — hit/miss/insertion counters are not persisted.
+    pub fn from_entries(mut entries: Vec<(f64, ResourceConfig)>) -> Self {
+        entries.retain(|(k, _)| k.is_finite());
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        entries.reverse();
+        entries.dedup_by(|a, b| a.0 == b.0);
+        entries.reverse();
+        ResourcePlanCache { entries, stats: CacheStats::default() }
+    }
+
     /// Binary search for the insertion point of `key`.
     fn partition(&self, key: f64) -> usize {
         self.entries.partition_point(|(k, _)| *k < key)
@@ -227,6 +246,18 @@ impl CacheBank {
     /// Total entries across all member caches.
     pub fn total_entries(&self) -> usize {
         self.caches.values().map(|c| c.len()).sum()
+    }
+
+    /// Iterate the member caches with their (model, operator) keys, in key
+    /// order (persistence and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&(u32, u32), &ResourcePlanCache)> {
+        self.caches.iter()
+    }
+
+    /// Install a fully-built cache for a (model, operator) pair, replacing
+    /// any existing one (persistence load path).
+    pub fn insert_cache(&mut self, model: u32, operator: u32, cache: ResourcePlanCache) {
+        self.caches.insert((model, operator), cache);
     }
 
     /// Aggregate statistics across all member caches.

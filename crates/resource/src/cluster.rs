@@ -132,6 +132,27 @@ impl ClusterConditions {
         let current = (index < self.grid_size()).then(|| self.point_at(index));
         GridIter { cond: *self, current }
     }
+
+    /// Stable 64-bit fingerprint of the exact bounds and steps (FNV-1a over
+    /// the bit patterns of every min/max/step coordinate). Two conditions
+    /// fingerprint equal iff their grids are identical, so memo entries
+    /// keyed on it are never replayed under a different resource space.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.dims() as u64);
+        for i in 0..self.dims() {
+            mix(self.min.get(i).to_bits());
+            mix(self.max.get(i).to_bits());
+            mix(self.step.get(i).to_bits());
+        }
+        h
+    }
 }
 
 /// Iterator over all grid points of a [`ClusterConditions`] space.

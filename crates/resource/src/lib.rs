@@ -28,12 +28,16 @@ pub mod cache;
 pub mod cluster;
 pub mod config;
 pub mod parallel;
+pub mod persist;
 pub mod planner;
 pub mod shared;
 
 pub use cache::{CacheBank, CacheLookup, CacheStats, ResourcePlanCache};
 pub use cluster::ClusterConditions;
 pub use config::{ResourceConfig, MAX_DIMS};
-pub use parallel::{brute_force_parallel, hill_climb_multi, multi_start_seeds, Parallelism};
-pub use planner::{brute_force, hill_climb, PlanningOutcome};
+pub use parallel::{
+    brute_force_parallel, brute_force_parallel_batch, hill_climb_multi, hill_climb_multi_with,
+    multi_start_seeds, seeds_with, Parallelism, SeedStrategy,
+};
+pub use planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};
 pub use shared::SharedCacheBank;

@@ -10,8 +10,9 @@
 //!   and merges per-chunk winners by `(cost, global grid index)`, which is
 //!   exactly the sequential scan's "earlier grid point wins ties" rule —
 //!   the outcome is bit-identical to [`brute_force`] for any worker count.
-//! * [`hill_climb_multi`] climbs from the cluster's corner configurations
-//!   plus its centroid. Each climb is independent, so scheduling cannot
+//! * [`hill_climb_multi`] climbs from a deterministic seed set (by default
+//!   a low-discrepancy Halton spread plus the min and max grid corners, see
+//!   [`SeedStrategy`]). Each climb is independent, so scheduling cannot
 //!   change the merged result: the best local optimum wins, ties broken
 //!   toward the earlier seed, and `iterations` sums all climbs (the true
 //!   total of cost evaluations spent).
@@ -22,7 +23,7 @@
 
 use crate::cluster::ClusterConditions;
 use crate::config::ResourceConfig;
-use crate::planner::{brute_force, hill_climb, PlanningOutcome};
+use crate::planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};
 
 /// How much thread parallelism resource planning may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,11 +106,167 @@ where
     PlanningOutcome { config, cost, iterations: total }
 }
 
-/// Deterministic multi-start seeds: every corner of the bounding box
-/// (2^dims points, deduplicated when min == max on a dimension) followed by
-/// the grid-snapped centroid. The minimum corner comes first so a single
-/// seed degenerates to the paper's Algorithm 1 start.
+/// Batched variant of [`brute_force_parallel`]: each worker scans its
+/// contiguous index range in [`BATCH_CHUNK`]-sized slices through a batched
+/// cost evaluator (see [`brute_force_batch`] for the evaluator contract),
+/// instead of calling a per-point closure. Winner selection stays by
+/// `(cost, global grid index)`, so the result is bit-identical to the
+/// sequential scan for any worker count whenever the evaluator agrees with
+/// the scalar cost function point-wise.
+pub fn brute_force_parallel_batch<F>(
+    cluster: &ClusterConditions,
+    batch_fn: F,
+    parallelism: Parallelism,
+) -> PlanningOutcome
+where
+    F: Fn(u64, &[ResourceConfig], &mut [f64]) + Sync,
+{
+    let total = cluster.grid_size();
+    let workers = parallelism.workers().min(total.max(1) as usize).max(1);
+    if matches!(parallelism, Parallelism::Off) || workers == 1 {
+        return brute_force_batch(cluster, |lo, configs, costs| batch_fn(lo, configs, costs));
+    }
+
+    let chunk = total.div_ceil(workers as u64);
+    let batch_fn = &batch_fn;
+    let mut per_chunk: Vec<Option<(u64, ResourceConfig, f64)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers as u64)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(total);
+                    scope.spawn(move || {
+                        let mut best: Option<(u64, ResourceConfig, f64)> = None;
+                        let mut configs: Vec<ResourceConfig> = Vec::with_capacity(BATCH_CHUNK);
+                        let mut costs = vec![0.0f64; BATCH_CHUNK];
+                        let mut iter = cluster.grid_from(lo);
+                        let mut at = lo;
+                        while at < hi {
+                            let take = ((hi - at) as usize).min(BATCH_CHUNK);
+                            configs.clear();
+                            configs.extend(iter.by_ref().take(take));
+                            let n = configs.len();
+                            if n == 0 {
+                                break;
+                            }
+                            batch_fn(at, &configs, &mut costs[..n]);
+                            for (off, (r, &c)) in
+                                configs.iter().zip(&costs[..n]).enumerate()
+                            {
+                                match best {
+                                    Some((_, _, bc)) if bc <= c => {}
+                                    _ => best = Some((at + off as u64, *r, c)),
+                                }
+                            }
+                            at += n as u64;
+                        }
+                        best
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
+        });
+
+    let (_, config, cost) = per_chunk
+        .drain(..)
+        .flatten()
+        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+        .expect("cluster grid is never empty");
+    PlanningOutcome { config, cost, iterations: total }
+}
+
+/// Which deterministic seed set multi-start hill climbing uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedStrategy {
+    /// Low-discrepancy Halton points over the cluster bounding box, plus the
+    /// min corner (the paper's Algorithm 1 start) and the grid-max corner
+    /// (kept because BHJ feasibility is monotone in container size: whenever
+    /// any grid point is feasible, the max corner is too). The default:
+    /// Halton points spread over the interior instead of clustering on the
+    /// boundary, so on multimodal surfaces they find interior basins the
+    /// corner seeds miss.
+    #[default]
+    Halton,
+    /// The former default: every corner of the bounding box followed by the
+    /// grid-snapped centroid. Kept as a fallback/reference mode.
+    CornersCentroid,
+}
+
+/// The value of grid point `steps` along dimension `dim`, computed by
+/// repeated step addition so it is bit-identical to the grid iterator's
+/// coordinates.
+fn grid_value(cluster: &ClusterConditions, dim: usize, steps: u64) -> f64 {
+    let mut v = cluster.min.get(dim);
+    for _ in 0..steps {
+        v += cluster.discrete_steps().get(dim);
+    }
+    v
+}
+
+/// Element `index` of the van der Corput sequence in the given base — the
+/// per-dimension building block of the Halton sequence. Returns a value in
+/// `(0, 1)` for `index >= 1`.
+fn halton(mut index: u64, base: u64) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    while index > 0 {
+        f /= base as f64;
+        r += f * (index % base) as f64;
+        index /= base;
+    }
+    r
+}
+
+/// Deterministic multi-start seeds with the default [`SeedStrategy`].
 pub fn multi_start_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
+    seeds_with(cluster, SeedStrategy::default())
+}
+
+/// Deterministic multi-start seeds for an explicit strategy. The minimum
+/// corner always comes first so a single seed degenerates to the paper's
+/// Algorithm 1 start; every seed is a reachable grid point and duplicates
+/// are removed (a 1-point cluster yields exactly one seed).
+pub fn seeds_with(cluster: &ClusterConditions, strategy: SeedStrategy) -> Vec<ResourceConfig> {
+    match strategy {
+        SeedStrategy::Halton => halton_seeds(cluster),
+        SeedStrategy::CornersCentroid => corners_centroid_seeds(cluster),
+    }
+}
+
+/// Min corner, grid-max corner, then `2^dims - 1` Halton points (bases
+/// 2, 3, 5, 7 per dimension) snapped to the grid — the same seed count as
+/// the corners+centroid set on a full-dimensional cluster.
+fn halton_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
+    const PRIMES: [u64; 4] = [2, 3, 5, 7];
+    let dims = cluster.dims();
+    assert!(dims <= PRIMES.len(), "Halton bases cover up to {} dims", PRIMES.len());
+    let mut seeds: Vec<ResourceConfig> = Vec::with_capacity((1 << dims) + 1);
+    seeds.push(cluster.min);
+    let mut top = cluster.min;
+    for i in 0..dims {
+        top.set(i, grid_value(cluster, i, cluster.points_along(i) - 1));
+    }
+    if !seeds.contains(&top) {
+        seeds.push(top);
+    }
+    let count = (1u64 << dims) - 1;
+    for h in 1..=count {
+        let mut r = cluster.min;
+        for i in 0..dims {
+            let n = cluster.points_along(i);
+            let steps = (halton(h, PRIMES[i]) * (n - 1) as f64).round() as u64;
+            r.set(i, grid_value(cluster, i, steps));
+        }
+        if !seeds.contains(&r) {
+            seeds.push(r);
+        }
+    }
+    seeds
+}
+
+/// Every corner of the bounding box (2^dims points, deduplicated when
+/// min == max on a dimension) followed by the grid-snapped centroid.
+fn corners_centroid_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
     let dims = cluster.dims();
     let mut seeds: Vec<ResourceConfig> = Vec::with_capacity((1 << dims) + 1);
     for corner in 0u32..(1 << dims) {
@@ -118,12 +275,7 @@ pub fn multi_start_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
             if corner & (1 << i) != 0 {
                 // Top of the *grid*, not the raw max bound: step from min so
                 // the seed is always a reachable grid point.
-                let n = cluster.points_along(i);
-                let mut v = cluster.min.get(i);
-                for _ in 1..n {
-                    v += cluster.discrete_steps().get(i);
-                }
-                r.set(i, v);
+                r.set(i, grid_value(cluster, i, cluster.points_along(i) - 1));
             }
         }
         if !seeds.contains(&r) {
@@ -132,12 +284,7 @@ pub fn multi_start_seeds(cluster: &ClusterConditions) -> Vec<ResourceConfig> {
     }
     let mut centroid = cluster.min;
     for i in 0..dims {
-        let mid = cluster.points_along(i) / 2;
-        let mut v = cluster.min.get(i);
-        for _ in 0..mid {
-            v += cluster.discrete_steps().get(i);
-        }
-        centroid.set(i, v);
+        centroid.set(i, grid_value(cluster, i, cluster.points_along(i) / 2));
     }
     if !seeds.contains(&centroid) {
         seeds.push(centroid);
@@ -161,7 +308,20 @@ pub fn hill_climb_multi<F>(
 where
     F: Fn(&ResourceConfig) -> f64 + Sync,
 {
-    let seeds = multi_start_seeds(cluster);
+    hill_climb_multi_with(cluster, cost_fn, parallelism, SeedStrategy::default())
+}
+
+/// [`hill_climb_multi`] with an explicit [`SeedStrategy`].
+pub fn hill_climb_multi_with<F>(
+    cluster: &ClusterConditions,
+    cost_fn: F,
+    parallelism: Parallelism,
+    strategy: SeedStrategy,
+) -> PlanningOutcome
+where
+    F: Fn(&ResourceConfig) -> f64 + Sync,
+{
+    let seeds = seeds_with(cluster, strategy);
     let outcomes: Vec<PlanningOutcome> = if matches!(parallelism, Parallelism::Off)
         || parallelism.workers() == 1
         || seeds.len() == 1
@@ -239,16 +399,97 @@ mod tests {
     }
 
     #[test]
-    fn seeds_cover_corners_and_centroid() {
+    fn parallel_batched_brute_force_matches_sequential_bitwise() {
+        let cluster = ClusterConditions::paper_default();
+        let seq = brute_force(&cluster, bowl);
+        let eval = |_: u64, configs: &[ResourceConfig], costs: &mut [f64]| {
+            for (r, c) in configs.iter().zip(costs.iter_mut()) {
+                *c = bowl(r);
+            }
+        };
+        for par in [Parallelism::Off, Parallelism::Threads(3), Parallelism::Threads(7), Parallelism::Auto] {
+            let out = brute_force_parallel_batch(&cluster, eval, par);
+            assert_eq!(out.config, seq.config, "{par:?}");
+            assert_eq!(out.cost.to_bits(), seq.cost.to_bits(), "{par:?}");
+            assert_eq!(out.iterations, seq.iterations, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_batched_brute_force_tie_break_matches_sequential() {
+        let cluster = ClusterConditions::two_dim(1.0..=13.0, 1.0..=5.0, 1.0, 1.0);
+        let seq = brute_force(&cluster, |_| 2.5);
+        for n in 1..=8 {
+            let out = brute_force_parallel_batch(
+                &cluster,
+                |_, _, costs: &mut [f64]| costs.fill(2.5),
+                Parallelism::Threads(n),
+            );
+            assert_eq!(out.config, seq.config, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn halton_seeds_cover_extremes_and_interior() {
         let cluster = ClusterConditions::paper_default();
         let seeds = multi_start_seeds(&cluster);
+        assert_eq!(seeds.len(), 5); // min + max corners + 3 Halton points
+        assert_eq!(seeds[0], cluster.min);
+        assert!(seeds.contains(&ResourceConfig::containers_and_size(100.0, 10.0)));
+        assert!(seeds.iter().all(|s| cluster.contains(s)));
+        // The Halton points land in the interior, not on the boundary.
+        assert_eq!(seeds[2], ResourceConfig::containers_and_size(51.0, 4.0));
+        assert_eq!(seeds[3], ResourceConfig::containers_and_size(26.0, 7.0));
+        assert_eq!(seeds[4], ResourceConfig::containers_and_size(75.0, 2.0));
+        // Degenerate 1-point cluster: every seed coincides.
+        let tiny = ClusterConditions::two_dim(3.0..=3.0, 2.0..=2.0, 1.0, 1.0);
+        assert_eq!(multi_start_seeds(&tiny), vec![ResourceConfig::containers_and_size(3.0, 2.0)]);
+    }
+
+    #[test]
+    fn corner_seeds_cover_corners_and_centroid() {
+        let cluster = ClusterConditions::paper_default();
+        let seeds = seeds_with(&cluster, SeedStrategy::CornersCentroid);
         assert_eq!(seeds.len(), 5); // 4 corners + centroid
         assert_eq!(seeds[0], cluster.min);
         assert!(seeds.contains(&ResourceConfig::containers_and_size(100.0, 10.0)));
         assert!(seeds.iter().all(|s| cluster.contains(s)));
-        // Degenerate 1-point cluster: corners and centroid all coincide.
         let tiny = ClusterConditions::two_dim(3.0..=3.0, 2.0..=2.0, 1.0, 1.0);
-        assert_eq!(multi_start_seeds(&tiny), vec![ResourceConfig::containers_and_size(3.0, 2.0)]);
+        assert_eq!(
+            seeds_with(&tiny, SeedStrategy::CornersCentroid),
+            vec![ResourceConfig::containers_and_size(3.0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn halton_seeds_find_interior_basin_corner_seeds_miss() {
+        // A broad bowl with its minimum at the min corner, plus a deep,
+        // narrow dent centred on one of the Halton seeds (26, 7). Climbs
+        // from the corners and the centroid all slide down the bowl without
+        // entering the dent's radius; the Halton spread starts at its centre
+        // and finds the negative-cost basin.
+        let dented = |r: &ResourceConfig| -> f64 {
+            let d1 = (r.containers() - 1.0).powi(2) + (r.container_size_gb() - 1.0).powi(2);
+            let dc = ((r.containers() - 26.0).powi(2)
+                + (r.container_size_gb() - 7.0).powi(2))
+            .sqrt();
+            d1 - (500.0 * (3.0 - dc)).max(0.0)
+        };
+        let cluster = ClusterConditions::paper_default();
+        let halton =
+            hill_climb_multi_with(&cluster, dented, Parallelism::Off, SeedStrategy::Halton);
+        let corners = hill_climb_multi_with(
+            &cluster,
+            dented,
+            Parallelism::Off,
+            SeedStrategy::CornersCentroid,
+        );
+        assert!(
+            halton.cost < corners.cost,
+            "halton={} corners={}",
+            halton.cost,
+            corners.cost
+        );
     }
 
     #[test]

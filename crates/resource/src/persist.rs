@@ -1,0 +1,207 @@
+//! Cache-bank persistence: save/load a [`CacheBank`] as versioned JSON so
+//! `repro` sweeps can warm-start across processes (the Fig. 15(b)
+//! across-query caching mode, extended across process lifetimes).
+//!
+//! Format (version 1):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "caches": [
+//!     {"model": 0, "operator": 0, "entries": [[3.4, [10, 3]], ...]},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! Keys and configuration coordinates are `f64`s rendered with Rust's
+//! shortest-repr `Display` (integral values as integers), which parses back
+//! to the identical bits — a reloaded bank answers exact-match lookups
+//! byte-for-byte like the bank that was saved. Hit/miss/insertion statistics
+//! are *not* persisted; a loaded bank starts with fresh counters.
+
+use crate::cache::{CacheBank, ResourcePlanCache};
+use crate::config::ResourceConfig;
+use serde::Value;
+use std::io;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Render `bank` as the version-1 JSON document.
+pub fn bank_to_json(bank: &CacheBank) -> String {
+    let caches: Vec<Value> = bank
+        .iter()
+        .map(|(&(model, operator), cache)| {
+            let entries: Vec<Value> = cache
+                .entries()
+                .iter()
+                .map(|(key, cfg)| {
+                    let coords: Vec<Value> =
+                        (0..cfg.dims()).map(|i| Value::Num(cfg.get(i))).collect();
+                    Value::Array(vec![Value::Num(*key), Value::Array(coords)])
+                })
+                .collect();
+            Value::Object(vec![
+                ("model".to_string(), Value::Num(model as f64)),
+                ("operator".to_string(), Value::Num(operator as f64)),
+                ("entries".to_string(), Value::Array(entries)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("version".to_string(), Value::Num(FORMAT_VERSION as f64)),
+        ("caches".to_string(), Value::Array(caches)),
+    ]);
+    let mut out = String::new();
+    serde::write_value(&mut out, &doc, Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("cache bank file: {msg}"))
+}
+
+fn field<'a>(obj: &'a [(String, Value)], name: &str) -> io::Result<&'a Value> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| bad(&format!("missing field `{name}`")))
+}
+
+fn as_num(v: &Value, what: &str) -> io::Result<f64> {
+    match v {
+        Value::Num(n) => Ok(*n),
+        _ => Err(bad(&format!("{what} is not a number"))),
+    }
+}
+
+/// Parse the version-1 JSON document back into a [`CacheBank`].
+pub fn bank_from_json(text: &str) -> io::Result<CacheBank> {
+    let doc = serde_json::from_str(text).map_err(|e| bad(&e.to_string()))?;
+    let Value::Object(top) = &doc else {
+        return Err(bad("top level is not an object"));
+    };
+    let version = as_num(field(top, "version")?, "version")? as u64;
+    if version != FORMAT_VERSION {
+        return Err(bad(&format!(
+            "unsupported version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let Value::Array(caches) = field(top, "caches")? else {
+        return Err(bad("`caches` is not an array"));
+    };
+    let mut bank = CacheBank::new();
+    for cache in caches {
+        let Value::Object(obj) = cache else {
+            return Err(bad("cache element is not an object"));
+        };
+        let model = as_num(field(obj, "model")?, "model")? as u32;
+        let operator = as_num(field(obj, "operator")?, "operator")? as u32;
+        let Value::Array(raw_entries) = field(obj, "entries")? else {
+            return Err(bad("`entries` is not an array"));
+        };
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for e in raw_entries {
+            let Value::Array(pair) = e else {
+                return Err(bad("entry is not a [key, config] pair"));
+            };
+            let [key, config] = pair.as_slice() else {
+                return Err(bad("entry is not a [key, config] pair"));
+            };
+            let key = as_num(key, "entry key")?;
+            let Value::Array(coords) = config else {
+                return Err(bad("entry config is not an array"));
+            };
+            let mut vals = Vec::with_capacity(coords.len());
+            for c in coords {
+                vals.push(as_num(c, "config coordinate")?);
+            }
+            entries.push((key, ResourceConfig::from_slice(&vals)));
+        }
+        bank.insert_cache(model, operator, ResourcePlanCache::from_entries(entries));
+    }
+    Ok(bank)
+}
+
+/// Write `bank` to `path` (version-1 JSON, atomic only at the filesystem's
+/// whole-file-write granularity).
+pub fn save_bank(bank: &CacheBank, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, bank_to_json(bank))
+}
+
+/// Read a bank previously written by [`save_bank`].
+pub fn load_bank(path: impl AsRef<Path>) -> io::Result<CacheBank> {
+    bank_from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheLookup;
+
+    fn cfg(c: f64, s: f64) -> ResourceConfig {
+        ResourceConfig::containers_and_size(c, s)
+    }
+
+    #[test]
+    fn bank_round_trips_through_json() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(3.4, cfg(10.0, 3.0));
+        bank.cache(0, 0).insert(0.1, cfg(1.0, 1.0));
+        bank.cache(1, 0).insert(1.0 / 3.0, cfg(99.0, 9.0));
+        bank.cache(2, 7); // empty member cache persists too
+
+        let json = bank_to_json(&bank);
+        let mut loaded = bank_from_json(&json).unwrap();
+
+        assert_eq!(loaded.total_entries(), bank.total_entries());
+        // Exact-match lookups see bit-identical keys after the round trip.
+        assert_eq!(loaded.cache(0, 0).lookup(3.4, CacheLookup::Exact), Some(cfg(10.0, 3.0)));
+        assert_eq!(loaded.cache(0, 0).lookup(0.1, CacheLookup::Exact), Some(cfg(1.0, 1.0)));
+        assert_eq!(
+            loaded.cache(1, 0).lookup(1.0 / 3.0, CacheLookup::Exact),
+            Some(cfg(99.0, 9.0))
+        );
+        // Stats start fresh: the original insertions are not replayed.
+        assert_eq!(loaded.aggregate_stats().insertions, 0);
+    }
+
+    #[test]
+    fn save_load_via_files() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(5.5, cfg(40.0, 7.0));
+        let path = std::env::temp_dir().join("raqo_persist_test_bank.json");
+        save_bank(&bank, &path).unwrap();
+        let mut loaded = load_bank(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.cache(0, 0).lookup(5.5, CacheLookup::Exact), Some(cfg(40.0, 7.0)));
+    }
+
+    #[test]
+    fn version_and_shape_checks() {
+        assert!(bank_from_json("[]").is_err());
+        assert!(bank_from_json(r#"{"version": 2, "caches": []}"#).is_err());
+        assert!(bank_from_json(r#"{"version": 1}"#).is_err());
+        assert!(bank_from_json(r#"{"version": 1, "caches": [{"model": 0}]}"#).is_err());
+        assert!(bank_from_json("not json").is_err());
+        // Minimal valid document.
+        let bank = bank_from_json(r#"{"version": 1, "caches": []}"#).unwrap();
+        assert_eq!(bank.total_entries(), 0);
+    }
+
+    #[test]
+    fn from_entries_last_duplicate_wins() {
+        let cache = ResourcePlanCache::from_entries(vec![
+            (2.0, cfg(1.0, 1.0)),
+            (1.0, cfg(5.0, 5.0)),
+            (2.0, cfg(9.0, 9.0)),
+            (f64::NAN, cfg(3.0, 3.0)), // dropped: non-finite key
+        ]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.entries()[0].0, 1.0);
+        assert_eq!(cache.entries()[1], (2.0, cfg(9.0, 9.0)));
+    }
+}

@@ -41,6 +41,50 @@ where
     PlanningOutcome { config, cost, iterations }
 }
 
+/// Chunk size for the batched grid scans: large enough to amortize per-chunk
+/// setup and give the cost kernel a vectorizable run, small enough that the
+/// config/cost buffers stay cache-resident.
+pub const BATCH_CHUNK: usize = 256;
+
+/// Exhaustive grid search driven by a *batched* cost evaluator instead of a
+/// per-point closure.
+///
+/// `batch_fn(start_index, configs, costs)` must fill `costs[i]` with the
+/// cost at `configs[i]` (using `f64::INFINITY` for infeasible points), where
+/// `start_index` is the row-major grid index of `configs[0]`. Winner
+/// selection is by `(cost, grid index)` with ties toward the earlier point —
+/// bit-identical to [`brute_force`] whenever the evaluator agrees with the
+/// scalar cost function point-wise.
+pub fn brute_force_batch<F>(cluster: &ClusterConditions, mut batch_fn: F) -> PlanningOutcome
+where
+    F: FnMut(u64, &[ResourceConfig], &mut [f64]),
+{
+    let total = cluster.grid_size();
+    let mut configs: Vec<ResourceConfig> = Vec::with_capacity(BATCH_CHUNK);
+    let mut costs = vec![0.0f64; BATCH_CHUNK];
+    let mut best: Option<(u64, ResourceConfig, f64)> = None;
+    let mut iter = cluster.grid();
+    let mut at = 0u64;
+    while at < total {
+        configs.clear();
+        configs.extend(iter.by_ref().take(BATCH_CHUNK));
+        let n = configs.len();
+        if n == 0 {
+            break;
+        }
+        batch_fn(at, &configs, &mut costs[..n]);
+        for (off, (r, &c)) in configs.iter().zip(&costs[..n]).enumerate() {
+            match best {
+                Some((_, _, bc)) if bc <= c => {}
+                _ => best = Some((at + off as u64, *r, c)),
+            }
+        }
+        at += n as u64;
+    }
+    let (_, config, cost) = best.expect("cluster grid is never empty");
+    PlanningOutcome { config, cost, iterations: total }
+}
+
 /// Hill-climbing resource planning — a faithful transcription of the paper's
 /// **Algorithm 1 (HillClimbResourcePlanning)**.
 ///
@@ -235,6 +279,60 @@ mod tests {
         let cluster = ClusterConditions::two_dim(1.0..=3.0, 1.0..=1.0, 1.0, 1.0);
         let out = brute_force(&cluster, |_| 1.0);
         assert_eq!(out.config, ResourceConfig::containers_and_size(1.0, 1.0));
+    }
+
+    #[test]
+    fn batched_brute_force_matches_scalar() {
+        let cluster = paper_cluster();
+        let seq = brute_force(&cluster, bowl);
+        let out = brute_force_batch(&cluster, |_, configs, costs| {
+            for (r, c) in configs.iter().zip(costs.iter_mut()) {
+                *c = bowl(r);
+            }
+        });
+        assert_eq!(out.config, seq.config);
+        assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
+        assert_eq!(out.iterations, seq.iterations);
+    }
+
+    #[test]
+    fn batched_brute_force_tie_break_and_chunk_boundaries() {
+        // Grid larger than one chunk with a constant surface: ties must
+        // resolve to the first grid point regardless of chunking, and the
+        // evaluator must see contiguous start indices covering the grid.
+        let cluster = ClusterConditions::two_dim(1.0..=40.0, 1.0..=10.0, 1.0, 1.0);
+        assert!(cluster.grid_size() > BATCH_CHUNK as u64);
+        let mut seen = Vec::new();
+        let out = brute_force_batch(&cluster, |start, configs, costs| {
+            seen.push((start, configs.len() as u64));
+            costs.fill(7.0);
+        });
+        assert_eq!(out.config, cluster.min);
+        assert_eq!(out.cost, 7.0);
+        let mut expect = 0u64;
+        for (start, len) in &seen {
+            assert_eq!(*start, expect);
+            expect += len;
+        }
+        assert_eq!(expect, cluster.grid_size());
+    }
+
+    #[test]
+    fn batched_brute_force_skips_infinite_costs() {
+        // Infeasible (INFINITY) points lose to any finite point, matching
+        // the scalar planner fed `f64::INFINITY` for infeasible configs.
+        let cluster = paper_cluster();
+        let masked = |r: &ResourceConfig| -> f64 {
+            if r.containers() < 90.0 { f64::INFINITY } else { bowl(r) }
+        };
+        let seq = brute_force(&cluster, masked);
+        let out = brute_force_batch(&cluster, |_, configs, costs| {
+            for (r, c) in configs.iter().zip(costs.iter_mut()) {
+                *c = masked(r);
+            }
+        });
+        assert_eq!(out.config, seq.config);
+        assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
     }
 
     #[test]

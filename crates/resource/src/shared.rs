@@ -75,6 +75,18 @@ impl SharedCacheBank {
     pub fn with_bank<T>(&self, f: impl FnOnce(&mut CacheBank) -> T) -> T {
         f(&mut self.inner.write())
     }
+
+    /// Persist the bank to `path` as versioned JSON (see [`crate::persist`]).
+    /// Takes the read lock for the duration of the snapshot.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        crate::persist::save_bank(&self.inner.read(), path)
+    }
+
+    /// Load a bank previously written with [`SharedCacheBank::save`] into a
+    /// fresh handle. Statistics start at zero (they are not persisted).
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(SharedCacheBank::from_bank(crate::persist::load_bank(path)?))
+    }
 }
 
 #[cfg(test)]

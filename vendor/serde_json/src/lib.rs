@@ -1,16 +1,30 @@
 //! Offline stand-in for `serde_json`: renders the vendored mini-serde's
-//! [`serde::Value`] tree as JSON text.
+//! [`serde::Value`] tree as JSON text, and parses JSON text back into a
+//! [`serde::Value`] tree.
 
 pub use serde::Value;
 
-/// Errors never actually occur (the value tree is always renderable); the
-/// type exists so call sites keep their `Result` shape.
-#[derive(Debug)]
-pub struct Error;
+/// Serialization never fails (the value tree is always renderable);
+/// [`from_str`] reports malformed input with a message and byte offset.
+#[derive(Debug, Default)]
+pub struct Error {
+    msg: String,
+    at: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>, at: usize) -> Self {
+        Error { msg: msg.into(), at }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stand-in error")
+        if self.msg.is_empty() {
+            write!(f, "serde_json stand-in error")
+        } else {
+            write!(f, "{} at byte {}", self.msg, self.at)
+        }
     }
 }
 
@@ -31,8 +45,232 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(out)
 }
 
+/// Parse a JSON document into a [`Value`] tree — the inverse of
+/// [`to_string`]/[`to_string_pretty`]. All numbers parse as `f64` (matching
+/// [`Value::Num`]); objects keep their textual key order. Trailing
+/// non-whitespace after the document is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON document", p.pos));
+    }
+    Ok(v)
+}
+
+/// Recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected {what}"), self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("expected `{lit}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(Error::new("unexpected character", self.pos)),
+            None => Err(Error::new("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "`[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "`{`")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "`:`")?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number", start))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::new("invalid number", start))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "`\"`")?;
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| Error::new("invalid UTF-8 in string", self.pos));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0c),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow to form one supplementary char.
+                                self.eat(b'\\', "low surrogate escape")?;
+                                self.eat(b'u', "low surrogate escape")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate", self.pos));
+                                }
+                                let c =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                                    .ok_or_else(|| Error::new("invalid surrogate pair", self.pos))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid \\u escape", self.pos))?
+                            };
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(Error::new("unknown escape", self.pos - 1)),
+                    }
+                }
+                Some(b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape", self.pos));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape", self.pos))?;
+        let cp = u32::from_str_radix(text, 16)
+            .map_err(|_| Error::new("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(cp)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::{from_str, Value};
+
     #[test]
     fn compact_and_pretty() {
         let v = vec![("a".to_string(), vec![1u64, 2]), ("b".to_string(), vec![])];
@@ -41,5 +279,83 @@ mod tests {
         let pretty = super::to_string_pretty(&v).unwrap();
         assert!(pretty.contains('\n'));
         assert!(pretty.starts_with('['));
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("3").unwrap(), Value::Num(3.0));
+        assert_eq!(from_str("-2.5e2").unwrap(), Value::Num(-250.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers() {
+        assert_eq!(
+            from_str(r#"[1, [], {"a": 2}]"#).unwrap(),
+            Value::Array(vec![
+                Value::Num(1.0),
+                Value::Array(vec![]),
+                Value::Object(vec![("a".into(), Value::Num(2.0))]),
+            ])
+        );
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\ndAé😀""#).unwrap(),
+            Value::String("a\"b\\c\ndAé😀".into())
+        );
+    }
+
+    #[test]
+    fn render_parse_round_trips_doubles_exactly() {
+        // Rust's shortest-repr Display for f64 parses back to the same bits,
+        // and integral values render as integers which also parse exactly —
+        // the property cache persistence relies on. (-0.0 is the one
+        // exception: the renderer prints it as `0`, losing the sign.)
+        for x in [0.1, 1.0 / 3.0, 3.0, 1e300, 4.9e-324, 123456789.125] {
+            let mut s = String::new();
+            serde::write_value(&mut s, &Value::Num(x), None, 0);
+            let Value::Num(y) = from_str(&s).unwrap() else { panic!("not a number: {s}") };
+            assert_eq!(x.to_bits(), y.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn round_trip_nested_document() {
+        let v = Value::Object(vec![
+            ("version".into(), Value::Num(1.0)),
+            (
+                "caches".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("model".into(), Value::Num(0.0)),
+                    (
+                        "entries".into(),
+                        Value::Array(vec![Value::Array(vec![
+                            Value::Num(3.4),
+                            Value::Array(vec![Value::Num(10.0), Value::Num(3.0)]),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ]);
+        for pretty in [false, true] {
+            let mut s = String::new();
+            serde::write_value(&mut s, &v, pretty.then_some(2), 0);
+            assert_eq!(from_str(&s).unwrap(), v, "pretty={pretty}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for bad in ["", "[1,", "{\"a\"}", "tru", "\"unterminated", "1 2", "[1] x"] {
+            let err = from_str(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?}");
+        }
     }
 }

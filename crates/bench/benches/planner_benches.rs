@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use raqo_catalog::tpch::TpchSchema;
 use raqo_catalog::{QuerySpec, RandomSchemaConfig};
-use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy, Telemetry};
 use raqo_cost::JoinCostModel;
 use raqo_planner::RandomizedConfig;
 use raqo_resource::{CacheLookup, ClusterConditions};
@@ -213,12 +213,63 @@ fn planner_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+/// The telemetry no-op gate: the selinger_batched workload with the
+/// default disabled sink must match the PR-2 baseline (every
+/// instrumentation site is a branch on `None`), and the enabled sink's
+/// price is measured alongside. Plans are asserted bit-identical across
+/// both modes before timing starts.
+fn telemetry_overhead(c: &mut Criterion) {
+    let schema = RandomSchemaConfig::with_tables(24, 5).generate();
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0);
+    let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 8, 3);
+    let make_opt = |telemetry: Telemetry| {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::BruteForce,
+        );
+        opt.set_parallelism(Parallelism::Off);
+        opt.set_batch_kernel(true);
+        opt.set_telemetry(telemetry);
+        opt
+    };
+    // Telemetry must not change the answer, only observe it.
+    let baseline = make_opt(Telemetry::disabled()).optimize(&query).expect("plan");
+    let traced_tel = Telemetry::enabled();
+    let traced = make_opt(traced_tel.clone()).optimize(&query).expect("plan");
+    assert_eq!(baseline.query, traced.query, "telemetry changed the plan");
+    assert_eq!(baseline.stats, traced.stats, "telemetry changed the accounting");
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("selinger_batched_disabled", |b| {
+        let mut opt = make_opt(Telemetry::disabled());
+        b.iter(|| black_box(opt.optimize(&query)));
+    });
+    group.bench_function("selinger_batched_enabled", |b| {
+        let tel = Telemetry::enabled();
+        let mut opt = make_opt(tel.clone());
+        b.iter(|| {
+            // Bound the span store: each iteration traces from a clean
+            // slate, as `repro --trace` does per query.
+            tel.clear_spans();
+            black_box(opt.optimize(&query))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig12_raqo_planning,
     fig13_hillclimb,
     fig14_cache,
     fig15_scale,
-    planner_speedup
+    planner_speedup,
+    telemetry_overhead
 );
 criterion_main!(benches);

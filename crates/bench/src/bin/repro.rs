@@ -8,33 +8,50 @@
 //! repro --smoke                # fast path: every figure at tiny sizes
 //! repro --bench-json [path]    # planner speedup bench -> BENCH_planner.json
 //! repro --cache-file <path>    # TPC-H sweep warm-started from a persisted cache
+//! repro --trace <file>         # traced TPC-H sweep: EXPLAIN ANALYZE + span trees
+//! repro --metrics <base>       # TPC-H sweep -> <base>.prom + <base>.json
 //! repro --list                 # what exists
 //! ```
 
 use raqo_bench::experiments::{registry, timed};
 use raqo_bench::{speedup, Table};
 use raqo_catalog::{tpch::TpchSchema, QuerySpec};
-use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_core::{
+    explain_analyze, Parallelism, PlannerKind, RaqoOptimizer, RaqoStats, ResourceStrategy,
+    Telemetry,
+};
 use raqo_cost::JoinCostModel;
 use raqo_resource::{CacheLookup, ClusterConditions, SharedCacheBank};
+use raqo_telemetry::{aggregate_spans, Counter};
+use serde::Value;
 
 /// `--cache-file`: run the TPC-H query sweep with across-query caching,
 /// warm-starting the shared resource-plan cache from `path` when it exists
 /// and persisting the (further) warmed bank back afterwards. Repeated
 /// invocations demonstrate the Fig. 15(b) payoff across *processes*.
 fn run_cache_file(path: &str) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    // Persisted resource plans are only valid for the model that produced
+    // them: the file carries the model fingerprint, and a mismatch (e.g.
+    // after retraining) discards the stale bank instead of replaying it.
+    let fingerprint = model.fingerprint();
+    let tel = Telemetry::enabled();
     let bank = if std::path::Path::new(path).exists() {
-        let bank = SharedCacheBank::load(path)
+        let (bank, invalidated) = SharedCacheBank::load_checked(path, fingerprint)
             .unwrap_or_else(|e| panic!("loading cache bank from {path}: {e}"));
-        println!("loaded {} cached resource plans from {path}", bank.total_entries());
+        if invalidated {
+            tel.inc(Counter::CacheFileInvalidations);
+            println!("cache file at {path} is stale (cost-model fingerprint mismatch); starting cold");
+        } else {
+            println!("loaded {} cached resource plans from {path}", bank.total_entries());
+        }
         bank
     } else {
         println!("no cache file at {path}; starting cold");
         SharedCacheBank::new()
     };
 
-    let schema = TpchSchema::new(1.0);
-    let model = JoinCostModel::trained_hive();
     let queries = [
         ("Q2", QuerySpec::tpch_q2()),
         ("Q3", QuerySpec::tpch_q3()),
@@ -53,6 +70,7 @@ fn run_cache_file(path: &str) {
             ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
         );
         opt.share_cache(bank.clone());
+        opt.set_telemetry(tel.clone());
         let (plan, ms) = timed(|| opt.optimize(query).expect("plan"));
         total_ms += ms;
         hits += plan.stats.cache_hits;
@@ -61,11 +79,163 @@ fn run_cache_file(path: &str) {
             plan.query.cost, plan.stats.cache_hits
         );
     }
-    bank.save(path).unwrap_or_else(|e| panic!("saving cache bank to {path}: {e}"));
+    bank.save_with_fingerprint(path, fingerprint)
+        .unwrap_or_else(|e| panic!("saving cache bank to {path}: {e}"));
+    let invalidations =
+        tel.snapshot().map_or(0, |s| s.get(Counter::CacheFileInvalidations));
     println!(
-        "sweep: {:.1} ms, {hits} cache hits; saved {} resource plans to {path}",
+        "sweep: {:.1} ms, {hits} cache hits, {invalidations} stale-file invalidation(s); \
+         saved {} resource plans to {path} (model {fingerprint:016x})",
         total_ms,
         bank.total_entries()
+    );
+}
+
+/// The TPC-H sweep shared by `--trace` and `--metrics`.
+fn tpch_queries(schema: &TpchSchema) -> [(&'static str, QuerySpec); 4] {
+    [
+        ("Q2", QuerySpec::tpch_q2()),
+        ("Q3", QuerySpec::tpch_q3()),
+        ("Q12", QuerySpec::tpch_q12()),
+        ("all-tables", QuerySpec::tpch_all(schema)),
+    ]
+}
+
+fn traced_optimizer<'a>(
+    schema: &'a TpchSchema,
+    model: &'a JoinCostModel,
+    tel: &Telemetry,
+) -> RaqoOptimizer<'a, JoinCostModel> {
+    let mut opt = RaqoOptimizer::new(
+        &schema.catalog,
+        &schema.graph,
+        model,
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.01 }),
+    );
+    opt.set_telemetry(tel.clone());
+    opt
+}
+
+/// `--trace <file>`: optimize the TPC-H queries with span tracing enabled
+/// (sequential planning, so each tree nests dispatch → planner → resource
+/// planning → cache lookups), print `EXPLAIN ANALYZE` per query, and dump
+/// the full span trees plus the metrics registry as JSON to `file`.
+fn run_trace(path: &str) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let mut docs: Vec<Value> = Vec::new();
+    for (name, query) in tpch_queries(&schema) {
+        // A fresh sink per query keeps each span tree self-contained.
+        let tel = Telemetry::enabled();
+        let mut opt = traced_optimizer(&schema, &model, &tel);
+        let plan = opt.optimize(&query).expect("plan");
+        println!("=== {name} ===");
+        println!("{}", explain_analyze(&plan, &schema.catalog, &tel));
+        let spans = tel.spans();
+        if spans.len() <= 200 {
+            println!("Span tree:\n{}", tel.span_tree_text());
+        } else {
+            println!("Span tree: {} spans (full tree in {path}); phase totals:", spans.len());
+            for (phase, count, total_ns) in aggregate_spans(&spans).iter().take(12) {
+                println!("  {phase}: {:.1} us across {count} span(s)", *total_ns as f64 / 1e3);
+            }
+            println!();
+        }
+        docs.push(Value::Object(vec![
+            ("query".to_string(), Value::String(name.to_string())),
+            ("spans".to_string(), tel.spans_to_json_value()),
+            ("metrics".to_string(), tel.snapshot().expect("enabled").to_json_value()),
+        ]));
+    }
+    let mut out = String::new();
+    serde::write_value(&mut out, &Value::Array(docs), Some(2), 0);
+    out.push('\n');
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote span trees and metrics for 4 queries to {path}");
+}
+
+/// `--metrics <base>`: run the TPC-H sweep against one shared registry and
+/// export it as `<base>.prom` (Prometheus text exposition format) and
+/// `<base>.json`.
+fn run_metrics(base: &str) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let tel = Telemetry::enabled();
+    for (name, query) in tpch_queries(&schema) {
+        let mut opt = traced_optimizer(&schema, &model, &tel);
+        let plan = opt.optimize(&query).expect("plan");
+        println!(
+            "  {name:>10}  cost {:>12.3}  {} getPlanCost calls, {} resource iterations",
+            plan.query.cost, plan.stats.plan_cost_calls, plan.stats.resource_iterations
+        );
+    }
+    let snap = tel.snapshot().expect("enabled");
+    let prom_path = format!("{base}.prom");
+    let json_path = format!("{base}.json");
+    std::fs::write(&prom_path, snap.to_prometheus())
+        .unwrap_or_else(|e| panic!("writing {prom_path}: {e}"));
+    std::fs::write(&json_path, snap.to_json())
+        .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("wrote {prom_path} and {json_path}");
+}
+
+/// `--smoke` telemetry gate: one traced query must produce a span tree
+/// covering every pipeline phase, registry totals that agree exactly with
+/// the run's [`RaqoStats`], and a well-formed Prometheus export.
+fn telemetry_smoke_gate() {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let tel = Telemetry::enabled();
+    let mut opt = traced_optimizer(&schema, &model, &tel);
+    let before = tel.snapshot().expect("enabled");
+    let (plan, ms) = timed(|| opt.optimize(&QuerySpec::tpch_q3()).expect("plan"));
+    let after = tel.snapshot().expect("enabled");
+    // The §V rule-based path dispatches through the same sink.
+    let tree = raqo_core::train_raqo_tree(
+        &raqo_sim::engine::Engine::hive(),
+        &raqo_sim::profile::ProfileGrid::paper_default(),
+    );
+    let mut rule_coster =
+        raqo_core::RuleBasedCoster::new(&tree, &model, 10.0, 4.0).with_telemetry(tel.clone());
+    raqo_planner::SelingerPlanner::plan(
+        &schema.catalog,
+        &schema.graph,
+        &QuerySpec::tpch_q3(),
+        &mut rule_coster,
+    )
+    .expect("rule-based plan");
+    let span_tree = tel.span_tree_text();
+    for phase in [
+        "optimize",
+        "planner.selinger",
+        "selinger.dp",
+        "selinger.final_cost",
+        "plan_cost",
+        "resource_planning.cached",
+        "cache.lookup.nearest",
+        "rule.dispatch",
+    ] {
+        assert!(
+            span_tree.contains(phase),
+            "telemetry smoke: span tree missing phase {phase}:\n{span_tree}"
+        );
+    }
+    assert_eq!(
+        plan.stats,
+        RaqoStats::from_registry_delta(&before, &after),
+        "telemetry smoke: registry totals diverge from RaqoStats"
+    );
+    let final_snap = tel.snapshot().expect("enabled");
+    assert!(final_snap.get(Counter::RuleDispatches) > 0, "rule dispatches not counted");
+    let prom = final_snap.to_prometheus();
+    for series in ["raqo_plan_cost_calls_total", "raqo_plan_cost_latency_us_bucket"] {
+        assert!(prom.contains(series), "telemetry smoke: Prometheus export missing {series}");
+    }
+    println!(
+        "telemetry ok  {ms:>8.0} ms  span tree covers dispatch/planner/resource-planning/cache; \
+         registry matches stats"
     );
 }
 
@@ -128,6 +298,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .filter(|p| !p.starts_with("--"))
         .cloned();
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
     let fig = args
         .iter()
         .position(|a| a == "--fig")
@@ -142,6 +324,24 @@ fn main() {
             std::process::exit(2);
         };
         run_cache_file(&path);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--trace") {
+        let Some(path) = trace else {
+            eprintln!("--trace needs an output file argument");
+            std::process::exit(2);
+        };
+        run_trace(&path);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--metrics") {
+        let Some(base) = metrics else {
+            eprintln!("--metrics needs an output base-path argument");
+            std::process::exit(2);
+        };
+        run_metrics(&base);
         return;
     }
 
@@ -186,6 +386,7 @@ fn main() {
             println!("fig {:>2}  ok  {:>8.0} ms  {} table(s)  {}", e.id, ms, tables.len(), e.title);
         }
         selinger_smoke_gate();
+        telemetry_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
         return;
     }
@@ -198,6 +399,8 @@ fn main() {
         println!("  --smoke      every figure at tiny sizes (CI fast path)");
         println!("  --bench-json planner speedup benchmark -> BENCH_planner.json");
         println!("  --cache-file <path>  TPC-H sweep warm-started from a persisted cache");
+        println!("  --trace <file>       traced TPC-H sweep: EXPLAIN ANALYZE + span trees -> file");
+        println!("  --metrics <base>     TPC-H sweep metrics -> <base>.prom + <base>.json");
         if !list {
             std::process::exit(2);
         }

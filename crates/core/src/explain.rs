@@ -7,6 +7,7 @@
 use crate::optimizer::RaqoPlan;
 use raqo_catalog::Catalog;
 use raqo_planner::plan::render;
+use raqo_telemetry::{aggregate_spans, Counter, Hist, Telemetry};
 
 /// Render a joint query/resource plan the way an `EXPLAIN` statement
 /// would: tree, per-join operator + resources + estimates, totals.
@@ -51,6 +52,101 @@ pub fn explain(plan: &RaqoPlan, catalog: &Catalog) -> String {
     out
 }
 
+/// `EXPLAIN ANALYZE` for joint plans: the [`explain`] output extended with
+/// measured planning times and search statistics from a telemetry-enabled
+/// optimizer run. Pass the same sink that was attached via
+/// [`crate::optimizer::RaqoOptimizer::set_telemetry`] before optimizing.
+pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry) -> String {
+    let mut out = explain(plan, catalog);
+    if !telemetry.is_enabled() {
+        out.push_str("Planning breakdown: telemetry disabled (no measurements)\n");
+        return out;
+    }
+    let spans = telemetry.spans();
+
+    // Per-join planning time: the planner re-costs the winning tree join by
+    // join under its final-cost span, so that span's `plan_cost` children
+    // line up with `plan.query.joins` in order. When the shapes disagree
+    // (e.g. the sink saw several queries), fall back to aggregates only.
+    out.push_str("Planning breakdown (measured):\n");
+    let final_idx = spans.iter().rposition(|s| s.name.ends_with(".final_cost"));
+    let per_join: Vec<u64> = final_idx
+        .map(|fi| {
+            spans
+                .iter()
+                .filter(|s| s.parent == Some(fi as u32) && s.name == "plan_cost")
+                .map(|s| s.dur_ns)
+                .collect()
+        })
+        .unwrap_or_default();
+    if !per_join.is_empty() && per_join.len() == plan.query.joins.len() {
+        let total: u64 = per_join.iter().sum();
+        for (i, d) in per_join.iter().enumerate() {
+            out.push_str(&format!(
+                "  Join {}: planned in {:.1} us ({:.0}% of final costing)\n",
+                i + 1,
+                *d as f64 / 1e3,
+                if total > 0 { 100.0 * *d as f64 / total as f64 } else { 0.0 },
+            ));
+        }
+    } else {
+        out.push_str("  (per-join attribution unavailable; showing phase totals)\n");
+    }
+    let agg = aggregate_spans(&spans);
+    for (name, count, total_ns) in agg.iter().take(10) {
+        out.push_str(&format!(
+            "  phase {name}: {:.1} us total across {count} span(s)\n",
+            *total_ns as f64 / 1e3
+        ));
+    }
+
+    if let Some(snap) = telemetry.snapshot() {
+        out.push_str("Search statistics:\n");
+        out.push_str(&format!(
+            "  getPlanCost calls: {}, resource iterations: {}\n",
+            snap.get(Counter::PlanCostCalls),
+            snap.get(Counter::ResourceIterations),
+        ));
+        let lat = snap.hist(Hist::PlanCostLatencyUs);
+        if lat.count > 0 {
+            out.push_str(&format!(
+                "  getPlanCost latency: {:.1} us avg over {} calls\n",
+                lat.sum as f64 / lat.count as f64,
+                lat.count
+            ));
+        }
+        if let Some(ratio) = snap.cache_hit_ratio() {
+            out.push_str(&format!(
+                "  resource-plan cache: {:.1}% hit ({} hits, {} misses)\n",
+                100.0 * ratio,
+                snap.cache_hits_total(),
+                snap.get(Counter::CacheMisses),
+            ));
+        }
+        if snap.get(Counter::MemoHits) + snap.get(Counter::MemoMisses) > 0 {
+            out.push_str(&format!(
+                "  sub-plan memo: {} hits, {} misses, {} evictions\n",
+                snap.get(Counter::MemoHits),
+                snap.get(Counter::MemoMisses),
+                snap.get(Counter::MemoEvictions),
+            ));
+        }
+        if snap.get(Counter::SelingerLevels) > 0 {
+            out.push_str(&format!(
+                "  Selinger DP levels: {}\n",
+                snap.get(Counter::SelingerLevels)
+            ));
+        }
+        if snap.get(Counter::RandomizedRounds) > 0 {
+            out.push_str(&format!(
+                "  randomized rounds: {}\n",
+                snap.get(Counter::RandomizedRounds)
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +176,49 @@ mod tests {
         assert!(text.contains("containers x"), "{text}");
         assert!(text.contains("Total estimate"), "{text}");
         assert!(text.contains("SMJ") || text.contains("BHJ"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_join_planning_times() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let tel = Telemetry::enabled();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_telemetry(tel.clone());
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let text = explain_analyze(&plan, &schema.catalog, &tel);
+        assert!(text.contains("Planning breakdown (measured):"), "{text}");
+        // tpch_q3 has two joins; both get a measured planning time.
+        assert!(text.contains("Join 1: planned in"), "{text}");
+        assert!(text.contains("Join 2: planned in"), "{text}");
+        assert!(text.contains("Search statistics:"), "{text}");
+        assert!(text.contains("getPlanCost calls:"), "{text}");
+        assert!(text.contains("Selinger DP levels:"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_degrades_gracefully_when_disabled() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let text = explain_analyze(&plan, &schema.catalog, &Telemetry::disabled());
+        assert!(text.contains("telemetry disabled"), "{text}");
+        assert!(text.contains("Total estimate"), "{text}");
     }
 
     #[test]

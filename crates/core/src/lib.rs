@@ -32,9 +32,12 @@ pub mod shared;
 
 pub use adaptive::plan_to_job;
 pub use dispatcher::PlanDispatcher;
-pub use explain::explain;
+pub use explain::{explain, explain_analyze};
 pub use optimizer::{PlannerKind, RaqoOptimizer, RaqoPlan};
 pub use raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
 pub use raqo_resource::{Parallelism, SharedCacheBank};
+pub use raqo_telemetry::{
+    Counter, Hist, MetricsRegistry, MetricsSnapshot, SpanRecord, Telemetry,
+};
 pub use shared::Shared;
 pub use rule_based::{train_raqo_tree, train_raqo_tree_from_traces, RuleBasedCoster, TraceRecord};

@@ -11,6 +11,7 @@ use raqo_planner::{
     RandomizedPlanner, SelingerError, SelingerPlanner,
 };
 use raqo_resource::{CacheLookup, ClusterConditions, Parallelism, SharedCacheBank};
+use raqo_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Which join-ordering algorithm drives the search (§VII-A evaluates both).
@@ -148,6 +149,25 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.use_batch = on;
     }
 
+    /// Builder form of [`RaqoOptimizer::set_telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.coster.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a span/metrics sink. The default [`Telemetry::disabled`]
+    /// keeps every instrumentation site free; an enabled sink records the
+    /// span tree (dispatch → planner → resource planning → cache) and the
+    /// metrics registry behind `repro --trace` / `--metrics`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.coster.telemetry = telemetry;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.coster.telemetry
+    }
+
     /// Planner statistics accumulated so far.
     pub fn stats(&self) -> RaqoStats {
         self.coster.stats
@@ -223,12 +243,19 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     }
 
     fn run_planner(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
+        // Cheap handle (a `None` or an `Arc` clone): the planners borrow
+        // the coster mutably while they record into the same sink.
+        let tel = self.coster.telemetry.clone();
         match &self.planner {
             PlannerKind::Selinger | PlannerKind::SelingerMemoized => {
+                let _span = tel.span("planner.selinger");
                 let parallelism = self.coster.parallelism;
                 let memoized = matches!(self.planner, PlannerKind::SelingerMemoized);
                 let context = self.selinger_context();
                 let hits_before = self.selinger_memo.as_ref().map_or(0, CostMemo::hits);
+                let misses_before = self.selinger_memo.as_ref().map_or(0, CostMemo::misses);
+                let evictions_before =
+                    self.selinger_memo.as_ref().map_or(0, CostMemo::evictions);
                 let memo = if memoized {
                     let m = self.selinger_memo.get_or_insert_with(CostMemo::default);
                     m.set_context(context);
@@ -236,31 +263,38 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 } else {
                     None
                 };
-                let result = SelingerPlanner::plan_with(
+                let result = SelingerPlanner::plan_traced(
                     &self.catalog,
                     &self.graph,
                     query,
                     &mut self.coster,
                     parallelism,
                     memo,
+                    &tel,
                 );
                 match result {
                     Ok(planned) => {
                         if let Some(m) = &self.selinger_memo {
-                            self.coster.stats.memo_hits += m.hits() - hits_before;
+                            let hits = m.hits() - hits_before;
+                            self.coster.stats.memo_hits += hits;
+                            tel.add(Counter::MemoHits, hits);
+                            tel.add(Counter::MemoMisses, m.misses() - misses_before);
+                            tel.add(Counter::MemoEvictions, m.evictions() - evictions_before);
                         }
                         Some(planned)
                     }
                     Err(SelingerError::TooManyRelations { .. }) => {
                         // Graceful fallback: the randomized planner has no
                         // relation bound.
+                        let _span = tel.span("planner.randomized");
                         let cfg = RandomizedConfig::default();
-                        let out = RandomizedPlanner::plan(
+                        let out = RandomizedPlanner::plan_traced(
                             &self.catalog,
                             &self.graph,
                             query,
                             &mut self.coster,
                             &cfg,
+                            &tel,
                         )?;
                         Some(out.best)
                     }
@@ -268,10 +302,18 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 }
             }
             PlannerKind::FastRandomized(cfg) => {
+                let _span = tel.span("planner.randomized");
                 let cfg = cfg.clone();
-                let out =
-                    RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut self.coster, &cfg)?;
+                let out = RandomizedPlanner::plan_traced(
+                    &self.catalog,
+                    &self.graph,
+                    query,
+                    &mut self.coster,
+                    &cfg,
+                    &tel,
+                )?;
                 self.coster.stats.memo_hits += out.memo_hits;
+                tel.add(Counter::MemoHits, out.memo_hits);
                 Some(out.best)
             }
         }
@@ -282,6 +324,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     /// Use-case `(p, r)`: "optimize for performance by picking the best
     /// query and resource plan combination". The headline RAQO mode.
     pub fn optimize(&mut self, query: &QuerySpec) -> Option<RaqoPlan> {
+        let _span = self.coster.telemetry.span("optimize");
         self.coster.reset_stats();
         self.coster.objective = Objective::Time;
         let planned = self.run_planner(query)?;
@@ -323,6 +366,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     /// cost, "adjusting the resources to have possibly lower monetary
     /// cost".
     pub fn resources_for_plan(&mut self, tree: &PlanTree) -> Option<RaqoPlan> {
+        let _span = self.coster.telemetry.span("resources_for_plan");
         self.coster.reset_stats();
         self.coster.objective = Objective::Money;
         let est = CardinalityEstimator::new(&self.catalog, &self.graph);
@@ -344,6 +388,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         query: &QuerySpec,
         money_budget_tb_sec: f64,
     ) -> Option<RaqoPlan> {
+        let _span = self.coster.telemetry.span("optimize_under_budget");
         self.coster.reset_stats();
         let per_op = money_budget_tb_sec / query.num_joins().max(1) as f64;
         self.coster.objective = Objective::TimeUnderBudget { money_budget_tb_sec: per_op };
@@ -650,6 +695,45 @@ mod tests {
         let b = scalar.optimize(&query).unwrap();
         assert_eq!(a.query, b.query, "batched grid scan must be bit-identical to scalar");
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn stats_match_registry_across_tpch_sweep() {
+        // The parity guarantee behind `RaqoStats::from_registry_delta`:
+        // every planner/strategy combination, including the parallel
+        // fan-out, must leave the registry and the per-run stats in exact
+        // agreement.
+        let schema = TpchSchema::new(1.0);
+        let tel = Telemetry::enabled();
+        let combos: Vec<(PlannerKind, ResourceStrategy)> = vec![
+            (PlannerKind::Selinger, ResourceStrategy::BruteForce),
+            (PlannerKind::Selinger, ResourceStrategy::HillClimb),
+            (
+                PlannerKind::SelingerMemoized,
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                    threshold: 0.01,
+                }),
+            ),
+            (PlannerKind::fast_randomized_memoized(7), ResourceStrategy::HillClimb),
+        ];
+        for (planner, strategy) in combos {
+            let mut opt = optimizer(&schema, model(), planner.clone(), strategy);
+            if matches!(planner, PlannerKind::Selinger) {
+                opt.set_parallelism(Parallelism::Threads(4));
+            }
+            opt.set_telemetry(tel.clone());
+            for query in [QuerySpec::tpch_q3(), QuerySpec::tpch_q12(), QuerySpec::tpch_all(&schema)]
+            {
+                let before = tel.snapshot().unwrap();
+                let plan = opt.optimize(&query).expect("plan");
+                let after = tel.snapshot().unwrap();
+                assert_eq!(
+                    plan.stats,
+                    RaqoStats::from_registry_delta(&before, &after),
+                    "stats diverged from registry for {planner:?}/{strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use raqo_resource::{
     SharedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
+use raqo_telemetry::{Counter, Hist, MetricsSnapshot, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// How to search the per-operator resource space (§VI-B).
@@ -107,6 +108,25 @@ pub struct RaqoStats {
     pub memo_hits: u64,
 }
 
+impl RaqoStats {
+    /// Rebuild the planner counters from two metrics-registry snapshots
+    /// bracketing a run. Every site that bumps a [`RaqoStats`] field also
+    /// bumps the corresponding registry counter, so for any telemetry-
+    /// enabled run `stats == RaqoStats::from_registry_delta(before, after)`
+    /// — the stats are a view over the registry, and the two can never
+    /// diverge.
+    pub fn from_registry_delta(before: &MetricsSnapshot, after: &MetricsSnapshot) -> RaqoStats {
+        RaqoStats {
+            resource_iterations: after.delta(before, Counter::ResourceIterations),
+            plan_cost_calls: after.delta(before, Counter::PlanCostCalls),
+            cache_hits: after.delta(before, Counter::CacheHitsExact)
+                + after.delta(before, Counter::CacheHitsNearest)
+                + after.delta(before, Counter::CacheHitsWeighted),
+            memo_hits: after.delta(before, Counter::MemoHits),
+        }
+    }
+}
+
 /// Stable cache identifiers per operator implementation.
 fn impl_cache_id(join: JoinImpl) -> u32 {
     match join {
@@ -139,6 +159,10 @@ pub struct RaqoCoster<'a, M: OperatorCost> {
     /// the kernel's contribution.
     pub use_batch: bool,
     pub stats: RaqoStats,
+    /// Span/metrics sink. [`Telemetry::disabled`] (the default) keeps every
+    /// instrumentation site a branch on `None` — no clocks, locks, or
+    /// allocation on the hot path.
+    pub telemetry: Telemetry,
     cache: SharedCacheBank,
 }
 
@@ -157,8 +181,15 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             parallelism: Parallelism::Off,
             use_batch: true,
             stats: RaqoStats::default(),
+            telemetry: Telemetry::disabled(),
             cache: SharedCacheBank::new(),
         }
+    }
+
+    /// Builder form of setting [`RaqoCoster::telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Builder form of setting [`RaqoCoster::parallelism`].
@@ -225,6 +256,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             parallelism: self.parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            tel: &self.telemetry,
         };
         ctx.plan_operator(join, io, &mut self.stats)
     }
@@ -243,6 +275,9 @@ struct CostCtx<'c, M> {
     parallelism: Parallelism,
     use_batch: bool,
     cache: &'c SharedCacheBank,
+    /// Shared with every fan-out worker: counters are atomic, and spans
+    /// opened on worker threads become roots of their own sub-trees.
+    tel: &'c Telemetry,
 }
 
 impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
@@ -258,6 +293,12 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
         let objective = self.objective;
         let build = io.build_gb;
         let probe = io.probe_gb;
+        let tel = self.tel;
+        let _rp_span = tel.span(match self.strategy {
+            ResourceStrategy::BruteForce => "resource_planning.brute_force",
+            ResourceStrategy::HillClimb => "resource_planning.hill_climb",
+            ResourceStrategy::HillClimbCached(_) => "resource_planning.cached",
+        });
         let cost_fn = |r: &ResourceConfig| -> f64 {
             match model.join_cost_at(join, build, probe, r) {
                 Some(t) => objective.score(t, r),
@@ -276,6 +317,7 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                     // `is_finite` guard keeps infeasible points at +∞ even
                     // under objectives with a zero weight (0·∞ is NaN).
                     let batch_fn = |_lo: u64, configs: &[ResourceConfig], out: &mut [f64]| {
+                        tel.inc(Counter::BatchChunks);
                         model.join_cost_batch_at(join, build, probe, configs, out);
                         for (c, r) in out.iter_mut().zip(configs) {
                             *c = if c.is_finite() {
@@ -291,6 +333,7 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                 }
             }
             ResourceStrategy::HillClimb => {
+                tel.inc(Counter::HillClimbClimbs);
                 if self.parallelism == Parallelism::Off {
                     let start = self.feasible_start(join, io)?;
                     hill_climb(self.cluster, start, cost_fn)
@@ -304,14 +347,26 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                 }
             }
             ResourceStrategy::HillClimbCached(lookup) => {
-                if let Some(cached) =
+                let (lookup_span, hit_counter) = match lookup {
+                    CacheLookup::Exact => ("cache.lookup.exact", Counter::CacheHitsExact),
+                    CacheLookup::NearestNeighbor { .. } => {
+                        ("cache.lookup.nearest", Counter::CacheHitsNearest)
+                    }
+                    CacheLookup::WeightedAverage { .. } => {
+                        ("cache.lookup.weighted", Counter::CacheHitsWeighted)
+                    }
+                };
+                let cached = {
+                    let _lookup = tel.span(lookup_span);
                     self.cache.lookup(impl_cache_id(join), OP_JOIN, io.build_gb, lookup)
-                {
+                };
+                if let Some(cached) = cached {
                     // Cached configurations may come from interpolation or
                     // (after re-optimization) other cluster conditions:
                     // clamp and snap to the grid before use.
                     let snapped = snap_to_grid(self.cluster, &cached);
                     stats.cache_hits += 1;
+                    tel.inc(hit_counter);
                     let c = cost_fn(&snapped);
                     PlanningOutcome { config: snapped, cost: c, iterations: 1 }
                 } else {
@@ -319,6 +374,8 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                     // parallel mode: its point is spending few iterations
                     // per miss and letting the cache amortize, so a
                     // multi-start search would defeat the accounting.
+                    tel.inc(Counter::CacheMisses);
+                    tel.inc(Counter::HillClimbClimbs);
                     let start = self.feasible_start(join, io)?;
                     let out = hill_climb(self.cluster, start, cost_fn);
                     if out.cost.is_finite() {
@@ -329,6 +386,8 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
             }
         };
         stats.resource_iterations += outcome.iterations;
+        tel.add(Counter::ResourceIterations, outcome.iterations);
+        tel.observe(Hist::ResourceIterationsPerCall, outcome.iterations);
         if !outcome.cost.is_finite() {
             return None;
         }
@@ -367,7 +426,10 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
 
     /// One full `getPlanCost` evaluation (both implementations, best wins).
     fn cost_join(&self, io: &JoinIo, stats: &mut RaqoStats) -> Option<JoinDecision> {
+        let _span = self.tel.span("plan_cost");
+        let sw = self.tel.stopwatch();
         stats.plan_cost_calls += 1;
+        self.tel.inc(Counter::PlanCostCalls);
         let mut best: Option<JoinDecision> = None;
         for join in JoinImpl::ALL {
             let Some((r, time)) = self.plan_operator(join, io, stats) else { continue };
@@ -388,6 +450,7 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                 _ => best = Some(decision),
             }
         }
+        self.tel.observe_elapsed_us(Hist::PlanCostLatencyUs, &sw);
         best
     }
 }
@@ -414,6 +477,7 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             parallelism: self.parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            tel: &self.telemetry,
         };
         ctx.cost_join(io, &mut self.stats)
     }
@@ -454,6 +518,7 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             parallelism: worker_parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            tel: &self.telemetry,
         };
         let workers = parallelism.workers().min(ios.len());
         let chunk = ios.len().div_ceil(workers);

@@ -20,6 +20,7 @@ use raqo_dtree::{CartConfig, DecisionTree, Sample};
 use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
 use raqo_sim::engine::{Engine, JoinImpl};
 use raqo_sim::profile::{labeled_grid, ProfileGrid};
+use raqo_telemetry::{Counter, Telemetry};
 
 /// Train the RAQO decision tree for an engine over its switch-point grid
 /// (Fig. 11). Features: data size, container size, concurrent containers,
@@ -164,6 +165,8 @@ pub struct RuleBasedCoster<'a, M: OperatorCost> {
     /// Total tasks per vertex estimate (containers × waves); used as the
     /// tree's fourth feature.
     pub total_containers: f64,
+    /// Span/metrics sink; disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl<'a, M: OperatorCost> RuleBasedCoster<'a, M> {
@@ -179,12 +182,21 @@ impl<'a, M: OperatorCost> RuleBasedCoster<'a, M> {
             containers,
             container_size_gb,
             total_containers: containers,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Builder form of setting [`RuleBasedCoster::telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
 impl<M: OperatorCost> PlanCoster for RuleBasedCoster<'_, M> {
     fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
+        let _span = self.telemetry.span("rule.dispatch");
+        self.telemetry.inc(Counter::RuleDispatches);
         let picked = tree_pick_join(
             self.tree,
             io.build_gb,

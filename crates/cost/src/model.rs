@@ -163,6 +163,36 @@ impl JoinCostModel {
         JoinCostModel::train(&Engine::hive(), &ProfileGrid::paper_default(), FeatureMap::Extended)
     }
 
+    /// A 64-bit FNV-1a fingerprint over everything that determines this
+    /// model's predictions: both coefficient vectors (bit patterns), the
+    /// feature map, the BHJ capacity, and the cost floor. Two models with
+    /// the same fingerprint price every join identically, so persisted
+    /// resource-plan caches are stamped with it and invalidated on
+    /// mismatch when the model retrains.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bits: u64| {
+            for byte in bits.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (tag, model) in [(1u64, &self.smj), (2u64, &self.bhj)] {
+            mix(tag);
+            mix(model.coefficients.len() as u64);
+            for &c in &model.coefficients {
+                mix(c.to_bits());
+            }
+        }
+        mix(match self.feature_map {
+            FeatureMap::Paper => 0,
+            FeatureMap::Extended => 1,
+        });
+        mix(self.bhj_capacity_per_gb.to_bits());
+        mix(self.floor.to_bits());
+        h
+    }
+
     /// Branch-free batched evaluation of the §VI polynomial over a slice of
     /// grid points: the `ss`-only terms are folded into one per-join base
     /// constant, then a multiply-add sweep over `(cs, nc)` fills `out`
@@ -377,6 +407,25 @@ mod tests {
         let (best40, _) = model.best_impl(3.4, 77.0, 40.0, 3.0).unwrap();
         assert_eq!(best10, JoinImpl::BroadcastHash);
         assert_eq!(best40, JoinImpl::SortMerge);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates() {
+        // Deterministic training => identical fingerprints across builds.
+        assert_eq!(
+            JoinCostModel::trained_hive().fingerprint(),
+            JoinCostModel::trained_hive().fingerprint()
+        );
+        // Different coefficients, feature maps, or knobs => different prints.
+        let base = JoinCostModel::trained_hive();
+        assert_ne!(base.fingerprint(), JoinCostModel::paper_hive().fingerprint());
+        assert_ne!(base.fingerprint(), JoinCostModel::trained_hive_extended().fingerprint());
+        let mut floored = base.clone();
+        floored.floor = 2.0;
+        assert_ne!(base.fingerprint(), floored.fingerprint());
+        let mut cap = base.clone();
+        cap.bhj_capacity_per_gb *= 2.0;
+        assert_ne!(base.fingerprint(), cap.fingerprint());
     }
 
     #[test]

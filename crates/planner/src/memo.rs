@@ -39,7 +39,7 @@ use std::collections::HashMap;
 /// the optimizer folds the cluster fingerprint, objective, and resource
 /// strategy into it, so a Fig. 15(b) cluster sweep keeps per-cluster entries
 /// side by side and re-planning under previously seen conditions is free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CostMemo {
     /// Dense index of each relation (bit position), grown on demand by
     /// [`CostMemo::ensure_relations`].
@@ -49,13 +49,43 @@ pub struct CostMemo {
     entries: HashMap<(u128, u128, u64), Option<(JoinIo, JoinDecision)>>,
     /// Tag mixed into every key; see [`CostMemo::set_context`].
     context: u64,
+    /// Contexts in recency order, least recent first; bounds the memo: a
+    /// long cluster sweep touches thousands of distinct contexts, and one
+    /// partition of entries per context would otherwise grow without
+    /// bound. When the list exceeds [`CostMemo::max_contexts`], the least
+    /// recently used context's entries are evicted wholesale.
+    lru: Vec<u64>,
+    max_contexts: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for CostMemo {
+    fn default() -> Self {
+        CostMemo {
+            index: HashMap::new(),
+            entries: HashMap::new(),
+            context: 0,
+            // The default context is live from the start so it ages out
+            // like any other once a sweep rotates past the cap.
+            lru: vec![0],
+            max_contexts: Self::DEFAULT_MAX_CONTEXTS,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
 }
 
 impl CostMemo {
     /// Bitset width: queries with more relations bypass the memo.
     pub const MAX_RELATIONS: usize = 128;
+
+    /// Default bound on concurrently retained contexts. Generous for the
+    /// Fig. 15(b) pattern (re-visiting a handful of recent cluster
+    /// conditions) while keeping thousand-condition sweeps bounded.
+    pub const DEFAULT_MAX_CONTEXTS: usize = 32;
 
     /// Build a memo for one planner run over `relations` (the query's
     /// relation list; duplicates collapse onto one bit, which is safe
@@ -95,15 +125,68 @@ impl CostMemo {
     /// must change the context whenever anything a cached decision depends
     /// on changes — cluster conditions, objective, resource strategy —
     /// otherwise stale decisions would be replayed. Entries recorded under
-    /// other contexts stay in the memo and become live again when their
-    /// context is restored.
+    /// the most recent [`CostMemo::max_contexts`] contexts stay in the
+    /// memo and become live again when their context is restored; older
+    /// contexts are evicted LRU-wise (counted by [`CostMemo::evictions`]).
     pub fn set_context(&mut self, context: u64) {
         self.context = context;
+        if self.lru.last() == Some(&context) {
+            return;
+        }
+        self.lru.retain(|&c| c != context);
+        self.lru.push(context);
+        while self.lru.len() > self.max_contexts {
+            let victim = self.lru.remove(0);
+            let before = self.entries.len();
+            self.entries.retain(|k, _| k.2 != victim);
+            self.evictions += (before - self.entries.len()) as u64;
+        }
     }
 
     /// The current context tag.
     pub fn context(&self) -> u64 {
         self.context
+    }
+
+    /// The bound on concurrently retained contexts.
+    pub fn max_contexts(&self) -> usize {
+        self.max_contexts
+    }
+
+    /// Change the context bound (minimum 1: the current context always
+    /// stays live). Shrinking evicts the overflow immediately.
+    pub fn set_max_contexts(&mut self, max_contexts: usize) {
+        self.max_contexts = max_contexts.max(1);
+        // Re-touch the current context so it is most recent, then let the
+        // normal overflow sweep trim the rest.
+        let current = self.context;
+        self.lru.retain(|&c| c != current);
+        self.lru.push(current);
+        while self.lru.len() > self.max_contexts {
+            let victim = self.lru.remove(0);
+            let before = self.entries.len();
+            self.entries.retain(|k, _| k.2 != victim);
+            self.evictions += (before - self.entries.len()) as u64;
+        }
+    }
+
+    /// Entries evicted by the context LRU so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Contexts currently retained (live partitions of the memo).
+    pub fn live_contexts(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Entries currently held across all live contexts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// Memo hits so far (each one is a skipped `getPlanCost` call).
@@ -343,6 +426,79 @@ mod tests {
         cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
         assert_eq!(coster.calls, calls_before);
         assert_eq!((memo.hits(), memo.misses()), (2, 4));
+    }
+
+    #[test]
+    fn context_lru_evicts_oldest_partition() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM];
+        let tree = PlanTree::left_deep(&rels);
+        let mut memo = CostMemo::new(&rels);
+        memo.set_max_contexts(2);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+
+        // Fill contexts 0 and 1 (2 entries each), then touch context 2:
+        // context 0 is the LRU victim.
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        memo.set_context(1);
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!(memo.len(), 4);
+        assert_eq!(memo.evictions(), 0);
+        memo.set_context(2);
+        assert_eq!(memo.evictions(), 2, "context 0's two entries evicted");
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.live_contexts(), 2);
+
+        // A context still within the window replays for free (the
+        // Fig. 15(b) revive-on-restore behavior is preserved)...
+        memo.set_context(1);
+        let calls_before = coster.calls;
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!(coster.calls, calls_before, "context 1 survived the LRU window");
+        // ...while returning to the evicted context re-costs from scratch.
+        memo.set_context(0);
+        let calls_before = coster.calls;
+        cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        assert_eq!(coster.calls, calls_before + 2);
+    }
+
+    #[test]
+    fn revisiting_a_context_refreshes_recency() {
+        let rels = [table::CUSTOMER, table::ORDERS];
+        let mut memo = CostMemo::new(&rels);
+        memo.set_max_contexts(2);
+        memo.set_context(1);
+        memo.set_context(0); // refresh the default context: now 1 is LRU
+        memo.set_context(2); // evicts context 1, not 0
+        assert_eq!(memo.live_contexts(), 2);
+        // Rotating through many contexts stays bounded.
+        for c in 10..1000 {
+            memo.set_context(c);
+        }
+        assert_eq!(memo.live_contexts(), 2);
+    }
+
+    #[test]
+    fn shrinking_max_contexts_evicts_immediately() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+        let rels = [table::CUSTOMER, table::ORDERS];
+        let tree = PlanTree::left_deep(&rels);
+        let mut memo = CostMemo::new(&rels);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        for c in 0..4 {
+            memo.set_context(c);
+            cost_tree_memo(&tree, &est, &mut coster, &mut memo).unwrap();
+        }
+        assert_eq!(memo.len(), 4);
+        memo.set_max_contexts(1);
+        assert_eq!(memo.live_contexts(), 1);
+        assert_eq!(memo.context(), 3, "current context survives the shrink");
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.evictions(), 3);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec};
 use raqo_cost::objective::CostVector;
+use raqo_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Planner knobs. Defaults follow the paper's setup: 10 iterations
@@ -93,6 +94,20 @@ impl RandomizedPlanner {
         coster: &mut dyn PlanCoster,
         config: &RandomizedConfig,
     ) -> Option<RandomizedOutcome> {
+        Self::plan_traced(catalog, graph, query, coster, config, &Telemetry::disabled())
+    }
+
+    /// [`RandomizedPlanner::plan`] with telemetry: each restart gets a
+    /// span, improvement rounds are counted, and the final re-cost is
+    /// wrapped. With the disabled handle every site is a no-op.
+    pub fn plan_traced(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        query: &QuerySpec,
+        coster: &mut dyn PlanCoster,
+        config: &RandomizedConfig,
+        tel: &Telemetry,
+    ) -> Option<RandomizedOutcome> {
         let est = CardinalityEstimator::new(catalog, graph);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let rels = &query.relations;
@@ -117,7 +132,8 @@ impl RandomizedPlanner {
         }
 
         let rounds = config.rounds_per_join * (rels.len() - 1).max(1);
-        for _ in 0..config.restarts.max(1) {
+        for restart in 0..config.restarts.max(1) {
+            let _restart_span = tel.span_labeled("randomized.restart", restart);
             let start = PlanTree::random_connected(graph, rels, &mut rng);
             plans_costed += 1;
             if let Some(p) = cost(&start, coster) {
@@ -131,6 +147,7 @@ impl RandomizedPlanner {
                 continue;
             }
             for _ in 0..rounds {
+                tel.inc(Counter::RandomizedRounds);
                 let pick = rng.gen_range(0..archive.len());
                 let base = archive[pick].tree.clone();
                 let sites = base.mutation_sites();
@@ -155,6 +172,7 @@ impl RandomizedPlanner {
             .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))?;
         // Re-cost the winner so the returned per-join decisions correspond
         // to the final plan.
+        let _final_span = tel.span("randomized.final_cost");
         let best = cost(&best_entry.tree.clone(), coster)?;
         let frontier = archive.iter().map(|a| a.objectives).collect();
         let memo_hits = memo.as_ref().map_or(0, |m| m.hits());

@@ -28,6 +28,7 @@ use crate::memo::{cost_tree_memo, CostMemo};
 use crate::plan::PlanTree;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec, TableId};
 use raqo_resource::Parallelism;
+use raqo_telemetry::{Counter, Telemetry};
 use std::fmt;
 
 /// Maximum relations the bitset DP supports. 2^20 subsets is already far
@@ -100,7 +101,25 @@ impl SelingerPlanner {
         query: &QuerySpec,
         coster: &mut dyn PlanCoster,
         parallelism: Parallelism,
+        memo: Option<&mut CostMemo>,
+    ) -> Result<PlannedQuery, SelingerError> {
+        Self::plan_traced(catalog, graph, query, coster, parallelism, memo, &Telemetry::disabled())
+    }
+
+    /// [`SelingerPlanner::plan_with`] with telemetry: the DP fill and the
+    /// final re-cost are wrapped in spans (per-level spans in the batched
+    /// fill), and filled levels are counted. With the disabled handle
+    /// (what [`SelingerPlanner::plan_with`] passes) every telemetry site
+    /// is a no-op.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_traced(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        query: &QuerySpec,
+        coster: &mut dyn PlanCoster,
+        parallelism: Parallelism,
         mut memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
     ) -> Result<PlannedQuery, SelingerError> {
         let rels = &query.relations;
         let n = rels.len();
@@ -120,13 +139,14 @@ impl SelingerPlanner {
         }
 
         // First pass avoids cross products; fall back if that fails.
-        Self::plan_inner(rels, graph, &est, coster, false, parallelism, memo.as_deref_mut())
+        Self::plan_inner(rels, graph, &est, coster, false, parallelism, memo.as_deref_mut(), tel)
             .or_else(|| {
-                Self::plan_inner(rels, graph, &est, coster, true, parallelism, memo)
+                Self::plan_inner(rels, graph, &est, coster, true, parallelism, memo, tel)
             })
             .ok_or(SelingerError::Infeasible)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_inner(
         rels: &[TableId],
         graph: &JoinGraph,
@@ -135,6 +155,7 @@ impl SelingerPlanner {
         allow_cross: bool,
         parallelism: Parallelism,
         mut memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
     ) -> Option<PlannedQuery> {
         let n = rels.len();
         // `plan_with` enforces the MAX_RELATIONS (=20) bound, so `1 << n`
@@ -153,27 +174,34 @@ impl SelingerPlanner {
 
         // Batching pays only when the coster can actually fan out and a
         // level holds more than a handful of candidates.
-        if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
-            Self::fill_levels_batched(
-                rels,
-                graph,
-                est,
-                coster,
-                allow_cross,
-                parallelism,
-                memo.as_deref_mut(),
-                &mut dp,
-            );
-        } else {
-            Self::fill_sequential(
-                rels,
-                graph,
-                est,
-                coster,
-                allow_cross,
-                memo.as_deref_mut(),
-                &mut dp,
-            );
+        {
+            let _dp_span = tel.span("selinger.dp");
+            if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
+                Self::fill_levels_batched(
+                    rels,
+                    graph,
+                    est,
+                    coster,
+                    allow_cross,
+                    parallelism,
+                    memo.as_deref_mut(),
+                    &mut dp,
+                    tel,
+                );
+            } else {
+                // The mask-ascending loop interleaves levels, so it gets
+                // one span; it still fills the same n-1 levels.
+                tel.add(Counter::SelingerLevels, n.saturating_sub(1) as u64);
+                Self::fill_sequential(
+                    rels,
+                    graph,
+                    est,
+                    coster,
+                    allow_cross,
+                    memo.as_deref_mut(),
+                    &mut dp,
+                );
+            }
         }
 
         dp[full as usize]?;
@@ -191,6 +219,7 @@ impl SelingerPlanner {
 
         // Re-cost the final tree so the returned decisions are exactly the
         // winning plan's (the DP only kept scalar costs).
+        let _final_span = tel.span("selinger.final_cost");
         let tree = PlanTree::left_deep(&order_rev);
         match memo {
             Some(m) => cost_tree_memo(&tree, est, coster, m),
@@ -275,6 +304,7 @@ impl SelingerPlanner {
         parallelism: Parallelism,
         mut memo: Option<&mut CostMemo>,
         dp: &mut [Option<Entry>],
+        tel: &Telemetry,
     ) {
         let n = rels.len();
         struct Cand {
@@ -287,6 +317,8 @@ impl SelingerPlanner {
         let limit: u32 = 1u32 << n;
 
         for k in 2..=n as u32 {
+            let _level_span = tel.span_labeled("selinger.level", k as usize);
+            tel.inc(Counter::SelingerLevels);
             let mut cands: Vec<Cand> = Vec::new();
             // Outer None = pending (goes to the batch); inner None =
             // infeasible; Some(cost) = the join's scalar cost.

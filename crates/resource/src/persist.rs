@@ -29,8 +29,17 @@ use std::path::Path;
 /// Current on-disk format version.
 pub const FORMAT_VERSION: u64 = 1;
 
-/// Render `bank` as the version-1 JSON document.
+/// Render `bank` as the version-1 JSON document without a model
+/// fingerprint (legacy writer; loads under any model).
 pub fn bank_to_json(bank: &CacheBank) -> String {
+    bank_to_json_with(bank, None)
+}
+
+/// Render `bank` as the version-1 JSON document, optionally stamping the
+/// cost-model fingerprint into the header. Cached resource plans are only
+/// as good as the model that priced them — a stamped file is invalidated
+/// on load when the model has retrained (fingerprint mismatch).
+pub fn bank_to_json_with(bank: &CacheBank, model_fingerprint: Option<u64>) -> String {
     let caches: Vec<Value> = bank
         .iter()
         .map(|(&(model, operator), cache)| {
@@ -50,10 +59,14 @@ pub fn bank_to_json(bank: &CacheBank) -> String {
             ])
         })
         .collect();
-    let doc = Value::Object(vec![
-        ("version".to_string(), Value::Num(FORMAT_VERSION as f64)),
-        ("caches".to_string(), Value::Array(caches)),
-    ]);
+    let mut header = vec![("version".to_string(), Value::Num(FORMAT_VERSION as f64))];
+    if let Some(fp) = model_fingerprint {
+        // Hex string, not a number: the JSON number space is f64 (53-bit
+        // mantissa) and cannot hold a 64-bit fingerprint losslessly.
+        header.push(("model_fingerprint".to_string(), Value::String(format!("{fp:016x}"))));
+    }
+    header.push(("caches".to_string(), Value::Array(caches)));
+    let doc = Value::Object(header);
     let mut out = String::new();
     serde::write_value(&mut out, &doc, Some(2), 0);
     out.push('\n');
@@ -76,6 +89,40 @@ fn as_num(v: &Value, what: &str) -> io::Result<f64> {
         Value::Num(n) => Ok(*n),
         _ => Err(bad(&format!("{what} is not a number"))),
     }
+}
+
+/// Parse the `model_fingerprint` header of a version-1 document, if
+/// present (files written before fingerprint stamping have none).
+pub fn json_fingerprint(text: &str) -> io::Result<Option<u64>> {
+    let doc = serde_json::from_str(text).map_err(|e| bad(&e.to_string()))?;
+    let Value::Object(top) = &doc else {
+        return Err(bad("top level is not an object"));
+    };
+    match top.iter().find(|(k, _)| k == "model_fingerprint") {
+        None => Ok(None),
+        Some((_, Value::String(s))) => u64::from_str_radix(s, 16)
+            .map(Some)
+            .map_err(|_| bad("model_fingerprint is not a hex u64")),
+        Some(_) => Err(bad("model_fingerprint is not a string")),
+    }
+}
+
+/// Parse a version-1 document, enforcing the model fingerprint when the
+/// caller expects one. Returns `(bank, invalidated)`: on mismatch — a file
+/// stamped with a *different* fingerprint, or an unstamped legacy file
+/// when a fingerprint is expected — the stale entries are discarded and an
+/// empty bank comes back with `invalidated = true`. The file itself is
+/// untouched; the next save overwrites it with freshly stamped entries.
+pub fn bank_from_json_checked(
+    text: &str,
+    expected_fingerprint: Option<u64>,
+) -> io::Result<(CacheBank, bool)> {
+    if let Some(expected) = expected_fingerprint {
+        if json_fingerprint(text)? != Some(expected) {
+            return Ok((CacheBank::new(), true));
+        }
+    }
+    Ok((bank_from_json(text)?, false))
 }
 
 /// Parse the version-1 JSON document back into a [`CacheBank`].
@@ -137,6 +184,25 @@ pub fn load_bank(path: impl AsRef<Path>) -> io::Result<CacheBank> {
     bank_from_json(&std::fs::read_to_string(path)?)
 }
 
+/// Write `bank` to `path` with the cost-model fingerprint stamped into the
+/// header (see [`bank_to_json_with`]).
+pub fn save_bank_with(
+    bank: &CacheBank,
+    path: impl AsRef<Path>,
+    model_fingerprint: Option<u64>,
+) -> io::Result<()> {
+    std::fs::write(path, bank_to_json_with(bank, model_fingerprint))
+}
+
+/// Read a bank, discarding it as stale when its stamped fingerprint does
+/// not match `expected_fingerprint` (see [`bank_from_json_checked`]).
+pub fn load_bank_checked(
+    path: impl AsRef<Path>,
+    expected_fingerprint: Option<u64>,
+) -> io::Result<(CacheBank, bool)> {
+    bank_from_json_checked(&std::fs::read_to_string(path)?, expected_fingerprint)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +256,60 @@ mod tests {
         // Minimal valid document.
         let bank = bank_from_json(r#"{"version": 1, "caches": []}"#).unwrap();
         assert_eq!(bank.total_entries(), 0);
+    }
+
+    #[test]
+    fn fingerprint_stamp_round_trips() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(3.4, cfg(10.0, 3.0));
+        let fp = 0xdead_beef_0123_4567u64;
+        let json = bank_to_json_with(&bank, Some(fp));
+        assert!(json.contains("\"model_fingerprint\": \"deadbeef01234567\""));
+        assert_eq!(json_fingerprint(&json).unwrap(), Some(fp));
+
+        // Matching fingerprint: entries load intact.
+        let (mut loaded, invalidated) = bank_from_json_checked(&json, Some(fp)).unwrap();
+        assert!(!invalidated);
+        assert_eq!(loaded.cache(0, 0).lookup(3.4, CacheLookup::Exact), Some(cfg(10.0, 3.0)));
+
+        // Mismatched fingerprint: stale file discarded, empty bank back.
+        let (stale, invalidated) = bank_from_json_checked(&json, Some(fp ^ 1)).unwrap();
+        assert!(invalidated);
+        assert_eq!(stale.total_entries(), 0);
+
+        // No expectation: the stamp is ignored, entries load.
+        let (loaded, invalidated) = bank_from_json_checked(&json, None).unwrap();
+        assert!(!invalidated);
+        assert_eq!(loaded.total_entries(), 1);
+    }
+
+    #[test]
+    fn unstamped_legacy_file_is_stale_when_fingerprint_expected() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(1.0, cfg(2.0, 2.0));
+        let legacy = bank_to_json(&bank); // no fingerprint header
+        assert_eq!(json_fingerprint(&legacy).unwrap(), None);
+        let (loaded, invalidated) = bank_from_json_checked(&legacy, Some(7)).unwrap();
+        assert!(invalidated, "unverifiable legacy file must not warm-start a stamped run");
+        assert_eq!(loaded.total_entries(), 0);
+        // Fingerprint-over-2^53 values survive the hex-string encoding.
+        let big = u64::MAX - 12;
+        let json = bank_to_json_with(&bank, Some(big));
+        assert_eq!(json_fingerprint(&json).unwrap(), Some(big));
+    }
+
+    #[test]
+    fn fingerprinted_save_load_via_files() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(5.5, cfg(40.0, 7.0));
+        let path = std::env::temp_dir().join("raqo_persist_test_bank_fp.json");
+        save_bank_with(&bank, &path, Some(42)).unwrap();
+        let (mut loaded, invalidated) = load_bank_checked(&path, Some(42)).unwrap();
+        assert!(!invalidated);
+        assert_eq!(loaded.cache(0, 0).lookup(5.5, CacheLookup::Exact), Some(cfg(40.0, 7.0)));
+        let (_, invalidated) = load_bank_checked(&path, Some(43)).unwrap();
+        assert!(invalidated);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -87,6 +87,30 @@ impl SharedCacheBank {
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         Ok(SharedCacheBank::from_bank(crate::persist::load_bank(path)?))
     }
+
+    /// Persist the bank with the cost-model fingerprint stamped into the
+    /// v1 header, so a later [`SharedCacheBank::load_checked`] can reject
+    /// the file once the model retrains.
+    pub fn save_with_fingerprint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+    ) -> std::io::Result<()> {
+        crate::persist::save_bank_with(&self.inner.read(), path, Some(model_fingerprint))
+    }
+
+    /// Load a bank, discarding it as stale when its stamped fingerprint
+    /// differs from `model_fingerprint` (or when the file predates
+    /// stamping). Returns `(bank, invalidated)`; an invalidated load
+    /// yields an empty, usable bank.
+    pub fn load_checked(
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+    ) -> std::io::Result<(Self, bool)> {
+        let (bank, invalidated) =
+            crate::persist::load_bank_checked(path, Some(model_fingerprint))?;
+        Ok((SharedCacheBank::from_bank(bank), invalidated))
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +159,25 @@ mod tests {
         shared.insert(1, 0, 1.0, cfg(2.0, 2.0));
         assert_eq!(shared.lookup(0, 0, 1.0, CacheLookup::Exact), Some(cfg(1.0, 1.0)));
         assert_eq!(shared.lookup(1, 0, 1.0, CacheLookup::Exact), Some(cfg(2.0, 2.0)));
+    }
+
+    #[test]
+    fn fingerprinted_save_and_checked_load() {
+        let shared = SharedCacheBank::new();
+        shared.insert(0, 0, 1.0, cfg(4.0, 2.0));
+        let path = std::env::temp_dir().join("raqo_shared_bank_fp_test.json");
+        shared.save_with_fingerprint(&path, 0xabc).unwrap();
+        let (same, invalidated) = SharedCacheBank::load_checked(&path, 0xabc).unwrap();
+        assert!(!invalidated);
+        assert_eq!(same.total_entries(), 1);
+        let (stale, invalidated) = SharedCacheBank::load_checked(&path, 0xdef).unwrap();
+        assert!(invalidated, "retrained model must invalidate the persisted bank");
+        assert_eq!(stale.total_entries(), 0);
+        // Unstamped legacy files are also stale under a checked load.
+        shared.save(&path).unwrap();
+        let (_, invalidated) = SharedCacheBank::load_checked(&path, 0xabc).unwrap();
+        assert!(invalidated);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

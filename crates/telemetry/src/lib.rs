@@ -1,0 +1,26 @@
+//! `raqo-telemetry` — observability for the joint query+resource
+//! optimizer.
+//!
+//! Three layers, all dependency-free:
+//!
+//! 1. **Spans** ([`Telemetry::span`]): RAII guards with monotonic timings
+//!    and thread-local parent/child nesting, covering the pipeline phases
+//!    (dispatch, Selinger DP levels, randomized rounds, resource planning,
+//!    cache lookups). Capped at [`MAX_SPANS`] with a dropped counter.
+//! 2. **Metrics registry** ([`MetricsRegistry`]): enum-indexed atomic
+//!    counters and fixed-bucket histograms, exported as JSON
+//!    ([`MetricsSnapshot::to_json`]) and Prometheus text format
+//!    ([`MetricsSnapshot::to_prometheus`]).
+//! 3. **The no-op sink**: [`Telemetry::disabled`] is the default
+//!    everywhere; every instrumentation call on it is branch-on-`None`
+//!    and free — no clock reads, no locks, no allocation (asserted by the
+//!    `no_alloc` integration test and the `telemetry_overhead` bench).
+
+mod metrics;
+mod span;
+
+pub use metrics::{
+    Counter, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot, PLAN_COST_LATENCY_BUCKETS,
+    RESOURCE_ITERATIONS_BUCKETS,
+};
+pub use span::{aggregate_spans, render_span_tree, Span, SpanRecord, Stopwatch, Telemetry, MAX_SPANS};

@@ -1,0 +1,496 @@
+//! The metrics registry: enum-indexed atomic counters and fixed-bucket
+//! histograms, snapshotted into JSON or Prometheus text format.
+//!
+//! Counters are the source of truth for everything `RaqoStats` reports —
+//! the stats struct is a *view* over a registry snapshot, so the two can
+//! never diverge. Histograms use fixed bucket boundaries chosen once at
+//! compile time: no locks, no allocation on the observe path.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Every counter the optimizer stack increments. The discriminant is the
+/// index into the registry's atomic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// `getPlanCost` invocations (one per join operator costed).
+    PlanCostCalls,
+    /// Resource-planning iterations across all strategies (paper Fig. 13).
+    ResourceIterations,
+    /// Resource-plan cache hits answered by an exact-key match.
+    CacheHitsExact,
+    /// Cache hits answered by nearest-neighbor lookup.
+    CacheHitsNearest,
+    /// Cache hits answered by weighted-average interpolation.
+    CacheHitsWeighted,
+    /// Cache lookups that missed and fell through to planning.
+    CacheMisses,
+    /// Cross-run Selinger memo probes that hit.
+    MemoHits,
+    /// Cross-run Selinger memo probes that missed.
+    MemoMisses,
+    /// Memo entries evicted by the per-context LRU cap.
+    MemoEvictions,
+    /// Persisted cache files discarded on load (model fingerprint mismatch).
+    CacheFileInvalidations,
+    /// Batched-kernel chunk evaluations (one per grid chunk).
+    BatchChunks,
+    /// Hill-climb searches launched (multi-start counts each start).
+    HillClimbClimbs,
+    /// Randomized-planner improvement rounds executed.
+    RandomizedRounds,
+    /// Selinger DP levels filled.
+    SelingerLevels,
+    /// Rule-based (decision tree) join dispatches.
+    RuleDispatches,
+    /// Spans discarded because the span store hit its cap.
+    SpansDropped,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 16] = [
+        Counter::PlanCostCalls,
+        Counter::ResourceIterations,
+        Counter::CacheHitsExact,
+        Counter::CacheHitsNearest,
+        Counter::CacheHitsWeighted,
+        Counter::CacheMisses,
+        Counter::MemoHits,
+        Counter::MemoMisses,
+        Counter::MemoEvictions,
+        Counter::CacheFileInvalidations,
+        Counter::BatchChunks,
+        Counter::HillClimbClimbs,
+        Counter::RandomizedRounds,
+        Counter::SelingerLevels,
+        Counter::RuleDispatches,
+        Counter::SpansDropped,
+    ];
+
+    /// Prometheus metric name (`_total` suffix per convention).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PlanCostCalls => "raqo_plan_cost_calls_total",
+            Counter::ResourceIterations => "raqo_resource_iterations_total",
+            Counter::CacheHitsExact => "raqo_cache_hits_exact_total",
+            Counter::CacheHitsNearest => "raqo_cache_hits_nearest_total",
+            Counter::CacheHitsWeighted => "raqo_cache_hits_weighted_total",
+            Counter::CacheMisses => "raqo_cache_misses_total",
+            Counter::MemoHits => "raqo_memo_hits_total",
+            Counter::MemoMisses => "raqo_memo_misses_total",
+            Counter::MemoEvictions => "raqo_memo_evictions_total",
+            Counter::CacheFileInvalidations => "raqo_cache_file_invalidations_total",
+            Counter::BatchChunks => "raqo_batch_chunks_total",
+            Counter::HillClimbClimbs => "raqo_hill_climb_climbs_total",
+            Counter::RandomizedRounds => "raqo_randomized_rounds_total",
+            Counter::SelingerLevels => "raqo_selinger_levels_total",
+            Counter::RuleDispatches => "raqo_rule_dispatches_total",
+            Counter::SpansDropped => "raqo_spans_dropped_total",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::PlanCostCalls => "getPlanCost invocations",
+            Counter::ResourceIterations => "resource planning iterations",
+            Counter::CacheHitsExact => "resource-plan cache exact hits",
+            Counter::CacheHitsNearest => "resource-plan cache nearest-neighbor hits",
+            Counter::CacheHitsWeighted => "resource-plan cache weighted-average hits",
+            Counter::CacheMisses => "resource-plan cache misses",
+            Counter::MemoHits => "Selinger cross-run memo hits",
+            Counter::MemoMisses => "Selinger cross-run memo misses",
+            Counter::MemoEvictions => "Selinger memo entries evicted by the context LRU",
+            Counter::CacheFileInvalidations => "persisted cache files invalidated on fingerprint mismatch",
+            Counter::BatchChunks => "batched cost-kernel chunk evaluations",
+            Counter::HillClimbClimbs => "hill-climb searches launched",
+            Counter::RandomizedRounds => "randomized planner improvement rounds",
+            Counter::SelingerLevels => "Selinger DP levels filled",
+            Counter::RuleDispatches => "rule-based decision-tree join dispatches",
+            Counter::SpansDropped => "spans dropped at the span-store cap",
+        }
+    }
+}
+
+/// Histogram bucket boundaries for plan-cost latency, in microseconds.
+pub const PLAN_COST_LATENCY_BUCKETS: [u64; 12] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 5_000, 10_000];
+
+/// Histogram bucket boundaries for resource iterations per planning call.
+pub const RESOURCE_ITERATIONS_BUCKETS: [u64; 12] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096];
+
+const HIST_BUCKETS: usize = 12;
+
+/// Every histogram the optimizer stack observes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wall time of one `getPlanCost` call, microseconds.
+    PlanCostLatencyUs,
+    /// Resource iterations spent by one resource-planning call.
+    ResourceIterationsPerCall,
+}
+
+impl Hist {
+    pub const ALL: [Hist; 2] = [Hist::PlanCostLatencyUs, Hist::ResourceIterationsPerCall];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::PlanCostLatencyUs => "raqo_plan_cost_latency_us",
+            Hist::ResourceIterationsPerCall => "raqo_resource_iterations_per_call",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::PlanCostLatencyUs => "getPlanCost wall time in microseconds",
+            Hist::ResourceIterationsPerCall => "resource iterations per resource-planning call",
+        }
+    }
+
+    pub fn buckets(self) -> &'static [u64; HIST_BUCKETS] {
+        match self {
+            Hist::PlanCostLatencyUs => &PLAN_COST_LATENCY_BUCKETS,
+            Hist::ResourceIterationsPerCall => &RESOURCE_ITERATIONS_BUCKETS,
+        }
+    }
+}
+
+/// One histogram's cells: per-bucket counts plus the +Inf overflow, a
+/// value sum, and an observation count. All atomics; observe is lock-free.
+#[derive(Default)]
+struct HistCells {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// The registry itself: one atomic slot per [`Counter`], one cell block
+/// per [`Hist`]. Shared across worker threads by reference.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; Counter::ALL.len()],
+    hists: [HistCells; Hist::ALL.len()],
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record one observation. Finds the first bucket whose upper bound
+    /// holds the value (cumulative counts are computed at snapshot time).
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        let cells = &self.hists[h as usize];
+        match h.buckets().iter().position(|&le| value <= le) {
+            Some(i) => cells.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => cells.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = Counter::ALL.map(|c| self.get(c));
+        let hists = Hist::ALL.map(|h| {
+            let cells = &self.hists[h as usize];
+            HistSnapshot {
+                hist: h,
+                buckets: std::array::from_fn(|i| cells.buckets[i].load(Ordering::Relaxed)),
+                overflow: cells.overflow.load(Ordering::Relaxed),
+                sum: cells.sum.load(Ordering::Relaxed),
+                count: cells.count.load(Ordering::Relaxed),
+            }
+        });
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+/// Point-in-time histogram state (per-bucket counts, not cumulative).
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    pub hist: Hist,
+    pub buckets: [u64; HIST_BUCKETS],
+    pub overflow: u64,
+    pub sum: u64,
+    pub count: u64,
+}
+
+/// Point-in-time registry state; renders to JSON and Prometheus text.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    counters: [u64; Counter::ALL.len()],
+    hists: [HistSnapshot; Hist::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    pub fn hist(&self, h: Hist) -> &HistSnapshot {
+        &self.hists[h as usize]
+    }
+
+    /// Counter delta vs. an earlier snapshot (used for per-query views).
+    pub fn delta(&self, earlier: &MetricsSnapshot, c: Counter) -> u64 {
+        self.get(c).saturating_sub(earlier.get(c))
+    }
+
+    /// Cache hits across all lookup kinds.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.get(Counter::CacheHitsExact)
+            + self.get(Counter::CacheHitsNearest)
+            + self.get(Counter::CacheHitsWeighted)
+    }
+
+    /// Overall cache hit ratio; `None` until a lookup happened.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.cache_hits_total();
+        let lookups = hits + self.get(Counter::CacheMisses);
+        (lookups > 0).then(|| hits as f64 / lookups as f64)
+    }
+
+    /// Per-kind cache hit ratio over all lookups, in (exact, nearest,
+    /// weighted-average) order; `None` until a lookup happened.
+    pub fn cache_hit_ratio_by_kind(&self) -> Option<[f64; 3]> {
+        let lookups = self.cache_hits_total() + self.get(Counter::CacheMisses);
+        (lookups > 0).then(|| {
+            [
+                Counter::CacheHitsExact,
+                Counter::CacheHitsNearest,
+                Counter::CacheHitsWeighted,
+            ]
+            .map(|c| self.get(c) as f64 / lookups as f64)
+        })
+    }
+
+    /// The snapshot as a JSON value: `{"counters": {...}, "histograms":
+    /// {...}, "gauges": {...}}`.
+    pub fn to_json_value(&self) -> Value {
+        let counters = Value::Object(
+            Counter::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), Value::Num(self.get(c) as f64)))
+                .collect(),
+        );
+        let hists = Value::Object(
+            Hist::ALL
+                .iter()
+                .map(|&h| {
+                    let s = self.hist(h);
+                    let buckets = Value::Array(
+                        h.buckets()
+                            .iter()
+                            .zip(s.buckets.iter())
+                            .map(|(&le, &n)| {
+                                Value::Object(vec![
+                                    ("le".to_string(), Value::Num(le as f64)),
+                                    ("count".to_string(), Value::Num(n as f64)),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    let obj = Value::Object(vec![
+                        ("buckets".to_string(), buckets),
+                        ("overflow".to_string(), Value::Num(s.overflow as f64)),
+                        ("sum".to_string(), Value::Num(s.sum as f64)),
+                        ("count".to_string(), Value::Num(s.count as f64)),
+                    ]);
+                    (h.name().to_string(), obj)
+                })
+                .collect(),
+        );
+        let mut gauges = Vec::new();
+        if let Some(r) = self.cache_hit_ratio() {
+            gauges.push(("raqo_cache_hit_ratio".to_string(), Value::Num(r)));
+        }
+        if let Some([e, n, w]) = self.cache_hit_ratio_by_kind() {
+            gauges.push(("raqo_cache_hit_ratio_exact".to_string(), Value::Num(e)));
+            gauges.push(("raqo_cache_hit_ratio_nearest".to_string(), Value::Num(n)));
+            gauges.push(("raqo_cache_hit_ratio_weighted".to_string(), Value::Num(w)));
+        }
+        Value::Object(vec![
+            ("counters".to_string(), counters),
+            ("histograms".to_string(), hists),
+            ("gauges".to_string(), Value::Object(gauges)),
+        ])
+    }
+
+    /// Pretty-printed JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        serde::write_value(&mut out, &self.to_json_value(), Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4): HELP/TYPE lines,
+    /// counters with `_total` names, histograms with cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &c in Counter::ALL.iter() {
+            out.push_str(&format!("# HELP {} {}\n", c.name(), c.help()));
+            out.push_str(&format!("# TYPE {} counter\n", c.name()));
+            out.push_str(&format!("{} {}\n", c.name(), self.get(c)));
+        }
+        for &h in Hist::ALL.iter() {
+            let s = self.hist(h);
+            out.push_str(&format!("# HELP {} {}\n", h.name(), h.help()));
+            out.push_str(&format!("# TYPE {} histogram\n", h.name()));
+            let mut cumulative = 0u64;
+            for (&le, &n) in h.buckets().iter().zip(s.buckets.iter()) {
+                cumulative += n;
+                out.push_str(&format!("{}_bucket{{le=\"{}\"}} {}\n", h.name(), le, cumulative));
+            }
+            cumulative += s.overflow;
+            out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name(), cumulative));
+            out.push_str(&format!("{}_sum {}\n", h.name(), s.sum));
+            out.push_str(&format!("{}_count {}\n", h.name(), s.count));
+        }
+        if let Some(r) = self.cache_hit_ratio() {
+            out.push_str("# HELP raqo_cache_hit_ratio overall resource-plan cache hit ratio\n");
+            out.push_str("# TYPE raqo_cache_hit_ratio gauge\n");
+            out.push_str(&format!("raqo_cache_hit_ratio {r}\n"));
+        }
+        if let Some(ratios) = self.cache_hit_ratio_by_kind() {
+            for (kind, r) in ["exact", "nearest", "weighted"].iter().zip(ratios) {
+                let name = format!("raqo_cache_hit_ratio_{kind}");
+                out.push_str(&format!("# HELP {name} cache hit ratio, {kind} lookups\n"));
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name} {r}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Counter::PlanCostCalls, 3);
+        reg.inc(Counter::PlanCostCalls, 2);
+        reg.inc(Counter::CacheMisses, 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get(Counter::PlanCostCalls), 5);
+        assert_eq!(snap.get(Counter::CacheMisses), 1);
+        assert_eq!(snap.get(Counter::MemoHits), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = MetricsRegistry::new();
+        // Boundary semantics are `value <= le` (Prometheus): an observation
+        // exactly on a bound lands in that bucket, one past it in the next.
+        reg.observe(Hist::PlanCostLatencyUs, 1); // le=1
+        reg.observe(Hist::PlanCostLatencyUs, 2); // le=2
+        reg.observe(Hist::PlanCostLatencyUs, 3); // le=5
+        reg.observe(Hist::PlanCostLatencyUs, 10); // le=10
+        reg.observe(Hist::PlanCostLatencyUs, 11); // le=25
+        reg.observe(Hist::PlanCostLatencyUs, 10_000); // last finite bucket
+        reg.observe(Hist::PlanCostLatencyUs, 10_001); // +Inf overflow
+        let s = reg.snapshot();
+        let h = s.hist(Hist::PlanCostLatencyUs).clone();
+        assert_eq!(h.buckets[0], 1, "value 1 in le=1");
+        assert_eq!(h.buckets[1], 1, "value 2 in le=2");
+        assert_eq!(h.buckets[2], 1, "value 3 in le=5");
+        assert_eq!(h.buckets[3], 1, "value 10 in le=10");
+        assert_eq!(h.buckets[4], 1, "value 11 in le=25");
+        assert_eq!(h.buckets[11], 1, "value 10000 in le=10000");
+        assert_eq!(h.overflow, 1, "value 10001 overflows");
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1 + 2 + 3 + 10 + 11 + 10_000 + 10_001);
+    }
+
+    #[test]
+    fn histogram_zero_goes_to_first_bucket() {
+        let reg = MetricsRegistry::new();
+        reg.observe(Hist::ResourceIterationsPerCall, 0);
+        let s = reg.snapshot();
+        assert_eq!(s.hist(Hist::ResourceIterationsPerCall).buckets[0], 1);
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Counter::PlanCostCalls, 7);
+        reg.inc(Counter::CacheHitsExact, 3);
+        reg.inc(Counter::CacheMisses, 1);
+        reg.observe(Hist::PlanCostLatencyUs, 4);
+        reg.observe(Hist::PlanCostLatencyUs, 4);
+        reg.observe(Hist::PlanCostLatencyUs, 80_000);
+        let text = reg.snapshot().to_prometheus();
+
+        // Counter block, exactly as Prometheus expects it.
+        assert!(text.contains(
+            "# HELP raqo_plan_cost_calls_total getPlanCost invocations\n\
+             # TYPE raqo_plan_cost_calls_total counter\n\
+             raqo_plan_cost_calls_total 7\n"
+        ));
+        // Histogram block: cumulative buckets, +Inf, sum, count.
+        assert!(text.contains("raqo_plan_cost_latency_us_bucket{le=\"5\"} 2\n"));
+        assert!(text.contains("raqo_plan_cost_latency_us_bucket{le=\"10000\"} 2\n"));
+        assert!(text.contains("raqo_plan_cost_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("raqo_plan_cost_latency_us_sum 80008\n"));
+        assert!(text.contains("raqo_plan_cost_latency_us_count 3\n"));
+        // Gauge derived from hit/miss counters: 3 of 4 lookups hit.
+        assert!(text.contains("raqo_cache_hit_ratio 0.75\n"));
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Counter::MemoHits, 2);
+        reg.observe(Hist::ResourceIterationsPerCall, 33);
+        let text = reg.snapshot().to_json();
+        let value = serde_json::from_str(&text).expect("snapshot JSON parses");
+        let serde::Value::Object(fields) = value else {
+            panic!("snapshot JSON must be an object")
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["counters", "histograms", "gauges"]);
+    }
+
+    #[test]
+    fn cache_hit_ratio_by_kind_sums_with_misses() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Counter::CacheHitsExact, 2);
+        reg.inc(Counter::CacheHitsNearest, 1);
+        reg.inc(Counter::CacheHitsWeighted, 1);
+        reg.inc(Counter::CacheMisses, 4);
+        let s = reg.snapshot();
+        let [e, n, w] = s.cache_hit_ratio_by_kind().unwrap();
+        assert_eq!(e, 0.25);
+        assert_eq!(n, 0.125);
+        assert_eq!(w, 0.125);
+        assert_eq!(s.cache_hit_ratio().unwrap(), 0.5);
+    }
+}

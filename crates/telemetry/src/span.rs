@@ -1,0 +1,447 @@
+//! Lightweight span tracing with monotonic timings and parent/child
+//! nesting.
+//!
+//! A [`Span`] is an RAII guard: opening one records a start offset against
+//! the telemetry epoch and pushes it on a thread-local stack (so spans
+//! opened while it is live become its children); dropping it stamps the
+//! duration. When telemetry is disabled every operation is a no-op on a
+//! `None` — no clock reads, no locks, no allocation.
+
+use crate::metrics::MetricsRegistry;
+use crate::Counter;
+use serde::Value;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Hard cap on retained spans per telemetry handle. Past it, spans are
+/// counted in [`Counter::SpansDropped`] instead of stored — hot loops
+/// cannot grow the trace without bound.
+pub const MAX_SPANS: usize = 65_536;
+
+/// One finished (or still-open) span in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Index of the parent span in the same trace, root spans have none.
+    pub parent: Option<u32>,
+    /// Start offset from the telemetry epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds; zero while the span is still open.
+    pub dur_ns: u64,
+}
+
+struct SpanStore {
+    records: Vec<SpanRecord>,
+}
+
+pub(crate) struct Inner {
+    /// Distinguishes handles on the shared thread-local stack.
+    id: u64,
+    epoch: Instant,
+    pub(crate) registry: MetricsRegistry,
+    spans: Mutex<SpanStore>,
+}
+
+thread_local! {
+    /// Stack of open spans on this thread: (telemetry id, span index).
+    static SPAN_STACK: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The telemetry handle threaded through the optimizer stack. Cheap to
+/// clone (an `Arc` when enabled, a `None` when disabled); the disabled
+/// handle makes every instrumentation site free.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The no-op sink: every span/counter/histogram call returns
+    /// immediately without touching a clock, lock, or allocator.
+    pub const fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with a fresh registry and empty span store.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                registry: MetricsRegistry::new(),
+                spans: Mutex::new(SpanStore { records: Vec::new() }),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `name`, parented at the innermost span currently
+    /// open on this thread. Returns a guard whose drop stamps the duration.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { inner: None },
+            Some(inner) => Span::open(inner, name.to_string()),
+        }
+    }
+
+    /// Open a span whose name carries an index, e.g. `selinger.level.3`.
+    /// The label is only formatted (allocated) when telemetry is enabled.
+    #[inline]
+    pub fn span_labeled(&self, prefix: &str, idx: usize) -> Span {
+        match &self.inner {
+            None => Span { inner: None },
+            Some(inner) => Span::open(inner, format!("{prefix}.{idx}")),
+        }
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.inc(c, n);
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, h: crate::Hist, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.observe(h, value);
+        }
+    }
+
+    /// Start a latency stopwatch; reads the clock only when enabled.
+    #[inline]
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Observe the stopwatch's elapsed microseconds into a histogram.
+    #[inline]
+    pub fn observe_elapsed_us(&self, h: crate::Hist, sw: &Stopwatch) {
+        if let (Some(inner), Some(t0)) = (&self.inner, sw.0) {
+            inner.registry.observe(h, t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// The live registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Point-in-time metrics snapshot, when enabled.
+    pub fn snapshot(&self) -> Option<crate::MetricsSnapshot> {
+        self.registry().map(|r| r.snapshot())
+    }
+
+    /// Copy of the recorded spans (empty when disabled).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.spans.lock().unwrap().records.clone(),
+        }
+    }
+
+    /// Discard recorded spans (metrics are unaffected). Used between
+    /// queries when tracing several in one process.
+    pub fn clear_spans(&self) {
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().unwrap().records.clear();
+        }
+    }
+
+    /// Render the recorded spans as an indented tree with durations.
+    pub fn span_tree_text(&self) -> String {
+        render_span_tree(&self.spans())
+    }
+
+    /// The recorded spans as a JSON array of `{name, parent, start_us,
+    /// dur_us}` objects.
+    pub fn spans_to_json_value(&self) -> Value {
+        Value::Array(
+            self.spans()
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("name".to_string(), Value::String(s.name.clone())),
+                        (
+                            "parent".to_string(),
+                            match s.parent {
+                                Some(p) => Value::Num(p as f64),
+                                None => Value::Null,
+                            },
+                        ),
+                        ("start_us".to_string(), Value::Num(s.start_ns as f64 / 1e3)),
+                        ("dur_us".to_string(), Value::Num(s.dur_ns as f64 / 1e3)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A started-or-inert stopwatch from [`Telemetry::stopwatch`].
+#[derive(Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+/// RAII span guard; duration is stamped on drop.
+pub struct Span {
+    inner: Option<(Arc<Inner>, u32, Instant)>,
+}
+
+impl Span {
+    fn open(inner: &Arc<Inner>, name: String) -> Span {
+        let start = Instant::now();
+        let idx = {
+            let mut store = inner.spans.lock().unwrap();
+            if store.records.len() >= MAX_SPANS {
+                drop(store);
+                inner.registry.inc(Counter::SpansDropped, 1);
+                return Span { inner: None };
+            }
+            let parent = SPAN_STACK.with(|s| {
+                s.borrow()
+                    .last()
+                    .filter(|(id, _)| *id == inner.id)
+                    .map(|(_, idx)| *idx)
+            });
+            let idx = store.records.len() as u32;
+            store.records.push(SpanRecord {
+                name,
+                parent,
+                start_ns: start.duration_since(inner.epoch).as_nanos() as u64,
+                dur_ns: 0,
+            });
+            idx
+        };
+        SPAN_STACK.with(|s| s.borrow_mut().push((inner.id, idx)));
+        Span {
+            inner: Some((Arc::clone(inner), idx, start)),
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, idx, start)) = self.inner.take() {
+            let dur = start.elapsed().as_nanos() as u64;
+            inner.spans.lock().unwrap().records[idx as usize].dur_ns = dur.max(1);
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&e| e == (inner.id, idx)) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+/// Indented-tree rendering of a span slice (children under parents, in
+/// start order).
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent {
+            Some(p) => children[p as usize].push(i),
+            None => roots.push(i),
+        }
+    }
+    let mut out = String::new();
+    fn walk(
+        out: &mut String,
+        spans: &[SpanRecord],
+        children: &[Vec<usize>],
+        i: usize,
+        depth: usize,
+    ) {
+        let s = &spans[i];
+        out.push_str(&format!("{}{} {}\n", "  ".repeat(depth), s.name, fmt_dur(s.dur_ns)));
+        for &c in &children[i] {
+            walk(out, spans, children, c, depth + 1);
+        }
+    }
+    for r in roots {
+        walk(&mut out, spans, &children, r, 0);
+    }
+    out
+}
+
+/// Per-name aggregate over a span slice: (name, count, total duration ns),
+/// ordered by total duration descending.
+pub fn aggregate_spans(spans: &[SpanRecord]) -> Vec<(String, u64, u64)> {
+    let mut agg: Vec<(String, u64, u64)> = Vec::new();
+    for s in spans {
+        match agg.iter_mut().find(|(n, _, _)| *n == s.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += s.dur_ns;
+            }
+            None => agg.push((s.name.clone(), 1, s.dur_ns)),
+        }
+    }
+    agg.sort_by(|a, b| b.2.cmp(&a.2));
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let tel = Telemetry::disabled();
+        {
+            let _a = tel.span("a");
+            let _b = tel.span("b");
+        }
+        assert!(tel.spans().is_empty());
+        assert!(tel.snapshot().is_none());
+        assert!(!tel.is_enabled());
+    }
+
+    #[test]
+    fn span_nesting_follows_guard_scopes() {
+        let tel = Telemetry::enabled();
+        {
+            let _root = tel.span("optimize");
+            {
+                let _child = tel.span("dispatch");
+                let _grand = tel.span("planner.selinger");
+            }
+            let _sibling = tel.span("explain");
+        }
+        let spans = tel.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].name, "optimize");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].name, "dispatch");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].name, "planner.selinger");
+        assert_eq!(spans[2].parent, Some(1), "grandchild parents at the open child");
+        assert_eq!(spans[3].name, "explain");
+        assert_eq!(spans[3].parent, Some(0), "sibling re-parents at the root");
+        for s in &spans {
+            assert!(s.dur_ns > 0, "closed span {:?} has a stamped duration", s.name);
+        }
+        // Children start within the root and no earlier than it.
+        assert!(spans[1].start_ns >= spans[0].start_ns);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let tel = Telemetry::enabled();
+        {
+            let _a = tel.span("a");
+        }
+        {
+            let _b = tel.span("b");
+        }
+        let spans = tel.spans();
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, None);
+    }
+
+    #[test]
+    fn labeled_span_formats_index() {
+        let tel = Telemetry::enabled();
+        {
+            let _l = tel.span_labeled("selinger.level", 3);
+        }
+        assert_eq!(tel.spans()[0].name, "selinger.level.3");
+    }
+
+    #[test]
+    fn spans_from_worker_threads_are_roots() {
+        let tel = Telemetry::enabled();
+        let _outer = tel.span("outer");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _w = tel.span("worker");
+            });
+        });
+        let spans = tel.spans();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        // The worker thread's stack is empty, so its span is a root — it
+        // never parents at a span of another thread.
+        assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn span_cap_drops_and_counts() {
+        let tel = Telemetry::enabled();
+        for _ in 0..MAX_SPANS + 10 {
+            let _s = tel.span("x");
+        }
+        assert_eq!(tel.spans().len(), MAX_SPANS);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.get(Counter::SpansDropped), 10);
+    }
+
+    #[test]
+    fn tree_render_indents_children() {
+        let tel = Telemetry::enabled();
+        {
+            let _root = tel.span("optimize");
+            let _child = tel.span("dispatch");
+        }
+        let text = tel.span_tree_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("optimize "));
+        assert!(lines[1].starts_with("  dispatch "));
+    }
+
+    #[test]
+    fn aggregate_sums_by_name() {
+        let spans = vec![
+            SpanRecord { name: "a".into(), parent: None, start_ns: 0, dur_ns: 5 },
+            SpanRecord { name: "b".into(), parent: None, start_ns: 0, dur_ns: 100 },
+            SpanRecord { name: "a".into(), parent: None, start_ns: 0, dur_ns: 7 },
+        ];
+        let agg = aggregate_spans(&spans);
+        assert_eq!(agg[0], ("b".to_string(), 1, 100));
+        assert_eq!(agg[1], ("a".to_string(), 2, 12));
+    }
+
+    #[test]
+    fn clear_spans_keeps_metrics() {
+        let tel = Telemetry::enabled();
+        tel.inc(Counter::PlanCostCalls);
+        {
+            let _s = tel.span("q1");
+        }
+        tel.clear_spans();
+        assert!(tel.spans().is_empty());
+        assert_eq!(tel.snapshot().unwrap().get(Counter::PlanCostCalls), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! repro --fig 15 --quick       # reduced sweep sizes
 //! repro --all --json out.json  # machine-readable tables as well
 //! repro --smoke                # fast path: every figure at tiny sizes
+//! repro --chaos                # fault-injection gate: ladder + recovery paths
 //! repro --bench-json [path]    # planner speedup bench -> BENCH_planner.json
 //! repro --cache-file <path>    # TPC-H sweep warm-started from a persisted cache
 //! repro --trace <file>         # traced TPC-H sweep: EXPLAIN ANALYZE + span trees
@@ -38,15 +39,28 @@ fn run_cache_file(path: &str) {
     let fingerprint = model.fingerprint();
     let tel = Telemetry::enabled();
     let bank = if std::path::Path::new(path).exists() {
-        let (bank, invalidated) = SharedCacheBank::load_checked(path, fingerprint)
-            .unwrap_or_else(|e| panic!("loading cache bank from {path}: {e}"));
-        if invalidated {
-            tel.inc(Counter::CacheFileInvalidations);
-            println!("cache file at {path} is stale (cost-model fingerprint mismatch); starting cold");
-        } else {
-            println!("loaded {} cached resource plans from {path}", bank.total_entries());
+        match SharedCacheBank::load_checked(path, fingerprint) {
+            Ok((bank, invalidated)) => {
+                if invalidated {
+                    tel.inc(Counter::CacheFileInvalidations);
+                    println!(
+                        "cache file at {path} is stale (cost-model fingerprint mismatch); starting cold"
+                    );
+                } else {
+                    println!("loaded {} cached resource plans from {path}", bank.total_entries());
+                }
+                bank
+            }
+            // A corrupt cache is a recoverable condition, not a crash: the
+            // loader has already quarantined the bad file, so we log it,
+            // count it, and start cold.
+            Err(e) if e.is_corrupt() => {
+                tel.inc(Counter::CacheFileInvalidations);
+                println!("cache file at {path} is corrupt ({e}); starting cold");
+                SharedCacheBank::new()
+            }
+            Err(e) => panic!("loading cache bank from {path}: {e}"),
         }
-        bank
     } else {
         println!("no cache file at {path}; starting cold");
         SharedCacheBank::new()
@@ -285,12 +299,162 @@ fn selinger_smoke_gate() {
     println!("selinger  ok  {ms:>8.0} ms  {combos} parallelism x memoize combinations agree");
 }
 
+/// `--chaos` gate: deterministic fault injection plus planning budgets must
+/// never leave the optimizer without a plan. Exercises every rung of the
+/// graceful-degradation ladder (undegraded, randomized, rule-based), cost
+/// sanitization under injected NaNs, worker-panic recovery bit-identity,
+/// and cache-file corruption quarantine.
+fn chaos_smoke_gate() {
+    use raqo_core::DegradationRung;
+    use raqo_faults::{Fault, FaultGuard, FaultKind};
+    use raqo_resource::PlanningBudget;
+    use std::time::Duration;
+
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let queries = tpch_queries(&schema);
+    let mk_opt = |strategy: ResourceStrategy| {
+        RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            strategy,
+        )
+    };
+
+    let (_, ms) = timed(|| {
+        // Rung 1: no budget, no faults — every sweep query plans undegraded.
+        for (name, query) in &queries {
+            let plan = mk_opt(ResourceStrategy::HillClimb)
+                .optimize(query)
+                .expect("chaos: clean plan");
+            assert!(plan.degradation.is_none(), "chaos: {name} degraded without a budget");
+        }
+
+        // Rung 3: with faults armed and a 1 ms deadline, a valid plan must
+        // still come back for every sweep query, and the report names the
+        // rung. The injected NaN makes rung 1 hostile even if the clock
+        // somehow holds.
+        {
+            let _guard = FaultGuard::new();
+            raqo_faults::arm(Fault::repeating("cost.model.scalar", FaultKind::Nan));
+            raqo_faults::arm(Fault::repeating("cost.model.batch", FaultKind::Nan));
+            for (name, query) in &queries {
+                let mut opt = mk_opt(ResourceStrategy::HillClimb);
+                opt.set_budget(PlanningBudget::with_deadline(Duration::from_millis(1)));
+                let plan = opt.optimize(query).expect("chaos: plan under faults + deadline");
+                let rung = plan
+                    .degradation
+                    .map(|d| format!("rung {} (trigger {})", d.rung, d.trigger))
+                    .unwrap_or_else(|| "undegraded".to_string());
+                assert!(
+                    raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations),
+                    "chaos: {name} plan does not cover the query"
+                );
+                assert!(plan.query.cost.is_finite(), "chaos: {name} cost not finite");
+                println!("  {name:>10}  faults + 1 ms deadline -> {rung}");
+            }
+        }
+
+        // A zero deadline deterministically lands on the rule-based floor.
+        {
+            let mut opt = mk_opt(ResourceStrategy::BruteForce);
+            opt.set_budget(PlanningBudget::with_deadline(Duration::ZERO));
+            let plan = opt.optimize(&queries[1].1).expect("chaos: rung-3 plan");
+            let d = plan.degradation.expect("chaos: zero deadline must degrade");
+            assert_eq!(d.rung, DegradationRung::RuleBased, "chaos: rung 3 not reached");
+        }
+
+        // Rung 2: a tiny eval budget exhausts inside the first join; the
+        // grace allowance lets the reduced randomized planner finish.
+        {
+            let mut opt = mk_opt(ResourceStrategy::BruteForce);
+            opt.set_budget(PlanningBudget::with_max_evals(100));
+            let plan = opt.optimize(&queries[1].1).expect("chaos: rung-2 plan");
+            let d = plan.degradation.expect("chaos: eval exhaustion must degrade");
+            assert_eq!(d.rung, DegradationRung::Randomized, "chaos: rung 2 not reached");
+        }
+
+        // Cost sanitization: a one-shot NaN mid-search is absorbed (the
+        // poisoned point becomes infeasible), counted, and still planned
+        // through.
+        {
+            let _guard = FaultGuard::new();
+            raqo_faults::arm(Fault::at("cost.model.scalar", FaultKind::Nan, 5));
+            raqo_faults::arm(Fault::at("cost.model.batch", FaultKind::Nan, 5));
+            let tel = Telemetry::enabled();
+            let mut opt = mk_opt(ResourceStrategy::HillClimb);
+            opt.set_telemetry(tel.clone());
+            let plan = opt.optimize(&queries[3].1).expect("chaos: plan with NaN injection");
+            assert!(plan.query.cost.is_finite());
+            let snap = tel.snapshot().expect("enabled");
+            let sanitized = snap.get(Counter::CostSanitizationsScalar)
+                + snap.get(Counter::CostSanitizationsBatch);
+            assert!(sanitized >= 1, "chaos: injected NaN was not counted");
+        }
+
+        // Worker panic: a poisoned parallel worker is recovered by the
+        // bit-identical sequential fallback.
+        {
+            let clean = mk_opt(ResourceStrategy::HillClimb)
+                .with_parallelism(Parallelism::Threads(2))
+                .optimize(&queries[3].1)
+                .expect("chaos: clean parallel plan");
+            let _guard = FaultGuard::new();
+            raqo_faults::arm(Fault::once("core.worker.cost", FaultKind::Panic));
+            // The injected panic is expected; keep it off the console.
+            let prev_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let tel = Telemetry::enabled();
+            let mut opt =
+                mk_opt(ResourceStrategy::HillClimb).with_parallelism(Parallelism::Threads(2));
+            opt.set_telemetry(tel.clone());
+            let recovered = opt.optimize(&queries[3].1).expect("chaos: plan despite panic");
+            std::panic::set_hook(prev_hook);
+            assert_eq!(
+                clean.query.tree, recovered.query.tree,
+                "chaos: panic recovery changed the plan tree"
+            );
+            assert_eq!(
+                clean.query.cost.to_bits(),
+                recovered.query.cost.to_bits(),
+                "chaos: panic recovery changed the plan cost"
+            );
+            let panics = tel.snapshot().expect("enabled").get(Counter::WorkerPanics);
+            assert!(panics >= 1, "chaos: worker panic was not counted");
+        }
+
+        // Cache-file corruption: the loader quarantines the bad file and
+        // reports a typed error instead of crashing or replaying garbage.
+        {
+            let dir = std::env::temp_dir().join(format!("raqo-chaos-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("chaos: temp dir");
+            let path = dir.join("bank.json");
+            let bank = SharedCacheBank::new();
+            bank.save(&path).expect("chaos: save bank");
+            raqo_faults::corrupt_file(&path, 42).expect("chaos: corrupt file");
+            let err = SharedCacheBank::load(&path).expect_err("chaos: corrupt load must fail");
+            assert!(err.is_corrupt(), "chaos: expected a corruption error, got {err}");
+            let quarantined = dir.join("bank.json.corrupt");
+            assert!(quarantined.exists(), "chaos: corrupt file was not quarantined");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    });
+    assert!(!raqo_faults::armed(), "chaos: faults leaked past their guard");
+    println!(
+        "chaos     ok  {ms:>8.0} ms  ladder rungs reachable; NaN/panic/corruption contained"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
     let all = args.iter().any(|a| a == "--all");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let bench_json = args.iter().position(|a| a == "--bench-json");
     let cache_file = args
         .iter()
@@ -387,7 +551,13 @@ fn main() {
         }
         selinger_smoke_gate();
         telemetry_smoke_gate();
+        chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
+        return;
+    }
+
+    if chaos {
+        chaos_smoke_gate();
         return;
     }
 
@@ -397,6 +567,7 @@ fn main() {
             println!("  --fig {:>2}  {}", e.id, e.title);
         }
         println!("  --smoke      every figure at tiny sizes (CI fast path)");
+        println!("  --chaos      fault-injection gate: degradation ladder + recovery paths");
         println!("  --bench-json planner speedup benchmark -> BENCH_planner.json");
         println!("  --cache-file <path>  TPC-H sweep warm-started from a persisted cache");
         println!("  --trace <file>       traced TPC-H sweep: EXPLAIN ANALYZE + span trees -> file");

@@ -80,12 +80,12 @@ impl PlanDispatcher {
         let key = ConditionKey::of(observed);
         self.entries
             .iter()
-            .min_by(|a, b| {
-                key.distance(&a.0)
-                    .partial_cmp(&key.distance(&b.0))
-                    .expect("finite distances")
-            })
+            // `total_cmp` so a degenerate observation (NaN bounds) picks
+            // an arbitrary-but-valid entry instead of panicking.
+            .min_by(|a, b| key.distance(&a.0).total_cmp(&key.distance(&b.0)))
             .map(|(_, p)| p)
+            // Infallible: every constructor plans at least one condition
+            // before the table is handed out.
             .expect("non-empty by construction")
     }
 

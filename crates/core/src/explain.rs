@@ -49,6 +49,12 @@ pub fn explain(plan: &RaqoPlan, catalog: &Catalog) -> String {
         plan.stats.plan_cost_calls,
         plan.stats.resource_iterations,
     ));
+    if let Some(d) = &plan.degradation {
+        out.push_str(&format!(
+            "Degraded plan: rung {} (trigger: {}; {} evals, {} ms at step-down)\n",
+            d.rung, d.trigger, d.evals_used, d.elapsed_ms
+        ));
+    }
     out
 }
 
@@ -234,7 +240,7 @@ mod tests {
             ResourceStrategy::HillClimb,
         );
         let planned = opt.plan_for_resources(&QuerySpec::tpch_q3(), 10.0, 4.0).unwrap();
-        let plan = RaqoPlan { query: planned, stats: Default::default() };
+        let plan = RaqoPlan { query: planned, stats: Default::default(), degradation: None };
         let text = explain(&plan, &schema.catalog);
         assert!(text.contains("externally provided"), "{text}");
     }

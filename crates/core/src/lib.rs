@@ -26,6 +26,7 @@ pub mod adaptive;
 pub mod dispatcher;
 pub mod explain;
 pub mod optimizer;
+pub(crate) mod probes;
 pub mod raqo_coster;
 pub mod rule_based;
 pub mod shared;
@@ -33,9 +34,13 @@ pub mod shared;
 pub use adaptive::plan_to_job;
 pub use dispatcher::PlanDispatcher;
 pub use explain::{explain, explain_analyze};
-pub use optimizer::{PlannerKind, RaqoOptimizer, RaqoPlan};
+pub use optimizer::{
+    Degradation, DegradationRung, DegradationTrigger, PlannerKind, RaqoOptimizer, RaqoPlan,
+};
 pub use raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
-pub use raqo_resource::{Parallelism, SharedCacheBank};
+pub use raqo_resource::{
+    BudgetTracker, BudgetTrigger, Parallelism, PlanningBudget, SharedCacheBank,
+};
 pub use raqo_telemetry::{
     Counter, Hist, MetricsRegistry, MetricsSnapshot, SpanRecord, Telemetry,
 };

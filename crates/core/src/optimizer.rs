@@ -2,17 +2,53 @@
 //! use-cases.
 
 use crate::raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
+use crate::rule_based::{train_raqo_tree, RuleBasedCoster};
 use crate::shared::Shared;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec};
 use raqo_cost::OperatorCost;
+use raqo_dtree::DecisionTree;
 use raqo_planner::coster::FixedResourceCoster;
 use raqo_planner::{
     CardinalityEstimator, CostMemo, PlanTree, PlannedQuery, RandomizedConfig,
     RandomizedPlanner, SelingerError, SelingerPlanner,
 };
-use raqo_resource::{CacheLookup, ClusterConditions, Parallelism, SharedCacheBank};
+use raqo_resource::{
+    BudgetTracker, BudgetTrigger, CacheLookup, ClusterConditions, Parallelism, PlanningBudget,
+    ResourceConfig, SharedCacheBank,
+};
+use raqo_sim::engine::Engine;
+use raqo_sim::profile::ProfileGrid;
 use raqo_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Grace allowance for the ladder's randomized rung: enough cost
+/// evaluations for a reduced-restart randomized search even under the
+/// brute-force strategy (2 000 evaluations per `getPlanCost` call on the
+/// paper's grid), small enough that a degraded call stays tightly bounded.
+/// Queries too large for the allowance simply fall through to the
+/// rule-based rung, which cannot exhaust.
+const RUNG2_GRACE_EVALS: u64 = 250_000;
+
+/// One `run_planner` invocation's outcome: the plan (if any) and whether
+/// the Selinger relation bound already forced the randomized fallback.
+struct PlannerRun {
+    planned: Option<PlannedQuery>,
+    randomized_fallback: bool,
+}
+
+/// The on-grid configuration closest to the center of the cluster's
+/// resource space — the fixed allocation of the ladder's rule-based rung.
+fn grid_midpoint(cluster: &ClusterConditions) -> ResourceConfig {
+    let mut mid = cluster.min;
+    let steps = cluster.discrete_steps();
+    for i in 0..cluster.dims() {
+        let idx = (cluster.points_along(i) - 1) / 2;
+        mid.set(i, cluster.min.get(i) + idx as f64 * steps.get(i));
+    }
+    mid
+}
 
 /// Which join-ordering algorithm drives the search (§VII-A evaluates both).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,6 +82,64 @@ impl PlannerKind {
     }
 }
 
+/// Which rung of the graceful-degradation ladder produced the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationRung {
+    /// The configured planner gave way to the randomized planner — either
+    /// the full-strength fallback (Selinger's relation bound) or the
+    /// reduced-restart budget fallback.
+    Randomized,
+    /// Planning fell all the way to rule-based RAQO: decision-tree join
+    /// dispatch at fixed (grid-midpoint) resources, no search at all.
+    RuleBased,
+}
+
+impl std::fmt::Display for DegradationRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationRung::Randomized => write!(f, "randomized"),
+            DegradationRung::RuleBased => write!(f, "rule_based"),
+        }
+    }
+}
+
+/// What pushed planning down the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationTrigger {
+    /// The wall-clock deadline of the [`PlanningBudget`] passed.
+    Deadline,
+    /// The cost-evaluation cap of the [`PlanningBudget`] was reached.
+    EvalBudget,
+    /// The query exceeds the Selinger DP's relation bound.
+    TooManyRelations,
+    /// The configured planner found no feasible plan within its rung.
+    Infeasible,
+}
+
+impl std::fmt::Display for DegradationTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationTrigger::Deadline => write!(f, "deadline"),
+            DegradationTrigger::EvalBudget => write!(f, "eval_budget"),
+            DegradationTrigger::TooManyRelations => write!(f, "too_many_relations"),
+            DegradationTrigger::Infeasible => write!(f, "infeasible"),
+        }
+    }
+}
+
+/// Report attached to a plan that was produced below the top ladder rung:
+/// which rung answered, what tripped, and how much budget had been consumed
+/// when the ladder stepped down.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degradation {
+    pub rung: DegradationRung,
+    pub trigger: DegradationTrigger,
+    /// Cost-model evaluations charged against the budget at step-down.
+    pub evals_used: u64,
+    /// Planning wall-clock elapsed at step-down, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
 /// A joint query and resource plan — RAQO's output (§IV): "the operator DAG
 /// to be executed by the runtime and the resources to be requested to the
 /// RM for each operator in the DAG", plus planner accounting.
@@ -53,6 +147,10 @@ impl PlannerKind {
 pub struct RaqoPlan {
     pub query: PlannedQuery,
     pub stats: RaqoStats,
+    /// Present when planning stepped down the graceful-degradation ladder
+    /// (budget exhaustion, relation-bound fallback, or infeasibility at a
+    /// higher rung); `None` for a full-strength plan.
+    pub degradation: Option<Degradation>,
 }
 
 impl RaqoPlan {
@@ -82,6 +180,12 @@ pub struct RaqoOptimizer<'a, M: OperatorCost> {
     /// Cross-run Selinger sub-plan memo ([`PlannerKind::SelingerMemoized`]),
     /// lazily created on the first memoized run.
     selinger_memo: Option<CostMemo>,
+    /// Declarative planning budget applied to every [`RaqoOptimizer::optimize`]
+    /// call; unlimited by default. The deadline clock starts at the call.
+    budget: PlanningBudget,
+    /// Decision tree for the ladder's rule-based bottom rung, trained
+    /// lazily on first use and reused across calls.
+    rule_based_tree: Option<DecisionTree>,
 }
 
 impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
@@ -102,6 +206,8 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
             planner,
             coster,
             selinger_memo: None,
+            budget: PlanningBudget::unlimited(),
+            rule_based_tree: None,
         }
     }
 
@@ -147,6 +253,28 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     /// [`RaqoCoster::use_batch`]).
     pub fn set_batch_kernel(&mut self, on: bool) {
         self.coster.use_batch = on;
+    }
+
+    /// Builder form of [`RaqoOptimizer::set_budget`].
+    pub fn with_budget(mut self, budget: PlanningBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Bound the work of each [`RaqoOptimizer::optimize`] call. The
+    /// deadline is measured from the start of each call; the evaluation cap
+    /// counts cost-model evaluations. When either trips, planning degrades
+    /// down the ladder (randomized planner, then rule-based RAQO) instead
+    /// of failing, and the returned plan carries a [`Degradation`] report.
+    /// An unlimited budget (the default) is completely free: plans are
+    /// bit-identical to a build without budgets.
+    pub fn set_budget(&mut self, budget: PlanningBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently configured planning budget.
+    pub fn budget(&self) -> PlanningBudget {
+        self.budget
     }
 
     /// Builder form of [`RaqoOptimizer::set_telemetry`].
@@ -242,7 +370,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         h
     }
 
-    fn run_planner(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
+    fn run_planner(&mut self, query: &QuerySpec) -> PlannerRun {
         // Cheap handle (a `None` or an `Arc` clone): the planners borrow
         // the coster mutably while they record into the same sink.
         let tel = self.coster.telemetry.clone();
@@ -281,7 +409,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                             tel.add(Counter::MemoMisses, m.misses() - misses_before);
                             tel.add(Counter::MemoEvictions, m.evictions() - evictions_before);
                         }
-                        Some(planned)
+                        PlannerRun { planned: Some(planned), randomized_fallback: false }
                     }
                     Err(SelingerError::TooManyRelations { .. }) => {
                         // Graceful fallback: the randomized planner has no
@@ -295,10 +423,15 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                             &mut self.coster,
                             &cfg,
                             &tel,
-                        )?;
-                        Some(out.best)
+                        );
+                        PlannerRun {
+                            planned: out.map(|o| o.best),
+                            randomized_fallback: true,
+                        }
                     }
-                    Err(SelingerError::Infeasible) => None,
+                    Err(SelingerError::Infeasible) => {
+                        PlannerRun { planned: None, randomized_fallback: false }
+                    }
                 }
             }
             PlannerKind::FastRandomized(cfg) => {
@@ -311,11 +444,47 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                     &mut self.coster,
                     &cfg,
                     &tel,
-                )?;
-                self.coster.stats.memo_hits += out.memo_hits;
-                tel.add(Counter::MemoHits, out.memo_hits);
-                Some(out.best)
+                );
+                let planned = out.map(|o| {
+                    self.coster.stats.memo_hits += o.memo_hits;
+                    tel.add(Counter::MemoHits, o.memo_hits);
+                    o.best
+                });
+                PlannerRun { planned, randomized_fallback: false }
             }
+        }
+    }
+
+    /// The ladder's bottom rung: rule-based RAQO (§V). Join implementations
+    /// come from a lazily-trained decision tree, resources are pinned to
+    /// the cluster grid's midpoint, join ordering is Selinger (randomized
+    /// beyond its relation bound), and nothing consults the budget — the
+    /// rung is O(query size) and cannot exhaust. With SMJ as the tree's
+    /// runtime fallback this always produces an executable plan for any
+    /// query the planners can order.
+    fn rule_based_plan(&mut self, query: &QuerySpec) -> Option<PlannedQuery> {
+        let tel = self.coster.telemetry.clone();
+        let _span = tel.span("planner.degraded.rule_based");
+        if self.rule_based_tree.is_none() {
+            self.rule_based_tree =
+                Some(train_raqo_tree(&Engine::hive(), &ProfileGrid::paper_default()));
+        }
+        let tree = self.rule_based_tree.as_ref().expect("initialized just above");
+        let mid = grid_midpoint(&self.coster.cluster);
+        let mut coster =
+            RuleBasedCoster::new(tree, &*self.model, mid.containers(), mid.container_size_gb())
+                .with_telemetry(tel.clone());
+        match SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut coster) {
+            Ok(planned) => Some(planned),
+            Err(SelingerError::TooManyRelations { .. }) => RandomizedPlanner::plan(
+                &self.catalog,
+                &self.graph,
+                query,
+                &mut coster,
+                &RandomizedConfig::default(),
+            )
+            .map(|o| o.best),
+            Err(SelingerError::Infeasible) => None,
         }
     }
 
@@ -323,12 +492,90 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
 
     /// Use-case `(p, r)`: "optimize for performance by picking the best
     /// query and resource plan combination". The headline RAQO mode.
+    ///
+    /// With a [`PlanningBudget`] set this call *always* returns a plan
+    /// (for any query the engine can execute at all) by walking the
+    /// graceful-degradation ladder:
+    ///
+    /// 1. the configured planner, budget-charged;
+    /// 2. on exhaustion or infeasibility: the randomized planner with
+    ///    reduced restarts, under a bounded grace allowance (the deadline
+    ///    is never extended);
+    /// 3. on a second failure: rule-based RAQO at fixed grid-midpoint
+    ///    resources, budget-free.
+    ///
+    /// Any step below rung 1 is recorded in [`RaqoPlan::degradation`] and
+    /// counted under `raqo_degradations_total{rung}`.
     pub fn optimize(&mut self, query: &QuerySpec) -> Option<RaqoPlan> {
-        let _span = self.coster.telemetry.span("optimize");
+        let tel = self.coster.telemetry.clone();
+        let _span = tel.span("optimize");
         self.coster.reset_stats();
         self.coster.objective = Objective::Time;
-        let planned = self.run_planner(query)?;
-        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+        let started = Instant::now();
+        let tracker = Arc::new(BudgetTracker::start(self.budget));
+        self.coster.budget = tracker.clone();
+
+        let mut degradation: Option<Degradation> = None;
+        let mut note = |rung: DegradationRung, trigger: DegradationTrigger| {
+            tel.inc(match rung {
+                DegradationRung::Randomized => Counter::DegradationsRandomized,
+                DegradationRung::RuleBased => Counter::DegradationsRuleBased,
+            });
+            degradation = Some(Degradation {
+                rung,
+                trigger,
+                evals_used: tracker.evals_used(),
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            });
+        };
+        let trigger_now = |tracker: &BudgetTracker| match tracker.exhausted() {
+            Some(BudgetTrigger::Deadline) => DegradationTrigger::Deadline,
+            Some(BudgetTrigger::Evals) => DegradationTrigger::EvalBudget,
+            None => DegradationTrigger::Infeasible,
+        };
+
+        // Rung 1: the configured planner.
+        let run = self.run_planner(query);
+        if run.randomized_fallback {
+            note(DegradationRung::Randomized, DegradationTrigger::TooManyRelations);
+        }
+        let mut planned = run.planned;
+
+        // Rung 2: budget exhaustion (or a planner that found nothing)
+        // degrades to a cheap randomized search under a bounded grace
+        // allowance. The deadline is not extended, so a blown deadline
+        // falls through this rung in O(query size).
+        if planned.is_none() {
+            note(DegradationRung::Randomized, trigger_now(&tracker));
+            tracker.grant_grace(RUNG2_GRACE_EVALS);
+            let cfg = RandomizedConfig {
+                restarts: 2,
+                rounds_per_join: 5,
+                ..RandomizedConfig::default()
+            };
+            let _rspan = tel.span("planner.degraded.randomized");
+            planned = RandomizedPlanner::plan_traced(
+                &self.catalog,
+                &self.graph,
+                query,
+                &mut self.coster,
+                &cfg,
+                &tel,
+            )
+            .map(|o| o.best);
+        }
+
+        // Rung 3: rule-based RAQO, budget-free. Always succeeds for any
+        // query the engine can execute (SMJ is the universal fallback).
+        if planned.is_none() {
+            note(DegradationRung::RuleBased, trigger_now(&tracker));
+            planned = self.rule_based_plan(query);
+        }
+
+        // Leave no stale limited tracker behind for other entry points.
+        self.coster.budget = Arc::new(BudgetTracker::unlimited());
+        let planned = planned?;
+        Some(RaqoPlan { query: planned, stats: self.coster.stats, degradation })
     }
 
     /// Use-case `r ⇒ p`: "in case of constrained resources ... pick the
@@ -372,7 +619,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         let est = CardinalityEstimator::new(&self.catalog, &self.graph);
         let planned = raqo_planner::coster::cost_tree(tree, &est, &mut self.coster)?;
         self.coster.objective = Objective::Time;
-        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+        Some(RaqoPlan { query: planned, stats: self.coster.stats, degradation: None })
     }
 
     /// Use-case `c ⇒ (p, r)`: "constrain the monetary cost ... ask the
@@ -392,10 +639,19 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.reset_stats();
         let per_op = money_budget_tb_sec / query.num_joins().max(1) as f64;
         self.coster.objective = Objective::TimeUnderBudget { money_budget_tb_sec: per_op };
-        let planned = self.run_planner(query);
+        let run = self.run_planner(query);
         self.coster.objective = Objective::Time;
-        let planned = planned?;
-        Some(RaqoPlan { query: planned, stats: self.coster.stats })
+        // No ladder here: an infeasible monetary budget is a real answer
+        // ("no joint plan fits"), not a fault to degrade around. Only the
+        // relation-bound fallback is reported.
+        let planned = run.planned?;
+        let degradation = run.randomized_fallback.then(|| Degradation {
+            rung: DegradationRung::Randomized,
+            trigger: DegradationTrigger::TooManyRelations,
+            evals_used: 0,
+            elapsed_ms: 0,
+        });
+        Some(RaqoPlan { query: planned, stats: self.coster.stats, degradation })
     }
 }
 
@@ -734,6 +990,108 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_rule_based_and_still_plans() {
+        use std::time::Duration;
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        opt.set_budget(PlanningBudget::with_deadline(Duration::ZERO));
+        for query in [QuerySpec::tpch_q2(), QuerySpec::tpch_q3(), QuerySpec::tpch_q12()] {
+            let plan = opt.optimize(&query).expect("ladder must always produce a plan");
+            let d = plan.degradation.expect("a blown deadline must be reported");
+            assert_eq!(d.rung, crate::optimizer::DegradationRung::RuleBased);
+            assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::Deadline);
+            assert_eq!(plan.query.joins.len(), query.num_joins());
+            assert!(plan.query.cost.is_finite() && plan.query.cost > 0.0);
+            assert!(
+                raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations),
+                "degraded plan must still cover the query"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_eval_budget_degrades_to_randomized() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        // Brute force needs 2000 evaluations per getPlanCost call; 100 is
+        // exhausted inside the first join, but the grace allowance lets the
+        // reduced randomized rung finish.
+        opt.set_budget(PlanningBudget::with_max_evals(100));
+        let plan = opt.optimize(&QuerySpec::tpch_q3()).expect("rung 2 must produce a plan");
+        let d = plan.degradation.expect("exhaustion must be reported");
+        assert_eq!(d.rung, crate::optimizer::DegradationRung::Randomized);
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::EvalBudget);
+        assert!(d.evals_used >= 100);
+        assert_eq!(plan.query.joins.len(), 2);
+        assert!(plan.query.cost.is_finite() && plan.query.cost > 0.0);
+        // Rung 2 plans carry real per-join resources (it is still RAQO).
+        assert!(plan.query.joins.iter().all(|j| j.decision.resources.is_some()));
+    }
+
+    #[test]
+    fn unlimited_budget_is_free_and_undegraded() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let mut plain =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        let a = plain.optimize(&query).unwrap();
+        let mut budgeted =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        budgeted.set_budget(PlanningBudget::unlimited());
+        let b = budgeted.optimize(&query).unwrap();
+        assert_eq!(a.query, b.query, "unlimited budget must be bit-identical");
+        assert_eq!(a.stats, b.stats);
+        assert!(a.degradation.is_none() && b.degradation.is_none());
+        // A generous-but-finite budget that never trips is also identical:
+        // budgets only ever cut work off the end of the search.
+        let mut roomy =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        roomy.set_budget(PlanningBudget::with_max_evals(10_000_000));
+        let c = roomy.optimize(&query).unwrap();
+        assert_eq!(a.query, c.query);
+        assert!(c.degradation.is_none());
+    }
+
+    #[test]
+    fn degradations_are_counted_in_the_registry() {
+        use std::time::Duration;
+        let schema = TpchSchema::new(1.0);
+        let tel = Telemetry::enabled();
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::BruteForce);
+        opt.set_telemetry(tel.clone());
+        opt.set_budget(PlanningBudget::with_max_evals(100));
+        opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        opt.set_budget(PlanningBudget::with_deadline(Duration::ZERO));
+        opt.optimize(&QuerySpec::tpch_q3()).unwrap();
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.get(Counter::DegradationsRandomized), 2, "one per degraded call");
+        assert_eq!(snap.get(Counter::DegradationsRuleBased), 1);
+    }
+
+    #[test]
+    fn too_many_relations_optimize_records_degradation() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(24, 13).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 13);
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&query).expect("randomized fallback plans");
+        let d = plan.degradation.expect("relation-bound fallback must be reported");
+        assert_eq!(d.rung, crate::optimizer::DegradationRung::Randomized);
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::TooManyRelations);
+        assert_eq!(plan.query.joins.len(), 20);
     }
 
     #[test]

@@ -14,18 +14,21 @@
 //! [`ResourceStrategy::HillClimb`], and hill climbing behind the
 //! resource-plan cache keyed on the operator's data characteristics.
 
+use crate::probes;
 use crate::shared::Shared;
 use raqo_cost::objective::CostVector;
 use raqo_cost::OperatorCost;
 use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
 use raqo_resource::{
-    brute_force_parallel, brute_force_parallel_batch, hill_climb, hill_climb_multi,
-    CacheLookup, CacheStats, ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig,
-    SharedCacheBank,
+    brute_force_parallel_batch_traced, brute_force_parallel_traced, hill_climb,
+    hill_climb_multi_with_traced, BudgetTracker, CacheLookup, CacheStats, ClusterConditions,
+    Parallelism, PlanningOutcome, ResourceConfig, SeedStrategy, SharedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
 use raqo_telemetry::{Counter, Hist, MetricsSnapshot, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// How to search the per-operator resource space (§VI-B).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -163,6 +166,11 @@ pub struct RaqoCoster<'a, M: OperatorCost> {
     /// instrumentation site a branch on `None` — no clocks, locks, or
     /// allocation on the hot path.
     pub telemetry: Telemetry,
+    /// Planning-budget tracker charged one unit per cost-model evaluation.
+    /// The default unlimited tracker makes `charge` a single branch, so
+    /// budget-free runs are bit-identical to builds without budgets; the
+    /// optimizer installs a fresh limited tracker per `optimize` call.
+    pub budget: Arc<BudgetTracker>,
     cache: SharedCacheBank,
 }
 
@@ -182,6 +190,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             use_batch: true,
             stats: RaqoStats::default(),
             telemetry: Telemetry::disabled(),
+            budget: Arc::new(BudgetTracker::unlimited()),
             cache: SharedCacheBank::new(),
         }
     }
@@ -257,6 +266,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             use_batch: self.use_batch,
             cache: &self.cache,
             tel: &self.telemetry,
+            budget: &self.budget,
         };
         ctx.plan_operator(join, io, &mut self.stats)
     }
@@ -278,6 +288,9 @@ struct CostCtx<'c, M> {
     /// Shared with every fan-out worker: counters are atomic, and spans
     /// opened on worker threads become roots of their own sub-trees.
     tel: &'c Telemetry,
+    /// Shared planning-budget tracker; every cost-model evaluation charges
+    /// one unit against it (atomic, so fan-out workers share one pool).
+    budget: &'c BudgetTracker,
 }
 
 impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
@@ -299,9 +312,30 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
             ResourceStrategy::HillClimb => "resource_planning.hill_climb",
             ResourceStrategy::HillClimbCached(_) => "resource_planning.cached",
         });
+        let budget = self.budget;
+        // Every model evaluation is (a) charged against the planning budget
+        // — an exhausted budget short-circuits to +∞ so the planners drain
+        // fast — and (b) sanitized at this boundary: a NaN, −∞, or negative
+        // prediction is a model bug, mapped to "infeasible" and counted
+        // instead of being allowed to poison comparisons downstream. (+∞
+        // stays the legitimate OOM/infeasibility signal and is not counted.)
         let cost_fn = |r: &ResourceConfig| -> f64 {
-            match model.join_cost_at(join, build, probe, r) {
-                Some(t) => objective.score(t, r),
+            if !budget.charge(1) {
+                return f64::INFINITY;
+            }
+            let raw = match probes::probe("cost.model.scalar") {
+                probes::Action::Nan => Some(f64::NAN),
+                probes::Action::Fail => None,
+                probes::Action::Proceed => model.join_cost_at(join, build, probe, r),
+            };
+            match raw {
+                Some(t) if t.is_finite() && t >= 0.0 => objective.score(t, r),
+                // The scalar API signals OOM with `None`, so *any* non-finite
+                // or negative `Some` is a model bug worth counting.
+                Some(_) => {
+                    tel.inc(Counter::CostSanitizationsScalar);
+                    f64::INFINITY
+                }
                 None => f64::INFINITY,
             }
         };
@@ -318,18 +352,39 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                     // under objectives with a zero weight (0·∞ is NaN).
                     let batch_fn = |_lo: u64, configs: &[ResourceConfig], out: &mut [f64]| {
                         tel.inc(Counter::BatchChunks);
-                        model.join_cost_batch_at(join, build, probe, configs, out);
+                        if !budget.charge(configs.len() as u64) {
+                            out.fill(f64::INFINITY);
+                            return;
+                        }
+                        match probes::probe("cost.model.batch") {
+                            probes::Action::Fail => {
+                                out.fill(f64::INFINITY);
+                                return;
+                            }
+                            probes::Action::Nan => out.fill(f64::NAN),
+                            probes::Action::Proceed => {
+                                model.join_cost_batch_at(join, build, probe, configs, out)
+                            }
+                        }
                         for (c, r) in out.iter_mut().zip(configs) {
-                            *c = if c.is_finite() {
+                            *c = if c.is_nan() || *c < 0.0 {
+                                tel.inc(Counter::CostSanitizationsBatch);
+                                f64::INFINITY
+                            } else if c.is_finite() {
                                 objective.score(*c, r)
                             } else {
                                 f64::INFINITY
                             };
                         }
                     };
-                    brute_force_parallel_batch(self.cluster, batch_fn, self.parallelism)
+                    brute_force_parallel_batch_traced(
+                        self.cluster,
+                        batch_fn,
+                        self.parallelism,
+                        tel,
+                    )
                 } else {
-                    brute_force_parallel(self.cluster, cost_fn, self.parallelism)
+                    brute_force_parallel_traced(self.cluster, cost_fn, self.parallelism, tel)
                 }
             }
             ResourceStrategy::HillClimb => {
@@ -343,7 +398,13 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                     // is monotone in container size, and both seed
                     // strategies include the max-size corner, so whenever
                     // any start is feasible that corner is too.
-                    hill_climb_multi(self.cluster, cost_fn, self.parallelism)
+                    hill_climb_multi_with_traced(
+                        self.cluster,
+                        cost_fn,
+                        self.parallelism,
+                        SeedStrategy::default(),
+                        tel,
+                    )
                 }
             }
             ResourceStrategy::HillClimbCached(lookup) => {
@@ -391,9 +452,15 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
         if !outcome.cost.is_finite() {
             return None;
         }
-        // Recover the raw time estimate under the chosen configuration.
+        // Recover the raw time estimate under the chosen configuration,
+        // re-applying the sanitization boundary: the winner's time feeds
+        // the emitted plan directly.
         let r = outcome.config;
         let time = model.join_cost_at(join, build, probe, &r)?;
+        if !(time.is_finite() && time >= 0.0) {
+            tel.inc(Counter::CostSanitizationsScalar);
+            return None;
+        }
         Some((r, time))
     }
 
@@ -426,6 +493,17 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
 
     /// One full `getPlanCost` evaluation (both implementations, best wins).
     fn cost_join(&self, io: &JoinIo, stats: &mut RaqoStats) -> Option<JoinDecision> {
+        // Budget gate: once either limit has tripped, every remaining
+        // `getPlanCost` call fails immediately and the planners drain in
+        // bounded time — the optimizer's ladder takes over from there. The
+        // deadline is also re-checked here so a run that stalls between
+        // evaluations (not just inside them) is still caught.
+        if self.budget.exhausted().is_some() || !self.budget.check_deadline() {
+            return None;
+        }
+        if matches!(probes::probe("core.plan_cost"), probes::Action::Fail) {
+            return None;
+        }
         let _span = self.tel.span("plan_cost");
         let sw = self.tel.stopwatch();
         stats.plan_cost_calls += 1;
@@ -478,6 +556,7 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             use_batch: self.use_batch,
             cache: &self.cache,
             tel: &self.telemetry,
+            budget: &self.budget,
         };
         ctx.cost_join(io, &mut self.stats)
     }
@@ -519,26 +598,53 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             use_batch: self.use_batch,
             cache: &self.cache,
             tel: &self.telemetry,
+            budget: &self.budget,
         };
         let workers = parallelism.workers().min(ios.len());
         let chunk = ios.len().div_ceil(workers);
         let ctx = &ctx;
+        // Panic isolation: each worker's chunk runs under `catch_unwind`.
+        // A panicking chunk (model bug, injected fault) is re-costed
+        // sequentially on the calling thread with a fresh local stats block
+        // — the same deterministic per-join code path, so the decisions are
+        // bit-identical to an all-healthy run — and counted.
         let per_chunk: Vec<(Vec<Option<JoinDecision>>, RaqoStats)> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = ios
                     .chunks(chunk)
                     .map(|ios_chunk| {
                         scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let _ = probes::probe("core.worker.cost");
+                                let mut stats = RaqoStats::default();
+                                let decisions: Vec<Option<JoinDecision>> = ios_chunk
+                                    .iter()
+                                    .map(|io| ctx.cost_join(io, &mut stats))
+                                    .collect();
+                                (decisions, stats)
+                            }))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(ios.chunks(chunk))
+                    .map(|(h, ios_chunk)| match h.join() {
+                        Ok(Ok(pair)) => pair,
+                        // Caught inside the worker, or the worker died
+                        // before the catch could engage: recover on the
+                        // calling thread.
+                        Ok(Err(_)) | Err(_) => {
+                            ctx.tel.inc(Counter::WorkerPanics);
                             let mut stats = RaqoStats::default();
                             let decisions: Vec<Option<JoinDecision>> = ios_chunk
                                 .iter()
                                 .map(|io| ctx.cost_join(io, &mut stats))
                                 .collect();
                             (decisions, stats)
-                        })
+                        }
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("cost worker panicked")).collect()
+                    .collect()
             });
         let mut out = Vec::with_capacity(ios.len());
         for (decisions, stats) in per_chunk {

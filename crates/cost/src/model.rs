@@ -79,7 +79,9 @@ pub trait OperatorCost {
                 self.join_cost(j, build_gb, probe_gb, containers, container_size_gb)
                     .map(|c| (j, c))
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+            // `total_cmp`: feasible costs are finite by construction, but a
+            // misbehaving model must not panic the comparison (NaN loses).
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -141,6 +143,11 @@ impl JoinCostModel {
                 }
             }
         }
+        // Infallible for the built-in profile grids: `ProfileGrid` yields
+        // far more samples than the 7 features and the feature map spans
+        // independent axes, so the normal equations are well-conditioned.
+        // A caller-supplied degenerate grid (e.g. a single point) is a
+        // training-time programming error, not a runtime condition.
         let smj = LinearModel::fit(&xs_smj, &ys_smj).expect("SMJ profile grid is well-conditioned");
         let bhj = LinearModel::fit(&xs_bhj, &ys_bhj).expect("BHJ profile grid is well-conditioned");
         JoinCostModel {

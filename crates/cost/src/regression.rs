@@ -144,14 +144,13 @@ fn solve_gaussian(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Reg
         // Partial pivot: largest |value| in this column at or below the
         // diagonal.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("matrix entries are finite")
-            })
-            .expect("non-empty range");
-        if a[pivot_row][col].abs() < 1e-10 {
+            // `total_cmp` keeps the pivot search panic-free on non-finite
+            // entries (adversarial feature values); the guard below rejects
+            // such a system as singular rather than eliminating with it.
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("range col..n is non-empty because col < n");
+        let pivot = a[pivot_row][col];
+        if !pivot.is_finite() || pivot.abs() < 1e-10 {
             return Err(RegressionError::Singular);
         }
         a.swap(col, pivot_row);

@@ -114,6 +114,8 @@ impl PlanTree {
             };
             forest.push((merged, rels));
         }
+        // Infallible: each loop iteration removes two forest entries and
+        // pushes one back, and the loop only exits at exactly one entry.
         forest.pop().expect("one tree remains").0
     }
 

@@ -167,9 +167,11 @@ impl RandomizedPlanner {
             }
         }
 
-        let best_entry = archive
-            .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))?;
+        // `total_cmp`, not `partial_cmp`: archive costs are finite for every
+        // well-behaved coster, but a misbehaving cost model must degrade the
+        // choice (NaN sorts last under the IEEE total order), never panic
+        // the planner.
+        let best_entry = archive.iter().min_by(|a, b| a.cost.total_cmp(&b.cost))?;
         // Re-cost the winner so the returned per-join decisions correspond
         // to the final plan.
         let _final_span = tel.span("randomized.final_cost");

@@ -210,6 +210,10 @@ impl SelingerPlanner {
         let mut order_rev = Vec::with_capacity(n);
         let mut mask = full;
         while mask.count_ones() > 1 {
+            // Infallible: `dp[full]` was checked above, and every entry's
+            // predecessor mask (`mask` minus its `last` bit) was filled
+            // before the entry itself could be — the DP builds strictly
+            // bottom-up over subset sizes.
             let e = dp[mask as usize].expect("reachable by construction");
             order_rev.push(rels[e.last]);
             mask &= !(1u32 << e.last);

@@ -24,20 +24,25 @@
 //! All planners report how many cost evaluations ("resource iterations",
 //! the unit of Figs. 13–14) they performed.
 
+pub mod budget;
 pub mod cache;
 pub mod cluster;
 pub mod config;
 pub mod parallel;
 pub mod persist;
 pub mod planner;
+pub(crate) mod probes;
 pub mod shared;
 
+pub use budget::{BudgetTracker, BudgetTrigger, PlanningBudget, DEADLINE_CHECK_EVERY};
 pub use cache::{CacheBank, CacheLookup, CacheStats, ResourcePlanCache};
 pub use cluster::ClusterConditions;
 pub use config::{ResourceConfig, MAX_DIMS};
 pub use parallel::{
-    brute_force_parallel, brute_force_parallel_batch, hill_climb_multi, hill_climb_multi_with,
-    multi_start_seeds, seeds_with, Parallelism, SeedStrategy,
+    brute_force_parallel, brute_force_parallel_batch, brute_force_parallel_batch_traced,
+    brute_force_parallel_traced, hill_climb_multi, hill_climb_multi_with,
+    hill_climb_multi_with_traced, multi_start_seeds, seeds_with, Parallelism, SeedStrategy,
 };
+pub use persist::PersistError;
 pub use planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};
 pub use shared::SharedCacheBank;

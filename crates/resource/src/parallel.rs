@@ -20,10 +20,21 @@
 //! [`Parallelism::Off`] routes both entry points through the sequential
 //! code paths so the paper's Figs. 12–14 iteration accounting stays
 //! reproducible run-to-run regardless of the host's core count.
+//!
+//! **Panic isolation**: every scoped worker runs under `catch_unwind`. A
+//! worker that panics (a buggy cost model, an injected chaos fault) no
+//! longer tears down the whole planning call — its chunk is re-executed
+//! sequentially on the calling thread, which preserves bit-identical
+//! results, and the recovery is counted as `raqo_worker_panics_total`. A
+//! panic that *also* reproduces on the sequential re-run propagates: it is
+//! deterministic, so hiding it would mask a real bug.
 
 use crate::cluster::ClusterConditions;
 use crate::config::ResourceConfig;
 use crate::planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};
+use crate::probes;
+use raqo_telemetry::{Counter, Telemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How much thread parallelism resource planning may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +77,43 @@ pub fn brute_force_parallel<F>(
 where
     F: Fn(&ResourceConfig) -> f64 + Sync,
 {
+    brute_force_parallel_traced(cluster, cost_fn, parallelism, &Telemetry::disabled())
+}
+
+/// Sequential scan of one contiguous grid chunk `[lo, hi)`, tracking the
+/// lowest-cost point (first on ties). Shared by the spawned workers and the
+/// panic-recovery path so both produce identical results.
+fn scan_chunk<F>(
+    cluster: &ClusterConditions,
+    lo: u64,
+    hi: u64,
+    cost_fn: &F,
+) -> Option<(u64, ResourceConfig, f64)>
+where
+    F: Fn(&ResourceConfig) -> f64,
+{
+    let mut best: Option<(u64, ResourceConfig, f64)> = None;
+    for (off, r) in cluster.grid_from(lo).take((hi.saturating_sub(lo)) as usize).enumerate() {
+        let c = cost_fn(&r);
+        match best {
+            Some((_, _, bc)) if bc <= c => {}
+            _ => best = Some((lo + off as u64, r, c)),
+        }
+    }
+    best
+}
+
+/// [`brute_force_parallel`] with a telemetry sink for worker-panic
+/// accounting.
+pub fn brute_force_parallel_traced<F>(
+    cluster: &ClusterConditions,
+    cost_fn: F,
+    parallelism: Parallelism,
+    tel: &Telemetry,
+) -> PlanningOutcome
+where
+    F: Fn(&ResourceConfig) -> f64 + Sync,
+{
     let total = cluster.grid_size();
     let workers = parallelism.workers().min(total.max(1) as usize).max(1);
     if matches!(parallelism, Parallelism::Off) || workers == 1 {
@@ -74,35 +122,57 @@ where
 
     let chunk = total.div_ceil(workers as u64);
     let cost_fn = &cost_fn;
-    let mut per_chunk: Vec<Option<(u64, ResourceConfig, f64)>> =
+    // Ok(best) = worker finished; Err(lo, hi) = worker panicked, chunk
+    // still owed.
+    let per_chunk: Vec<Result<Option<(u64, ResourceConfig, f64)>, (u64, u64)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers as u64)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || {
-                        let mut best: Option<(u64, ResourceConfig, f64)> = None;
-                        for (off, r) in
-                            cluster.grid_from(lo).take((hi.saturating_sub(lo)) as usize).enumerate()
-                        {
-                            let c = cost_fn(&r);
-                            match best {
-                                Some((_, _, bc)) if bc <= c => {}
-                                _ => best = Some((lo + off as u64, r, c)),
-                            }
-                        }
-                        best
-                    })
+                    let h = scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let _ = probes::probe("resource.worker.grid");
+                            scan_chunk(cluster, lo, hi, cost_fn)
+                        }))
+                    });
+                    (lo, hi, h)
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|(lo, hi, h)| match h.join() {
+                    Ok(Ok(best)) => Ok(best),
+                    // The worker panicked (payload caught by catch_unwind) or
+                    // died before reaching it; either way the chunk is re-run.
+                    Ok(Err(_payload)) | Err(_payload) => Err((lo, hi)),
+                })
+                .collect()
         });
 
-    let (_, config, cost) = per_chunk
-        .drain(..)
-        .flatten()
-        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
-        .expect("cluster grid is never empty");
+    let mut best: Option<(u64, ResourceConfig, f64)> = None;
+    for entry in per_chunk {
+        let chunk_best = match entry {
+            Ok(b) => b,
+            Err((lo, hi)) => {
+                // Recover the lost chunk sequentially on this thread — same
+                // scan, same tie-breaks, so the merged result is bit-identical
+                // to an all-healthy run.
+                tel.inc(Counter::WorkerPanics);
+                scan_chunk(cluster, lo, hi, cost_fn)
+            }
+        };
+        if let Some(c) = chunk_best {
+            match best {
+                Some(b) if b.2.total_cmp(&c.2).then(b.0.cmp(&c.0)).is_le() => {}
+                _ => best = Some(c),
+            }
+        }
+    }
+    // Infallible: workers cover the whole grid, grids have >= 1 point by
+    // construction (ClusterConditions ranges are inclusive), and failed
+    // chunks were re-scanned above.
+    let (_, config, cost) = best.expect("cluster grid is never empty");
     PlanningOutcome { config, cost, iterations: total }
 }
 
@@ -121,6 +191,56 @@ pub fn brute_force_parallel_batch<F>(
 where
     F: Fn(u64, &[ResourceConfig], &mut [f64]) + Sync,
 {
+    brute_force_parallel_batch_traced(cluster, batch_fn, parallelism, &Telemetry::disabled())
+}
+
+/// Batched scan of one contiguous grid chunk `[lo, hi)` in
+/// [`BATCH_CHUNK`]-sized slices. Shared by workers and panic recovery.
+fn scan_chunk_batch<F>(
+    cluster: &ClusterConditions,
+    lo: u64,
+    hi: u64,
+    batch_fn: &F,
+) -> Option<(u64, ResourceConfig, f64)>
+where
+    F: Fn(u64, &[ResourceConfig], &mut [f64]),
+{
+    let mut best: Option<(u64, ResourceConfig, f64)> = None;
+    let mut configs: Vec<ResourceConfig> = Vec::with_capacity(BATCH_CHUNK);
+    let mut costs = vec![0.0f64; BATCH_CHUNK];
+    let mut iter = cluster.grid_from(lo);
+    let mut at = lo;
+    while at < hi {
+        let take = ((hi - at) as usize).min(BATCH_CHUNK);
+        configs.clear();
+        configs.extend(iter.by_ref().take(take));
+        let n = configs.len();
+        if n == 0 {
+            break;
+        }
+        batch_fn(at, &configs, &mut costs[..n]);
+        for (off, (r, &c)) in configs.iter().zip(&costs[..n]).enumerate() {
+            match best {
+                Some((_, _, bc)) if bc <= c => {}
+                _ => best = Some((at + off as u64, *r, c)),
+            }
+        }
+        at += n as u64;
+    }
+    best
+}
+
+/// [`brute_force_parallel_batch`] with a telemetry sink for worker-panic
+/// accounting.
+pub fn brute_force_parallel_batch_traced<F>(
+    cluster: &ClusterConditions,
+    batch_fn: F,
+    parallelism: Parallelism,
+    tel: &Telemetry,
+) -> PlanningOutcome
+where
+    F: Fn(u64, &[ResourceConfig], &mut [f64]) + Sync,
+{
     let total = cluster.grid_size();
     let workers = parallelism.workers().min(total.max(1) as usize).max(1);
     if matches!(parallelism, Parallelism::Off) || workers == 1 {
@@ -129,49 +249,49 @@ where
 
     let chunk = total.div_ceil(workers as u64);
     let batch_fn = &batch_fn;
-    let mut per_chunk: Vec<Option<(u64, ResourceConfig, f64)>> =
+    let per_chunk: Vec<Result<Option<(u64, ResourceConfig, f64)>, (u64, u64)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers as u64)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(total);
-                    scope.spawn(move || {
-                        let mut best: Option<(u64, ResourceConfig, f64)> = None;
-                        let mut configs: Vec<ResourceConfig> = Vec::with_capacity(BATCH_CHUNK);
-                        let mut costs = vec![0.0f64; BATCH_CHUNK];
-                        let mut iter = cluster.grid_from(lo);
-                        let mut at = lo;
-                        while at < hi {
-                            let take = ((hi - at) as usize).min(BATCH_CHUNK);
-                            configs.clear();
-                            configs.extend(iter.by_ref().take(take));
-                            let n = configs.len();
-                            if n == 0 {
-                                break;
-                            }
-                            batch_fn(at, &configs, &mut costs[..n]);
-                            for (off, (r, &c)) in
-                                configs.iter().zip(&costs[..n]).enumerate()
-                            {
-                                match best {
-                                    Some((_, _, bc)) if bc <= c => {}
-                                    _ => best = Some((at + off as u64, *r, c)),
-                                }
-                            }
-                            at += n as u64;
-                        }
-                        best
-                    })
+                    let h = scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let _ = probes::probe("resource.worker.grid_batch");
+                            scan_chunk_batch(cluster, lo, hi, batch_fn)
+                        }))
+                    });
+                    (lo, hi, h)
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("grid worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|(lo, hi, h)| match h.join() {
+                    Ok(Ok(best)) => Ok(best),
+                    Ok(Err(_payload)) | Err(_payload) => Err((lo, hi)),
+                })
+                .collect()
         });
 
-    let (_, config, cost) = per_chunk
-        .drain(..)
-        .flatten()
-        .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
-        .expect("cluster grid is never empty");
+    let mut best: Option<(u64, ResourceConfig, f64)> = None;
+    for entry in per_chunk {
+        let chunk_best = match entry {
+            Ok(b) => b,
+            Err((lo, hi)) => {
+                tel.inc(Counter::WorkerPanics);
+                scan_chunk_batch(cluster, lo, hi, batch_fn)
+            }
+        };
+        if let Some(c) = chunk_best {
+            match best {
+                Some(b) if b.2.total_cmp(&c.2).then(b.0.cmp(&c.0)).is_le() => {}
+                _ => best = Some(c),
+            }
+        }
+    }
+    // Infallible for the same reason as the scalar variant: full grid
+    // coverage, non-empty grid, failed chunks re-scanned.
+    let (_, config, cost) = best.expect("cluster grid is never empty");
     PlanningOutcome { config, cost, iterations: total }
 }
 
@@ -321,6 +441,21 @@ pub fn hill_climb_multi_with<F>(
 where
     F: Fn(&ResourceConfig) -> f64 + Sync,
 {
+    hill_climb_multi_with_traced(cluster, cost_fn, parallelism, strategy, &Telemetry::disabled())
+}
+
+/// [`hill_climb_multi_with`] with a telemetry sink for worker-panic
+/// accounting.
+pub fn hill_climb_multi_with_traced<F>(
+    cluster: &ClusterConditions,
+    cost_fn: F,
+    parallelism: Parallelism,
+    strategy: SeedStrategy,
+    tel: &Telemetry,
+) -> PlanningOutcome
+where
+    F: Fn(&ResourceConfig) -> f64 + Sync,
+{
     let seeds = seeds_with(cluster, strategy);
     let outcomes: Vec<PlanningOutcome> = if matches!(parallelism, Parallelism::Off)
         || parallelism.workers() == 1
@@ -330,13 +465,39 @@ where
     } else {
         let cost_fn = &cost_fn;
         let seeds = &seeds;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = seeds
-                .iter()
-                .map(|&s| scope.spawn(move || hill_climb(cluster, s, |r| cost_fn(r))))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("climb worker panicked")).collect()
-        })
+        let per_seed: Vec<Result<PlanningOutcome, ResourceConfig>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .iter()
+                    .map(|&s| {
+                        let h = scope.spawn(move || {
+                            catch_unwind(AssertUnwindSafe(|| {
+                                let _ = probes::probe("resource.worker.climb");
+                                hill_climb(cluster, s, |r| cost_fn(r))
+                            }))
+                        });
+                        (s, h)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(s, h)| match h.join() {
+                        Ok(Ok(out)) => Ok(out),
+                        Ok(Err(_payload)) | Err(_payload) => Err(s),
+                    })
+                    .collect()
+            });
+        per_seed
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|seed| {
+                    // Re-climb the lost seed sequentially; climbs are
+                    // independent, so this reproduces the worker's result.
+                    tel.inc(Counter::WorkerPanics);
+                    hill_climb(cluster, seed, |r| cost_fn(r))
+                })
+            })
+            .collect()
     };
 
     let iterations = outcomes.iter().map(|o| o.iterations).sum();
@@ -345,6 +506,7 @@ where
         .enumerate()
         .min_by(|(ai, a), (bi, b)| a.cost.total_cmp(&b.cost).then(ai.cmp(bi)))
         .map(|(_, o)| o)
+        // Infallible: seeds_with always returns >= 1 seed (the min corner).
         .expect("at least one seed");
     PlanningOutcome { iterations, ..best }
 }
@@ -508,6 +670,100 @@ mod tests {
         let multi = hill_climb_multi(&cluster, two_basins, Parallelism::Auto);
         assert!(multi.cost < single.cost);
         assert_eq!(multi.config, ResourceConfig::containers_and_size(90.0, 9.0));
+    }
+
+    #[test]
+    fn grid_worker_panic_recovers_bit_identical() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cluster = ClusterConditions::paper_default();
+        let seq = brute_force(&cluster, bowl);
+        let tel = Telemetry::enabled();
+        // Panic exactly once, at the surface's minimum, from whichever
+        // worker reaches it first; the sequential re-scan then succeeds.
+        let fired = AtomicBool::new(false);
+        let spiky = |r: &ResourceConfig| -> f64 {
+            if r.containers() == 40.0
+                && r.container_size_gb() == 7.0
+                && !fired.swap(true, Ordering::SeqCst)
+            {
+                panic!("injected cost-model panic");
+            }
+            bowl(r)
+        };
+        let out = brute_force_parallel_traced(&cluster, spiky, Parallelism::Threads(4), &tel);
+        assert_eq!(out.config, seq.config);
+        assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
+        assert_eq!(out.iterations, seq.iterations);
+        assert_eq!(tel.snapshot().unwrap().get(Counter::WorkerPanics), 1);
+    }
+
+    #[test]
+    fn batch_worker_panic_recovers_bit_identical() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cluster = ClusterConditions::paper_default();
+        let seq = brute_force(&cluster, bowl);
+        let tel = Telemetry::enabled();
+        let fired = AtomicBool::new(false);
+        let eval = |at: u64, configs: &[ResourceConfig], costs: &mut [f64]| {
+            if at == 0 && !fired.swap(true, Ordering::SeqCst) {
+                panic!("injected batch-kernel panic");
+            }
+            for (r, c) in configs.iter().zip(costs.iter_mut()) {
+                *c = bowl(r);
+            }
+        };
+        let out = brute_force_parallel_batch_traced(&cluster, eval, Parallelism::Threads(4), &tel);
+        assert_eq!(out.config, seq.config);
+        assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
+        assert_eq!(tel.snapshot().unwrap().get(Counter::WorkerPanics), 1);
+    }
+
+    #[test]
+    fn climb_worker_panic_recovers_bit_identical() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cluster = ClusterConditions::paper_default();
+        let seq = hill_climb_multi(&cluster, bowl, Parallelism::Off);
+        let tel = Telemetry::enabled();
+        let fired = AtomicBool::new(false);
+        let spiky = |r: &ResourceConfig| -> f64 {
+            if !fired.swap(true, Ordering::SeqCst) {
+                panic!("injected climb panic");
+            }
+            bowl(r)
+        };
+        let out = hill_climb_multi_with_traced(
+            &cluster,
+            spiky,
+            Parallelism::Threads(4),
+            SeedStrategy::default(),
+            &tel,
+        );
+        assert_eq!(out.config, seq.config);
+        assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
+        assert_eq!(out.iterations, seq.iterations);
+        assert_eq!(tel.snapshot().unwrap().get(Counter::WorkerPanics), 1);
+    }
+
+    #[test]
+    fn deterministic_worker_panic_propagates() {
+        // A panic that reproduces on the sequential re-run is a real bug;
+        // recovery must not swallow it.
+        let cluster = ClusterConditions::paper_default();
+        let always = |r: &ResourceConfig| -> f64 {
+            if r.containers() == 40.0 && r.container_size_gb() == 7.0 {
+                panic!("deterministic cost-model bug");
+            }
+            bowl(r)
+        };
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            brute_force_parallel_traced(
+                &cluster,
+                always,
+                Parallelism::Threads(4),
+                &Telemetry::disabled(),
+            )
+        }));
+        assert!(r.is_err(), "deterministic panic must propagate");
     }
 
     #[test]

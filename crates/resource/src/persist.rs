@@ -24,10 +24,69 @@ use crate::cache::{CacheBank, ResourcePlanCache};
 use crate::config::ResourceConfig;
 use serde::Value;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Current on-disk format version.
 pub const FORMAT_VERSION: u64 = 1;
+
+/// Typed persistence failure. Truncated, garbage, or wrong-shape JSON is
+/// always reported as [`PersistError::Corrupt`] — never a panic — and the
+/// file-loading entry points quarantine the offending file by renaming it
+/// to `<name>.corrupt` so it can be inspected instead of silently
+/// re-parsed (and re-failed) on every warm start.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem error (missing file, permissions, ...).
+    Io(io::Error),
+    /// The content is not a valid version-1 cache-bank document.
+    Corrupt {
+        /// What was wrong with the document.
+        msg: String,
+        /// Where the bad file was moved, when loading from disk and the
+        /// quarantine rename succeeded.
+        quarantined: Option<PathBuf>,
+    },
+}
+
+impl PersistError {
+    fn corrupt(msg: &str) -> PersistError {
+        PersistError::Corrupt { msg: msg.to_string(), quarantined: None }
+    }
+
+    /// True for content-level corruption (as opposed to I/O failure).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, PersistError::Corrupt { .. })
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "cache bank file: {e}"),
+            PersistError::Corrupt { msg, quarantined: None } => {
+                write!(f, "cache bank file: {msg}")
+            }
+            PersistError::Corrupt { msg, quarantined: Some(q) } => {
+                write!(f, "cache bank file: {msg} (quarantined to {})", q.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
 
 /// Render `bank` as the version-1 JSON document without a model
 /// fingerprint (legacy writer; loads under any model).
@@ -73,18 +132,18 @@ pub fn bank_to_json_with(bank: &CacheBank, model_fingerprint: Option<u64>) -> St
     out
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("cache bank file: {msg}"))
+fn bad(msg: &str) -> PersistError {
+    PersistError::corrupt(msg)
 }
 
-fn field<'a>(obj: &'a [(String, Value)], name: &str) -> io::Result<&'a Value> {
+fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Result<&'a Value, PersistError> {
     obj.iter()
         .find(|(k, _)| k == name)
         .map(|(_, v)| v)
         .ok_or_else(|| bad(&format!("missing field `{name}`")))
 }
 
-fn as_num(v: &Value, what: &str) -> io::Result<f64> {
+fn as_num(v: &Value, what: &str) -> Result<f64, PersistError> {
     match v {
         Value::Num(n) => Ok(*n),
         _ => Err(bad(&format!("{what} is not a number"))),
@@ -93,7 +152,7 @@ fn as_num(v: &Value, what: &str) -> io::Result<f64> {
 
 /// Parse the `model_fingerprint` header of a version-1 document, if
 /// present (files written before fingerprint stamping have none).
-pub fn json_fingerprint(text: &str) -> io::Result<Option<u64>> {
+pub fn json_fingerprint(text: &str) -> Result<Option<u64>, PersistError> {
     let doc = serde_json::from_str(text).map_err(|e| bad(&e.to_string()))?;
     let Value::Object(top) = &doc else {
         return Err(bad("top level is not an object"));
@@ -116,7 +175,7 @@ pub fn json_fingerprint(text: &str) -> io::Result<Option<u64>> {
 pub fn bank_from_json_checked(
     text: &str,
     expected_fingerprint: Option<u64>,
-) -> io::Result<(CacheBank, bool)> {
+) -> Result<(CacheBank, bool), PersistError> {
     if let Some(expected) = expected_fingerprint {
         if json_fingerprint(text)? != Some(expected) {
             return Ok((CacheBank::new(), true));
@@ -126,7 +185,7 @@ pub fn bank_from_json_checked(
 }
 
 /// Parse the version-1 JSON document back into a [`CacheBank`].
-pub fn bank_from_json(text: &str) -> io::Result<CacheBank> {
+pub fn bank_from_json(text: &str) -> Result<CacheBank, PersistError> {
     let doc = serde_json::from_str(text).map_err(|e| bad(&e.to_string()))?;
     let Value::Object(top) = &doc else {
         return Err(bad("top level is not an object"));
@@ -175,13 +234,49 @@ pub fn bank_from_json(text: &str) -> io::Result<CacheBank> {
 
 /// Write `bank` to `path` (version-1 JSON, atomic only at the filesystem's
 /// whole-file-write granularity).
-pub fn save_bank(bank: &CacheBank, path: impl AsRef<Path>) -> io::Result<()> {
-    std::fs::write(path, bank_to_json(bank))
+pub fn save_bank(bank: &CacheBank, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, bank_to_json(bank))?;
+    Ok(())
 }
 
-/// Read a bank previously written by [`save_bank`].
-pub fn load_bank(path: impl AsRef<Path>) -> io::Result<CacheBank> {
-    bank_from_json(&std::fs::read_to_string(path)?)
+/// Move a corrupt file out of the way by renaming it to `<name>.corrupt`.
+/// Best-effort: a failed rename (e.g. read-only directory) leaves the file
+/// in place and reports no quarantine location.
+fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut target = path.as_os_str().to_os_string();
+    target.push(".corrupt");
+    let target = PathBuf::from(target);
+    std::fs::rename(path, &target).ok().map(|_| target)
+}
+
+/// Attach a quarantine step to a parse result: corrupt content moves the
+/// source file to `<name>.corrupt` and records where it went.
+fn with_quarantine<T>(result: Result<T, PersistError>, path: &Path) -> Result<T, PersistError> {
+    result.map_err(|e| match e {
+        PersistError::Corrupt { msg, quarantined: None } => {
+            PersistError::Corrupt { msg, quarantined: quarantine(path) }
+        }
+        other => other,
+    })
+}
+
+/// Read the file as text, classifying invalid UTF-8 as corruption (the
+/// writer only ever emits ASCII JSON) rather than a plain I/O failure, so
+/// byte-mangled files take the quarantine path instead of looking like a
+/// transient read error.
+fn read_text(path: &Path) -> Result<String, PersistError> {
+    let bytes = std::fs::read(path)?;
+    String::from_utf8(bytes)
+        .map_err(|_| PersistError::corrupt("cache file is not valid UTF-8"))
+}
+
+/// Read a bank previously written by [`save_bank`]. Truncated or garbage
+/// content returns [`PersistError::Corrupt`] and the file is quarantined
+/// (renamed to `<name>.corrupt`) so the next warm start doesn't trip over
+/// it again.
+pub fn load_bank(path: impl AsRef<Path>) -> Result<CacheBank, PersistError> {
+    let path = path.as_ref();
+    with_quarantine(read_text(path).and_then(|text| bank_from_json(&text)), path)
 }
 
 /// Write `bank` to `path` with the cost-model fingerprint stamped into the
@@ -190,17 +285,23 @@ pub fn save_bank_with(
     bank: &CacheBank,
     path: impl AsRef<Path>,
     model_fingerprint: Option<u64>,
-) -> io::Result<()> {
-    std::fs::write(path, bank_to_json_with(bank, model_fingerprint))
+) -> Result<(), PersistError> {
+    std::fs::write(path, bank_to_json_with(bank, model_fingerprint))?;
+    Ok(())
 }
 
 /// Read a bank, discarding it as stale when its stamped fingerprint does
 /// not match `expected_fingerprint` (see [`bank_from_json_checked`]).
+/// Corrupt files are quarantined like [`load_bank`].
 pub fn load_bank_checked(
     path: impl AsRef<Path>,
     expected_fingerprint: Option<u64>,
-) -> io::Result<(CacheBank, bool)> {
-    bank_from_json_checked(&std::fs::read_to_string(path)?, expected_fingerprint)
+) -> Result<(CacheBank, bool), PersistError> {
+    let path = path.as_ref();
+    with_quarantine(
+        read_text(path).and_then(|text| bank_from_json_checked(&text, expected_fingerprint)),
+        path,
+    )
 }
 
 #[cfg(test)]
@@ -310,6 +411,54 @@ mod tests {
         let (_, invalidated) = load_bank_checked(&path, Some(43)).unwrap();
         assert!(invalidated);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_returns_typed_error_and_is_quarantined() {
+        let dir = std::env::temp_dir();
+        for (name, content) in [
+            ("raqo_persist_truncated.json", &br#"{"version": 1, "cach"#[..]),
+            ("raqo_persist_garbage.json", &b"\x00\xffnot json at all"[..]),
+            ("raqo_persist_wrong_shape.json", &br#"{"version": 1}"#[..]),
+        ] {
+            let path = dir.join(name);
+            let quarantined = dir.join(format!("{name}.corrupt"));
+            std::fs::remove_file(&quarantined).ok();
+            std::fs::write(&path, content).unwrap();
+            let err = load_bank(&path).expect_err("corrupt content must not load");
+            match &err {
+                PersistError::Corrupt { quarantined: Some(q), .. } => {
+                    assert_eq!(q, &quarantined, "{name}");
+                }
+                other => panic!("expected Corrupt with quarantine, got {other:?}"),
+            }
+            assert!(err.is_corrupt());
+            assert!(!path.exists(), "{name}: original must be renamed away");
+            assert!(quarantined.exists(), "{name}: quarantine file must exist");
+            assert_eq!(std::fs::read(&quarantined).unwrap(), content, "content preserved");
+            std::fs::remove_file(&quarantined).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_file_quarantined_under_checked_load_too() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("raqo_persist_checked_corrupt.json");
+        let quarantined = dir.join("raqo_persist_checked_corrupt.json.corrupt");
+        std::fs::remove_file(&quarantined).ok();
+        std::fs::write(&path, "{{{{").unwrap();
+        let err = load_bank_checked(&path, Some(42)).expect_err("must fail");
+        assert!(err.is_corrupt());
+        assert!(quarantined.exists());
+        std::fs::remove_file(&quarantined).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt_and_nothing_quarantined() {
+        let path = std::env::temp_dir().join("raqo_persist_never_written.json");
+        let err = load_bank(&path).expect_err("missing file");
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(!err.is_corrupt());
     }
 
     #[test]

@@ -37,6 +37,8 @@ where
             _ => best = Some((r, c)),
         }
     }
+    // Infallible: `ClusterConditions` guarantees min <= max along every
+    // dimension, so `grid()` yields at least the min corner.
     let (config, cost) = best.expect("cluster grid is never empty");
     PlanningOutcome { config, cost, iterations }
 }
@@ -81,6 +83,8 @@ where
         }
         at += n as u64;
     }
+    // Infallible: same invariant as `brute_force` — the grid always
+    // contains at least the min corner.
     let (_, config, cost) = best.expect("cluster grid is never empty");
     PlanningOutcome { config, cost, iterations: total }
 }

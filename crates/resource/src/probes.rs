@@ -1,0 +1,30 @@
+//! Fault-injection probe shim.
+//!
+//! With the `faults` cargo feature on, probes forward to `raqo-faults`; in
+//! normal builds this compiles to a no-op enum and an `#[inline(always)]`
+//! function returning `Proceed`, so production library code carries no
+//! injection machinery at all (not even a disarmed atomic load).
+
+#[cfg(feature = "faults")]
+pub(crate) use raqo_faults::Action;
+
+#[cfg(feature = "faults")]
+#[inline]
+pub(crate) fn probe(site: &str) -> Action {
+    raqo_faults::probe(site)
+}
+
+#[cfg(not(feature = "faults"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(dead_code)] // mirror of raqo_faults::Action; only Proceed is built here
+pub(crate) enum Action {
+    Proceed,
+    Fail,
+    Nan,
+}
+
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub(crate) fn probe(_site: &str) -> Action {
+    Action::Proceed
+}

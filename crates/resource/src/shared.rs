@@ -12,6 +12,7 @@
 
 use crate::cache::{CacheBank, CacheLookup, CacheStats};
 use crate::config::ResourceConfig;
+use crate::persist::PersistError;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -78,13 +79,14 @@ impl SharedCacheBank {
 
     /// Persist the bank to `path` as versioned JSON (see [`crate::persist`]).
     /// Takes the read lock for the duration of the snapshot.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
         crate::persist::save_bank(&self.inner.read(), path)
     }
 
     /// Load a bank previously written with [`SharedCacheBank::save`] into a
     /// fresh handle. Statistics start at zero (they are not persisted).
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+    /// Corrupt files are quarantined (see [`crate::persist::load_bank`]).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
         Ok(SharedCacheBank::from_bank(crate::persist::load_bank(path)?))
     }
 
@@ -95,18 +97,19 @@ impl SharedCacheBank {
         &self,
         path: impl AsRef<std::path::Path>,
         model_fingerprint: u64,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), PersistError> {
         crate::persist::save_bank_with(&self.inner.read(), path, Some(model_fingerprint))
     }
 
     /// Load a bank, discarding it as stale when its stamped fingerprint
     /// differs from `model_fingerprint` (or when the file predates
     /// stamping). Returns `(bank, invalidated)`; an invalidated load
-    /// yields an empty, usable bank.
+    /// yields an empty, usable bank. Corrupt files are quarantined and
+    /// reported as [`PersistError::Corrupt`].
     pub fn load_checked(
         path: impl AsRef<std::path::Path>,
         model_fingerprint: u64,
-    ) -> std::io::Result<(Self, bool)> {
+    ) -> Result<(Self, bool), PersistError> {
         let (bank, invalidated) =
             crate::persist::load_bank_checked(path, Some(model_fingerprint))?;
         Ok((SharedCacheBank::from_bank(bank), invalidated))
@@ -178,6 +181,28 @@ mod tests {
         let (_, invalidated) = SharedCacheBank::load_checked(&path, 0xabc).unwrap();
         assert!(invalidated);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn panic_inside_with_bank_does_not_poison_the_lock() {
+        // The vendored parking_lot locks recover from a panicking critical
+        // section (no std-style poisoning), so a worker dying mid-update must
+        // leave the shared bank fully usable for every other handle.
+        let shared = SharedCacheBank::new();
+        shared.insert(0, 0, 1.0, cfg(5.0, 2.0));
+        let clone = shared.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            clone.with_bank(|bank| {
+                bank.cache(0, 1).insert(9.0, cfg(9.0, 9.0));
+                panic!("injected panic while holding the write lock");
+            })
+        }));
+        assert!(caught.is_err(), "the injected panic must propagate");
+        // Lock is free again: reads, writes, and multi-step sections all work.
+        assert_eq!(shared.lookup(0, 0, 1.0, CacheLookup::Exact), Some(cfg(5.0, 2.0)));
+        shared.insert(0, 0, 2.0, cfg(6.0, 3.0));
+        assert_eq!(shared.lookup(0, 0, 2.0, CacheLookup::Exact), Some(cfg(6.0, 3.0)));
+        assert_eq!(shared.with_bank(|bank| bank.total_entries()), 3);
     }
 
     #[test]

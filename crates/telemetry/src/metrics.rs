@@ -46,10 +46,23 @@ pub enum Counter {
     RuleDispatches,
     /// Spans discarded because the span store hit its cap.
     SpansDropped,
+    /// Planner/coster worker threads that panicked and were recovered by
+    /// the sequential fallback.
+    WorkerPanics,
+    /// Non-finite or negative model outputs mapped to "infeasible" at the
+    /// scalar cost boundary.
+    CostSanitizationsScalar,
+    /// Non-finite-but-not-+Inf or negative outputs sanitized in the batched
+    /// cost kernel (+Inf alone is the kernel's legitimate OOM signal).
+    CostSanitizationsBatch,
+    /// Degradations to ladder rung 2 (randomized planner).
+    DegradationsRandomized,
+    /// Degradations to ladder rung 3 (rule-based RAQO).
+    DegradationsRuleBased,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 21] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -66,6 +79,11 @@ impl Counter {
         Counter::SelingerLevels,
         Counter::RuleDispatches,
         Counter::SpansDropped,
+        Counter::WorkerPanics,
+        Counter::CostSanitizationsScalar,
+        Counter::CostSanitizationsBatch,
+        Counter::DegradationsRandomized,
+        Counter::DegradationsRuleBased,
     ];
 
     /// Prometheus metric name (`_total` suffix per convention).
@@ -87,6 +105,21 @@ impl Counter {
             Counter::SelingerLevels => "raqo_selinger_levels_total",
             Counter::RuleDispatches => "raqo_rule_dispatches_total",
             Counter::SpansDropped => "raqo_spans_dropped_total",
+            Counter::WorkerPanics => "raqo_worker_panics_total",
+            Counter::CostSanitizationsScalar => "raqo_cost_sanitizations_total{site=\"scalar\"}",
+            Counter::CostSanitizationsBatch => "raqo_cost_sanitizations_total{site=\"batch\"}",
+            Counter::DegradationsRandomized => "raqo_degradations_total{rung=\"randomized\"}",
+            Counter::DegradationsRuleBased => "raqo_degradations_total{rung=\"rule_based\"}",
+        }
+    }
+
+    /// Prometheus metric *family* name: [`Counter::name`] with any label set
+    /// stripped. `HELP`/`TYPE` lines are per-family, series lines per-name.
+    pub fn family(self) -> &'static str {
+        let name = self.name();
+        match name.find('{') {
+            Some(brace) => &name[..brace],
+            None => name,
         }
     }
 
@@ -108,6 +141,13 @@ impl Counter {
             Counter::SelingerLevels => "Selinger DP levels filled",
             Counter::RuleDispatches => "rule-based decision-tree join dispatches",
             Counter::SpansDropped => "spans dropped at the span-store cap",
+            Counter::WorkerPanics => "worker-thread panics recovered by sequential fallback",
+            Counter::CostSanitizationsScalar | Counter::CostSanitizationsBatch => {
+                "cost-model outputs sanitized to infeasible at the boundary"
+            }
+            Counter::DegradationsRandomized | Counter::DegradationsRuleBased => {
+                "optimizer degradations to a lower planning-ladder rung"
+            }
         }
     }
 }
@@ -343,9 +383,15 @@ impl MetricsSnapshot {
     /// `_bucket{le=...}` series plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_family = "";
         for &c in Counter::ALL.iter() {
-            out.push_str(&format!("# HELP {} {}\n", c.name(), c.help()));
-            out.push_str(&format!("# TYPE {} counter\n", c.name()));
+            // Labeled series (e.g. raqo_degradations_total{rung="..."}) share
+            // one family; HELP/TYPE must appear once per family.
+            if c.family() != last_family {
+                last_family = c.family();
+                out.push_str(&format!("# HELP {} {}\n", c.family(), c.help()));
+                out.push_str(&format!("# TYPE {} counter\n", c.family()));
+            }
             out.push_str(&format!("{} {}\n", c.name(), self.get(c)));
         }
         for &h in Hist::ALL.iter() {

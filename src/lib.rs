@@ -63,7 +63,10 @@ pub use raqo_sim as sim;
 pub mod prelude {
     pub use raqo_catalog::tpch::TpchSchema;
     pub use raqo_catalog::{Catalog, JoinGraph, QuerySpec, RandomSchemaConfig, TableId};
-    pub use raqo_core::{Objective, PlannerKind, RaqoOptimizer, RaqoPlan, ResourceStrategy};
+    pub use raqo_core::{
+        Degradation, DegradationRung, DegradationTrigger, Objective, PlannerKind, PlanningBudget,
+        RaqoOptimizer, RaqoPlan, ResourceStrategy,
+    };
     pub use raqo_cost::{JoinCostModel, OperatorCost, SimOracleCost};
     pub use raqo_planner::{PlannedQuery, PlanTree, RandomizedConfig};
     pub use raqo_resource::{CacheLookup, ClusterConditions, ResourceConfig};

@@ -302,3 +302,108 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Robustness: the optimizer never panics and never reports a NaN plan
+    /// cost on adversarial catalogs — empty tables, 10^18-row tables,
+    /// extreme join selectivities — and the degradation ladder guarantees a
+    /// plan even when the planning budget is zero.
+    #[test]
+    fn optimizer_survives_adversarial_catalogs(
+        table_kinds in proptest::collection::vec(0u8..3, 2..6usize),
+        sel_kind in 0u8..3,
+        zero_budget in proptest::bool::ANY,
+    ) {
+        use raqo::catalog::TableStats;
+        use raqo::core::PlanningBudget;
+
+        let rows_of = |k: u8| match k {
+            0 => 0.0,      // empty table (post-filter cardinality collapse)
+            1 => 1.0e3,    // ordinary
+            _ => 1.0e18,   // a quintillion rows: stresses overflow paths
+        };
+        let sel = match sel_kind {
+            0 => 1e-12,
+            1 => 0.01,
+            _ => 1.0,      // cross-product-sized join output
+        };
+
+        let mut catalog = Catalog::new();
+        let ids: Vec<TableId> = table_kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| catalog.add_stats_only(format!("t{i}"), TableStats::new(rows_of(k), 64.0)))
+            .collect();
+        let mut graph = JoinGraph::new();
+        for w in ids.windows(2) {
+            graph.add_edge(w[0], w[1], sel);
+        }
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::new("adversarial", ids.clone());
+        let mut opt = RaqoOptimizer::new(
+            &catalog,
+            &graph,
+            &model,
+            ClusterConditions::two_dim(1.0..=10.0, 1.0..=4.0, 1.0, 1.0),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        if zero_budget {
+            opt.set_budget(
+                PlanningBudget::with_max_evals(0).and_deadline(std::time::Duration::ZERO),
+            );
+        }
+        let plan = opt.optimize(&query);
+        let plan = match plan {
+            Some(p) => p,
+            // Returning no plan is acceptable only for a genuinely
+            // infeasible un-budgeted run; with a budget the ladder must
+            // always bottom out at the rule-based rung.
+            None => {
+                prop_assert!(!zero_budget, "budgeted run returned no plan");
+                return Ok(());
+            }
+        };
+        prop_assert!(covers_exactly(&plan.query.tree, &query.relations));
+        prop_assert_eq!(plan.query.joins.len(), query.num_joins());
+        prop_assert!(!plan.query.cost.is_nan(), "plan cost is NaN");
+        prop_assert!(plan.query.cost >= 0.0, "plan cost is negative: {}", plan.query.cost);
+        if zero_budget {
+            prop_assert!(plan.degradation.is_some(), "zero budget must be reported");
+        }
+    }
+
+    /// Single-relation queries (zero joins) plan without panicking under
+    /// any table size and any budget.
+    #[test]
+    fn single_relation_queries_always_plan(
+        kind in 0u8..3,
+        zero_budget in proptest::bool::ANY,
+    ) {
+        use raqo::catalog::TableStats;
+        use raqo::core::PlanningBudget;
+
+        let rows = match kind { 0 => 0.0, 1 => 1.0e6, _ => 1.0e18 };
+        let mut catalog = Catalog::new();
+        let id = catalog.add_stats_only("only", TableStats::new(rows, 128.0));
+        let graph = JoinGraph::new();
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::new("single", vec![id]);
+        let mut opt = RaqoOptimizer::new(
+            &catalog,
+            &graph,
+            &model,
+            ClusterConditions::two_dim(1.0..=10.0, 1.0..=4.0, 1.0, 1.0),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        if zero_budget {
+            opt.set_budget(PlanningBudget::with_max_evals(0));
+        }
+        let plan = opt.optimize(&query);
+        if let Some(p) = &plan {
+            prop_assert_eq!(p.query.joins.len(), 0);
+            prop_assert!(!p.query.cost.is_nan());
+        }
+    }
+}

@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use raqo_catalog::tpch::TpchSchema;
-use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+use raqo_catalog::{QuerySpec, RandomSchema, RandomSchemaConfig};
 use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy, Telemetry};
 use raqo_cost::JoinCostModel;
-use raqo_planner::RandomizedConfig;
+use raqo_planner::coster::FixedResourceCoster;
+use raqo_planner::{DpFill, IdpConfig, IdpPlanner, RandomizedConfig, SelingerPlanner};
 use raqo_resource::{CacheLookup, ClusterConditions};
 use std::hint::black_box;
 
@@ -213,6 +214,66 @@ fn planner_speedup(c: &mut Criterion) {
     group.finish();
 }
 
+/// The u64-mask DP at the widened threshold: a 20-relation chain (the
+/// sparse best case that now fits exhaustive DP) and a 16-relation star
+/// (the dense adversarial case), dense table vs the two-level streamed
+/// fill. Plain join ordering at fixed resources isolates the DP itself.
+fn selinger_u64(c: &mut Criterion) {
+    let model = JoinCostModel::trained_hive();
+    let mut group = c.benchmark_group("selinger_u64");
+    group.sample_size(10);
+    let workloads =
+        [("chain_20", RandomSchema::chain(20, 20)), ("star_16", RandomSchema::star(16, 16))];
+    for (name, schema) in &workloads {
+        let query = QuerySpec::new(*name, schema.catalog.table_ids().collect::<Vec<_>>());
+        for (fill_name, fill) in [("dense", DpFill::Dense), ("streamed", DpFill::Streamed)] {
+            group.bench_with_input(BenchmarkId::new(*name, fill_name), &query, |b, q| {
+                b.iter(|| {
+                    let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+                    black_box(SelingerPlanner::plan_opts(
+                        &schema.catalog,
+                        &schema.graph,
+                        q,
+                        &mut coster,
+                        raqo_resource::Parallelism::Off,
+                        None,
+                        &raqo_telemetry::Telemetry::disabled(),
+                        raqo_planner::selinger::DEFAULT_DP_THRESHOLD,
+                        fill,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The IDP bridge past the exhaustive threshold: 32-relation chain and
+/// 24-relation star at the default block size, fixed resources.
+fn idp_bridge(c: &mut Criterion) {
+    let model = JoinCostModel::trained_hive();
+    let mut group = c.benchmark_group("idp_bridge");
+    group.sample_size(10);
+    let workloads =
+        [("chain_32", RandomSchema::chain(32, 32)), ("star_24", RandomSchema::star(24, 24))];
+    for (name, schema) in &workloads {
+        let query = QuerySpec::new(*name, schema.catalog.table_ids().collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &query, |b, q| {
+            b.iter(|| {
+                let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+                black_box(IdpPlanner::plan(
+                    &schema.catalog,
+                    &schema.graph,
+                    q,
+                    &mut coster,
+                    IdpConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The telemetry no-op gate: the selinger_batched workload with the
 /// default disabled sink must match the PR-2 baseline (every
 /// instrumentation site is a branch on `None`), and the enabled sink's
@@ -270,6 +331,8 @@ criterion_group!(
     fig14_cache,
     fig15_scale,
     planner_speedup,
+    selinger_u64,
+    idp_bridge,
     telemetry_overhead
 );
 criterion_main!(benches);

@@ -299,6 +299,112 @@ fn selinger_smoke_gate() {
     println!("selinger  ok  {ms:>8.0} ms  {combos} parallelism x memoize combinations agree");
 }
 
+/// `--smoke` IDP parity gate: at the exhaustive-DP threshold (n = 20) a
+/// covering-block IDP run must be bit-identical to Selinger DP, and past
+/// it (24-relation chain and star) the optimizer must bridge with IDP —
+/// reporting `relation_bound_bridged`, never the randomized rung — and
+/// produce an executable joint plan that beats the randomized planner on
+/// the same seed.
+fn idp_smoke_gate() {
+    use raqo_core::{DegradationRung, DegradationTrigger};
+    use raqo_planner::coster::FixedResourceCoster;
+    use raqo_planner::{DpFill, IdpConfig, IdpPlanner, RandomizedConfig, SelingerPlanner};
+
+    let model = JoinCostModel::trained_hive();
+    let (_, ms) = timed(|| {
+        // n = 20: IDP with a covering block *is* the DP — trees, costs, and
+        // join decisions bit-for-bit.
+        let schema = raqo_catalog::RandomSchemaConfig::with_tables(20, 20).generate();
+        let query = QuerySpec::new("n20", schema.catalog.table_ids().collect::<Vec<_>>());
+        let mut dp_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let dp = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut dp_coster)
+            .expect("idp smoke: n=20 DP plan");
+        let mut idp_coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let idp = IdpPlanner::plan(
+            &schema.catalog,
+            &schema.graph,
+            &query,
+            &mut idp_coster,
+            IdpConfig { block_size: 20, fill: DpFill::Auto },
+        )
+        .expect("idp smoke: n=20 IDP plan");
+        assert_eq!(dp.tree, idp.tree, "idp smoke: n=20 trees diverge");
+        assert_eq!(
+            dp.cost.to_bits(),
+            idp.cost.to_bits(),
+            "idp smoke: n=20 costs diverge: {} vs {}",
+            dp.cost,
+            idp.cost
+        );
+        assert_eq!(dp.joins, idp.joins, "idp smoke: n=20 join decisions diverge");
+
+        // n = 24 chain and star: bridged, executable, and better than the
+        // randomized planner on the same smoke seed.
+        for (shape, schema) in [
+            ("chain", raqo_catalog::RandomSchema::chain(24, 24)),
+            ("star", raqo_catalog::RandomSchema::star(24, 24)),
+        ] {
+            let query = QuerySpec::new(
+                format!("{shape}_24"),
+                schema.catalog.table_ids().collect::<Vec<_>>(),
+            );
+            let mk_opt = |planner| {
+                RaqoOptimizer::new(
+                    &schema.catalog,
+                    &schema.graph,
+                    &model,
+                    ClusterConditions::paper_default(),
+                    planner,
+                    ResourceStrategy::HillClimb,
+                )
+            };
+            let plan = mk_opt(PlannerKind::Selinger)
+                .optimize(&query)
+                .unwrap_or_else(|| panic!("idp smoke: {shape} plan not found"));
+            let d = plan.degradation.expect("idp smoke: bridge must be reported");
+            assert_eq!(d.rung, DegradationRung::IdpBridge, "idp smoke: {shape} wrong rung");
+            assert_eq!(
+                d.trigger,
+                DegradationTrigger::RelationBoundBridged,
+                "idp smoke: {shape} wrong trigger"
+            );
+            // Executable: covers the query, one decision per join, every
+            // join carries a concrete resource assignment and finite cost.
+            assert!(
+                raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations),
+                "idp smoke: {shape} plan does not cover the query"
+            );
+            assert_eq!(plan.query.joins.len(), 23, "idp smoke: {shape} join count");
+            assert!(plan.query.cost.is_finite() && plan.query.cost > 0.0);
+            for join in &plan.query.joins {
+                assert!(
+                    join.decision.resources.is_some(),
+                    "idp smoke: {shape} join without resources"
+                );
+            }
+            let randomized = mk_opt(PlannerKind::FastRandomized(RandomizedConfig {
+                restarts: 2,
+                rounds_per_join: 5,
+                epsilon: 0.05,
+                seed: 24,
+                memoize: false,
+            }))
+            .optimize(&query)
+            .unwrap_or_else(|| panic!("idp smoke: {shape} randomized plan not found"));
+            assert!(
+                plan.query.cost <= randomized.query.cost * (1.0 + 1e-9),
+                "idp smoke: {shape} IDP cost {} worse than randomized {}",
+                plan.query.cost,
+                randomized.query.cost
+            );
+        }
+    });
+    println!(
+        "idp       ok  {ms:>8.0} ms  n=20 DP parity bit-exact; 24-relation chain+star bridged \
+         and beat the randomized planner"
+    );
+}
+
 /// `--chaos` gate: deterministic fault injection plus planning budgets must
 /// never leave the optimizer without a plan. Exercises every rung of the
 /// graceful-degradation ladder (undegraded, randomized, rule-based), cost
@@ -534,6 +640,12 @@ fn main() {
             report.worker_threads,
             report.selinger.plans_identical
         );
+        for p in &report.idp.points {
+            println!(
+                "idp bridge {:>5} n={:<2}  {:>8.1} ms  cost {:>12.3}  {} joins  bridged: {}",
+                p.shape, p.tables, p.wall_ms, p.plan_cost, p.joins, p.bridged
+            );
+        }
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote planner bench report to {path}");
@@ -550,6 +662,7 @@ fn main() {
             println!("fig {:>2}  ok  {:>8.0} ms  {} table(s)  {}", e.id, ms, tables.len(), e.title);
         }
         selinger_smoke_gate();
+        idp_smoke_gate();
         telemetry_smoke_gate();
         chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);

@@ -18,8 +18,8 @@
 
 use crate::experiments::timed;
 use crate::Table;
-use raqo_catalog::{QuerySpec, RandomSchemaConfig};
-use raqo_core::{Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
+use raqo_catalog::{QuerySpec, RandomSchema, RandomSchemaConfig};
+use raqo_core::{DegradationRung, Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
 use raqo_cost::JoinCostModel;
 use raqo_planner::RandomizedConfig;
 use raqo_resource::ClusterConditions;
@@ -53,6 +53,9 @@ pub struct PlannerBenchReport {
     pub plans_identical: bool,
     /// The Selinger DP run through the same ladder of optimizations.
     pub selinger: SelingerSeries,
+    /// Mid-size (past the exhaustive-DP threshold) chain+star queries
+    /// planned through the optimizer's IDP bridge.
+    pub idp: IdpSeries,
 }
 
 /// The Selinger half of the report: the full System-R DP with exhaustive
@@ -79,6 +82,76 @@ pub struct SelingerSeries {
     /// memoized run has the same tree with cost equal to fp noise (the memo
     /// replays DP-time IO accumulation order).
     pub plans_identical: bool,
+}
+
+/// One point of the mid-size planning series: a chain or star query whose
+/// relation count exceeds the exhaustive-DP threshold, planned end to end
+/// (join order + per-join resources) through the IDP bridge.
+#[derive(Debug, Clone, Serialize)]
+pub struct IdpPoint {
+    pub shape: String,
+    pub tables: usize,
+    pub wall_ms: f64,
+    pub plan_cost: f64,
+    pub joins: usize,
+    /// The degradation report named the IDP bridge — the query never fell
+    /// through to the randomized rung.
+    pub bridged: bool,
+}
+
+/// The 24/32/48-relation chain+star series behind `repro --bench-json`:
+/// what planning past the old 20-relation cliff costs, per query shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct IdpSeries {
+    pub block_size: usize,
+    pub dp_threshold: usize,
+    pub points: Vec<IdpPoint>,
+    /// Every point was bridged (none degraded to the randomized planner).
+    pub all_bridged: bool,
+}
+
+/// Measure the IDP-bridged chain+star series (see [`IdpSeries`]).
+pub fn measure_idp(quick: bool) -> IdpSeries {
+    let sizes: &[usize] = if quick { &[24, 32] } else { &[24, 32, 48] };
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::paper_default();
+    let mut points = Vec::new();
+    for &tables in sizes {
+        let shapes = [
+            ("chain", RandomSchema::chain(tables, tables as u64)),
+            ("star", RandomSchema::star(tables, tables as u64)),
+        ];
+        for (shape, schema) in shapes {
+            let rels: Vec<_> = schema.catalog.table_ids().collect();
+            let query = QuerySpec::new(format!("{shape}_{tables}"), rels);
+            let mut opt = RaqoOptimizer::new(
+                &schema.catalog,
+                &schema.graph,
+                &model,
+                cluster,
+                PlannerKind::Selinger,
+                ResourceStrategy::HillClimb,
+            );
+            let (plan, wall_ms) = timed(|| opt.optimize(&query).expect("bridged plan"));
+            points.push(IdpPoint {
+                shape: shape.into(),
+                tables,
+                wall_ms,
+                plan_cost: plan.query.cost,
+                joins: plan.query.joins.len(),
+                bridged: plan
+                    .degradation
+                    .is_some_and(|d| d.rung == DegradationRung::IdpBridge),
+            });
+        }
+    }
+    let all_bridged = points.iter().all(|p| p.bridged);
+    IdpSeries {
+        block_size: raqo_planner::idp::DEFAULT_BLOCK_SIZE,
+        dp_threshold: raqo_planner::selinger::DEFAULT_DP_THRESHOLD,
+        points,
+        all_bridged,
+    }
 }
 
 fn mode_name(parallelism: Parallelism) -> String {
@@ -160,6 +233,7 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         speedup,
         plans_identical,
         selinger: measure_selinger(quick),
+        idp: measure_idp(quick),
     }
 }
 
@@ -287,6 +361,17 @@ mod tests {
             "speedup {:.2}x below the 2x bar: {report:?}",
             report.speedup
         );
+    }
+
+    #[test]
+    fn idp_series_bridges_every_mid_size_point() {
+        let _serial = crate::timing_lock();
+        let series = measure_idp(true);
+        assert!(series.all_bridged, "a mid-size point fell past the bridge: {series:?}");
+        for p in &series.points {
+            assert_eq!(p.joins, p.tables - 1, "{series:?}");
+            assert!(p.plan_cost.is_finite() && p.plan_cost > 0.0, "{series:?}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod tpch;
 
 pub use join_graph::{JoinEdge, JoinGraph};
 pub use query::QuerySpec;
-pub use random::RandomSchemaConfig;
+pub use random::{RandomSchema, RandomSchemaConfig};
 pub use schema::{Catalog, ColumnType, Table, TableId, TableStats};
 
 /// Bytes in one gibibyte; the unit most resource knobs in the paper use.

@@ -102,6 +102,47 @@ impl RandomSchemaConfig {
     }
 }
 
+impl RandomSchema {
+    /// A chain schema: `r0 — r1 — … — r(n−1)`, random paper-range stats,
+    /// FK-style edge selectivities. Chains are the planner benchmarks'
+    /// best case for sparse DP (O(n²) feasible subsets) and the classic
+    /// shape for join-ordering scalability series.
+    pub fn chain(tables: usize, seed: u64) -> RandomSchema {
+        Self::shaped(tables, seed, |i| (i > 0).then(|| i - 1))
+    }
+
+    /// A star schema: `r0` as the hub joined to every satellite `r1 …
+    /// r(n−1)`. Stars are the DP's adversarial case — every subset
+    /// containing the hub is feasible — and the standard foil to chains in
+    /// planner scalability series.
+    pub fn star(tables: usize, seed: u64) -> RandomSchema {
+        Self::shaped(tables, seed, |i| (i > 0).then_some(0))
+    }
+
+    /// Build a schema whose join graph links each table `i` to
+    /// `parent(i)` (None for roots); stats are drawn like
+    /// [`RandomSchemaConfig::generate`].
+    fn shaped(tables: usize, seed: u64, parent: impl Fn(usize) -> Option<usize>) -> RandomSchema {
+        assert!(tables >= 1, "need at least one table");
+        let cfg = RandomSchemaConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut catalog = Catalog::new();
+        for i in 0..tables {
+            let width = rng.gen_range(cfg.row_width.0..=cfg.row_width.1);
+            let rows = rng.gen_range(cfg.rows.0..=cfg.rows.1);
+            catalog.add_stats_only(format!("r{i}"), TableStats::new(rows.round(), width.round()));
+        }
+        let mut graph = JoinGraph::new();
+        for i in 0..tables {
+            if let Some(p) = parent(i) {
+                let (a, b) = (TableId(i as u32), TableId(p as u32));
+                graph.add_edge(a, b, fk_selectivity(&catalog, a, b));
+            }
+        }
+        RandomSchema { catalog, graph }
+    }
+}
+
 /// Key–foreign-key style selectivity: 1 / rows of the smaller-cardinality
 /// endpoint (the "primary key" side), mirroring TPC-H's referential edges.
 fn fk_selectivity(catalog: &Catalog, a: TableId, b: TableId) -> f64 {
@@ -184,6 +225,40 @@ mod tests {
             let rb = schema.catalog.table(e.b).stats.rows;
             let expect = 1.0 / ra.min(rb);
             assert!((e.selectivity - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn chain_schema_is_a_path() {
+        let schema = RandomSchema::chain(24, 3);
+        assert_eq!(schema.catalog.len(), 24);
+        assert_eq!(schema.graph.edges().len(), 23);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        assert!(schema.graph.is_connected(&all));
+        // Every edge links consecutive indices.
+        for e in schema.graph.edges() {
+            let (lo, hi) = (e.a.0.min(e.b.0), e.a.0.max(e.b.0));
+            assert_eq!(hi - lo, 1, "chain edge {lo}-{hi} not consecutive");
+        }
+    }
+
+    #[test]
+    fn star_schema_has_a_hub() {
+        let schema = RandomSchema::star(24, 3);
+        assert_eq!(schema.graph.edges().len(), 23);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        assert!(schema.graph.is_connected(&all));
+        for e in schema.graph.edges() {
+            assert!(e.touches(TableId(0)), "star edge misses the hub");
+        }
+    }
+
+    #[test]
+    fn shaped_schemas_are_deterministic() {
+        let a = RandomSchema::chain(16, 9);
+        let b = RandomSchema::chain(16, 9);
+        for (x, y) in a.catalog.tables().iter().zip(b.catalog.tables()) {
+            assert_eq!(x.stats, y.stats);
         }
     }
 

@@ -143,6 +143,12 @@ pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry
                 snap.get(Counter::SelingerLevels)
             ));
         }
+        if snap.get(Counter::IdpRounds) > 0 {
+            out.push_str(&format!(
+                "  IDP rounds: {}\n",
+                snap.get(Counter::IdpRounds)
+            ));
+        }
         if snap.get(Counter::RandomizedRounds) > 0 {
             out.push_str(&format!(
                 "  randomized rounds: {}\n",
@@ -225,6 +231,33 @@ mod tests {
         let text = explain_analyze(&plan, &schema.catalog, &Telemetry::disabled());
         assert!(text.contains("telemetry disabled"), "{text}");
         assert!(text.contains("Total estimate"), "{text}");
+    }
+
+    #[test]
+    fn explain_reports_the_idp_bridge_rung() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(24, 13).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 13);
+        let model = SimOracleCost::hive();
+        let tel = Telemetry::enabled();
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_telemetry(tel.clone());
+        let plan = opt.optimize(&query).unwrap();
+        let text = explain_analyze(&plan, &schema.catalog, &tel);
+        // The degradation line distinguishes "bridged with IDP" from
+        // "gave up to randomized".
+        assert!(
+            text.contains("Degraded plan: rung idp_bridge (trigger: relation_bound_bridged"),
+            "{text}"
+        );
+        assert!(text.contains("IDP rounds:"), "{text}");
     }
 
     #[test]

@@ -9,8 +9,8 @@ use raqo_cost::OperatorCost;
 use raqo_dtree::DecisionTree;
 use raqo_planner::coster::FixedResourceCoster;
 use raqo_planner::{
-    CardinalityEstimator, CostMemo, PlanTree, PlannedQuery, RandomizedConfig,
-    RandomizedPlanner, SelingerError, SelingerPlanner,
+    CardinalityEstimator, CostMemo, IdpConfig, IdpPlanner, PlanTree, PlannedQuery,
+    RandomizedConfig, RandomizedPlanner, SelingerError, SelingerPlanner,
 };
 use raqo_resource::{
     BudgetTracker, BudgetTrigger, CacheLookup, ClusterConditions, Parallelism, PlanningBudget,
@@ -31,11 +31,23 @@ use std::time::Instant;
 /// rule-based rung, which cannot exhaust.
 const RUNG2_GRACE_EVALS: u64 = 250_000;
 
-/// One `run_planner` invocation's outcome: the plan (if any) and whether
-/// the Selinger relation bound already forced the randomized fallback.
+/// One `run_planner` invocation's outcome: the plan (if any), whether the
+/// IDP bridge produced it, and whether the Selinger relation bound was hit
+/// at all (so a later rung can report the right trigger).
 struct PlannerRun {
     planned: Option<PlannedQuery>,
-    randomized_fallback: bool,
+    /// The plan came out of the IDP bridge after Selinger refused on
+    /// relation count.
+    bridged: bool,
+    /// Selinger returned `TooManyRelations` (whether or not the bridge
+    /// then recovered).
+    relation_bound: bool,
+}
+
+impl PlannerRun {
+    fn direct(planned: Option<PlannedQuery>) -> Self {
+        PlannerRun { planned, bridged: false, relation_bound: false }
+    }
 }
 
 /// The on-grid configuration closest to the center of the cluster's
@@ -64,11 +76,22 @@ pub enum PlannerKind {
     /// decisions. Identical plans to [`PlannerKind::Selinger`] whenever
     /// the coster is deterministic in a join's IO characteristics.
     SelingerMemoized,
+    /// Iterative DP (IDP-1, standard-best-plan): bounded Selinger blocks
+    /// collapsed round by round, so there is no relation bound. For
+    /// queries at or under the block size this *is* exhaustive DP; above
+    /// it, plan quality degrades gradually with the block size instead of
+    /// falling off the Selinger cliff.
+    Idp(IdpConfig),
     /// The fast randomized multi-objective planner.
     FastRandomized(RandomizedConfig),
 }
 
 impl PlannerKind {
+    /// IDP with the default block size (10).
+    pub fn idp() -> Self {
+        PlannerKind::Idp(IdpConfig::default())
+    }
+
     pub fn fast_randomized(seed: u64) -> Self {
         PlannerKind::FastRandomized(RandomizedConfig { seed, ..Default::default() })
     }
@@ -85,9 +108,14 @@ impl PlannerKind {
 /// Which rung of the graceful-degradation ladder produced the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DegradationRung {
+    /// The query exceeded the exhaustive DP's relation bound and was
+    /// bridged with the IDP planner — still dynamic programming, still
+    /// full resource planning per sub-plan, just block-bounded. The
+    /// mildest step-down.
+    IdpBridge,
     /// The configured planner gave way to the randomized planner — either
-    /// the full-strength fallback (Selinger's relation bound) or the
-    /// reduced-restart budget fallback.
+    /// the full-strength fallback (relation bound with a failed bridge) or
+    /// the reduced-restart budget fallback.
     Randomized,
     /// Planning fell all the way to rule-based RAQO: decision-tree join
     /// dispatch at fixed (grid-midpoint) resources, no search at all.
@@ -97,6 +125,7 @@ pub enum DegradationRung {
 impl std::fmt::Display for DegradationRung {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            DegradationRung::IdpBridge => write!(f, "idp_bridge"),
             DegradationRung::Randomized => write!(f, "randomized"),
             DegradationRung::RuleBased => write!(f, "rule_based"),
         }
@@ -110,8 +139,13 @@ pub enum DegradationTrigger {
     Deadline,
     /// The cost-evaluation cap of the [`PlanningBudget`] was reached.
     EvalBudget,
-    /// The query exceeds the Selinger DP's relation bound.
+    /// The query exceeds the Selinger DP's relation bound and no bridge
+    /// recovered it.
     TooManyRelations,
+    /// The query exceeds the Selinger DP's relation bound and the IDP
+    /// bridge planned it (the plan is DP-quality per block, not
+    /// exhaustive-DP-optimal).
+    RelationBoundBridged,
     /// The configured planner found no feasible plan within its rung.
     Infeasible,
 }
@@ -122,6 +156,7 @@ impl std::fmt::Display for DegradationTrigger {
             DegradationTrigger::Deadline => write!(f, "deadline"),
             DegradationTrigger::EvalBudget => write!(f, "eval_budget"),
             DegradationTrigger::TooManyRelations => write!(f, "too_many_relations"),
+            DegradationTrigger::RelationBoundBridged => write!(f, "relation_bound_bridged"),
             DegradationTrigger::Infeasible => write!(f, "infeasible"),
         }
     }
@@ -400,39 +435,70 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                     memo,
                     &tel,
                 );
+                let note_memo = |coster: &mut RaqoCoster<'a, M>, memo: &Option<CostMemo>| {
+                    if let Some(m) = memo {
+                        let hits = m.hits() - hits_before;
+                        coster.stats.memo_hits += hits;
+                        tel.add(Counter::MemoHits, hits);
+                        tel.add(Counter::MemoMisses, m.misses() - misses_before);
+                        tel.add(Counter::MemoEvictions, m.evictions() - evictions_before);
+                    }
+                };
                 match result {
                     Ok(planned) => {
-                        if let Some(m) = &self.selinger_memo {
-                            let hits = m.hits() - hits_before;
-                            self.coster.stats.memo_hits += hits;
-                            tel.add(Counter::MemoHits, hits);
-                            tel.add(Counter::MemoMisses, m.misses() - misses_before);
-                            tel.add(Counter::MemoEvictions, m.evictions() - evictions_before);
+                        note_memo(&mut self.coster, &self.selinger_memo);
+                        PlannerRun {
+                            planned: Some(planned),
+                            bridged: false,
+                            relation_bound: false,
                         }
-                        PlannerRun { planned: Some(planned), randomized_fallback: false }
                     }
                     Err(SelingerError::TooManyRelations { .. }) => {
-                        // Graceful fallback: the randomized planner has no
-                        // relation bound.
-                        let _span = tel.span("planner.randomized");
-                        let cfg = RandomizedConfig::default();
-                        let out = RandomizedPlanner::plan_traced(
+                        // Mildest fallback first: bridge with iterative DP,
+                        // which has no relation bound but keeps the DP
+                        // search (and the memo) intact. The randomized
+                        // rung only answers if the bridge itself fails
+                        // (e.g. the planning budget ran out mid-round).
+                        let memo = if memoized { self.selinger_memo.as_mut() } else { None };
+                        let bridged = IdpPlanner::plan_traced(
                             &self.catalog,
                             &self.graph,
                             query,
                             &mut self.coster,
-                            &cfg,
+                            parallelism,
+                            memo,
                             &tel,
+                            IdpConfig::default(),
                         );
-                        PlannerRun {
-                            planned: out.map(|o| o.best),
-                            randomized_fallback: true,
+                        if let Ok(planned) = bridged {
+                            note_memo(&mut self.coster, &self.selinger_memo);
+                            return PlannerRun {
+                                planned: Some(planned),
+                                bridged: true,
+                                relation_bound: true,
+                            };
                         }
+                        PlannerRun { planned: None, bridged: false, relation_bound: true }
                     }
                     Err(SelingerError::Infeasible) => {
-                        PlannerRun { planned: None, randomized_fallback: false }
+                        PlannerRun { planned: None, bridged: false, relation_bound: false }
                     }
                 }
+            }
+            PlannerKind::Idp(cfg) => {
+                let cfg = *cfg;
+                let parallelism = self.coster.parallelism;
+                let out = IdpPlanner::plan_traced(
+                    &self.catalog,
+                    &self.graph,
+                    query,
+                    &mut self.coster,
+                    parallelism,
+                    None,
+                    &tel,
+                    cfg,
+                );
+                PlannerRun::direct(out.ok())
             }
             PlannerKind::FastRandomized(cfg) => {
                 let _span = tel.span("planner.randomized");
@@ -450,7 +516,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                     tel.add(Counter::MemoHits, o.memo_hits);
                     o.best
                 });
-                PlannerRun { planned, randomized_fallback: false }
+                PlannerRun::direct(planned)
             }
         }
     }
@@ -476,14 +542,29 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 .with_telemetry(tel.clone());
         match SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut coster) {
             Ok(planned) => Some(planned),
-            Err(SelingerError::TooManyRelations { .. }) => RandomizedPlanner::plan(
-                &self.catalog,
-                &self.graph,
-                query,
-                &mut coster,
-                &RandomizedConfig::default(),
-            )
-            .map(|o| o.best),
+            Err(SelingerError::TooManyRelations { .. }) => {
+                // Same bridge order as rung 1: iterative DP first (the
+                // rule-based coster never rejects a join, so this
+                // succeeds), randomized only as the last resort.
+                IdpPlanner::plan(
+                    &self.catalog,
+                    &self.graph,
+                    query,
+                    &mut coster,
+                    IdpConfig::default(),
+                )
+                .ok()
+                .or_else(|| {
+                    RandomizedPlanner::plan(
+                        &self.catalog,
+                        &self.graph,
+                        query,
+                        &mut coster,
+                        &RandomizedConfig::default(),
+                    )
+                    .map(|o| o.best)
+                })
+            }
             Err(SelingerError::Infeasible) => None,
         }
     }
@@ -497,7 +578,9 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
     /// (for any query the engine can execute at all) by walking the
     /// graceful-degradation ladder:
     ///
-    /// 1. the configured planner, budget-charged;
+    /// 1. the configured planner, budget-charged — queries past the
+    ///    Selinger relation bound are bridged in-rung with the IDP planner
+    ///    (reported as the `idp_bridge` rung, the mildest step-down);
     /// 2. on exhaustion or infeasibility: the randomized planner with
     ///    reduced restarts, under a bounded grace allowance (the deadline
     ///    is never extended);
@@ -518,6 +601,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         let mut degradation: Option<Degradation> = None;
         let mut note = |rung: DegradationRung, trigger: DegradationTrigger| {
             tel.inc(match rung {
+                DegradationRung::IdpBridge => Counter::DegradationsIdpBridge,
                 DegradationRung::Randomized => Counter::DegradationsRandomized,
                 DegradationRung::RuleBased => Counter::DegradationsRuleBased,
             });
@@ -528,16 +612,26 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 elapsed_ms: started.elapsed().as_millis() as u64,
             });
         };
-        let trigger_now = |tracker: &BudgetTracker| match tracker.exhausted() {
-            Some(BudgetTrigger::Deadline) => DegradationTrigger::Deadline,
-            Some(BudgetTrigger::Evals) => DegradationTrigger::EvalBudget,
-            None => DegradationTrigger::Infeasible,
+        // Deterministic trigger precedence: a tripped budget always wins
+        // over structural triggers (relation bound, infeasibility), so a
+        // budget exhausted *during* a relation-bound bridge is reported as
+        // the budget trigger, never masked by `TooManyRelations`.
+        let trigger_now = |tracker: &BudgetTracker, structural: DegradationTrigger| {
+            match tracker.exhausted() {
+                Some(BudgetTrigger::Deadline) => DegradationTrigger::Deadline,
+                Some(BudgetTrigger::Evals) => DegradationTrigger::EvalBudget,
+                None => structural,
+            }
         };
 
-        // Rung 1: the configured planner.
+        // Rung 1: the configured planner, with the IDP bridge covering the
+        // Selinger relation bound in-rung.
         let run = self.run_planner(query);
-        if run.randomized_fallback {
-            note(DegradationRung::Randomized, DegradationTrigger::TooManyRelations);
+        if run.planned.is_some() && run.bridged {
+            note(
+                DegradationRung::IdpBridge,
+                trigger_now(&tracker, DegradationTrigger::RelationBoundBridged),
+            );
         }
         let mut planned = run.planned;
 
@@ -546,7 +640,12 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         // allowance. The deadline is not extended, so a blown deadline
         // falls through this rung in O(query size).
         if planned.is_none() {
-            note(DegradationRung::Randomized, trigger_now(&tracker));
+            let structural = if run.relation_bound {
+                DegradationTrigger::TooManyRelations
+            } else {
+                DegradationTrigger::Infeasible
+            };
+            note(DegradationRung::Randomized, trigger_now(&tracker, structural));
             tracker.grant_grace(RUNG2_GRACE_EVALS);
             let cfg = RandomizedConfig {
                 restarts: 2,
@@ -568,7 +667,10 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         // Rung 3: rule-based RAQO, budget-free. Always succeeds for any
         // query the engine can execute (SMJ is the universal fallback).
         if planned.is_none() {
-            note(DegradationRung::RuleBased, trigger_now(&tracker));
+            note(
+                DegradationRung::RuleBased,
+                trigger_now(&tracker, DegradationTrigger::Infeasible),
+            );
             planned = self.rule_based_plan(query);
         }
 
@@ -592,13 +694,24 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
             PlannerKind::Selinger | PlannerKind::SelingerMemoized => {
                 match SelingerPlanner::plan(&self.catalog, &self.graph, query, &mut fixed) {
                     Ok(planned) => Some(planned),
-                    Err(SelingerError::TooManyRelations { .. }) => {
+                    Err(SelingerError::TooManyRelations { .. }) => IdpPlanner::plan(
+                        &self.catalog,
+                        &self.graph,
+                        query,
+                        &mut fixed,
+                        IdpConfig::default(),
+                    )
+                    .ok()
+                    .or_else(|| {
                         let cfg = RandomizedConfig::default();
                         RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &cfg)
                             .map(|o| o.best)
-                    }
+                    }),
                     Err(SelingerError::Infeasible) => None,
                 }
+            }
+            PlannerKind::Idp(cfg) => {
+                IdpPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, *cfg).ok()
             }
             PlannerKind::FastRandomized(cfg) => {
                 let cfg = cfg.clone();
@@ -643,11 +756,11 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.objective = Objective::Time;
         // No ladder here: an infeasible monetary budget is a real answer
         // ("no joint plan fits"), not a fault to degrade around. Only the
-        // relation-bound fallback is reported.
+        // relation-bound bridge is reported.
         let planned = run.planned?;
-        let degradation = run.randomized_fallback.then(|| Degradation {
-            rung: DegradationRung::Randomized,
-            trigger: DegradationTrigger::TooManyRelations,
+        let degradation = run.bridged.then(|| Degradation {
+            rung: DegradationRung::IdpBridge,
+            trigger: DegradationTrigger::RelationBoundBridged,
             evals_used: 0,
             elapsed_ms: 0,
         });
@@ -1075,7 +1188,35 @@ mod tests {
     }
 
     #[test]
-    fn too_many_relations_optimize_records_degradation() {
+    fn too_many_relations_bridges_with_idp_and_records_it() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(24, 13).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 13);
+        let tel = Telemetry::enabled();
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_telemetry(tel.clone());
+        let plan = opt.optimize(&query).expect("IDP bridge plans");
+        let d = plan.degradation.expect("relation-bound bridge must be reported");
+        assert_eq!(d.rung, crate::optimizer::DegradationRung::IdpBridge);
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::RelationBoundBridged);
+        assert_eq!(plan.query.joins.len(), 20);
+        // Bridged plans are still full RAQO: resources on every join.
+        assert!(plan.query.joins.iter().all(|j| j.decision.resources.is_some()));
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.get(Counter::DegradationsIdpBridge), 1);
+        assert_eq!(snap.get(Counter::DegradationsRandomized), 0, "never hit rung 2");
+        assert!(snap.get(Counter::IdpRounds) >= 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_during_bridge_is_not_masked_by_relation_bound() {
         use raqo_catalog::RandomSchemaConfig;
         let schema = RandomSchemaConfig::with_tables(24, 13).generate();
         let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 13);
@@ -1087,15 +1228,40 @@ mod tests {
             PlannerKind::Selinger,
             ResourceStrategy::HillClimb,
         );
-        let plan = opt.optimize(&query).expect("randomized fallback plans");
-        let d = plan.degradation.expect("relation-bound fallback must be reported");
-        assert_eq!(d.rung, crate::optimizer::DegradationRung::Randomized);
-        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::TooManyRelations);
+        // A budget this tight trips inside the IDP bridge's first rounds;
+        // the report must carry the budget trigger, not TooManyRelations,
+        // and the ladder must still produce a plan on the grace allowance.
+        opt.set_budget(PlanningBudget::with_max_evals(50));
+        let plan = opt.optimize(&query).expect("ladder must still plan");
+        let d = plan.degradation.expect("degradation must be reported");
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::EvalBudget);
+        assert_ne!(d.rung, crate::optimizer::DegradationRung::IdpBridge);
         assert_eq!(plan.query.joins.len(), 20);
     }
 
     #[test]
-    fn too_many_relations_falls_back_to_randomized_planning() {
+    fn idp_planner_kind_plans_mid_size_queries_undegraded() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(26, 5).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 24, 5);
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::idp(),
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&query).expect("IDP plans directly");
+        // IDP as the *configured* planner is rung 1: no degradation.
+        assert!(plan.degradation.is_none());
+        assert_eq!(plan.query.joins.len(), 23);
+        assert!(raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations));
+        assert!(plan.query.joins.iter().all(|j| j.decision.resources.is_some()));
+    }
+
+    #[test]
+    fn too_many_relations_bridges_fixed_resource_planning() {
         use raqo_catalog::RandomSchemaConfig;
         let schema = RandomSchemaConfig::with_tables(24, 7).generate();
         let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 21, 7);
@@ -1108,13 +1274,40 @@ mod tests {
             PlannerKind::Selinger,
             ResourceStrategy::HillClimb,
         );
-        // 21 relations exceed the DP's bitset bound; the optimizer degrades
-        // gracefully to the randomized planner instead of failing.
+        // 21 relations exceed the exhaustive-DP bound; fixed-resource
+        // planning bridges with IDP instead of failing.
         let planned = opt
             .plan_for_resources(&query, 10.0, 6.0)
-            .expect("randomized fallback should still plan");
+            .expect("IDP bridge should still plan");
         assert!(raqo_planner::plan::covers_exactly(&planned.tree, &query.relations));
         assert_eq!(planned.joins.len(), 20);
         assert!(planned.cost.is_finite() && planned.cost > 0.0);
+    }
+
+    #[test]
+    fn memoized_bridge_replays_on_the_second_run() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(24, 19).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 22, 19);
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::SelingerMemoized,
+            ResourceStrategy::HillClimb,
+        );
+        let a = opt.optimize(&query).expect("bridged plan");
+        let b = opt.optimize(&query).expect("bridged plan");
+        assert_eq!(a.query.tree, b.query.tree);
+        // The memo keys on base-relation bitsets, so IDP's compound
+        // sub-plans replay across runs exactly like exhaustive DP's.
+        assert!(
+            b.stats.memo_hits > a.stats.memo_hits,
+            "second bridged run never hit the memo: first={} second={}",
+            a.stats.memo_hits,
+            b.stats.memo_hits
+        );
+        assert!(b.stats.plan_cost_calls < a.stats.plan_cost_calls);
     }
 }

@@ -16,7 +16,10 @@
 //!   extended the getPlanCost method of our cost model to first perform the
 //!   resource planning (or lookup in the cache) and then return the
 //!   sub-plan cost" (§VI-C);
-//! * [`selinger`] — bottom-up dynamic programming over left-deep trees;
+//! * [`selinger`] — bottom-up dynamic programming over left-deep trees
+//!   (u64 subset masks, dense or level-streamed fills);
+//! * [`idp`] — iterative dynamic programming (IDP-1, standard-best-plan)
+//!   bridging queries past the exhaustive-DP bound;
 //! * [`randomized`] — the fast randomized multi-objective planner
 //!   re-implementation (associativity + exchange mutations, ε-Pareto
 //!   archive, iterative improvement);
@@ -25,6 +28,7 @@
 
 pub mod cardinality;
 pub mod coster;
+pub mod idp;
 pub mod memo;
 pub mod plan;
 pub mod randomized;
@@ -32,7 +36,8 @@ pub mod selinger;
 
 pub use cardinality::{CardinalityEstimator, JoinIo};
 pub use coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
+pub use idp::{IdpConfig, IdpPlanner};
 pub use memo::{cost_tree_memo, CostMemo};
 pub use plan::PlanTree;
 pub use randomized::{RandomizedConfig, RandomizedPlanner};
-pub use selinger::{SelingerError, SelingerPlanner};
+pub use selinger::{DpFill, SelingerError, SelingerPlanner};

@@ -8,6 +8,24 @@
 //! if no cross-product-free left-deep plan exists the search is rerun with
 //! cross products admitted.
 //!
+//! Subsets are u64 bitmasks, so the DP's hard cap is [`MAX_RELATIONS`]
+//! (= 64) relations; the *practical* bound is the configurable
+//! `dp_threshold` ([`DEFAULT_DP_THRESHOLD`] = 20 by default), above which
+//! [`SelingerError::TooManyRelations`] tells callers to bridge with the
+//! iterative-DP planner ([`crate::idp::IdpPlanner`]) or fall back to the
+//! randomized planner. Two fill strategies back the same DP:
+//!
+//! * **Dense** — the classic `Vec` table indexed by mask, used up to
+//!   20 relations where 2²⁰ slots are cheap. Bit-for-bit the pre-widening
+//!   behaviour.
+//! * **Streamed** ([`DpFill::Streamed`]) — the table is stratified by
+//!   subset size and only levels k−1 and k are materialized (sparse maps
+//!   keyed by mask), so memory follows the number of *feasible* subsets
+//!   per level (O(n²) for chains, C(n, k) worst case) instead of 2ⁿ slots.
+//!   Candidates are folded in (mask ascending, table ascending) order —
+//!   the dense loop's visit order — so winners and tie-breaks are
+//!   identical.
+//!
 //! Two performance levers, both off by default and bit-identical to the
 //! plain DP when engaged (see [`SelingerPlanner::plan_with`]):
 //!
@@ -29,18 +47,33 @@ use crate::plan::PlanTree;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec, TableId};
 use raqo_resource::Parallelism;
 use raqo_telemetry::{Counter, Telemetry};
+use std::collections::HashMap;
 use std::fmt;
 
-/// Maximum relations the bitset DP supports. 2^20 subsets is already far
-/// beyond anything the paper runs through Selinger (TPC-H "All" is 8).
-pub const MAX_RELATIONS: usize = 20;
+/// Hard cap of the bitset DP: u64 subset masks hold at most 64 relations.
+/// Exhaustive DP anywhere near this is computationally infeasible — the cap
+/// exists so mask arithmetic is well-defined for any threshold a caller
+/// configures; the *practical* bound is [`DEFAULT_DP_THRESHOLD`].
+pub const MAX_RELATIONS: usize = 64;
+
+/// Default exhaustive-DP bound. 2^20 subsets is already far beyond anything
+/// the paper runs through Selinger (TPC-H "All" is 8); queries above it
+/// should go through the IDP bridge ([`crate::idp::IdpPlanner`]) rather
+/// than exhaustive DP.
+pub const DEFAULT_DP_THRESHOLD: usize = 20;
+
+/// Largest relation count the dense (full 2ⁿ table) fill is used for under
+/// [`DpFill::Auto`]; larger DPs stream levels instead. 2²⁰ `Option<Entry>`
+/// slots ≈ 16 MB — the dense table stops being cheap right about here.
+const DENSE_FILL_MAX: usize = 20;
 
 /// Why Selinger planning failed. `TooManyRelations` is recoverable —
-/// callers (e.g. the RAQO optimizer) fall back to the randomized planner,
-/// which has no relation bound.
+/// callers (e.g. the RAQO optimizer) bridge with the IDP planner or fall
+/// back to the randomized planner, neither of which has a relation bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelingerError {
-    /// The query exceeds the bitset DP's [`MAX_RELATIONS`] bound.
+    /// The query exceeds the configured exhaustive-DP bound (`max` is the
+    /// live `dp_threshold`, not a compile-time constant).
     TooManyRelations { n: usize, max: usize },
     /// No complete plan exists: the query is empty, or every join order
     /// contains a join the coster rejects.
@@ -63,12 +96,57 @@ impl fmt::Display for SelingerError {
 
 impl std::error::Error for SelingerError {}
 
-/// Best plan for one DP subset: scalar cost plus the local index of the
-/// last-joined table, for order reconstruction.
+/// Which fill strategy backs the DP table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DpFill {
+    /// Dense table up to 20 relations, streamed levels beyond.
+    #[default]
+    Auto,
+    /// Force the dense 2ⁿ table (falls back to streaming above 20
+    /// relations, where a dense table would not fit in memory).
+    Dense,
+    /// Force level streaming — mainly for parity testing against the
+    /// dense fill on small queries.
+    Streamed,
+}
+
+/// One DP unit: a (sub-)plan tree and the base relations it covers. For a
+/// plain query every item is a single-leaf tree; the IDP bridge feeds
+/// compound items (already-merged subtrees) through the same DP, which is
+/// what lets every sub-plan cost keep flowing through `getPlanCost`'s
+/// embedded resource planning unchanged.
+#[derive(Debug, Clone)]
+pub struct DpItem {
+    pub tree: PlanTree,
+    /// Base relations of `tree`, in tree-leaf order.
+    pub rels: Vec<TableId>,
+}
+
+impl DpItem {
+    pub fn leaf(t: TableId) -> Self {
+        DpItem { tree: PlanTree::leaf(t), rels: vec![t] }
+    }
+}
+
+/// Best plan for one dense-DP subset: scalar cost plus the local index of
+/// the last-joined item, for order reconstruction.
 #[derive(Clone, Copy)]
 struct Entry {
     cost: f64,
     last: usize,
+}
+
+/// Best plan for one streamed-DP subset. Streaming drops level k−2 before
+/// level k+1 is built, so back-pointer reconstruction is impossible; each
+/// entry carries its full join order instead (one byte per item — the
+/// per-level maps hold only feasible subsets, so this stays far below the
+/// dense table's 2ⁿ slots).
+#[derive(Clone)]
+struct StreamEntry {
+    cost: f64,
+    /// Local item indices in join order. `u8` is enough: indices are
+    /// < [`MAX_RELATIONS`] = 64.
+    order: Vec<u8>,
 }
 
 /// The Selinger planner.
@@ -118,13 +196,43 @@ impl SelingerPlanner {
         query: &QuerySpec,
         coster: &mut dyn PlanCoster,
         parallelism: Parallelism,
+        memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
+    ) -> Result<PlannedQuery, SelingerError> {
+        Self::plan_opts(
+            catalog,
+            graph,
+            query,
+            coster,
+            parallelism,
+            memo,
+            tel,
+            DEFAULT_DP_THRESHOLD,
+            DpFill::Auto,
+        )
+    }
+
+    /// Fully parameterized planning: `dp_threshold` is the live relation
+    /// bound (clamped to [`MAX_RELATIONS`]) reported in
+    /// [`SelingerError::TooManyRelations`]; `fill` picks the DP fill
+    /// strategy (see [`DpFill`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_opts(
+        catalog: &Catalog,
+        graph: &JoinGraph,
+        query: &QuerySpec,
+        coster: &mut dyn PlanCoster,
+        parallelism: Parallelism,
         mut memo: Option<&mut CostMemo>,
         tel: &Telemetry,
+        dp_threshold: usize,
+        fill: DpFill,
     ) -> Result<PlannedQuery, SelingerError> {
         let rels = &query.relations;
         let n = rels.len();
-        if n > MAX_RELATIONS {
-            return Err(SelingerError::TooManyRelations { n, max: MAX_RELATIONS });
+        let max = dp_threshold.clamp(1, MAX_RELATIONS);
+        if n > max {
+            return Err(SelingerError::TooManyRelations { n, max });
         }
         if n == 0 {
             return Err(SelingerError::Infeasible);
@@ -138,17 +246,55 @@ impl SelingerPlanner {
                 .ok_or(SelingerError::Infeasible);
         }
 
-        // First pass avoids cross products; fall back if that fails.
-        Self::plan_inner(rels, graph, &est, coster, false, parallelism, memo.as_deref_mut(), tel)
-            .or_else(|| {
-                Self::plan_inner(rels, graph, &est, coster, true, parallelism, memo, tel)
-            })
+        let items: Vec<DpItem> = rels.iter().copied().map(DpItem::leaf).collect();
+        Self::plan_items(&items, graph, &est, coster, parallelism, memo, tel, fill)
             .ok_or(SelingerError::Infeasible)
+    }
+
+    /// Run the DP over arbitrary items (leaves for a plain query, compound
+    /// subtrees inside an IDP round). First pass avoids cross products;
+    /// falls back to admitting them if no cross-product-free plan exists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_items(
+        items: &[DpItem],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
+        fill: DpFill,
+    ) -> Option<PlannedQuery> {
+        let n = items.len();
+        assert!(
+            (1..=MAX_RELATIONS).contains(&n),
+            "plan_items requires 1..={MAX_RELATIONS} items, got {n}"
+        );
+        if n == 1 {
+            return match memo {
+                Some(m) => cost_tree_memo(&items[0].tree, est, coster, m),
+                None => cost_tree(&items[0].tree, est, coster),
+            };
+        }
+        Self::plan_inner(
+            items,
+            graph,
+            est,
+            coster,
+            false,
+            parallelism,
+            memo.as_deref_mut(),
+            tel,
+            fill,
+        )
+        .or_else(|| {
+            Self::plan_inner(items, graph, est, coster, true, parallelism, memo, tel, fill)
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
     fn plan_inner(
-        rels: &[TableId],
+        items: &[DpItem],
         graph: &JoinGraph,
         est: &CardinalityEstimator<'_>,
         coster: &mut dyn PlanCoster,
@@ -156,16 +302,67 @@ impl SelingerPlanner {
         parallelism: Parallelism,
         mut memo: Option<&mut CostMemo>,
         tel: &Telemetry,
+        fill: DpFill,
     ) -> Option<PlannedQuery> {
-        let n = rels.len();
-        // `plan_with` enforces the MAX_RELATIONS (=20) bound, so `1 << n`
-        // cannot overflow the u32 masks; keep the invariant checked here
-        // because the shift silently wraps if it is ever violated.
+        let n = items.len();
+        // `plan_opts` enforces the dp_threshold (≤ MAX_RELATIONS = 64)
+        // bound, so `1u64 << i` for any item index i < n cannot overflow
+        // the u64 masks; keep the invariant checked here because the shift
+        // silently wraps (release) or panics (debug) if it is ever
+        // violated.
         debug_assert!(
             (1..=MAX_RELATIONS).contains(&n),
-            "plan_inner requires 1..={MAX_RELATIONS} relations, got {n}"
+            "plan_inner requires 1..={MAX_RELATIONS} items, got {n}"
         );
-        let full: u32 = (1u32 << n) - 1;
+        // The dense table allocates 2ⁿ slots, so it is only used while that
+        // is cheap; larger DPs always stream, whatever `fill` says.
+        let dense = n <= DENSE_FILL_MAX && fill != DpFill::Streamed;
+
+        let order: Vec<usize> = {
+            let _dp_span = tel.span("selinger.dp");
+            if dense {
+                Self::solve_dense(items, graph, est, coster, allow_cross, parallelism,
+                    memo.as_deref_mut(), tel)?
+            } else {
+                Self::solve_streamed(items, graph, est, coster, allow_cross, parallelism,
+                    memo.as_deref_mut(), tel)?
+            }
+        };
+
+        // Re-cost the final tree so the returned decisions are exactly the
+        // winning plan's (the DP only kept scalar costs). For single-leaf
+        // items this fold builds precisely `PlanTree::left_deep`.
+        let _final_span = tel.span("selinger.final_cost");
+        let mut tree = items[order[0]].tree.clone();
+        for &i in &order[1..] {
+            tree = PlanTree::join(tree, items[i].tree.clone());
+        }
+        match memo {
+            Some(m) => cost_tree_memo(&tree, est, coster, m),
+            None => cost_tree(&tree, est, coster),
+        }
+    }
+
+    /// Dense-table DP: allocate all 2ⁿ slots, fill, and reconstruct the
+    /// winning join order by peeling `last` back-pointers off the full
+    /// mask. Only reached for n ≤ [`DENSE_FILL_MAX`].
+    #[allow(clippy::too_many_arguments)]
+    fn solve_dense(
+        items: &[DpItem],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        allow_cross: bool,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
+    ) -> Option<Vec<usize>> {
+        let n = items.len();
+        debug_assert!(
+            (2..=DENSE_FILL_MAX).contains(&n),
+            "dense fill requires 2..={DENSE_FILL_MAX} items (2ⁿ table slots), got {n}"
+        );
+        let full: u64 = (1u64 << n) - 1;
 
         let mut dp: Vec<Option<Entry>> = vec![None; (full as usize) + 1];
         for i in 0..n {
@@ -174,39 +371,28 @@ impl SelingerPlanner {
 
         // Batching pays only when the coster can actually fan out and a
         // level holds more than a handful of candidates.
-        {
-            let _dp_span = tel.span("selinger.dp");
-            if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
-                Self::fill_levels_batched(
-                    rels,
-                    graph,
-                    est,
-                    coster,
-                    allow_cross,
-                    parallelism,
-                    memo.as_deref_mut(),
-                    &mut dp,
-                    tel,
-                );
-            } else {
-                // The mask-ascending loop interleaves levels, so it gets
-                // one span; it still fills the same n-1 levels.
-                tel.add(Counter::SelingerLevels, n.saturating_sub(1) as u64);
-                Self::fill_sequential(
-                    rels,
-                    graph,
-                    est,
-                    coster,
-                    allow_cross,
-                    memo.as_deref_mut(),
-                    &mut dp,
-                );
-            }
+        if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
+            Self::fill_levels_batched(
+                items,
+                graph,
+                est,
+                coster,
+                allow_cross,
+                parallelism,
+                memo.as_deref_mut(),
+                &mut dp,
+                tel,
+            );
+        } else {
+            // The mask-ascending loop interleaves levels, so it gets
+            // one span; it still fills the same n-1 levels.
+            tel.add(Counter::SelingerLevels, n.saturating_sub(1) as u64);
+            Self::fill_sequential(items, graph, est, coster, allow_cross, memo, &mut dp);
         }
 
         dp[full as usize]?;
 
-        // Reconstruct the left-deep order by peeling off `last` tables.
+        // Reconstruct the join order by peeling off `last` items.
         let mut order_rev = Vec::with_capacity(n);
         let mut mask = full;
         while mask.count_ones() > 1 {
@@ -215,20 +401,13 @@ impl SelingerPlanner {
             // before the entry itself could be — the DP builds strictly
             // bottom-up over subset sizes.
             let e = dp[mask as usize].expect("reachable by construction");
-            order_rev.push(rels[e.last]);
-            mask &= !(1u32 << e.last);
+            debug_assert!(e.last < n, "back-pointer {} out of mask width {n}", e.last);
+            order_rev.push(e.last);
+            mask &= !(1u64 << e.last);
         }
-        order_rev.push(rels[mask.trailing_zeros() as usize]);
+        order_rev.push(mask.trailing_zeros() as usize);
         order_rev.reverse();
-
-        // Re-cost the final tree so the returned decisions are exactly the
-        // winning plan's (the DP only kept scalar costs).
-        let _final_span = tel.span("selinger.final_cost");
-        let tree = PlanTree::left_deep(&order_rev);
-        match memo {
-            Some(m) => cost_tree_memo(&tree, est, coster, m),
-            None => cost_tree(&tree, est, coster),
-        }
+        Some(order_rev)
     }
 
     /// The classic mask-ascending DP loop. With a memo, each (rest, t)
@@ -236,7 +415,7 @@ impl SelingerPlanner {
     /// directly; otherwise this is exactly the original sequential scan.
     #[allow(clippy::too_many_arguments)]
     fn fill_sequential(
-        rels: &[TableId],
+        items: &[DpItem],
         graph: &JoinGraph,
         est: &CardinalityEstimator<'_>,
         coster: &mut dyn PlanCoster,
@@ -244,8 +423,9 @@ impl SelingerPlanner {
         mut memo: Option<&mut CostMemo>,
         dp: &mut [Option<Entry>],
     ) {
-        let n = rels.len();
-        let full: u32 = (1u32 << n) - 1;
+        let n = items.len();
+        debug_assert!(n <= DENSE_FILL_MAX, "sequential fill is dense-only, got {n} items");
+        let full: u64 = (1u64 << n) - 1;
         // Scratch buffer, reused across all (mask, i) iterations: the inner
         // loop runs n·2ⁿ times and a per-iteration Vec allocation dominates
         // its runtime once costing is cheap (fixed-resource mode).
@@ -258,25 +438,27 @@ impl SelingerPlanner {
             let mask_us = mask as usize;
             #[allow(clippy::needless_range_loop)] // i is also the bit index
             for i in 0..n {
-                let bit = 1u32 << i;
+                let bit = 1u64 << i;
                 if mask & bit == 0 {
                     continue;
                 }
                 let rest = mask & !bit;
                 let Some(prev) = dp[rest as usize] else { continue };
                 rest_tables.clear();
-                rest_tables.extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
-                let t_table = [rels[i]];
-                if !allow_cross && !graph.connects(&rest_tables, &t_table) {
+                for j in (0..n).filter(|&j| rest & (1u64 << j) != 0) {
+                    rest_tables.extend_from_slice(&items[j].rels);
+                }
+                let t_rels: &[TableId] = &items[i].rels;
+                if !allow_cross && !graph.connects(&rest_tables, t_rels) {
                     continue;
                 }
                 let decision_cost = match memo.as_deref_mut() {
-                    Some(m) => match m.join_cost(&rest_tables, &t_table, est, &mut *coster) {
+                    Some(m) => match m.join_cost(&rest_tables, t_rels, est, &mut *coster) {
                         Some((_, d)) => d.cost,
                         None => continue,
                     },
                     None => {
-                        let io = est.join_io(&rest_tables, &t_table);
+                        let io = est.join_io(&rest_tables, t_rels);
                         let Some(decision) = coster.join_cost(&io) else { continue };
                         decision.cost
                     }
@@ -300,7 +482,7 @@ impl SelingerPlanner {
     /// restricted to that level, so tie-breaking is identical.
     #[allow(clippy::too_many_arguments)]
     fn fill_levels_batched(
-        rels: &[TableId],
+        items: &[DpItem],
         graph: &JoinGraph,
         est: &CardinalityEstimator<'_>,
         coster: &mut dyn PlanCoster,
@@ -310,15 +492,16 @@ impl SelingerPlanner {
         dp: &mut [Option<Entry>],
         tel: &Telemetry,
     ) {
-        let n = rels.len();
+        let n = items.len();
+        debug_assert!(n <= DENSE_FILL_MAX, "batched fill is dense-only, got {n} items");
         struct Cand {
             mask_us: usize,
-            /// Local index of the table this candidate joins in.
+            /// Local index of the item this candidate joins in.
             i: usize,
             prev_cost: f64,
         }
         let mut rest_tables: Vec<TableId> = Vec::with_capacity(n);
-        let limit: u32 = 1u32 << n;
+        let limit: u64 = 1u64 << n;
 
         for k in 2..=n as u32 {
             let _level_span = tel.span_labeled("selinger.level", k as usize);
@@ -331,37 +514,39 @@ impl SelingerPlanner {
             // Candidate index of each pending io, parallel to `ios`.
             let mut pending: Vec<usize> = Vec::new();
 
-            let mut mask: u32 = (1u32 << k) - 1;
+            let mut mask: u64 = (1u64 << k) - 1;
             while mask < limit {
                 let mask_us = mask as usize;
                 for i in 0..n {
-                    let bit = 1u32 << i;
+                    let bit = 1u64 << i;
                     if mask & bit == 0 {
                         continue;
                     }
                     let rest = mask & !bit;
                     let Some(prev) = dp[rest as usize] else { continue };
                     rest_tables.clear();
-                    rest_tables
-                        .extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
-                    let t_table = [rels[i]];
-                    if !allow_cross && !graph.connects(&rest_tables, &t_table) {
+                    for j in (0..n).filter(|&j| rest & (1u64 << j) != 0) {
+                        rest_tables.extend_from_slice(&items[j].rels);
+                    }
+                    let t_rels: &[TableId] = &items[i].rels;
+                    if !allow_cross && !graph.connects(&rest_tables, t_rels) {
                         continue;
                     }
                     cands.push(Cand { mask_us, i, prev_cost: prev.cost });
                     let cached =
-                        memo.as_deref_mut().and_then(|m| m.get(&rest_tables, &t_table));
+                        memo.as_deref_mut().and_then(|m| m.get(&rest_tables, t_rels));
                     match cached {
                         Some(outcome) => resolved.push(Some(outcome.map(|(_, d)| d.cost))),
                         None => {
                             resolved.push(None);
-                            ios.push(est.join_io(&rest_tables, &t_table));
+                            ios.push(est.join_io(&rest_tables, t_rels));
                             pending.push(cands.len() - 1);
                         }
                     }
                 }
                 // Gosper's hack: next mask with the same popcount. Cannot
-                // wrap: n ≤ 20, so intermediate values stay below 2²¹.
+                // wrap: this fill is dense-only (n ≤ 20), so intermediate
+                // values stay below 2²¹ — far under the u64 mask width.
                 let c = mask & mask.wrapping_neg();
                 let r = mask + c;
                 mask = (((r ^ mask) >> 2) / c) | r;
@@ -374,13 +559,15 @@ impl SelingerPlanner {
                     let idx = pending[slot];
                     if let Some(m) = memo.as_deref_mut() {
                         let cand = &cands[idx];
+                        debug_assert!(cand.i < n, "candidate index outside mask width {n}");
                         let rest = cand.mask_us & !(1usize << cand.i);
                         rest_tables.clear();
-                        rest_tables
-                            .extend((0..n).filter(|&j| rest & (1 << j) != 0).map(|j| rels[j]));
+                        for j in (0..n).filter(|&j| rest & (1usize << j) != 0) {
+                            rest_tables.extend_from_slice(&items[j].rels);
+                        }
                         m.record(
                             &rest_tables,
-                            &[rels[cand.i]],
+                            &items[cand.i].rels,
                             outcome.map(|d| (ios[slot], d)),
                         );
                     }
@@ -397,6 +584,140 @@ impl SelingerPlanner {
                 }
             }
         }
+    }
+
+    /// Streamed DP fill: only levels k−1 and k are materialized, as sparse
+    /// maps keyed by mask. Candidates are generated by extending each
+    /// feasible level-(k−1) entry with each absent item (so work scales
+    /// with feasible subsets, not 2ⁿ), then sorted into (mask ascending,
+    /// item ascending) order — the dense loop's visit order — before the
+    /// keep-first fold, so winners and tie-breaks are bit-identical to the
+    /// dense fill. Each entry carries its full join order (streaming
+    /// discards the back-pointer chain), which is also the return value.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_streamed(
+        items: &[DpItem],
+        graph: &JoinGraph,
+        est: &CardinalityEstimator<'_>,
+        coster: &mut dyn PlanCoster,
+        allow_cross: bool,
+        parallelism: Parallelism,
+        mut memo: Option<&mut CostMemo>,
+        tel: &Telemetry,
+    ) -> Option<Vec<usize>> {
+        let n = items.len();
+        // u64 masks: item indices must stay below the mask width or the
+        // shifts below would wrap.
+        debug_assert!(
+            (2..=MAX_RELATIONS).contains(&n),
+            "streamed fill requires 2..={MAX_RELATIONS} items, got {n}"
+        );
+        // n = 64 would overflow `(1u64 << n) - 1`; shift the all-ones mask
+        // down instead.
+        let full: u64 = u64::MAX >> (64 - n as u32);
+
+        struct SCand {
+            mask: u64,
+            /// Local index of the item this candidate joins in.
+            i: usize,
+            prev_mask: u64,
+            prev_cost: f64,
+        }
+
+        let mut prev: HashMap<u64, StreamEntry> = (0..n)
+            .map(|i| (1u64 << i, StreamEntry { cost: 0.0, order: vec![i as u8] }))
+            .collect();
+        let mut rest_tables: Vec<TableId> = Vec::with_capacity(n);
+
+        for k in 2..=n {
+            let _level_span = tel.span_labeled("selinger.level", k);
+            tel.inc(Counter::SelingerLevels);
+
+            // Generate (feasible-predecessor, absent-item) extensions. The
+            // map iterates in arbitrary order; sorting below restores the
+            // dense loop's deterministic visit order.
+            let mut cands: Vec<SCand> = Vec::new();
+            for (&pmask, pe) in prev.iter() {
+                for i in 0..n {
+                    let bit = 1u64 << i;
+                    if pmask & bit != 0 {
+                        continue;
+                    }
+                    cands.push(SCand { mask: pmask | bit, i, prev_mask: pmask, prev_cost: pe.cost });
+                }
+            }
+            cands.sort_unstable_by_key(|c| (c.mask, c.i));
+
+            // Resolve: memo probes in sorted order, uncached candidates into
+            // one batch. Outer None = pending; inner None = infeasible.
+            let mut resolved: Vec<Option<Option<f64>>> = Vec::with_capacity(cands.len());
+            let mut ios: Vec<JoinIo> = Vec::new();
+            let mut pending: Vec<usize> = Vec::new();
+            for (ci, c) in cands.iter().enumerate() {
+                rest_tables.clear();
+                for j in (0..n).filter(|&j| c.prev_mask & (1u64 << j) != 0) {
+                    rest_tables.extend_from_slice(&items[j].rels);
+                }
+                let t_rels: &[TableId] = &items[c.i].rels;
+                if !allow_cross && !graph.connects(&rest_tables, t_rels) {
+                    resolved.push(Some(None));
+                    continue;
+                }
+                let cached = memo.as_deref_mut().and_then(|m| m.get(&rest_tables, t_rels));
+                match cached {
+                    Some(outcome) => resolved.push(Some(outcome.map(|(_, d)| d.cost))),
+                    None => {
+                        resolved.push(None);
+                        ios.push(est.join_io(&rest_tables, t_rels));
+                        pending.push(ci);
+                    }
+                }
+            }
+
+            if !ios.is_empty() {
+                let results = coster.join_cost_many(&ios, parallelism);
+                debug_assert_eq!(results.len(), ios.len());
+                for (slot, outcome) in results.into_iter().enumerate() {
+                    let idx = pending[slot];
+                    if let Some(m) = memo.as_deref_mut() {
+                        let cand = &cands[idx];
+                        rest_tables.clear();
+                        for j in (0..n).filter(|&j| cand.prev_mask & (1u64 << j) != 0) {
+                            rest_tables.extend_from_slice(&items[j].rels);
+                        }
+                        m.record(
+                            &rest_tables,
+                            &items[cand.i].rels,
+                            outcome.map(|d| (ios[slot], d)),
+                        );
+                    }
+                    resolved[idx] = Some(outcome.map(|d| d.cost));
+                }
+            }
+
+            // Keep-first fold in sorted order — identical tie-breaks to the
+            // dense loops.
+            let mut cur: HashMap<u64, StreamEntry> = HashMap::new();
+            for (c, res) in cands.iter().zip(resolved) {
+                let Some(Some(decision_cost)) = res else { continue };
+                let cost = c.prev_cost + decision_cost;
+                match cur.get(&c.mask) {
+                    Some(e) if e.cost <= cost => {}
+                    _ => {
+                        let pe = &prev[&c.prev_mask];
+                        let mut order = pe.order.clone();
+                        order.push(c.i as u8);
+                        cur.insert(c.mask, StreamEntry { cost, order });
+                    }
+                }
+            }
+            // Level k−1 is dropped here: only the last two levels ever live.
+            prev = cur;
+        }
+
+        let winner = prev.remove(&full)?;
+        debug_assert_eq!(winner.order.len(), n);
+        Some(winner.order.into_iter().map(usize::from).collect())
     }
 }
 
@@ -522,17 +843,60 @@ mod tests {
     fn too_many_relations_is_a_typed_error() {
         let schema = TpchSchema::new(1.0);
         let model = SimOracleCost::hive();
-        let rels: Vec<TableId> = (0..(MAX_RELATIONS as u32 + 1)).map(TableId).collect();
+        let rels: Vec<TableId> = (0..(DEFAULT_DP_THRESHOLD as u32 + 1)).map(TableId).collect();
         let query = QuerySpec::new("huge", rels);
         let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
         let err = SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut coster)
             .unwrap_err();
         assert_eq!(
             err,
-            SelingerError::TooManyRelations { n: MAX_RELATIONS + 1, max: MAX_RELATIONS }
+            SelingerError::TooManyRelations {
+                n: DEFAULT_DP_THRESHOLD + 1,
+                max: DEFAULT_DP_THRESHOLD
+            }
         );
-        // The error explains itself (it is surfaced to CLI users).
+        // The error explains itself (it is surfaced to CLI users) and
+        // reports the live threshold, not a stale compile-time bound.
         assert!(err.to_string().contains("21"));
+        assert!(err.to_string().contains("20"));
+    }
+
+    #[test]
+    fn too_many_relations_reports_the_live_threshold() {
+        let model = SimOracleCost::hive();
+        let schema = RandomSchemaConfig::with_tables(40, 3).generate();
+        let query = QuerySpec::new("r33", (0..33u32).map(TableId).collect::<Vec<_>>());
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 4.0);
+        let err = SelingerPlanner::plan_opts(
+            &schema.catalog,
+            &schema.graph,
+            &query,
+            &mut coster,
+            Parallelism::Off,
+            None,
+            &Telemetry::disabled(),
+            32,
+            DpFill::Auto,
+        )
+        .unwrap_err();
+        assert_eq!(err, SelingerError::TooManyRelations { n: 33, max: 32 });
+        assert!(err.to_string().contains("32"), "{err}");
+        // Thresholds above the hard cap clamp to the mask width: a
+        // 65-relation query is rejected with max = 64 even for a huge
+        // configured threshold.
+        let err = SelingerPlanner::plan_opts(
+            &schema.catalog,
+            &schema.graph,
+            &QuerySpec::new("r65", (0..65u32).map(TableId).collect::<Vec<_>>()),
+            &mut coster,
+            Parallelism::Off,
+            None,
+            &Telemetry::disabled(),
+            usize::MAX,
+            DpFill::Auto,
+        )
+        .unwrap_err();
+        assert_eq!(err, SelingerError::TooManyRelations { n: 65, max: MAX_RELATIONS });
     }
 
     #[test]
@@ -635,6 +999,90 @@ mod tests {
                 assert_eq!(seq_coster.calls, coster.calls, "{par:?}");
             }
         }
+    }
+
+    /// The streamed (two-level) fill is bit-identical to the dense table —
+    /// same winners, same tie-breaks, same final costs — for every
+    /// parallelism mode.
+    #[test]
+    fn streamed_fill_matches_dense_bit_for_bit() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        for query in [QuerySpec::tpch_q3(), QuerySpec::tpch_q2(), QuerySpec::tpch_all(&schema)] {
+            let mut dense_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+            let dense = SelingerPlanner::plan(
+                &schema.catalog,
+                &schema.graph,
+                &query,
+                &mut dense_coster,
+            )
+            .unwrap();
+            for par in [Parallelism::Off, Parallelism::Auto] {
+                let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+                let streamed = SelingerPlanner::plan_opts(
+                    &schema.catalog,
+                    &schema.graph,
+                    &query,
+                    &mut coster,
+                    par,
+                    None,
+                    &Telemetry::disabled(),
+                    DEFAULT_DP_THRESHOLD,
+                    DpFill::Streamed,
+                )
+                .unwrap();
+                assert_eq!(dense.tree, streamed.tree, "{} {par:?}", query.name);
+                assert_eq!(
+                    dense.cost.to_bits(),
+                    streamed.cost.to_bits(),
+                    "{} {par:?}",
+                    query.name
+                );
+                assert_eq!(dense.joins, streamed.joins, "{} {par:?}", query.name);
+            }
+        }
+    }
+
+    /// Memoized planning is bit-identical to plain planning, and a second
+    /// run under the same context answers every candidate from the memo —
+    /// for the streamed fill too.
+    #[test]
+    fn streamed_fill_composes_with_memo() {
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let query = QuerySpec::tpch_all(&schema);
+        let mut plain_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let plain =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &query, &mut plain_coster)
+                .unwrap();
+
+        let mut memo = CostMemo::new(&query.relations);
+        let mut coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let run = |memo: &mut CostMemo, coster: &mut dyn PlanCoster| {
+            SelingerPlanner::plan_opts(
+                &schema.catalog,
+                &schema.graph,
+                &query,
+                coster,
+                Parallelism::Off,
+                Some(memo),
+                &Telemetry::disabled(),
+                DEFAULT_DP_THRESHOLD,
+                DpFill::Streamed,
+            )
+            .unwrap()
+        };
+        let first = run(&mut memo, &mut coster);
+        assert_eq!(plain.tree, first.tree);
+        assert!((plain.cost - first.cost).abs() <= 1e-9 * plain.cost.abs());
+        let calls_after_first = coster.calls;
+        let second = run(&mut memo, &mut coster);
+        assert_eq!(first, second);
+        assert_eq!(
+            coster.calls, calls_after_first,
+            "second streamed run must be answered entirely from the memo"
+        );
+        assert!(memo.hits() > 0);
     }
 
     /// Memoized planning is bit-identical to plain planning, and a second

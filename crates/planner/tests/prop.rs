@@ -5,10 +5,11 @@ use raqo_catalog::{QuerySpec, RandomSchemaConfig};
 use raqo_cost::SimOracleCost;
 use raqo_planner::coster::{cost_tree, FixedResourceCoster};
 use raqo_planner::{
-    CardinalityEstimator, CostMemo, PlanTree, RandomizedConfig, RandomizedPlanner,
-    SelingerPlanner,
+    CardinalityEstimator, CostMemo, DpFill, IdpConfig, IdpPlanner, PlanTree, RandomizedConfig,
+    RandomizedPlanner, SelingerPlanner,
 };
 use raqo_resource::Parallelism;
+use raqo_telemetry::Telemetry;
 
 proptest! {
     /// Plan cost is the sum of its join decisions' costs, for arbitrary
@@ -119,5 +120,103 @@ proptest! {
         } else {
             prop_assert!(false, "no plan found");
         }
+    }
+
+    /// The streamed (two-level) DP fill is bit-identical to the dense
+    /// table — same tree, same cost bits, same join decisions — for every
+    /// n ≤ 20 query across seeds, engines, and resource points.
+    #[test]
+    fn streamed_fill_is_bit_identical_to_dense(seed in 0u64..60, k in 2usize..13) {
+        let schema = RandomSchemaConfig::with_tables(16, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let model =
+            if seed % 2 == 0 { SimOracleCost::hive() } else { SimOracleCost::spark() };
+        let (nc, cs) = [(10.0, 6.0), (50.0, 4.0), (100.0, 10.0)][(seed % 3) as usize];
+        let mut dense_coster = FixedResourceCoster::new(&model, nc, cs);
+        let dense =
+            SelingerPlanner::plan(&schema.catalog, &schema.graph, &q, &mut dense_coster);
+        let mut streamed_coster = FixedResourceCoster::new(&model, nc, cs);
+        let streamed = SelingerPlanner::plan_opts(
+            &schema.catalog,
+            &schema.graph,
+            &q,
+            &mut streamed_coster,
+            Parallelism::Off,
+            None,
+            &Telemetry::disabled(),
+            20,
+            DpFill::Streamed,
+        );
+        match (dense, streamed) {
+            (Ok(d), Ok(s)) => {
+                prop_assert_eq!(&d.tree, &s.tree);
+                prop_assert_eq!(d.cost.to_bits(), s.cost.to_bits());
+                prop_assert_eq!(&d.joins, &s.joins);
+            }
+            (Err(d), Err(s)) => prop_assert_eq!(d, s),
+            _ => prop_assert!(false, "fills disagree on feasibility"),
+        }
+    }
+
+    /// IDP with a block size at least the relation count *is* exhaustive
+    /// DP: identical trees, costs, and decisions.
+    #[test]
+    fn idp_with_covering_block_equals_exhaustive_dp(seed in 0u64..60, k in 2usize..10) {
+        let schema = RandomSchemaConfig::with_tables(12, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let model = SimOracleCost::hive();
+        let mut dp_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let dp = SelingerPlanner::plan(&schema.catalog, &schema.graph, &q, &mut dp_coster);
+        let mut idp_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let idp = IdpPlanner::plan(
+            &schema.catalog,
+            &schema.graph,
+            &q,
+            &mut idp_coster,
+            IdpConfig { block_size: 16, fill: DpFill::Auto },
+        );
+        match (dp, idp) {
+            (Ok(d), Ok(i)) => {
+                prop_assert_eq!(&d.tree, &i.tree);
+                prop_assert_eq!(d.cost.to_bits(), i.cost.to_bits());
+                prop_assert_eq!(&d.joins, &i.joins);
+            }
+            (Err(d), Err(i)) => prop_assert_eq!(d, i),
+            _ => prop_assert!(false, "planners disagree on feasibility"),
+        }
+    }
+
+    /// Past the exhaustive-DP bound, IDP never panics, always covers the
+    /// query, and never costs worse than the randomized planner's
+    /// best-of-restarts on the same seed.
+    #[test]
+    fn idp_bridges_mid_size_queries_beating_randomized(seed in 0u64..12, k in 21usize..31) {
+        let schema = RandomSchemaConfig::with_tables(32, seed).generate();
+        let q = QuerySpec::random_connected(&schema.catalog, &schema.graph, k, seed);
+        let model = SimOracleCost::hive();
+        let mut idp_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let idp = IdpPlanner::plan(
+            &schema.catalog,
+            &schema.graph,
+            &q,
+            &mut idp_coster,
+            IdpConfig::default(),
+        );
+        let Ok(idp) = idp else {
+            return Err(TestCaseError(format!("IDP failed on k={k} seed={seed}")));
+        };
+        prop_assert!(raqo_planner::plan::covers_exactly(&idp.tree, &q.relations));
+        prop_assert_eq!(idp.joins.len(), k - 1);
+        prop_assert!(idp.cost.is_finite() && idp.cost > 0.0);
+
+        let mut rand_coster = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let cfg = RandomizedConfig { restarts: 3, rounds_per_join: 8, epsilon: 0.05, seed, memoize: false };
+        let rand = RandomizedPlanner::plan(&schema.catalog, &schema.graph, &q, &mut rand_coster, &cfg)
+            .expect("randomized plans any connected query");
+        prop_assert!(
+            idp.cost <= rand.best.cost * (1.0 + 1e-9),
+            "IDP {} worse than randomized {} at k={} seed={}",
+            idp.cost, rand.best.cost, k, seed
+        );
     }
 }

@@ -42,6 +42,8 @@ pub enum Counter {
     RandomizedRounds,
     /// Selinger DP levels filled.
     SelingerLevels,
+    /// IDP collapse rounds executed (block DP + merge).
+    IdpRounds,
     /// Rule-based (decision tree) join dispatches.
     RuleDispatches,
     /// Spans discarded because the span store hit its cap.
@@ -55,6 +57,9 @@ pub enum Counter {
     /// Non-finite-but-not-+Inf or negative outputs sanitized in the batched
     /// cost kernel (+Inf alone is the kernel's legitimate OOM signal).
     CostSanitizationsBatch,
+    /// Relation-bound queries bridged with the IDP planner instead of
+    /// dropping to the randomized rung.
+    DegradationsIdpBridge,
     /// Degradations to ladder rung 2 (randomized planner).
     DegradationsRandomized,
     /// Degradations to ladder rung 3 (rule-based RAQO).
@@ -62,7 +67,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -77,11 +82,13 @@ impl Counter {
         Counter::HillClimbClimbs,
         Counter::RandomizedRounds,
         Counter::SelingerLevels,
+        Counter::IdpRounds,
         Counter::RuleDispatches,
         Counter::SpansDropped,
         Counter::WorkerPanics,
         Counter::CostSanitizationsScalar,
         Counter::CostSanitizationsBatch,
+        Counter::DegradationsIdpBridge,
         Counter::DegradationsRandomized,
         Counter::DegradationsRuleBased,
     ];
@@ -103,11 +110,13 @@ impl Counter {
             Counter::HillClimbClimbs => "raqo_hill_climb_climbs_total",
             Counter::RandomizedRounds => "raqo_randomized_rounds_total",
             Counter::SelingerLevels => "raqo_selinger_levels_total",
+            Counter::IdpRounds => "raqo_idp_rounds_total",
             Counter::RuleDispatches => "raqo_rule_dispatches_total",
             Counter::SpansDropped => "raqo_spans_dropped_total",
             Counter::WorkerPanics => "raqo_worker_panics_total",
             Counter::CostSanitizationsScalar => "raqo_cost_sanitizations_total{site=\"scalar\"}",
             Counter::CostSanitizationsBatch => "raqo_cost_sanitizations_total{site=\"batch\"}",
+            Counter::DegradationsIdpBridge => "raqo_degradations_total{rung=\"idp_bridge\"}",
             Counter::DegradationsRandomized => "raqo_degradations_total{rung=\"randomized\"}",
             Counter::DegradationsRuleBased => "raqo_degradations_total{rung=\"rule_based\"}",
         }
@@ -139,13 +148,16 @@ impl Counter {
             Counter::HillClimbClimbs => "hill-climb searches launched",
             Counter::RandomizedRounds => "randomized planner improvement rounds",
             Counter::SelingerLevels => "Selinger DP levels filled",
+            Counter::IdpRounds => "IDP collapse rounds (block DP + merge)",
             Counter::RuleDispatches => "rule-based decision-tree join dispatches",
             Counter::SpansDropped => "spans dropped at the span-store cap",
             Counter::WorkerPanics => "worker-thread panics recovered by sequential fallback",
             Counter::CostSanitizationsScalar | Counter::CostSanitizationsBatch => {
                 "cost-model outputs sanitized to infeasible at the boundary"
             }
-            Counter::DegradationsRandomized | Counter::DegradationsRuleBased => {
+            Counter::DegradationsIdpBridge
+            | Counter::DegradationsRandomized
+            | Counter::DegradationsRuleBased => {
                 "optimizer degradations to a lower planning-ladder rung"
             }
         }

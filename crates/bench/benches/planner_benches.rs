@@ -274,6 +274,92 @@ fn idp_bridge(c: &mut Criterion) {
     group.finish();
 }
 
+/// The §VI cost kernel in isolation: the scalar fold vs the dispatching
+/// batch entry point — the explicit AVX2 kernel when built with
+/// `--features simd` on an AVX2 machine, the same scalar fold otherwise
+/// (the benchmark id names which one ran). Outputs are asserted bitwise
+/// identical across the full 10 000-point grid before timing starts.
+fn cost_kernel_simd(c: &mut Criterion) {
+    use raqo_sim::engine::JoinImpl;
+    let cluster = ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0);
+    let configs: Vec<raqo_resource::ResourceConfig> = cluster.grid().collect();
+    let models = [
+        ("paper", JoinCostModel::trained_hive()),
+        ("extended", JoinCostModel::trained_hive_extended()),
+    ];
+    let dispatch = if raqo_cost::simd_active() { "avx2" } else { "dispatch_scalar" };
+    let mut group = c.benchmark_group("cost_kernel_simd");
+    for (map, model) in &models {
+        let mut fast = vec![0.0; configs.len()];
+        let mut scalar = vec![0.0; configs.len()];
+        model.join_cost_batch(JoinImpl::SortMerge, 4.0, &configs, &mut fast);
+        model.join_cost_batch_scalar(JoinImpl::SortMerge, 4.0, &configs, &mut scalar);
+        assert!(
+            fast.iter().zip(&scalar).all(|(f, s)| f.to_bits() == s.to_bits()),
+            "cost_kernel_simd: kernel paths diverge on the {map} map"
+        );
+        group.bench_function(BenchmarkId::new("scalar", map), |b| {
+            let mut out = vec![0.0; configs.len()];
+            b.iter(|| {
+                model.join_cost_batch_scalar(
+                    JoinImpl::SortMerge,
+                    4.0,
+                    black_box(&configs),
+                    &mut out,
+                );
+                black_box(out.last().copied())
+            })
+        });
+        group.bench_function(BenchmarkId::new(dispatch, map), |b| {
+            let mut out = vec![0.0; configs.len()];
+            b.iter(|| {
+                model.join_cost_batch(JoinImpl::SortMerge, 4.0, black_box(&configs), &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Multi-start hill climbing through the optimizer: the per-seed climber
+/// vs the lock-step batched climber (`use_batch` gathers each round's
+/// whole candidate neighborhood into one batched cost call). Plans and
+/// accounting are asserted identical across both modes before timing
+/// starts, telemetry_overhead-style.
+fn hill_climb_batched(c: &mut Criterion) {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = ClusterConditions::two_dim(1.0..=200.0, 1.0..=10.0, 1.0, 1.0);
+    let query = QuerySpec::tpch_all(&schema);
+    let make_opt = |batch: bool| {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_parallelism(Parallelism::Threads(2));
+        opt.set_batch_kernel(batch);
+        opt
+    };
+    let per_seed = make_opt(false).optimize(&query).expect("plan");
+    let batched = make_opt(true).optimize(&query).expect("plan");
+    assert_eq!(per_seed.query, batched.query, "batched climb changed the plan");
+    assert_eq!(per_seed.stats, batched.stats, "batched climb changed the accounting");
+
+    let mut group = c.benchmark_group("hill_climb_batched");
+    group.sample_size(10);
+    for (name, batch) in [("per_seed", false), ("batched", true)] {
+        group.bench_function(name, |b| {
+            let mut opt = make_opt(batch);
+            b.iter(|| black_box(opt.optimize(&query)));
+        });
+    }
+    group.finish();
+}
+
 /// The telemetry no-op gate: the selinger_batched workload with the
 /// default disabled sink must match the PR-2 baseline (every
 /// instrumentation site is a branch on `None`), and the enabled sink's
@@ -333,6 +419,8 @@ criterion_group!(
     planner_speedup,
     selinger_u64,
     idp_bridge,
+    cost_kernel_simd,
+    hill_climb_batched,
     telemetry_overhead
 );
 criterion_main!(benches);

@@ -405,6 +405,90 @@ fn idp_smoke_gate() {
     );
 }
 
+/// `--smoke` SIMD/batched-kernel gate. Whichever cost kernel this binary
+/// compiled in (the explicit AVX2 kernel under `--features simd`, the
+/// scalar fold otherwise), the dispatching batch entry point must be
+/// bit-identical to the scalar fold — across both feature maps, both join
+/// implementations, BHJ-infeasible points, and slice lengths sweeping the
+/// 4-lane remainder — and the lock-step batched multi-start hill climber
+/// must reproduce the per-seed climber's outcome bit-for-bit.
+fn simd_parity_smoke_gate() {
+    use raqo_resource::{
+        hill_climb_multi, hill_climb_multi_batched, ResourceConfig, SeedStrategy,
+    };
+    use raqo_sim::engine::JoinImpl;
+
+    let (_, ms) = timed(|| {
+        let cluster = ClusterConditions::two_dim(1.0..=40.0, 1.0..=6.0, 1.0, 1.0);
+        let configs: Vec<ResourceConfig> = cluster.grid().collect();
+        let lens = [0, 1, 3, configs.len() - 1, configs.len()];
+        for model in [JoinCostModel::trained_hive(), JoinCostModel::trained_hive_extended()] {
+            for join in [JoinImpl::SortMerge, JoinImpl::BroadcastHash] {
+                // 10 GB builds are BHJ-infeasible at small container sizes,
+                // so the feasibility select is exercised in both states.
+                for build_gb in [0.5, 10.0] {
+                    for len in lens {
+                        let mut fast = vec![0.0; len];
+                        let mut scalar = vec![0.0; len];
+                        model.join_cost_batch(join, build_gb, &configs[..len], &mut fast);
+                        model.join_cost_batch_scalar(
+                            join,
+                            build_gb,
+                            &configs[..len],
+                            &mut scalar,
+                        );
+                        for (i, (f, s)) in fast.iter().zip(&scalar).enumerate() {
+                            assert_eq!(
+                                f.to_bits(),
+                                s.to_bits(),
+                                "simd smoke: {join:?} build {build_gb} config {i}: {f} vs {s}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // The batched climber against the per-seed reference on a surface
+        // with a basin and an infeasible region.
+        let cost = |r: &ResourceConfig| {
+            let (c, s) = (r.containers(), r.container_size_gb());
+            if c > 35.0 {
+                f64::INFINITY
+            } else {
+                (c - 23.0) * (c - 23.0) + 3.0 * (s - 4.0) * (s - 4.0)
+            }
+        };
+        let per_seed = hill_climb_multi(&cluster, cost, Parallelism::Off);
+        let batched = hill_climb_multi_batched(
+            &cluster,
+            |probes: &[ResourceConfig], out: &mut [f64]| {
+                for (r, o) in probes.iter().zip(out.iter_mut()) {
+                    *o = cost(r);
+                }
+            },
+            SeedStrategy::default(),
+        );
+        assert_eq!(per_seed.config, batched.config, "simd smoke: climbers pick different configs");
+        assert_eq!(
+            per_seed.cost.to_bits(),
+            batched.cost.to_bits(),
+            "simd smoke: climber costs diverge: {} vs {}",
+            per_seed.cost,
+            batched.cost
+        );
+        assert_eq!(
+            per_seed.iterations, batched.iterations,
+            "simd smoke: climber evaluation counts diverge"
+        );
+    });
+    let kernel = if raqo_cost::simd_active() { "avx2" } else { "scalar" };
+    println!(
+        "simd      ok  {ms:>8.0} ms  {kernel} kernel; batch==scalar bitwise; \
+         batched climb == per-seed climb"
+    );
+}
+
 /// `--chaos` gate: deterministic fault injection plus planning budgets must
 /// never leave the optimizer without a plan. Exercises every rung of the
 /// graceful-degradation ladder (undegraded, randomized, rule-based), cost
@@ -640,6 +724,23 @@ fn main() {
             report.worker_threads,
             report.selinger.plans_identical
         );
+        println!(
+            "cost kernel ({}): {:.2}x ({:.1} -> {:.1} ms over {} x {} configs), bitwise identical: {}",
+            report.cost_kernel.kernel,
+            report.cost_kernel.speedup,
+            report.cost_kernel.scalar_ms,
+            report.cost_kernel.dispatch_ms,
+            report.cost_kernel.repeats,
+            report.cost_kernel.configs,
+            report.cost_kernel.bitwise_identical
+        );
+        println!(
+            "batched climb: {:.2}x ({} -> {} ms), outcomes identical: {}",
+            report.climb.speedup,
+            report.climb.runs[0].wall_ms.round(),
+            report.climb.runs[1].wall_ms.round(),
+            report.climb.outcomes_identical
+        );
         for p in &report.idp.points {
             println!(
                 "idp bridge {:>5} n={:<2}  {:>8.1} ms  cost {:>12.3}  {} joins  bridged: {}",
@@ -663,6 +764,7 @@ fn main() {
         }
         selinger_smoke_gate();
         idp_smoke_gate();
+        simd_parity_smoke_gate();
         telemetry_smoke_gate();
         chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);

@@ -18,6 +18,7 @@
 
 use crate::experiments::timed;
 use crate::Table;
+use raqo_catalog::tpch::TpchSchema;
 use raqo_catalog::{QuerySpec, RandomSchema, RandomSchemaConfig};
 use raqo_core::{DegradationRung, Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
 use raqo_cost::JoinCostModel;
@@ -56,6 +57,149 @@ pub struct PlannerBenchReport {
     /// Mid-size (past the exhaustive-DP threshold) chain+star queries
     /// planned through the optimizer's IDP bridge.
     pub idp: IdpSeries,
+    /// The raw §VI cost kernel: scalar fold vs the dispatching batch entry
+    /// point (explicit AVX2 under `--features simd`, else the same scalar).
+    pub cost_kernel: CostKernelSeries,
+    /// Multi-start hill climbing: per-seed climbs vs the lock-step batched
+    /// climber that fuses each round's neighborhood into one batch call.
+    pub climb: ClimbSeries,
+}
+
+/// Scalar fold vs dispatching batch kernel over the full resource grid.
+/// Both paths are bit-identical by contract; `kernel` records which one the
+/// dispatcher actually ran, so a report from a non-SIMD build is honest
+/// about measuring scalar-vs-scalar.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostKernelSeries {
+    /// `"avx2"` when `--features simd` compiled the explicit kernel in and
+    /// the CPU reports AVX2; `"scalar"` otherwise.
+    pub kernel: String,
+    /// Grid points evaluated per batch call.
+    pub configs: usize,
+    /// Batch calls per timed measurement.
+    pub repeats: u32,
+    pub scalar_ms: f64,
+    pub dispatch_ms: f64,
+    /// `scalar_ms / dispatch_ms` — ~1.0 when the build has no SIMD kernel.
+    pub speedup: f64,
+    /// Both paths produced bitwise-identical costs over the whole grid.
+    pub bitwise_identical: bool,
+}
+
+/// Per-seed multi-start hill climbing vs the batched lock-step climber,
+/// run end to end through the optimizer (Selinger join ordering, hill-climb
+/// resource planning) so the batch seam is the one production uses.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClimbSeries {
+    pub tables: usize,
+    pub grid_points: u64,
+    /// `hill_climb_per_seed` then `hill_climb_batched`.
+    pub runs: Vec<ModeResult>,
+    /// per-seed wall-clock / batched wall-clock.
+    pub speedup: f64,
+    /// Both modes produced the same joint plan (tree + cost bits) and the
+    /// same planning statistics.
+    pub outcomes_identical: bool,
+}
+
+/// Measure the cost-kernel series (see [`CostKernelSeries`]).
+pub fn measure_cost_kernel(quick: bool) -> CostKernelSeries {
+    use raqo_sim::engine::JoinImpl;
+    use std::hint::black_box;
+
+    let cluster = ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0);
+    let configs: Vec<raqo_resource::ResourceConfig> = cluster.grid().collect();
+    let model = JoinCostModel::trained_hive();
+    let repeats: u32 = if quick { 50 } else { 500 };
+
+    let mut fast = vec![0.0; configs.len()];
+    let mut scalar = vec![0.0; configs.len()];
+    model.join_cost_batch(JoinImpl::SortMerge, 4.0, &configs, &mut fast);
+    model.join_cost_batch_scalar(JoinImpl::SortMerge, 4.0, &configs, &mut scalar);
+    let bitwise_identical =
+        fast.iter().zip(&scalar).all(|(f, s)| f.to_bits() == s.to_bits());
+
+    let (_, scalar_ms) = timed(|| {
+        for _ in 0..repeats {
+            model.join_cost_batch_scalar(
+                JoinImpl::SortMerge,
+                4.0,
+                black_box(&configs),
+                &mut scalar,
+            );
+            black_box(scalar.last().copied());
+        }
+    });
+    let (_, dispatch_ms) = timed(|| {
+        for _ in 0..repeats {
+            model.join_cost_batch(JoinImpl::SortMerge, 4.0, black_box(&configs), &mut fast);
+            black_box(fast.last().copied());
+        }
+    });
+
+    CostKernelSeries {
+        kernel: if raqo_cost::simd_active() { "avx2".into() } else { "scalar".into() },
+        configs: configs.len(),
+        repeats,
+        scalar_ms,
+        dispatch_ms,
+        speedup: scalar_ms / dispatch_ms.max(1e-9),
+        bitwise_identical,
+    }
+}
+
+/// Measure the hill-climb series (see [`ClimbSeries`]).
+pub fn measure_climb(quick: bool) -> ClimbSeries {
+    let schema = TpchSchema::new(1.0);
+    let model = JoinCostModel::trained_hive();
+    let cluster = if quick {
+        ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0)
+    } else {
+        ClusterConditions::two_dim(1.0..=1000.0, 1.0..=10.0, 1.0, 1.0)
+    };
+    let query = QuerySpec::tpch_all(&schema);
+
+    let modes: [(&str, bool); 2] =
+        [("hill_climb_per_seed", false), ("hill_climb_batched", true)];
+    let mut runs = Vec::new();
+    let mut plans: Vec<(raqo_planner::PlanTree, f64)> = Vec::new();
+    let mut stats = Vec::new();
+    for (name, batch) in modes {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        )
+        .with_parallelism(Parallelism::Threads(2))
+        .with_batch_kernel(batch);
+        let (plan, wall_ms) = timed(|| opt.optimize(&query).expect("plan"));
+        runs.push(ModeResult {
+            name: name.into(),
+            parallelism: mode_name(Parallelism::Threads(2)),
+            memoize: false,
+            wall_ms,
+            plan_cost: plan.query.cost,
+            plan_cost_calls: plan.stats.plan_cost_calls,
+            resource_iterations: plan.stats.resource_iterations,
+            memo_hits: plan.stats.memo_hits,
+        });
+        plans.push((plan.query.tree.clone(), plan.query.cost));
+        stats.push(plan.stats);
+    }
+
+    let outcomes_identical = plans[0].0 == plans[1].0
+        && plans[0].1.to_bits() == plans[1].1.to_bits()
+        && stats[0] == stats[1];
+    ClimbSeries {
+        tables: query.relations.len(),
+        grid_points: cluster.grid_size(),
+        runs: runs.clone(),
+        speedup: runs[0].wall_ms / runs[1].wall_ms.max(1e-9),
+        outcomes_identical,
+    }
 }
 
 /// The Selinger half of the report: the full System-R DP with exhaustive
@@ -234,6 +378,8 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         plans_identical,
         selinger: measure_selinger(quick),
         idp: measure_idp(quick),
+        cost_kernel: measure_cost_kernel(quick),
+        climb: measure_climb(quick),
     }
 }
 
@@ -323,7 +469,7 @@ pub fn table(report: &PlannerBenchReport) -> Table {
             "#memo hits",
         ],
     );
-    for r in report.runs.iter().chain(&report.selinger.runs) {
+    for r in report.runs.iter().chain(&report.selinger.runs).chain(&report.climb.runs) {
         t.row(vec![
             r.name.clone().into(),
             r.parallelism.clone().into(),
@@ -372,6 +518,28 @@ mod tests {
             assert_eq!(p.joins, p.tables - 1, "{series:?}");
             assert!(p.plan_cost.is_finite() && p.plan_cost > 0.0, "{series:?}");
         }
+    }
+
+    #[test]
+    fn cost_kernel_paths_agree_bitwise() {
+        let _serial = crate::timing_lock();
+        let series = measure_cost_kernel(true);
+        assert!(series.bitwise_identical, "kernel paths diverge: {series:?}");
+        assert_eq!(series.configs, 10_000);
+        assert!(series.scalar_ms > 0.0 && series.dispatch_ms > 0.0, "{series:?}");
+        // The kernel label must match what the build actually compiled in.
+        assert_eq!(series.kernel == "avx2", raqo_cost::simd_active(), "{series:?}");
+    }
+
+    #[test]
+    fn batched_climb_reproduces_the_per_seed_outcome() {
+        let _serial = crate::timing_lock();
+        let series = measure_climb(true);
+        assert!(series.outcomes_identical, "climb modes disagree: {series:?}");
+        let (per_seed, batched) = (&series.runs[0], &series.runs[1]);
+        assert_eq!(per_seed.plan_cost.to_bits(), batched.plan_cost.to_bits(), "{series:?}");
+        assert_eq!(per_seed.plan_cost_calls, batched.plan_cost_calls, "{series:?}");
+        assert_eq!(per_seed.resource_iterations, batched.resource_iterations, "{series:?}");
     }
 
     #[test]

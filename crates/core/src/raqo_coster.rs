@@ -21,8 +21,9 @@ use raqo_cost::OperatorCost;
 use raqo_planner::{JoinDecision, JoinIo, PlanCoster};
 use raqo_resource::{
     brute_force_parallel_batch_traced, brute_force_parallel_traced, hill_climb,
-    hill_climb_multi_with_traced, BudgetTracker, CacheLookup, CacheStats, ClusterConditions,
-    Parallelism, PlanningOutcome, ResourceConfig, SeedStrategy, SharedCacheBank,
+    hill_climb_multi_batched_traced, hill_climb_multi_with_traced, BudgetTracker, CacheLookup,
+    CacheStats, ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig, SeedStrategy,
+    SharedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
 use raqo_telemetry::{Counter, Hist, MetricsSnapshot, Telemetry};
@@ -155,11 +156,16 @@ pub struct RaqoCoster<'a, M: OperatorCost> {
     /// brute-force grid across workers (bit-identical result) and upgrade
     /// hill climbing to deterministic multi-start.
     pub parallelism: Parallelism,
-    /// Route brute-force resource scans through the batched cost kernel
+    /// Route resource search through the batched cost kernel
     /// ([`OperatorCost::join_cost_batch_at`]), which evaluates the cost
-    /// polynomial over contiguous grid slices instead of point-by-point.
-    /// Bit-identical winners; kept switchable so benchmarks can isolate
-    /// the kernel's contribution.
+    /// polynomial over contiguous config slices instead of point-by-point:
+    /// brute-force scans go grid-slice-at-a-time, and parallel hill
+    /// climbing runs the lock-step batched multi-start climber (one fused
+    /// call per dimension per round across all live seeds). Also published
+    /// to the join planners via [`PlanCoster::prefers_batch`], so Selinger/
+    /// IDP level fills batch their per-level `join_cost_many` submissions
+    /// even when thread parallelism is off. Bit-identical winners; kept
+    /// switchable so benchmarks can isolate the kernel's contribution.
     pub use_batch: bool,
     pub stats: RaqoStats,
     /// Span/metrics sink. [`Telemetry::disabled`] (the default) keeps every
@@ -392,12 +398,51 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                 if self.parallelism == Parallelism::Off {
                     let start = self.feasible_start(join, io)?;
                     hill_climb(self.cluster, start, cost_fn)
+                } else if self.use_batch {
+                    // Parallel mode upgrades to multi-start climbing, and
+                    // with the batch kernel on, the lock-step batched
+                    // climber evaluates every live seed's neighborhood in
+                    // one fused call per dimension — bit-identical outcomes
+                    // to the per-seed multi-start below.
+                    let batch_fn = |configs: &[ResourceConfig], out: &mut [f64]| {
+                        tel.inc(Counter::BatchChunks);
+                        if !budget.charge(configs.len() as u64) {
+                            out.fill(f64::INFINITY);
+                            return;
+                        }
+                        match probes::probe("cost.model.batch") {
+                            probes::Action::Fail => {
+                                out.fill(f64::INFINITY);
+                                return;
+                            }
+                            probes::Action::Nan => out.fill(f64::NAN),
+                            probes::Action::Proceed => {
+                                model.join_cost_batch_at(join, build, probe, configs, out)
+                            }
+                        }
+                        for (c, r) in out.iter_mut().zip(configs) {
+                            *c = if c.is_nan() || *c < 0.0 {
+                                tel.inc(Counter::CostSanitizationsBatch);
+                                f64::INFINITY
+                            } else if c.is_finite() {
+                                objective.score(*c, r)
+                            } else {
+                                f64::INFINITY
+                            };
+                        }
+                    };
+                    hill_climb_multi_batched_traced(
+                        self.cluster,
+                        batch_fn,
+                        SeedStrategy::default(),
+                        tel,
+                    )
                 } else {
-                    // Parallel mode upgrades to multi-start climbing. The
-                    // seed set subsumes `feasible_start`: BHJ feasibility
-                    // is monotone in container size, and both seed
-                    // strategies include the max-size corner, so whenever
-                    // any start is feasible that corner is too.
+                    // Per-seed multi-start climbing. The seed set subsumes
+                    // `feasible_start`: BHJ feasibility is monotone in
+                    // container size, and both seed strategies include the
+                    // max-size corner, so whenever any start is feasible
+                    // that corner is too.
                     hill_climb_multi_with_traced(
                         self.cluster,
                         cost_fn,
@@ -546,6 +591,13 @@ fn snap_to_grid(cluster: &ClusterConditions, r: &ResourceConfig) -> ResourceConf
 }
 
 impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
+    /// With the batch kernel on, ask the join planners to submit whole DP
+    /// levels through [`PlanCoster::join_cost_many`] even when thread
+    /// parallelism is off, so level fills arrive as wide batches.
+    fn prefers_batch(&self) -> bool {
+        self.use_batch
+    }
+
     fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
         let ctx = CostCtx {
             model: &*self.model,
@@ -815,6 +867,40 @@ mod tests {
         // its summed accounting reflects the extra climbs honestly.
         assert!(dm.cost <= ds.cost + 1e-9, "multi {} vs single {}", dm.cost, ds.cost);
         assert!(multi.stats.resource_iterations >= single.stats.resource_iterations);
+    }
+
+    #[test]
+    fn batched_multi_start_climb_matches_per_seed_bitwise() {
+        // Parallel HillClimb with the batch kernel on runs the lock-step
+        // batched climber; with it off, thread-per-seed multi-start. The
+        // decisions and iteration accounting must be bit-identical.
+        for join_io in [io(0.5, 20.0), io(2.0, 40.0), io(6.0, 77.0), io(100.0, 200.0)] {
+            let mut per_seed = coster(ResourceStrategy::HillClimb)
+                .with_parallelism(Parallelism::Threads(4))
+                .with_batch_kernel(false);
+            let dp = per_seed.join_cost(&join_io);
+            let mut batched = coster(ResourceStrategy::HillClimb)
+                .with_parallelism(Parallelism::Threads(4))
+                .with_batch_kernel(true);
+            let db = batched.join_cost(&join_io);
+            assert_eq!(dp, db, "decision mismatch at {join_io:?}");
+            assert_eq!(per_seed.stats, batched.stats, "stats mismatch at {join_io:?}");
+        }
+    }
+
+    #[test]
+    fn batched_climb_counts_rounds_through_coster() {
+        let tel = Telemetry::enabled();
+        let mut c = coster(ResourceStrategy::HillClimb)
+            .with_parallelism(Parallelism::Threads(2))
+            .with_telemetry(tel.clone());
+        c.join_cost(&io(2.0, 40.0)).unwrap();
+        let snap = tel.snapshot().unwrap();
+        assert!(
+            snap.get(Counter::HillClimbBatchedRounds) > 0,
+            "batched climb rounds must be counted"
+        );
+        assert!(snap.get(Counter::BatchChunks) > 0, "climb probes must go through the batch kernel");
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub mod objective;
 pub mod paper;
 pub mod pricing;
 pub mod regression;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
+
+/// True when [`model::JoinCostModel::join_cost_batch`] will take the
+/// explicit AVX2 kernel: the `simd` cargo feature is compiled in *and* the
+/// running CPU reports AVX2. False means every batch call runs the scalar
+/// fold (which remains bit-identical), so callers may use this purely for
+/// reporting — the dispatch itself needs no guard.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::avx2_available()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
 
 pub use features::{feature_vector, NUM_FEATURES};
 pub use model::{JoinCostModel, OperatorCost, SimOracleCost};

@@ -200,17 +200,27 @@ impl JoinCostModel {
         h
     }
 
-    /// Branch-free batched evaluation of the §VI polynomial over a slice of
-    /// grid points: the `ss`-only terms are folded into one per-join base
-    /// constant, then a multiply-add sweep over `(cs, nc)` fills `out`
-    /// (`f64::INFINITY` where BHJ is infeasible, via a select rather than a
-    /// branch, so the loop autovectorizes).
+    /// The coefficient vector and BHJ capacity bound for one join
+    /// implementation (SMJ never trips the capacity test, so it carries an
+    /// infinite bound).
+    fn join_params(&self, join: JoinImpl) -> (&crate::regression::LinearModel, f64) {
+        match join {
+            JoinImpl::SortMerge => (&self.smj, f64::INFINITY),
+            JoinImpl::BroadcastHash => (&self.bhj, self.bhj_capacity_per_gb),
+        }
+    }
+
+    /// Batched evaluation of the §VI polynomial over a slice of grid points,
+    /// filling `out` with one cost per config (`f64::INFINITY` where BHJ is
+    /// infeasible).
     ///
-    /// Bit-identical to the scalar [`OperatorCost::join_cost`]: the
-    /// accumulation replays `LinearModel::predict`'s left-to-right fold —
-    /// same operations, same order, same rounding — and the feasibility test
-    /// is the identical `build_gb > cs * capacity` comparison (SMJ uses an
-    /// infinite capacity so it never trips).
+    /// Bit-identical to the scalar [`OperatorCost::join_cost`] whichever
+    /// path runs: with the `simd` cargo feature on an AVX2 machine, full
+    /// 4-lane groups go through the explicit `crate::simd` kernel and the
+    /// remainder through the scalar fold; otherwise everything takes
+    /// [`JoinCostModel::join_cost_batch_scalar`]. A NaN cost floor also
+    /// forces the scalar path — `_mm256_max_pd` and `f64::max` disagree on
+    /// which operand survives a NaN in the *second* slot.
     pub fn join_cost_batch(
         &self,
         join: JoinImpl,
@@ -219,10 +229,52 @@ impl JoinCostModel {
         out: &mut [f64],
     ) {
         assert_eq!(configs.len(), out.len(), "one output slot per config");
-        let (model, cap) = match join {
-            JoinImpl::SortMerge => (&self.smj, f64::INFINITY),
-            JoinImpl::BroadcastHash => (&self.bhj, self.bhj_capacity_per_gb),
-        };
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::simd::avx2_available() && !self.floor.is_nan() {
+            let (model, cap) = self.join_params(join);
+            assert_eq!(
+                model.coefficients.len(),
+                self.feature_map.arity(),
+                "model arity matches feature map"
+            );
+            let full = configs.len() - configs.len() % crate::simd::LANES;
+            // SAFETY: AVX2 presence was verified at runtime just above.
+            unsafe {
+                crate::simd::join_cost_batch_avx2(
+                    &model.coefficients,
+                    self.feature_map,
+                    build_gb,
+                    cap,
+                    self.floor,
+                    &configs[..full],
+                    &mut out[..full],
+                );
+            }
+            self.join_cost_batch_scalar(join, build_gb, &configs[full..], &mut out[full..]);
+            return;
+        }
+        self.join_cost_batch_scalar(join, build_gb, configs, out);
+    }
+
+    /// The scalar (autovectorizable) batch path: the `ss`-only terms are
+    /// folded into one per-join base constant, then a multiply-add sweep
+    /// over `(cs, nc)` fills `out` (`f64::INFINITY` where BHJ is infeasible,
+    /// via a select rather than a branch).
+    ///
+    /// Bit-identical to the scalar [`OperatorCost::join_cost`]: the
+    /// accumulation replays `LinearModel::predict`'s left-to-right fold —
+    /// same operations, same order, same rounding — and the feasibility test
+    /// is the identical `build_gb > cs * capacity` comparison (SMJ uses an
+    /// infinite capacity so it never trips).
+    pub fn join_cost_batch_scalar(
+        &self,
+        join: JoinImpl,
+        build_gb: f64,
+        configs: &[ResourceConfig],
+        out: &mut [f64],
+    ) {
+        assert_eq!(configs.len(), out.len(), "one output slot per config");
+        let (model, cap) = self.join_params(join);
         let c = &model.coefficients;
         assert_eq!(c.len(), self.feature_map.arity(), "model arity matches feature map");
         let ss = build_gb;
@@ -484,6 +536,158 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// Bitwise comparison of the dispatching batch entry point against the
+    /// scalar fold over an explicit config slice. With the `simd` feature on
+    /// AVX2 hardware this pits the intrinsics kernel against the scalar
+    /// loop; otherwise both sides run the same code and the check is a
+    /// tautology — the property still gates the SIMD build via
+    /// `cargo test --features simd` and the repro smoke gate.
+    fn assert_batch_matches_scalar(model: &JoinCostModel, build_gb: f64, configs: &[ResourceConfig]) {
+        for join in JoinImpl::ALL {
+            let mut dispatched = vec![0.0; configs.len()];
+            let mut scalar = vec![0.0; configs.len()];
+            model.join_cost_batch(join, build_gb, configs, &mut dispatched);
+            model.join_cost_batch_scalar(join, build_gb, configs, &mut scalar);
+            for (i, (d, s)) in dispatched.iter().zip(&scalar).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_bits(),
+                    "{join:?} ss={build_gb} config[{i}]={:?}: dispatched={d} scalar={s}",
+                    configs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_matches_scalar_on_remainder_lanes() {
+        use raqo_resource::ClusterConditions;
+        // Slice lengths 0..=9 cover every lane remainder (len % 4) twice,
+        // including the all-remainder lengths 1–3 that never enter the
+        // vector loop at all.
+        let grid: Vec<_> = ClusterConditions::paper_default().grid().collect();
+        for model in [JoinCostModel::trained_hive(), JoinCostModel::trained_hive_extended()] {
+            for len in 0..=9 {
+                for build_gb in [0.4, 3.4, 9.0] {
+                    assert_batch_matches_scalar(&model, build_gb, &grid[100..100 + len]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_matches_scalar_on_floor_and_capacity_edges() {
+        use raqo_resource::ClusterConditions;
+        let grid: Vec<_> = ClusterConditions::paper_default().grid().collect();
+        // A floor high enough to clamp most of the surface, and one low
+        // enough to never engage; capacity pushed to the extremes so the
+        // BHJ select is all-feasible, all-infeasible, and mixed.
+        for mut model in [JoinCostModel::trained_hive(), JoinCostModel::trained_hive_extended()] {
+            for floor in [0.0, 1.0, 1e6, -5.0] {
+                model.floor = floor;
+                for cap in [model.bhj_capacity_per_gb, 0.0, f64::INFINITY, 1e-12] {
+                    model.bhj_capacity_per_gb = cap;
+                    for build_gb in [0.0, 0.4, 9.0, 1e9] {
+                        assert_batch_matches_scalar(&model, build_gb, &grid);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_matches_scalar_with_non_finite_coefficients() {
+        use raqo_resource::ClusterConditions;
+        let grid: Vec<_> = ClusterConditions::paper_default().grid().collect();
+        for base in [JoinCostModel::trained_hive(), JoinCostModel::trained_hive_extended()] {
+            let arity = base.feature_map.arity();
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                for slot in 0..arity {
+                    let mut model = base.clone();
+                    model.smj.coefficients[slot] = bad;
+                    model.bhj.coefficients[arity - 1 - slot] = bad;
+                    assert_batch_matches_scalar(&model, 3.4, &grid[..101]);
+                }
+            }
+            // A NaN floor forces the scalar path; the dispatcher must still
+            // agree with itself.
+            let mut model = base.clone();
+            model.floor = f64::NAN;
+            assert_batch_matches_scalar(&model, 3.4, &grid[..101]);
+        }
+    }
+
+    #[test]
+    fn simd_active_consistent_with_build() {
+        let active = crate::simd_active();
+        if cfg!(not(all(feature = "simd", target_arch = "x86_64"))) {
+            assert!(!active, "simd_active() must be false without the simd feature");
+        }
+        if active {
+            // When the kernel is live, the bitwise parity above actually
+            // exercised it; sanity-check one vectorizable batch here too.
+            let model = JoinCostModel::trained_hive();
+            let configs: Vec<_> = (1..=8)
+                .map(|i| ResourceConfig::containers_and_size(i as f64 * 10.0, 4.0))
+                .collect();
+            assert_batch_matches_scalar(&model, 2.0, &configs);
+        }
+    }
+
+    proptest::proptest! {
+        /// SIMD==scalar bitwise parity over random coefficients (finite and
+        /// non-finite), floors, capacities, build sizes, and config slices
+        /// whose lengths sweep the lane remainder. Both feature maps.
+        #[test]
+        fn batch_dispatch_bitwise_parity(
+            coeffs in proptest::collection::vec(-1e3f64..1e3, 20),
+            poison_slot in 0usize..20,
+            poison_kind in 0usize..4,
+            floor in -10.0f64..10.0,
+            cap_kind in 0usize..3,
+            build_gb in 0.0f64..50.0,
+            n_configs in 0usize..19,
+            seed in 0u64..1000,
+        ) {
+            let poison = match poison_kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => coeffs[poison_slot] * 1e9,
+            };
+            let cap = match cap_kind {
+                0 => f64::INFINITY,
+                1 => 0.0,
+                _ => build_gb / 5.0,
+            };
+            // Deterministic pseudo-random grid points off the proptest seed.
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let configs: Vec<_> = (0..n_configs)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let nc = ((state >> 33) % 100 + 1) as f64;
+                    let cs = ((state >> 13) % 10 + 1) as f64;
+                    ResourceConfig::containers_and_size(nc, cs)
+                })
+                .collect();
+            for map in [FeatureMap::Paper, FeatureMap::Extended] {
+                let arity = map.arity();
+                let mut model = JoinCostModel::paper_hive();
+                model.feature_map = map;
+                model.smj.coefficients = coeffs[..arity].to_vec();
+                model.bhj.coefficients = coeffs[20 - arity..].to_vec();
+                let slot = poison_slot % arity;
+                model.smj.coefficients[slot] = poison;
+                model.bhj.coefficients[arity - 1 - slot] = poison;
+                model.floor = floor;
+                model.bhj_capacity_per_gb = cap;
+                assert_batch_matches_scalar(&model, build_gb, &configs);
             }
         }
     }

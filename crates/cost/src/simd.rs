@@ -1,0 +1,115 @@
+//! Explicit AVX2 implementation of the batched §VI cost kernel.
+//!
+//! The scalar [`crate::JoinCostModel::join_cost_batch`] loop relies on the
+//! compiler to autovectorize the polynomial sweep; this module evaluates it
+//! four grid points at a time with `std::arch` intrinsics. The contract is
+//! **bit-identity** with the scalar fold, which pins down every instruction
+//! choice:
+//!
+//! * multiplies and adds stay *separate* (`_mm256_mul_pd` + `_mm256_add_pd`,
+//!   never FMA — a fused multiply-add rounds once where the scalar fold
+//!   rounds twice, and would diverge in the last ulp);
+//! * the accumulation replays `LinearModel::predict`'s left-to-right fold in
+//!   feature order, with the `ss`-only prefix pre-folded into one broadcast
+//!   `base` constant exactly as the scalar batch loop does;
+//! * the extended map's `1/nc` and `ss/nc` terms use `_mm256_div_pd`, which
+//!   is IEEE-754 correctly rounded like the scalar `/`;
+//! * the floor clamp is `_mm256_max_pd(acc, floor)`, whose "NaN in the first
+//!   operand selects the second" semantics match `f64::max(acc, floor)` for
+//!   every non-NaN floor (the dispatcher routes NaN floors to the scalar
+//!   path, where the comparison is honest);
+//! * BHJ feasibility is decided by `_mm256_cmp_pd(build, cs·cap, _CMP_GT_OQ)`
+//!   plus a blend — an *ordered* compare, so a NaN threshold (SMJ's
+//!   `cs · ∞` when `cs = 0`) reads "feasible", matching the scalar `>`.
+//!
+//! Only full 4-lane groups are handled here; the dispatcher sends the
+//! remainder (and every config when AVX2 is absent) through the scalar loop.
+
+#![cfg(all(feature = "simd", target_arch = "x86_64"))]
+
+use crate::features::FeatureMap;
+use raqo_resource::ResourceConfig;
+use std::arch::x86_64::*;
+
+/// f64 lanes per AVX2 vector; the dispatcher peels `len % LANES` configs off
+/// the tail for the scalar loop.
+pub const LANES: usize = 4;
+
+/// Is the AVX2 kernel usable on this machine? (`std` caches the CPUID
+/// probe, so this is a relaxed atomic load after the first call.)
+#[inline]
+pub fn avx2_available() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+/// Evaluate the §VI polynomial for one join over `configs`, four at a time.
+///
+/// `c` is the coefficient vector of the chosen join's [`crate::LinearModel`]
+/// (arity matching `map`), `ss` the smaller-input size, `cap` the BHJ
+/// capacity per GB (`f64::INFINITY` for SMJ), `floor` the cost floor.
+/// `configs.len()` must be a multiple of [`LANES`] and equal `out.len()`.
+///
+/// # Safety
+///
+/// The caller must have verified [`avx2_available`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn join_cost_batch_avx2(
+    c: &[f64],
+    map: FeatureMap,
+    ss: f64,
+    cap: f64,
+    floor: f64,
+    configs: &[ResourceConfig],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(configs.len() % LANES, 0, "remainder lanes are the dispatcher's job");
+    debug_assert_eq!(configs.len(), out.len());
+    debug_assert_eq!(c.len(), map.arity());
+    debug_assert!(!floor.is_nan(), "NaN floors must take the scalar path");
+
+    // Same `ss`-only prefix fold as the scalar batch loop.
+    let base = _mm256_set1_pd((0.0 + c[0] * ss) + c[1] * (ss * ss));
+    let floor_v = _mm256_set1_pd(floor);
+    let build_v = _mm256_set1_pd(ss);
+    let cap_v = _mm256_set1_pd(cap);
+    let inf_v = _mm256_set1_pd(f64::INFINITY);
+    let c2 = _mm256_set1_pd(c[2]);
+    let c3 = _mm256_set1_pd(c[3]);
+    let c4 = _mm256_set1_pd(c[4]);
+    let c5 = _mm256_set1_pd(c[5]);
+    let c6 = _mm256_set1_pd(c[6]);
+
+    for (group, out4) in configs.chunks_exact(LANES).zip(out.chunks_exact_mut(LANES)) {
+        let mut nc_a = [0.0f64; LANES];
+        let mut cs_a = [0.0f64; LANES];
+        for (i, r) in group.iter().enumerate() {
+            nc_a[i] = r.containers();
+            cs_a[i] = r.container_size_gb();
+        }
+        let nc = _mm256_loadu_pd(nc_a.as_ptr());
+        let cs = _mm256_loadu_pd(cs_a.as_ptr());
+
+        // ((((base + c2·cs) + c3·cs²) + c4·nc) + c5·nc²) + c6·(cs·nc)
+        let mut acc = _mm256_add_pd(base, _mm256_mul_pd(c2, cs));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(c3, _mm256_mul_pd(cs, cs)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(c4, nc));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(c5, _mm256_mul_pd(nc, nc)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(c6, _mm256_mul_pd(cs, nc)));
+        if let FeatureMap::Extended = map {
+            // … + c7·(1/nc) + c8·(ss/nc) + c9·1
+            let one = _mm256_set1_pd(1.0);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(c[7]), _mm256_div_pd(one, nc)));
+            acc = _mm256_add_pd(
+                acc,
+                _mm256_mul_pd(_mm256_set1_pd(c[8]), _mm256_div_pd(build_v, nc)),
+            );
+            acc = _mm256_add_pd(acc, _mm256_set1_pd(c[9] * 1.0));
+        }
+        let cost = _mm256_max_pd(acc, floor_v);
+        // build_gb > cs·cap  →  infeasible (+∞); ordered compare, so a NaN
+        // threshold reads feasible like the scalar `>`.
+        let oom = _mm256_cmp_pd::<_CMP_GT_OQ>(build_v, _mm256_mul_pd(cs, cap_v));
+        let sel = _mm256_blendv_pd(cost, inf_v, oom);
+        _mm256_storeu_pd(out4.as_mut_ptr(), sel);
+    }
+}

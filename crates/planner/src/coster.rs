@@ -59,6 +59,16 @@ pub trait PlanCoster {
     ) -> Vec<Option<JoinDecision>> {
         ios.iter().map(|io| self.join_cost(io)).collect()
     }
+
+    /// Does this coster want whole DP levels submitted through
+    /// [`PlanCoster::join_cost_many`] even when thread parallelism is off?
+    /// Costers backed by a batched cost kernel (e.g. the RAQO coster with
+    /// `use_batch`) return `true` so Selinger/IDP level fills hand them
+    /// wide candidate batches the kernel can fuse; the default `false`
+    /// keeps plain costers on the sequential fill path.
+    fn prefers_batch(&self) -> bool {
+        false
+    }
 }
 
 /// One costed join of a finished plan.

@@ -14,6 +14,14 @@
 //! resource planning, budget charging, and cross-run memoization all
 //! compose unchanged.
 //!
+//! Each round's block DP inherits the Selinger level batching: with thread
+//! parallelism, or with a coster that reports
+//! [`PlanCoster::prefers_batch`] (the RAQO coster's batched cost kernel),
+//! every block-DP level's candidate extensions are submitted through one
+//! [`PlanCoster::join_cost_many`] call — so 21–64-relation bridged queries
+//! feed the batched (and, when enabled, SIMD) cost kernel wide slices
+//! instead of scalar point evaluations, without any change in plans.
+//!
 //! Complexity: with block size k, each round runs one O(2ᵏ·k) DP and
 //! removes k−1 units, so an n-relation query takes ⌈(n−1)/(k−1)⌉ rounds —
 //! polynomial in n for fixed k. Block selection is minimum-estimated-size
@@ -399,6 +407,59 @@ mod tests {
             ),
             Err(SelingerError::Infeasible)
         );
+    }
+
+    #[test]
+    fn batch_preferring_coster_gets_wide_level_batches_and_identical_plans() {
+        /// A coster that asks for level batching without thread
+        /// parallelism, recording the width of every batch it receives —
+        /// the planner-side contract behind the RAQO coster's `use_batch`.
+        struct BatchPreferring<'a> {
+            inner: FixedResourceCoster<'a, SimOracleCost>,
+            batches: Vec<usize>,
+        }
+        impl PlanCoster for BatchPreferring<'_> {
+            fn join_cost(&mut self, io: &JoinIo) -> Option<JoinDecision> {
+                self.inner.join_cost(io)
+            }
+            fn join_cost_many(
+                &mut self,
+                ios: &[JoinIo],
+                _parallelism: Parallelism,
+            ) -> Vec<Option<JoinDecision>> {
+                self.batches.push(ios.len());
+                ios.iter().map(|io| self.inner.join_cost(io)).collect()
+            }
+            fn prefers_batch(&self) -> bool {
+                true
+            }
+        }
+
+        // A 24-relation bridged query with parallelism Off: the
+        // `prefers_batch` hook alone must route every block DP through
+        // per-level `join_cost_many`, with bit-identical plans and the
+        // same total `getPlanCost` call count as the sequential fill.
+        let model = SimOracleCost::hive();
+        let schema = RandomSchemaConfig::with_tables(26, 4).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 24, 7);
+        let mut seq = FixedResourceCoster::new(&model, 10.0, 6.0);
+        let sequential =
+            IdpPlanner::plan(&schema.catalog, &schema.graph, &query, &mut seq, IdpConfig::default())
+                .unwrap();
+        let mut bp = BatchPreferring {
+            inner: FixedResourceCoster::new(&model, 10.0, 6.0),
+            batches: Vec::new(),
+        };
+        let batched =
+            IdpPlanner::plan(&schema.catalog, &schema.graph, &query, &mut bp, IdpConfig::default())
+                .unwrap();
+        assert_eq!(sequential.tree, batched.tree);
+        assert_eq!(sequential.cost.to_bits(), batched.cost.to_bits());
+        assert_eq!(sequential.joins, batched.joins);
+        assert_eq!(seq.calls, bp.inner.calls, "same candidates costed either way");
+        assert!(!bp.batches.is_empty(), "block DP levels must arrive via join_cost_many");
+        let widest = bp.batches.iter().copied().max().unwrap();
+        assert!(widest > 4, "level batches should be wide, got widths {:?}", bp.batches);
     }
 
     #[test]

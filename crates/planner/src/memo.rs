@@ -13,7 +13,7 @@
 //! relation-bitsets of its inputs (relative to the query's relation list)
 //! and replays the stored [`JoinIo`] + [`JoinDecision`] on a hit —
 //! infeasible joins are memoized too, so repeated dead-end mutants cost
-//! nothing. [`cost_tree_memo`] is the drop-in [`cost_tree`] variant that
+//! nothing. [`cost_tree_memo`] is the drop-in [`crate::coster::cost_tree`] variant that
 //! consults the memo.
 //!
 //! Correctness requires the coster to be deterministic in the join's IO
@@ -110,7 +110,7 @@ impl CostMemo {
     /// Extend the relation index with any not-yet-indexed relations, as far
     /// as the bitset width allows. Lets one memo serve successive planner
     /// runs (the cluster-sweep reuse mode): relations beyond the capacity
-    /// simply bypass the memo via [`CostMemo::key_of`] returning `None`.
+    /// simply bypass the memo via `CostMemo::key_of` returning `None`.
     pub fn ensure_relations(&mut self, relations: &[TableId]) {
         for &t in relations {
             if self.index.len() >= Self::MAX_RELATIONS {

@@ -369,9 +369,14 @@ impl SelingerPlanner {
             dp[1usize << i] = Some(Entry { cost: 0.0, last: i });
         }
 
-        // Batching pays only when the coster can actually fan out and a
-        // level holds more than a handful of candidates.
-        if parallelism != Parallelism::Off && parallelism.workers() > 1 && n >= 3 {
+        // Batching pays when the coster can fan out over threads, or when
+        // it asks for wide `join_cost_many` batches outright (a batched
+        // cost kernel fuses a whole level's candidates even single-
+        // threaded) — and a level holds more than a handful of candidates.
+        if (parallelism != Parallelism::Off && parallelism.workers() > 1
+            || coster.prefers_batch())
+            && n >= 3
+        {
             Self::fill_levels_batched(
                 items,
                 graph,

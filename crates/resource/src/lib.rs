@@ -40,8 +40,9 @@ pub use cluster::ClusterConditions;
 pub use config::{ResourceConfig, MAX_DIMS};
 pub use parallel::{
     brute_force_parallel, brute_force_parallel_batch, brute_force_parallel_batch_traced,
-    brute_force_parallel_traced, hill_climb_multi, hill_climb_multi_with,
-    hill_climb_multi_with_traced, multi_start_seeds, seeds_with, Parallelism, SeedStrategy,
+    brute_force_parallel_traced, hill_climb_multi, hill_climb_multi_batched,
+    hill_climb_multi_batched_traced, hill_climb_multi_with, hill_climb_multi_with_traced,
+    multi_start_seeds, seeds_with, Parallelism, SeedStrategy,
 };
 pub use persist::PersistError;
 pub use planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};

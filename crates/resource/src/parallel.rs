@@ -511,9 +511,158 @@ where
     PlanningOutcome { iterations, ..best }
 }
 
+/// Multi-start hill climbing driven by a *batched* cost evaluator: instead
+/// of one thread per seed issuing scalar cost calls, a single thread runs
+/// every live seed in lock-step and gathers each round's whole candidate
+/// neighborhood (≤ 2 probes × dims × live seeds) into one `batch_fn` call
+/// per dimension — wide enough for the batched cost kernel (and, with the
+/// `simd` feature of `raqo-cost`, its AVX2 path) to pay off.
+///
+/// `batch_fn(configs, costs)` must fill `costs[i]` with the cost at
+/// `configs[i]`, using `f64::INFINITY` for infeasible points — the same
+/// contract as [`brute_force_batch`] minus the grid index (climb probes are
+/// not grid-indexed).
+///
+/// The outcome is **bit-identical** to [`hill_climb_multi_with`] (for any
+/// [`Parallelism`]) whenever the evaluator agrees with the scalar cost
+/// function point-wise:
+///
+/// * probe configurations replay the scalar climber's nudge → evaluate →
+///   backtrack arithmetic exactly, so even floating-point drift of a
+///   backtracked coordinate is reproduced;
+/// * the per-dimension accept logic (compare against the round's running
+///   `best_cost`, last strict improvement wins, reapply the winning step
+///   after both candidates) is replayed from the batched costs in the same
+///   probe order;
+/// * `iterations` counts the same distinct configurations probed, summed
+///   over all seeds, and the winner is merged by `(cost, seed index)`.
+pub fn hill_climb_multi_batched<F>(
+    cluster: &ClusterConditions,
+    batch_fn: F,
+    strategy: SeedStrategy,
+) -> PlanningOutcome
+where
+    F: FnMut(&[ResourceConfig], &mut [f64]),
+{
+    hill_climb_multi_batched_traced(cluster, batch_fn, strategy, &Telemetry::disabled())
+}
+
+/// [`hill_climb_multi_batched`] with a telemetry sink: each lock-step round
+/// (one whole-neighborhood sweep over all live seeds) increments
+/// `raqo_hill_climb_batched_rounds_total`.
+pub fn hill_climb_multi_batched_traced<F>(
+    cluster: &ClusterConditions,
+    mut batch_fn: F,
+    strategy: SeedStrategy,
+    tel: &Telemetry,
+) -> PlanningOutcome
+where
+    F: FnMut(&[ResourceConfig], &mut [f64]),
+{
+    /// One seed's climb state across lock-step rounds.
+    struct Climb {
+        curr: ResourceConfig,
+        curr_cost: f64,
+        /// The round's running best (Algorithm 1 line 6), shared across
+        /// dimensions within a round exactly like the scalar climber's.
+        best_cost: f64,
+        iterations: u64,
+        live: bool,
+    }
+
+    let seeds = seeds_with(cluster, strategy);
+    let step_size = cluster.discrete_steps();
+    let dims = cluster.dims();
+    let candidate = [-1.0, 1.0];
+
+    // Round 0: every seed's start cost in one batch.
+    let mut costs = vec![0.0f64; seeds.len()];
+    batch_fn(&seeds, &mut costs);
+    let mut climbs: Vec<Climb> = seeds
+        .iter()
+        .zip(&costs)
+        .map(|(&s, &c)| Climb { curr: s, curr_cost: c, best_cost: c, iterations: 1, live: true })
+        .collect();
+
+    let mut probe_configs: Vec<ResourceConfig> = Vec::new();
+    // (climb index, candidate) per gathered probe, in replay order.
+    let mut probe_meta: Vec<(usize, f64)> = Vec::new();
+
+    while climbs.iter().any(|c| c.live) {
+        tel.inc(Counter::HillClimbBatchedRounds);
+        for c in climbs.iter_mut().filter(|c| c.live) {
+            c.best_cost = c.curr_cost;
+        }
+        for i in 0..dims {
+            probe_configs.clear();
+            probe_meta.clear();
+            for (ci, c) in climbs.iter_mut().enumerate().filter(|(_, c)| c.live) {
+                for &cand in &candidate {
+                    let i_val = step_size.get(i) * cand;
+                    let stepped = c.curr.get(i) + i_val;
+                    if stepped <= cluster.max.get(i) && stepped >= cluster.min.get(i) {
+                        // Nudge + snapshot + backtrack, exactly as the scalar
+                        // climber does, so any floating-point drift of the
+                        // backtracked coordinate is replayed too.
+                        c.curr.nudge(i, i_val);
+                        probe_configs.push(c.curr);
+                        c.curr.nudge(i, -i_val);
+                        probe_meta.push((ci, cand));
+                    }
+                }
+            }
+            if probe_configs.is_empty() {
+                continue;
+            }
+            costs.resize(probe_configs.len(), 0.0);
+            batch_fn(&probe_configs, &mut costs[..probe_configs.len()]);
+
+            // Replay lines 8–19 per seed from the batched costs: probes were
+            // gathered in (seed, candidate) order, so a linear scan with a
+            // per-seed `best` register reproduces the scalar accept logic.
+            let mut at = 0;
+            while at < probe_meta.len() {
+                let ci = probe_meta[at].0;
+                let mut best: Option<f64> = None;
+                while at < probe_meta.len() && probe_meta[at].0 == ci {
+                    let (_, cand) = probe_meta[at];
+                    let temp = costs[at];
+                    let c = &mut climbs[ci];
+                    c.iterations += 1;
+                    if temp < c.best_cost {
+                        c.best_cost = temp;
+                        best = Some(cand);
+                    }
+                    at += 1;
+                }
+                if let Some(cand) = best {
+                    climbs[ci].curr.nudge(i, step_size.get(i) * cand);
+                }
+            }
+        }
+        for c in climbs.iter_mut().filter(|c| c.live) {
+            if c.best_cost >= c.curr_cost {
+                c.live = false; // local optimum: Algorithm 1 lines 20–21
+            } else {
+                c.curr_cost = c.best_cost;
+            }
+        }
+    }
+
+    let iterations = climbs.iter().map(|c| c.iterations).sum();
+    let (_, best) = climbs
+        .iter()
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| a.curr_cost.total_cmp(&b.curr_cost).then(ai.cmp(bi)))
+        // Infallible: seeds_with always returns >= 1 seed (the min corner).
+        .expect("at least one seed");
+    PlanningOutcome { config: best.curr, cost: best.curr_cost, iterations }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn bowl(r: &ResourceConfig) -> f64 {
         let dc = r.containers() - 40.0;
@@ -777,5 +926,162 @@ mod tests {
         // Iterations are summed over all climbs, so the multi-start run
         // spends more than a single Algorithm 1 climb.
         assert!(seq.iterations > hill_climb(&cluster, cluster.min, bowl).iterations);
+    }
+
+    /// Point-wise batch evaluator over a scalar surface, for parity tests.
+    fn batch_of(
+        f: impl Fn(&ResourceConfig) -> f64,
+    ) -> impl FnMut(&[ResourceConfig], &mut [f64]) {
+        move |configs, costs| {
+            for (r, c) in configs.iter().zip(costs.iter_mut()) {
+                *c = f(r);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_climb_matches_multi_start_bitwise() {
+        // Convex, multimodal, and dented surfaces; both seed strategies;
+        // every parallelism mode of the per-seed climber. The batched
+        // climber must agree bit-for-bit on config, cost, and iterations.
+        let two_basins = |r: &ResourceConfig| -> f64 {
+            let near = (r.containers() - 5.0).powi(2) + (r.container_size_gb() - 2.0).powi(2);
+            let far =
+                (r.containers() - 90.0).powi(2) + (r.container_size_gb() - 9.0).powi(2) - 50.0;
+            near.min(far)
+        };
+        let dented = |r: &ResourceConfig| -> f64 {
+            let d1 = (r.containers() - 1.0).powi(2) + (r.container_size_gb() - 1.0).powi(2);
+            let dc = ((r.containers() - 26.0).powi(2) + (r.container_size_gb() - 7.0).powi(2))
+                .sqrt();
+            d1 - (500.0 * (3.0 - dc)).max(0.0)
+        };
+        let surfaces: [&(dyn Fn(&ResourceConfig) -> f64 + Sync); 3] =
+            [&bowl, &two_basins, &dented];
+        let cluster = ClusterConditions::paper_default();
+        for (si, surface) in surfaces.iter().enumerate() {
+            for strategy in [SeedStrategy::Halton, SeedStrategy::CornersCentroid] {
+                let batched = hill_climb_multi_batched(&cluster, batch_of(surface), strategy);
+                for par in [Parallelism::Off, Parallelism::Threads(4), Parallelism::Auto] {
+                    let scalar = hill_climb_multi_with(&cluster, surface, par, strategy);
+                    assert_eq!(batched.config, scalar.config, "s{si} {strategy:?} {par:?}");
+                    assert_eq!(
+                        batched.cost.to_bits(),
+                        scalar.cost.to_bits(),
+                        "s{si} {strategy:?} {par:?}"
+                    );
+                    assert_eq!(
+                        batched.iterations, scalar.iterations,
+                        "s{si} {strategy:?} {par:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_climb_tie_break_matches_multi_start() {
+        // Constant surface: every seed's optimum ties at the start; the
+        // merged winner must be the earliest seed (the min corner), exactly
+        // like the per-seed climber.
+        let cluster = ClusterConditions::paper_default();
+        let scalar = hill_climb_multi(&cluster, |_| 3.0, Parallelism::Off);
+        let batched = hill_climb_multi_batched(
+            &cluster,
+            |_: &[ResourceConfig], costs: &mut [f64]| costs.fill(3.0),
+            SeedStrategy::default(),
+        );
+        assert_eq!(batched, scalar);
+        assert_eq!(batched.config, cluster.min);
+    }
+
+    #[test]
+    fn batched_climb_handles_infeasible_points() {
+        // A feasibility mask (INFINITY outside a band) must not derail the
+        // lock-step replay: parity with the per-seed climber, which sees the
+        // same INFINITY costs from its scalar calls.
+        let masked = |r: &ResourceConfig| -> f64 {
+            if r.container_size_gb() < 4.0 { f64::INFINITY } else { bowl(r) }
+        };
+        let cluster = ClusterConditions::paper_default();
+        let scalar = hill_climb_multi(&cluster, masked, Parallelism::Off);
+        let batched =
+            hill_climb_multi_batched(&cluster, batch_of(masked), SeedStrategy::default());
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn batched_climb_counts_lockstep_rounds() {
+        let cluster = ClusterConditions::paper_default();
+        // Flat surface: every seed probes its round-1 neighborhood, nothing
+        // improves, all seeds retire — exactly one lock-step round.
+        let tel = Telemetry::enabled();
+        hill_climb_multi_batched_traced(
+            &cluster,
+            |_: &[ResourceConfig], costs: &mut [f64]| costs.fill(1.0),
+            SeedStrategy::default(),
+            &tel,
+        );
+        assert_eq!(tel.snapshot().unwrap().get(Counter::HillClimbBatchedRounds), 1);
+
+        // The bowl needs many rounds: at least as many as the longest
+        // single-seed climb's accepted-step count.
+        let tel = Telemetry::enabled();
+        hill_climb_multi_batched_traced(
+            &cluster,
+            batch_of(bowl),
+            SeedStrategy::default(),
+            &tel,
+        );
+        let rounds = tel.snapshot().unwrap().get(Counter::HillClimbBatchedRounds);
+        assert!(rounds > 10, "bowl should take many lock-step rounds, got {rounds}");
+    }
+
+    #[test]
+    fn batched_climb_single_point_cluster() {
+        let tiny = ClusterConditions::two_dim(3.0..=3.0, 2.0..=2.0, 1.0, 1.0);
+        let out = hill_climb_multi_batched(&tiny, batch_of(bowl), SeedStrategy::default());
+        assert_eq!(out.config, ResourceConfig::containers_and_size(3.0, 2.0));
+        assert_eq!(out.iterations, 1);
+    }
+
+    proptest::proptest! {
+        /// Batched == per-seed multi-start parity on randomized quadratic
+        /// surfaces (optionally dented and masked), random grids, both seed
+        /// strategies, every parallelism mode.
+        #[test]
+        fn batched_climb_parity_randomized(
+            max_c in 2.0f64..40.0,
+            max_s in 1.0f64..10.0,
+            opt_c in 0.0f64..1.0,
+            opt_s in 0.0f64..1.0,
+            dent_c in 0.0f64..1.0,
+            dent_s in 0.0f64..1.0,
+            dent_depth in 0.0f64..500.0,
+            strategy_bit in 0usize..2,
+        ) {
+            let cluster = ClusterConditions::two_dim(1.0..=max_c.floor(), 1.0..=max_s.floor(), 1.0, 1.0);
+            let (oc, os) = (1.0 + opt_c * (max_c - 1.0), 1.0 + opt_s * (max_s - 1.0));
+            let (dc, ds) = (1.0 + dent_c * (max_c - 1.0), 1.0 + dent_s * (max_s - 1.0));
+            let surface = move |r: &ResourceConfig| -> f64 {
+                let d1 = (r.containers() - oc).powi(2) + (r.container_size_gb() - os).powi(2);
+                let dd = ((r.containers() - dc).powi(2)
+                    + (r.container_size_gb() - ds).powi(2))
+                .sqrt();
+                d1 - (dent_depth * (2.0 - dd)).max(0.0)
+            };
+            let strategy = if strategy_bit == 0 {
+                SeedStrategy::Halton
+            } else {
+                SeedStrategy::CornersCentroid
+            };
+            let batched = hill_climb_multi_batched(&cluster, batch_of(surface), strategy);
+            for par in [Parallelism::Off, Parallelism::Threads(3)] {
+                let scalar = hill_climb_multi_with(&cluster, surface, par, strategy);
+                prop_assert_eq!(batched.config, scalar.config);
+                prop_assert_eq!(batched.cost.to_bits(), scalar.cost.to_bits());
+                prop_assert_eq!(batched.iterations, scalar.iterations);
+            }
+        }
     }
 }

@@ -339,6 +339,50 @@ mod tests {
         assert_eq!(out.cost.to_bits(), seq.cost.to_bits());
     }
 
+    /// Pin the exact iteration count — distinct configurations probed — on
+    /// a 1-D ridge with a known trajectory. `two_dim(1..=4, 1..=1)` with
+    /// cost `|containers − 3|`, start (1,1):
+    ///
+    /// * start eval (1,1)=2 .............................. 1 iteration
+    /// * round 1: dim 0 probes (2,1)=1 (the −1 step is out of bounds),
+    ///   dim 1 has no in-bounds probes .................... 1 iteration, step to (2,1)
+    /// * round 2: probes (1,1)=2 and (3,1)=0 ............. 2 iterations, step to (3,1)
+    /// * round 3: probes (2,1)=1 and (4,1)=1 — no strict
+    ///   improvement, terminate ........................... 2 iterations
+    ///
+    /// Total: 6 probes, optimum (3,1) at cost 0.
+    #[test]
+    fn hill_climb_iteration_count_pinned_on_ridge() {
+        let cluster = ClusterConditions::two_dim(1.0..=4.0, 1.0..=1.0, 1.0, 1.0);
+        let out = hill_climb(&cluster, cluster.min, |r| (r.containers() - 3.0).abs());
+        assert_eq!(out.config, ResourceConfig::containers_and_size(3.0, 1.0));
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.iterations, 6);
+    }
+
+    /// Same pin on a 2-D bowl where both dimensions step in one round.
+    /// `two_dim(1..=3, 1..=2)` with cost `(c−2)² + (s−2)²`, start (1,1):
+    ///
+    /// * start eval (1,1)=2 .............................. 1 iteration
+    /// * round 1: dim 0 probes (2,1)=1 → step; dim 1 probes
+    ///   (2,2)=0 → step ................................... 2 iterations, now (2,2)
+    /// * round 2: dim 0 probes (1,2)=1 and (3,2)=1; dim 1
+    ///   probes (2,1)=1 — no strict improvement, stop ..... 3 iterations
+    ///
+    /// Total: 6 probes, optimum (2,2) at cost 0. (The round-2 count also
+    /// pins the bounds rule: (2,3) is out of bounds and never probed.)
+    #[test]
+    fn hill_climb_iteration_count_pinned_on_bowl() {
+        let cluster = ClusterConditions::two_dim(1.0..=3.0, 1.0..=2.0, 1.0, 1.0);
+        let cost = |r: &ResourceConfig| {
+            (r.containers() - 2.0).powi(2) + (r.container_size_gb() - 2.0).powi(2)
+        };
+        let out = hill_climb(&cluster, cluster.min, cost);
+        assert_eq!(out.config, ResourceConfig::containers_and_size(2.0, 2.0));
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.iterations, 6);
+    }
+
     #[test]
     fn hill_climb_respects_non_unit_steps() {
         let cluster = ClusterConditions::two_dim(10.0..=100.0, 10.0..=100.0, 10.0, 10.0);

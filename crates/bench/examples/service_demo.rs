@@ -1,0 +1,19 @@
+//! Demo of the concurrent planning service: priority classes, per-class
+//! budgets, admission control, and graceful degradation under overload.
+//!
+//! ```text
+//! cargo run -p raqo-bench --example service_demo
+//! ```
+//!
+//! Starts a deliberately small `PlanningService` (2 workers, an 8-slot
+//! queue), floods it with a 32-request burst across three priority
+//! classes and four tenant namespaces, and prints what came back:
+//! admitted requests are planned on the worker pool under their class
+//! budget, shed requests are planned inline under a zero-evaluation
+//! budget and arrive annotated with the ladder rung that produced
+//! them. No request is refused. Same walkthrough as
+//! `repro --service-demo`.
+
+fn main() {
+    raqo_bench::throughput::service_demo();
+}

@@ -15,7 +15,7 @@
 //! ```
 
 use raqo_bench::experiments::{registry, timed};
-use raqo_bench::{speedup, Table};
+use raqo_bench::{speedup, throughput, Table};
 use raqo_catalog::{tpch::TpchSchema, QuerySpec};
 use raqo_core::{
     explain_analyze, Parallelism, PlannerKind, RaqoOptimizer, RaqoStats, ResourceStrategy,
@@ -489,6 +489,76 @@ fn simd_parity_smoke_gate() {
     );
 }
 
+/// `--smoke` concurrency gate: the threaded cache-bank stress harness (8
+/// threads of mixed insert/lookup/clear/save traffic on one sharded bank)
+/// must finish with no panics, no lost entries, and per-shard statistics
+/// that sum to the merged bank's; then a tiny overloaded
+/// [`raqo_core::PlanningService`] must answer every request — shed ones
+/// included — with a plan.
+fn concurrency_smoke_gate() {
+    use raqo_core::{PlanRequest, PlanningService, Priority, ServiceConfig};
+    use raqo_resource::ShardedCacheBank;
+
+    let (report, ms) = timed(|| {
+        let report = raqo_resource::concurrency_stress(8, 200)
+            .unwrap_or_else(|e| panic!("concurrency smoke: stress harness failed: {e}"));
+        assert!(report.clears > 0 && report.saves > 0, "stress never exercised clear/save");
+
+        // Overload a 1-worker, 2-slot service with a burst: every ticket
+        // must still resolve to a plan.
+        let schema = TpchSchema::new(1.0);
+        let model: &'static JoinCostModel =
+            Box::leak(Box::new(JoinCostModel::trained_hive()));
+        let service = PlanningService::start(
+            ServiceConfig { workers: 1, queue_capacity: 2, ..Default::default() },
+            ShardedCacheBank::with_shards(8),
+            Telemetry::disabled(),
+            |_| {
+                RaqoOptimizer::new(
+                    std::sync::Arc::new(schema.catalog.clone()),
+                    std::sync::Arc::new(schema.graph.clone()),
+                    model,
+                    ClusterConditions::paper_default(),
+                    PlannerKind::Selinger,
+                    ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                        threshold: 0.05,
+                    }),
+                )
+            },
+        );
+        let tickets: Vec<_> = (0..12)
+            .map(|i| {
+                service.submit(
+                    PlanRequest::new(QuerySpec::tpch_q3(), Priority::Standard)
+                        .with_namespace(i % 4),
+                )
+            })
+            .collect();
+        let mut shed = 0;
+        for ticket in tickets {
+            let reply = ticket.wait();
+            assert!(reply.plan.is_some(), "concurrency smoke: request went unplanned");
+            if reply.shed {
+                shed += 1;
+                assert!(
+                    reply.plan.as_ref().is_some_and(|p| p.degradation.is_some()),
+                    "concurrency smoke: shed plan lacks a degradation report"
+                );
+            }
+        }
+        assert!(shed > 0, "concurrency smoke: a 2-slot queue under a 12-burst must shed");
+        report
+    });
+    println!(
+        "concurr.  ok  {ms:>8.0} ms  {} threads x {} ops over {} shards, {} entries settled; \
+         overloaded service answered every ticket",
+        report.threads,
+        report.ops,
+        report.shards,
+        report.entries
+    );
+}
+
 /// `--chaos` gate: deterministic fault injection plus planning budgets must
 /// never leave the optimizer without a plan. Exercises every rung of the
 /// graceful-degradation ladder (undegraded, randomized, rule-based), cost
@@ -645,6 +715,7 @@ fn main() {
     let all = args.iter().any(|a| a == "--all");
     let smoke = args.iter().any(|a| a == "--smoke");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let service_demo = args.iter().any(|a| a == "--service-demo");
     let bench_json = args.iter().position(|a| a == "--bench-json");
     let cache_file = args
         .iter()
@@ -747,9 +818,27 @@ fn main() {
                 p.shape, p.tables, p.wall_ms, p.plan_cost, p.joins, p.bridged
             );
         }
+        throughput::table(&report.throughput).print();
+        println!(
+            "service throughput: {:.2}x sharded over single-lock at 8 workers \
+             ({} warm entries, checkpoint every {} plans)",
+            report.throughput.speedup_at_max_workers,
+            report.throughput.warm_entries,
+            report.throughput.checkpoint_every
+        );
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote planner bench report to {path}");
+        // Regression gate: a sharded service slower than the single-lock
+        // baseline means the sharding layer itself regressed.
+        if report.throughput.speedup_at_max_workers < 1.0 {
+            eprintln!(
+                "FAIL: sharded plans/sec fell below the single-lock baseline \
+                 ({:.2}x)",
+                report.throughput.speedup_at_max_workers
+            );
+            std::process::exit(1);
+        }
         return;
     }
 
@@ -766,6 +855,7 @@ fn main() {
         idp_smoke_gate();
         simd_parity_smoke_gate();
         telemetry_smoke_gate();
+        concurrency_smoke_gate();
         chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
         return;
@@ -776,6 +866,15 @@ fn main() {
         return;
     }
 
+    // Walkthrough of the planning service: priority classes, admission
+    // control, and degradation under overload.
+    if service_demo {
+        let (admitted, shed) = throughput::service_demo();
+        assert!(admitted > 0, "service demo admitted nothing");
+        assert!(shed > 0, "an 8-slot queue under a 32-burst must shed");
+        return;
+    }
+
     if list || (!all && fig.is_none()) {
         println!("Available experiments (run with --fig <id> or --all):");
         for e in &experiments {
@@ -783,6 +882,7 @@ fn main() {
         }
         println!("  --smoke      every figure at tiny sizes (CI fast path)");
         println!("  --chaos      fault-injection gate: degradation ladder + recovery paths");
+        println!("  --service-demo  planning service under overload: priorities + degradation");
         println!("  --bench-json planner speedup benchmark -> BENCH_planner.json");
         println!("  --cache-file <path>  TPC-H sweep warm-started from a persisted cache");
         println!("  --trace <file>       traced TPC-H sweep: EXPLAIN ANALYZE + span trees -> file");

@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod report;
 pub mod speedup;
+pub mod throughput;
 
 pub use report::{Cell, Table};
 

@@ -63,6 +63,9 @@ pub struct PlannerBenchReport {
     /// Multi-start hill climbing: per-seed climbs vs the lock-step batched
     /// climber that fuses each round's neighborhood into one batch call.
     pub climb: ClimbSeries,
+    /// The concurrent planning service under a bursty open-loop workload:
+    /// single-lock vs sharded cache banks at 1/4/8 workers.
+    pub throughput: crate::throughput::ThroughputSeries,
 }
 
 /// Scalar fold vs dispatching batch kernel over the full resource grid.
@@ -380,6 +383,7 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         idp: measure_idp(quick),
         cost_kernel: measure_cost_kernel(quick),
         climb: measure_climb(quick),
+        throughput: crate::throughput::measure(quick),
     }
 }
 

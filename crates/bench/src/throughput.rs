@@ -1,0 +1,410 @@
+//! Concurrent planning throughput: the service-loop benchmark behind the
+//! `throughput` series of `BENCH_planner.json`.
+//!
+//! A bursty open-loop workload — Poisson arrivals across 16 tenant
+//! namespaces — is pushed through a [`PlanningService`] twice: once with
+//! the cache bank collapsed to a single shard (the old single-lock
+//! `SharedCacheBank` topology) and once sharded 16 ways, at 1/4/8
+//! workers each. The service checkpoints the shared bank every
+//! [`CHECKPOINT_EVERY`] completed plans, which is where the topologies
+//! part ways: a 1-shard bank re-renders **every** cached entry whenever
+//! anything changed, while the sharded bank re-renders only the shards
+//! the interval actually dirtied. One request in eight arrives from a
+//! fresh tenant (a cold namespace, so it misses and inserts — the
+//! "~10 % fresh-size misses" of a real multi-tenant mix), keeping the
+//! bank perpetually slightly dirty the way live traffic does.
+//!
+//! Reported per configuration: plans per second (admitted requests over
+//! wall-clock from first arrival to last reply) and p50/p99 queue wait,
+//! computed with the same nearest-rank [`raqo_sim::percentile`] the
+//! queue simulator uses. The headline is `speedup_at_max_workers`:
+//! sharded plans/sec over single-lock plans/sec at 8 workers, gated ≥ 1
+//! by `repro --bench-json`.
+
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::QuerySpec;
+use raqo_core::{
+    PlanRequest, PlannerKind, PlanningService, Priority, RaqoOptimizer, ResourceStrategy,
+    ServiceConfig, ServiceReply,
+};
+use raqo_cost::JoinCostModel;
+use raqo_resource::{
+    CacheLookup, ClusterConditions, PlanningBudget, ResourceConfig, ShardedCacheBank,
+};
+use raqo_sim::percentile;
+use raqo_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Tenants in the steady-state mix (cache namespaces 0..16).
+pub const TENANTS: u32 = 16;
+/// Checkpoint cadence, in completed plans.
+pub const CHECKPOINT_EVERY: u64 = 8;
+/// Every `FRESH_EVERY`-th request arrives from a brand-new namespace.
+pub const FRESH_EVERY: usize = 8;
+
+/// One (topology, worker-count) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputPoint {
+    /// `"single_lock"` (1 shard) or `"sharded"`.
+    pub mode: String,
+    pub shards: usize,
+    pub workers: usize,
+    pub requests: usize,
+    /// Requests shed by admission control (0 here: the bench sizes the
+    /// queue to hold the whole burst so both topologies do equal work).
+    pub shed: u64,
+    /// First arrival to last reply.
+    pub wall_ms: f64,
+    pub plans_per_sec: f64,
+    pub p50_queue_wait_us: f64,
+    pub p99_queue_wait_us: f64,
+    /// Checkpoints the service actually wrote during the run.
+    pub checkpoints: u64,
+}
+
+/// The full series serialized into `BENCH_planner.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputSeries {
+    pub workload: String,
+    /// Poisson arrival rate driving the open loop.
+    pub arrival_rate_per_sec: f64,
+    pub tenants: u32,
+    /// Entries pre-warmed into the bank before the burst.
+    pub warm_entries: usize,
+    pub checkpoint_every: u64,
+    pub points: Vec<ThroughputPoint>,
+    /// sharded plans/sec over single-lock plans/sec at the largest
+    /// worker count.
+    pub speedup_at_max_workers: f64,
+}
+
+fn model() -> &'static JoinCostModel {
+    static MODEL: OnceLock<JoinCostModel> = OnceLock::new();
+    MODEL.get_or_init(JoinCostModel::trained_hive)
+}
+
+fn schema() -> &'static TpchSchema {
+    static SCHEMA: OnceLock<TpchSchema> = OnceLock::new();
+    SCHEMA.get_or_init(|| TpchSchema::new(1.0))
+}
+
+fn build_optimizer(_worker: usize) -> RaqoOptimizer<'static, JoinCostModel> {
+    let schema = schema();
+    RaqoOptimizer::new(
+        Arc::new(schema.catalog.clone()),
+        Arc::new(schema.graph.clone()),
+        model(),
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.05 }),
+    )
+}
+
+/// Pre-warm a bank the way a long-lived service accumulates state: both
+/// join implementations for every steady-state tenant, `keys_per_cache`
+/// distinct sizes each. The payload is what makes single-lock
+/// checkpoints expensive — every one of these entries re-renders when
+/// the lone shard is dirty.
+fn warm_bank(shards: usize, keys_per_cache: usize) -> ShardedCacheBank {
+    let bank = ShardedCacheBank::with_shards(shards);
+    for ns in 0..TENANTS {
+        for impl_id in 0..2u32 {
+            let model_id = (ns << 1) | impl_id;
+            for k in 0..keys_per_cache {
+                bank.insert(
+                    model_id,
+                    0,
+                    16.0 + k as f64,
+                    ResourceConfig::containers_and_size(
+                        1.0 + (k % 40) as f64,
+                        1.0 + (impl_id + ns % 7) as f64,
+                    ),
+                );
+            }
+        }
+    }
+    bank
+}
+
+/// Deterministic Poisson arrival offsets (seconds) via inverse-CDF
+/// exponential inter-arrivals.
+fn poisson_arrivals(n: usize, rate_per_sec: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() / rate_per_sec;
+            t
+        })
+        .collect()
+}
+
+fn run_point(
+    mode: &str,
+    shards: usize,
+    workers: usize,
+    requests: usize,
+    keys_per_cache: usize,
+    rate_per_sec: f64,
+) -> (ThroughputPoint, usize) {
+    let bank = warm_bank(shards, keys_per_cache);
+    let warm_entries = bank.total_entries();
+    let ckpt_path = std::env::temp_dir().join(format!(
+        "raqo_throughput_{}_{}_{}_{}.json",
+        std::process::id(),
+        mode,
+        shards,
+        workers
+    ));
+    let service = PlanningService::start(
+        ServiceConfig {
+            workers,
+            // Hold the entire burst: both topologies then plan the same
+            // request set and the comparison is pure service time.
+            queue_capacity: requests,
+            budgets: [
+                PlanningBudget::unlimited(),
+                PlanningBudget::unlimited(),
+                PlanningBudget::unlimited(),
+            ],
+            checkpoint_every: CHECKPOINT_EVERY,
+            checkpoint_path: Some(ckpt_path.clone()),
+            model_fingerprint: Some(model().fingerprint()),
+        },
+        bank,
+        Telemetry::disabled(),
+        build_optimizer,
+    );
+
+    let arrivals = poisson_arrivals(requests, rate_per_sec, 0x7082_0011 + workers as u64);
+    let query = QuerySpec::tpch_q3();
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    let mut fresh = TENANTS;
+    for (i, &at) in arrivals.iter().enumerate() {
+        let due = Duration::from_secs_f64(at);
+        let now = start.elapsed();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        // One request in FRESH_EVERY comes from a tenant the bank has
+        // never seen: a guaranteed miss-and-insert that dirties a shard.
+        let ns = if i % FRESH_EVERY == FRESH_EVERY - 1 {
+            fresh += 1;
+            fresh
+        } else {
+            i as u32 % TENANTS
+        };
+        let priority = Priority::ALL[i % Priority::ALL.len()];
+        tickets.push(service.submit(PlanRequest::new(query.clone(), priority).with_namespace(ns)));
+    }
+    let replies: Vec<ServiceReply> = tickets.into_iter().map(|t| t.wait()).collect();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert!(replies.iter().all(|r| r.plan.is_some()), "throughput: a request went unplanned");
+    let shed = replies.iter().filter(|r| r.shed).count() as u64;
+    let waits: Vec<f64> =
+        replies.iter().filter(|r| !r.shed).map(|r| r.queue_wait_us as f64).collect();
+    let checkpoints = service.completed() / CHECKPOINT_EVERY;
+    drop(service);
+    std::fs::remove_file(&ckpt_path).ok();
+
+    (
+        ThroughputPoint {
+            mode: mode.into(),
+            shards,
+            workers,
+            requests,
+            shed,
+            wall_ms,
+            plans_per_sec: requests as f64 / (wall_ms / 1e3).max(1e-9),
+            p50_queue_wait_us: percentile(&waits, 50.0),
+            p99_queue_wait_us: percentile(&waits, 99.0),
+            checkpoints,
+        },
+        warm_entries,
+    )
+}
+
+/// Measure the throughput series (see [`ThroughputSeries`]).
+pub fn measure(quick: bool) -> ThroughputSeries {
+    // The arrival rate is set well above either topology's service
+    // capacity so the open loop saturates both: measured plans/sec is
+    // then the service's capacity, not the arrival process.
+    let (requests, keys_per_cache, rate) =
+        if quick { (192, 320, 16000.0) } else { (480, 640, 16000.0) };
+    let worker_counts = [1usize, 4, 8];
+    let topologies: [(&str, usize); 2] = [("single_lock", 1), ("sharded", 16)];
+
+    let mut points = Vec::new();
+    let mut warm_entries = 0;
+    for (mode, shards) in topologies {
+        for workers in worker_counts {
+            let (point, warm) = run_point(mode, shards, workers, requests, keys_per_cache, rate);
+            warm_entries = warm;
+            points.push(point);
+        }
+    }
+
+    let max_workers = *worker_counts.last().expect("non-empty");
+    let pps = |mode: &str| {
+        points
+            .iter()
+            .find(|p| p.mode == mode && p.workers == max_workers)
+            .map(|p| p.plans_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_at_max_workers = pps("sharded") / pps("single_lock").max(1e-9);
+    ThroughputSeries {
+        workload: format!(
+            "Poisson open loop, {requests} requests over {TENANTS} tenants \
+             (1 in {FRESH_EVERY} from a fresh namespace), TPC-H Q3, \
+             checkpoint every {CHECKPOINT_EVERY} plans"
+        ),
+        arrival_rate_per_sec: rate,
+        tenants: TENANTS,
+        warm_entries,
+        checkpoint_every: CHECKPOINT_EVERY,
+        points,
+        speedup_at_max_workers,
+    }
+}
+
+/// The `--service-demo` / `examples/service_demo` walkthrough: a
+/// deliberately small service (2 workers, an 8-slot queue) under a
+/// 32-request burst across all three priority classes and four tenant
+/// namespaces. Admitted requests plan on the pool under their class
+/// budget; shed requests come back inline, annotated with the ladder
+/// rung that produced them. Prints every reply; returns
+/// `(admitted, shed)`.
+pub fn service_demo() -> (u64, u64) {
+    use raqo_telemetry::{Counter, Gauge};
+
+    let tel = Telemetry::enabled();
+    let bank = ShardedCacheBank::new();
+    println!(
+        "starting 2-worker service, 8-slot queue, {}-shard cache bank\n",
+        bank.shard_count()
+    );
+    let service = PlanningService::start(
+        ServiceConfig { workers: 2, queue_capacity: 8, ..Default::default() },
+        bank.clone(),
+        tel.clone(),
+        build_optimizer,
+    );
+
+    let queries = [
+        ("Q2", QuerySpec::tpch_q2()),
+        ("Q3", QuerySpec::tpch_q3()),
+        ("Q12", QuerySpec::tpch_q12()),
+    ];
+    let tickets: Vec<_> = (0..32)
+        .map(|i| {
+            let (name, query) = &queries[i % queries.len()];
+            let priority = Priority::ALL[i % Priority::ALL.len()];
+            let namespace = (i % 4) as u32;
+            let ticket = service
+                .submit(PlanRequest::new(query.clone(), priority).with_namespace(namespace));
+            (*name, priority, namespace, ticket)
+        })
+        .collect();
+
+    for (name, priority, namespace, ticket) in tickets {
+        let reply = ticket.wait();
+        let plan = reply.plan.expect("the service always answers with a plan");
+        let how = if reply.shed {
+            let d = plan.degradation.expect("shed plans are annotated");
+            format!("SHED -> inline rung {} ({})", d.rung, d.trigger)
+        } else {
+            format!("queued {:>6} us", reply.queue_wait_us)
+        };
+        println!(
+            "  {name:>4} tenant {namespace} {priority:<12?} cost {:>12.3}  {how}",
+            plan.query.cost
+        );
+    }
+
+    let snap = tel.snapshot().expect("enabled");
+    let (admitted, shed) =
+        (snap.get(Counter::ServiceAdmitted), snap.get(Counter::ServiceShed));
+    println!(
+        "\nadmitted {admitted} / shed {shed} / completed {}; queue depth now {}; \
+         {} cache entries across {} shards",
+        snap.get(Counter::ServiceCompleted),
+        snap.gauge(Gauge::ServiceQueueDepth),
+        bank.total_entries(),
+        bank.shard_count()
+    );
+    drop(service);
+    (admitted, shed)
+}
+
+/// Render the series as a printable [`crate::Table`].
+pub fn table(series: &ThroughputSeries) -> crate::Table {
+    let mut t = crate::Table::new(
+        format!("Planning-service throughput — {}", series.workload),
+        &[
+            "mode",
+            "shards",
+            "workers",
+            "plans/sec",
+            "p50 wait (us)",
+            "p99 wait (us)",
+            "checkpoints",
+        ],
+    );
+    for p in &series.points {
+        t.row(vec![
+            p.mode.clone().into(),
+            (p.shards as u64).into(),
+            (p.workers as u64).into(),
+            p.plans_per_sec.into(),
+            p.p50_queue_wait_us.into(),
+            p.p99_queue_wait_us.into(),
+            p.checkpoints.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_banks_beat_the_single_lock_at_full_fanout() {
+        let _serial = crate::timing_lock();
+        let series = measure(true);
+        assert_eq!(series.points.len(), 6);
+        for p in &series.points {
+            assert_eq!(p.shed, 0, "the bench queue must hold the whole burst: {p:?}");
+            assert!(p.plans_per_sec > 0.0, "{p:?}");
+            assert!(p.checkpoints > 0, "the service never checkpointed: {p:?}");
+            assert!(
+                p.p99_queue_wait_us >= p.p50_queue_wait_us,
+                "percentiles out of order: {p:?}"
+            );
+        }
+        // The acceptance bar: sharded ≥ 2× single-lock plans/sec at 8
+        // workers on the quick workload already.
+        assert!(
+            series.speedup_at_max_workers >= 2.0,
+            "throughput speedup {:.2}x below the 2x bar: {series:?}",
+            series.speedup_at_max_workers
+        );
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotone_and_rate_matched() {
+        let arrivals = poisson_arrivals(4000, 1000.0, 7);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let span = arrivals.last().unwrap() - arrivals[0];
+        // 4000 arrivals at 1000/s span ~4 s; allow generous sampling slack.
+        assert!((2.0..8.0).contains(&span), "span {span}");
+    }
+}

@@ -131,7 +131,7 @@ pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry
         }
         if snap.get(Counter::MemoHits) + snap.get(Counter::MemoMisses) > 0 {
             out.push_str(&format!(
-                "  sub-plan memo: {} hits, {} misses, {} evictions\n",
+                "  sub-plan memo: {} hits, {} misses, {} context evictions\n",
                 snap.get(Counter::MemoHits),
                 snap.get(Counter::MemoMisses),
                 snap.get(Counter::MemoEvictions),

@@ -29,6 +29,7 @@ pub mod optimizer;
 pub(crate) mod probes;
 pub mod raqo_coster;
 pub mod rule_based;
+pub mod service;
 pub mod shared;
 
 pub use adaptive::plan_to_job;
@@ -39,7 +40,10 @@ pub use optimizer::{
 };
 pub use raqo_coster::{Objective, RaqoCoster, RaqoStats, ResourceStrategy};
 pub use raqo_resource::{
-    BudgetTracker, BudgetTrigger, Parallelism, PlanningBudget, SharedCacheBank,
+    BudgetTracker, BudgetTrigger, Parallelism, PlanningBudget, ShardedCacheBank, SharedCacheBank,
+};
+pub use service::{
+    PlanRequest, PlanTicket, PlanningService, Priority, ServiceConfig, ServiceReply,
 };
 pub use raqo_telemetry::{
     Counter, Hist, MetricsRegistry, MetricsSnapshot, SpanRecord, Telemetry,

@@ -355,6 +355,24 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
         self.coster.share_cache(bank);
     }
 
+    /// Route the resource-plan cache through a sharded bank shared with
+    /// other optimizers — the concurrent planning service's mode (each
+    /// (namespace, implementation) pair locks only its own shard).
+    pub fn share_sharded_cache(&mut self, bank: raqo_resource::ShardedCacheBank) {
+        self.coster.share_sharded_cache(bank);
+    }
+
+    /// The sharded cache-bank handle, when one is installed.
+    pub fn sharded_cache(&self) -> Option<raqo_resource::ShardedCacheBank> {
+        self.coster.sharded_cache()
+    }
+
+    /// Tenant/workload namespace folded into cache keys; 0 (the default)
+    /// is the historical single-tenant id space.
+    pub fn set_cache_namespace(&mut self, namespace: u32) {
+        self.coster.set_cache_namespace(namespace);
+    }
+
     /// Adaptive RAQO: cluster conditions changed; re-optimize against the
     /// new bounds.
     pub fn set_cluster(&mut self, cluster: ClusterConditions) {

@@ -23,7 +23,7 @@ use raqo_resource::{
     brute_force_parallel_batch_traced, brute_force_parallel_traced, hill_climb,
     hill_climb_multi_batched_traced, hill_climb_multi_with_traced, BudgetTracker, CacheLookup,
     CacheStats, ClusterConditions, Parallelism, PlanningOutcome, ResourceConfig, SeedStrategy,
-    SharedCacheBank,
+    SharedCacheBank, ShardedCacheBank,
 };
 use raqo_sim::engine::JoinImpl;
 use raqo_telemetry::{Counter, Hist, MetricsSnapshot, Telemetry};
@@ -139,6 +139,14 @@ fn impl_cache_id(join: JoinImpl) -> u32 {
     }
 }
 
+/// Cache-bank model key: the tenant/workload namespace in the high bits,
+/// the implementation id in the low bit. Namespace 0 yields exactly the
+/// historical ids 0/1, so single-tenant runs are bit-identical to builds
+/// without namespaces.
+fn model_key(namespace: u32, join: JoinImpl) -> u32 {
+    (namespace << 1) | impl_cache_id(join)
+}
+
 /// Operator kind inside the cache bank; only joins for now ("a single join
 /// operator for now", §VI-B), scans pipeline into them.
 const OP_JOIN: u32 = 0;
@@ -178,6 +186,14 @@ pub struct RaqoCoster<'a, M: OperatorCost> {
     /// optimizer installs a fresh limited tracker per `optimize` call.
     pub budget: Arc<BudgetTracker>,
     cache: SharedCacheBank,
+    /// When set, cache lookups and inserts route through this sharded bank
+    /// instead of the single-lock `cache` — the planning service installs
+    /// one bank here for every worker. `None` (the default) keeps the
+    /// historical single-lock behaviour bit for bit.
+    sharded: Option<ShardedCacheBank>,
+    /// Tenant/workload namespace folded into the cache-bank model key (see
+    /// [`model_key`]); 0 is the historical single-tenant id space.
+    cache_namespace: u32,
 }
 
 impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
@@ -198,6 +214,8 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             telemetry: Telemetry::disabled(),
             budget: Arc::new(BudgetTracker::unlimited()),
             cache: SharedCacheBank::new(),
+            sharded: None,
+            cache_namespace: 0,
         }
     }
 
@@ -220,15 +238,35 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
     }
 
 
+    /// Builder form of setting the tenant/workload cache namespace (see
+    /// [`model_key`]). Namespace 0 — the default — is the historical
+    /// single-tenant id space.
+    pub fn with_cache_namespace(mut self, namespace: u32) -> Self {
+        self.cache_namespace = namespace;
+        self
+    }
+
+    /// Switch the tenant/workload cache namespace (the planning service
+    /// sets this per request).
+    pub fn set_cache_namespace(&mut self, namespace: u32) {
+        self.cache_namespace = namespace;
+    }
+
     /// Clear the resource-plan cache (the evaluation clears it between
     /// queries unless across-query caching is under test, §VII).
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        match &self.sharded {
+            Some(bank) => bank.clear(),
+            None => self.cache.clear(),
+        }
     }
 
     /// Aggregate cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.aggregate_stats()
+        match &self.sharded {
+            Some(bank) => bank.aggregate_stats(),
+            None => self.cache.aggregate_stats(),
+        }
     }
 
     /// A handle onto this coster's resource-plan cache. Clones share state,
@@ -239,9 +277,24 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
     }
 
     /// Adopt `bank` as this coster's resource-plan cache (e.g. one warmed
-    /// by earlier queries or shared with concurrent costers).
+    /// by earlier queries or shared with concurrent costers). Clears any
+    /// sharded bank installed earlier — the two routes are exclusive.
     pub fn share_cache(&mut self, bank: SharedCacheBank) {
         self.cache = bank;
+        self.sharded = None;
+    }
+
+    /// Route this coster's cache traffic through a [`ShardedCacheBank`]
+    /// shared with other costers — the concurrent planning service's mode:
+    /// every worker holds a handle onto one bank, each (namespace,
+    /// implementation) pair locking only its own shard.
+    pub fn share_sharded_cache(&mut self, bank: ShardedCacheBank) {
+        self.sharded = Some(bank);
+    }
+
+    /// The sharded bank handle, when one is installed.
+    pub fn sharded_cache(&self) -> Option<ShardedCacheBank> {
+        self.sharded.clone()
     }
 
     /// Reset counters (the cache is kept).
@@ -271,6 +324,8 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoCoster<'a, M> {
             parallelism: self.parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            sharded: self.sharded.as_ref(),
+            cache_namespace: self.cache_namespace,
             tel: &self.telemetry,
             budget: &self.budget,
         };
@@ -291,6 +346,8 @@ struct CostCtx<'c, M> {
     parallelism: Parallelism,
     use_batch: bool,
     cache: &'c SharedCacheBank,
+    sharded: Option<&'c ShardedCacheBank>,
+    cache_namespace: u32,
     /// Shared with every fan-out worker: counters are atomic, and spans
     /// opened on worker threads become roots of their own sub-trees.
     tel: &'c Telemetry,
@@ -462,9 +519,13 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                         ("cache.lookup.weighted", Counter::CacheHitsWeighted)
                     }
                 };
+                let model_id = model_key(self.cache_namespace, join);
                 let cached = {
                     let _lookup = tel.span(lookup_span);
-                    self.cache.lookup(impl_cache_id(join), OP_JOIN, io.build_gb, lookup)
+                    match self.sharded {
+                        Some(bank) => bank.lookup(model_id, OP_JOIN, io.build_gb, lookup),
+                        None => self.cache.lookup(model_id, OP_JOIN, io.build_gb, lookup),
+                    }
                 };
                 if let Some(cached) = cached {
                     // Cached configurations may come from interpolation or
@@ -485,7 +546,14 @@ impl<M: OperatorCost + Send + Sync> CostCtx<'_, M> {
                     let start = self.feasible_start(join, io)?;
                     let out = hill_climb(self.cluster, start, cost_fn);
                     if out.cost.is_finite() {
-                        self.cache.insert(impl_cache_id(join), OP_JOIN, io.build_gb, out.config);
+                        match self.sharded {
+                            Some(bank) => {
+                                bank.insert(model_id, OP_JOIN, io.build_gb, out.config)
+                            }
+                            None => {
+                                self.cache.insert(model_id, OP_JOIN, io.build_gb, out.config)
+                            }
+                        }
                     }
                     out
                 }
@@ -607,6 +675,8 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             parallelism: self.parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            sharded: self.sharded.as_ref(),
+            cache_namespace: self.cache_namespace,
             tel: &self.telemetry,
             budget: &self.budget,
         };
@@ -649,6 +719,8 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
             parallelism: worker_parallelism,
             use_batch: self.use_batch,
             cache: &self.cache,
+            sharded: self.sharded.as_ref(),
+            cache_namespace: self.cache_namespace,
             tel: &self.telemetry,
             budget: &self.budget,
         };
@@ -915,6 +987,53 @@ mod tests {
         b.join_cost(&io(2.0, 40.0)).unwrap();
         assert_eq!(b.stats.cache_hits, 2, "SMJ + BHJ both warm");
         assert!(b.stats.resource_iterations <= 4);
+    }
+
+    #[test]
+    fn sharded_cache_route_matches_single_lock_route() {
+        for lookup in [
+            CacheLookup::Exact,
+            CacheLookup::NearestNeighbor { threshold: 0.1 },
+            CacheLookup::WeightedAverage { threshold: 1.0 },
+        ] {
+            let ios = [io(2.0, 40.0), io(2.05, 40.0), io(3.0, 40.0), io(2.5, 40.0)];
+            let mut single = coster(ResourceStrategy::HillClimbCached(lookup));
+            let single_d: Vec<_> = ios.iter().map(|i| single.join_cost(i)).collect();
+            let mut sharded = coster(ResourceStrategy::HillClimbCached(lookup));
+            sharded.share_sharded_cache(ShardedCacheBank::with_shards(8));
+            let sharded_d: Vec<_> = ios.iter().map(|i| sharded.join_cost(i)).collect();
+            assert_eq!(single_d, sharded_d, "{lookup:?}");
+            assert_eq!(single.stats, sharded.stats, "{lookup:?}");
+            assert_eq!(single.cache_stats(), sharded.cache_stats(), "{lookup:?}");
+        }
+    }
+
+    #[test]
+    fn cache_namespaces_isolate_tenants_on_one_bank() {
+        let bank = ShardedCacheBank::with_shards(8);
+        let mut a = coster(ResourceStrategy::HillClimbCached(CacheLookup::Exact))
+            .with_cache_namespace(1);
+        a.share_sharded_cache(bank.clone());
+        let mut b = coster(ResourceStrategy::HillClimbCached(CacheLookup::Exact))
+            .with_cache_namespace(2);
+        b.share_sharded_cache(bank.clone());
+        a.join_cost(&io(2.0, 40.0)).unwrap();
+        // Same data characteristics under a different namespace: cold.
+        b.join_cost(&io(2.0, 40.0)).unwrap();
+        assert_eq!(b.stats.cache_hits, 0, "tenant b must not see tenant a's entries");
+        // Each tenant re-planned both implementations onto the shared bank.
+        assert_eq!(bank.total_entries(), 4);
+        // Re-running tenant a now hits its own warm namespace.
+        a.join_cost(&io(2.0, 40.0)).unwrap();
+        assert_eq!(a.stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn namespace_zero_uses_historical_model_ids() {
+        assert_eq!(model_key(0, JoinImpl::SortMerge), 0);
+        assert_eq!(model_key(0, JoinImpl::BroadcastHash), 1);
+        assert_eq!(model_key(3, JoinImpl::SortMerge), 6);
+        assert_eq!(model_key(3, JoinImpl::BroadcastHash), 7);
     }
 
     #[test]

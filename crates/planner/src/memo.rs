@@ -135,11 +135,20 @@ impl CostMemo {
         }
         self.lru.retain(|&c| c != context);
         self.lru.push(context);
+        self.evict_overflow();
+    }
+
+    /// Drop least-recent contexts until the window fits. Each victim
+    /// context bumps [`CostMemo::evictions`] exactly once, however many
+    /// entries it held: per-entry counts depend on how writes interleave
+    /// when several callers rotate contexts on a shared memo, while the
+    /// number of rotated-out contexts is a pure function of the rotation
+    /// sequence, so the counter stays deterministic.
+    fn evict_overflow(&mut self) {
         while self.lru.len() > self.max_contexts {
             let victim = self.lru.remove(0);
-            let before = self.entries.len();
             self.entries.retain(|k, _| k.2 != victim);
-            self.evictions += (before - self.entries.len()) as u64;
+            self.evictions += 1;
         }
     }
 
@@ -162,15 +171,13 @@ impl CostMemo {
         let current = self.context;
         self.lru.retain(|&c| c != current);
         self.lru.push(current);
-        while self.lru.len() > self.max_contexts {
-            let victim = self.lru.remove(0);
-            let before = self.entries.len();
-            self.entries.retain(|k, _| k.2 != victim);
-            self.evictions += (before - self.entries.len()) as u64;
-        }
+        self.evict_overflow();
     }
 
-    /// Entries evicted by the context LRU so far.
+    /// Contexts evicted by the LRU so far. Counted once per evicted
+    /// context (not per entry), so the value is stable when concurrent
+    /// callers share a memo behind a lock and interleave context
+    /// rotations with inserts.
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
@@ -447,7 +454,7 @@ mod tests {
         assert_eq!(memo.len(), 4);
         assert_eq!(memo.evictions(), 0);
         memo.set_context(2);
-        assert_eq!(memo.evictions(), 2, "context 0's two entries evicted");
+        assert_eq!(memo.evictions(), 1, "context 0 evicted, counted once");
         assert_eq!(memo.len(), 2);
         assert_eq!(memo.live_contexts(), 2);
 
@@ -498,7 +505,53 @@ mod tests {
         assert_eq!(memo.live_contexts(), 1);
         assert_eq!(memo.context(), 3, "current context survives the shrink");
         assert_eq!(memo.len(), 1);
-        assert_eq!(memo.evictions(), 3);
+        assert_eq!(memo.evictions(), 3, "three contexts rotated out");
+    }
+
+    #[test]
+    fn eviction_accounting_is_stable_under_concurrent_callers() {
+        // Several threads share one memo behind a lock (the service
+        // pattern), each rotating through its own context ids while
+        // inserting entries. Per-entry eviction counts would depend on
+        // how the rotations interleave — a victim context holds however
+        // many entries happened to land in it before it aged out. Counted
+        // once per evicted context the total is a pure function of the
+        // rotation sequence: distinct contexts touched minus those still
+        // live, whatever the interleaving.
+        use std::sync::{Arc, Mutex};
+        let schema = TpchSchema::new(1.0);
+        let model = SimOracleCost::hive();
+        let rels = [table::CUSTOMER, table::ORDERS, table::LINEITEM];
+        let tree = PlanTree::left_deep(&rels);
+        let memo = Arc::new(Mutex::new(CostMemo::new(&rels)));
+        const WINDOW: usize = 2;
+        memo.lock().unwrap().set_max_contexts(WINDOW);
+
+        const THREADS: u64 = 4;
+        const ROUNDS: u64 = 16;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let memo = Arc::clone(&memo);
+                let est = CardinalityEstimator::new(&schema.catalog, &schema.graph);
+                let model = &model;
+                let tree = &tree;
+                scope.spawn(move || {
+                    let mut coster = FixedResourceCoster::new(model, 10.0, 4.0);
+                    for i in 0..ROUNDS {
+                        let mut m = memo.lock().unwrap();
+                        m.set_context(1 + t * ROUNDS + i);
+                        cost_tree_memo(tree, &est, &mut coster, &mut m).unwrap();
+                    }
+                });
+            }
+        });
+
+        let m = memo.lock().unwrap();
+        // Distinct contexts pushed: the default 0 plus THREADS*ROUNDS
+        // thread-owned ids; WINDOW of them are still live.
+        let touched = 1 + THREADS * ROUNDS;
+        assert_eq!(m.live_contexts(), WINDOW);
+        assert_eq!(m.evictions(), touched - WINDOW as u64);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub mod persist;
 pub mod planner;
 pub(crate) mod probes;
 pub mod shared;
+pub mod sharded;
+pub mod stress;
 
 pub use budget::{BudgetTracker, BudgetTrigger, PlanningBudget, DEADLINE_CHECK_EVERY};
 pub use cache::{CacheBank, CacheLookup, CacheStats, ResourcePlanCache};
@@ -47,3 +49,5 @@ pub use parallel::{
 pub use persist::PersistError;
 pub use planner::{brute_force, brute_force_batch, hill_climb, PlanningOutcome, BATCH_CHUNK};
 pub use shared::SharedCacheBank;
+pub use sharded::ShardedCacheBank;
+pub use stress::{concurrency_stress, StressReport};

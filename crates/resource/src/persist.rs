@@ -99,36 +99,73 @@ pub fn bank_to_json(bank: &CacheBank) -> String {
 /// as good as the model that priced them — a stamped file is invalidated
 /// on load when the model has retrained (fingerprint mismatch).
 pub fn bank_to_json_with(bank: &CacheBank, model_fingerprint: Option<u64>) -> String {
-    let caches: Vec<Value> = bank
+    document_from_fragments(std::slice::from_ref(&caches_fragment(bank)), model_fingerprint)
+}
+
+/// One member cache as its `caches[]` array element.
+fn cache_value(model: u32, operator: u32, cache: &ResourcePlanCache) -> Value {
+    let entries: Vec<Value> = cache
+        .entries()
         .iter()
-        .map(|(&(model, operator), cache)| {
-            let entries: Vec<Value> = cache
-                .entries()
-                .iter()
-                .map(|(key, cfg)| {
-                    let coords: Vec<Value> =
-                        (0..cfg.dims()).map(|i| Value::Num(cfg.get(i))).collect();
-                    Value::Array(vec![Value::Num(*key), Value::Array(coords)])
-                })
-                .collect();
-            Value::Object(vec![
-                ("model".to_string(), Value::Num(model as f64)),
-                ("operator".to_string(), Value::Num(operator as f64)),
-                ("entries".to_string(), Value::Array(entries)),
-            ])
+        .map(|(key, cfg)| {
+            let coords: Vec<Value> = (0..cfg.dims()).map(|i| Value::Num(cfg.get(i))).collect();
+            Value::Array(vec![Value::Num(*key), Value::Array(coords)])
         })
         .collect();
-    let mut header = vec![("version".to_string(), Value::Num(FORMAT_VERSION as f64))];
+    Value::Object(vec![
+        ("model".to_string(), Value::Num(model as f64)),
+        ("operator".to_string(), Value::Num(operator as f64)),
+        ("entries".to_string(), Value::Array(entries)),
+    ])
+}
+
+/// Render `bank`'s member caches as a pre-indented, comma-joined run of
+/// `caches[]` array elements (empty string for an empty bank). Fragments
+/// from disjoint banks concatenate into one document via
+/// [`document_from_fragments`] — the sharded bank caches one fragment per
+/// shard and re-renders only dirty shards at checkpoint time.
+pub(crate) fn caches_fragment(bank: &CacheBank) -> String {
+    let mut out = String::new();
+    for (i, (&(model, operator), cache)) in bank.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        // The `caches` array sits at depth 1 of the document, so its
+        // elements render at depth 2 behind a 4-space pad.
+        out.push_str("    ");
+        serde::write_value(&mut out, &cache_value(model, operator, cache), Some(2), 2);
+    }
+    out
+}
+
+/// Assemble the version-1 document from pre-rendered [`caches_fragment`]
+/// runs. With a single whole-bank fragment this is byte-identical to the
+/// historical writer; with per-shard fragments the element order follows
+/// shard order instead of global key order, which loads identically
+/// (parsing is order-independent).
+pub(crate) fn document_from_fragments(
+    fragments: &[String],
+    model_fingerprint: Option<u64>,
+) -> String {
+    let mut out = format!("{{\n  \"version\": {FORMAT_VERSION},");
     if let Some(fp) = model_fingerprint {
         // Hex string, not a number: the JSON number space is f64 (53-bit
         // mantissa) and cannot hold a 64-bit fingerprint losslessly.
-        header.push(("model_fingerprint".to_string(), Value::String(format!("{fp:016x}"))));
+        out.push_str(&format!("\n  \"model_fingerprint\": \"{fp:016x}\","));
     }
-    header.push(("caches".to_string(), Value::Array(caches)));
-    let doc = Value::Object(header);
-    let mut out = String::new();
-    serde::write_value(&mut out, &doc, Some(2), 0);
-    out.push('\n');
+    let mut live = fragments.iter().filter(|f| !f.is_empty()).peekable();
+    if live.peek().is_none() {
+        out.push_str("\n  \"caches\": []\n}\n");
+        return out;
+    }
+    out.push_str("\n  \"caches\": [\n");
+    for (i, fragment) in live.enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(fragment);
+    }
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -459,6 +496,42 @@ mod tests {
         let err = load_bank(&path).expect_err("missing file");
         assert!(matches!(err, PersistError::Io(_)));
         assert!(!err.is_corrupt());
+    }
+
+    #[test]
+    fn fragment_assembly_matches_whole_bank_writer() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(3.4, cfg(10.0, 3.0));
+        bank.cache(1, 0).insert(0.5, cfg(4.0, 2.0));
+        bank.cache(2, 7); // empty member cache
+        let canonical = bank_to_json_with(&bank, Some(0xfeed));
+
+        // Splitting the bank into per-cache fragments and re-assembling
+        // must reproduce the canonical bytes when order is preserved.
+        let mut split = CacheBank::new();
+        split.cache(0, 0).insert(3.4, cfg(10.0, 3.0));
+        let mut rest = CacheBank::new();
+        rest.cache(1, 0).insert(0.5, cfg(4.0, 2.0));
+        rest.cache(2, 7);
+        let doc = document_from_fragments(
+            &[caches_fragment(&split), String::new(), caches_fragment(&rest)],
+            Some(0xfeed),
+        );
+        assert_eq!(doc, canonical);
+
+        // Out-of-order fragments still parse to the same bank.
+        let reordered = document_from_fragments(
+            &[caches_fragment(&rest), caches_fragment(&split)],
+            None,
+        );
+        let loaded = bank_from_json(&reordered).unwrap();
+        assert_eq!(bank_to_json(&loaded), bank_to_json(&bank));
+
+        // All-empty fragments render the canonical empty document.
+        assert_eq!(
+            document_from_fragments(&[String::new()], None),
+            bank_to_json(&CacheBank::new())
+        );
     }
 
     #[test]

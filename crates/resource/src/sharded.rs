@@ -1,0 +1,651 @@
+//! Sharded resource-plan cache banks.
+//!
+//! [`SharedCacheBank`](crate::SharedCacheBank) serializes every lookup and
+//! insertion behind one bank-wide lock. Under the concurrent planning
+//! service that lock — and, worse, whole-bank re-serialization at every
+//! periodic checkpoint — becomes the bottleneck. [`ShardedCacheBank`]
+//! splits the §VI-B3 bank into `N` independently locked shards:
+//!
+//! * a (cost model, operator) pair is owned by exactly one shard, chosen by
+//!   an FNV-1a hash of the pair salted with a tenant/cluster salt, so the
+//!   per-pair cache semantics (and therefore every lookup result and every
+//!   statistic) are bit-identical to the single-lock bank;
+//! * each shard carries a dirty flag and a cached rendition of its member
+//!   caches in the version-1 persistence format. A [`checkpoint`]
+//!   re-renders only shards dirtied since the previous checkpoint and
+//!   concatenates cached fragments for the rest — `O(entries in dirty
+//!   shards)` instead of the single bank's `O(all entries)` — then writes
+//!   the file outside every lock;
+//! * `N = 1` degenerates to exactly the single-lock bank (one shard owns
+//!   every pair and every checkpoint is a whole-bank render).
+//!
+//! [`checkpoint`]: ShardedCacheBank::checkpoint
+
+use crate::cache::{CacheBank, CacheLookup, CacheStats};
+use crate::config::ResourceConfig;
+use crate::persist::{self, PersistError};
+use parking_lot::{Mutex, RwLock};
+use raqo_telemetry::{Counter, Hist, Telemetry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One lock's worth of the bank, plus its incremental-checkpoint state.
+struct Shard {
+    bank: RwLock<CacheBank>,
+    /// Set on any mutation of the shard's entries; cleared when the
+    /// fragment below is re-rendered from the current contents.
+    dirty: AtomicBool,
+    /// Cached v1 `caches[]` fragment for this shard. The mutex also
+    /// serializes concurrent checkpoints per shard so a stale render can
+    /// never overwrite a fresher one.
+    fragment: Mutex<Option<String>>,
+}
+
+impl Shard {
+    fn new(bank: CacheBank) -> Shard {
+        Shard { bank: RwLock::new(bank), dirty: AtomicBool::new(true), fragment: Mutex::new(None) }
+    }
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    salt: u64,
+}
+
+/// A cloneable handle to a cache bank split across independently locked
+/// shards. Clones share the shards; telemetry is per-handle, so each
+/// worker can carry its own sink (or none).
+#[derive(Clone)]
+pub struct ShardedCacheBank {
+    inner: Arc<Inner>,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for ShardedCacheBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCacheBank")
+            .field("shards", &self.inner.shards.len())
+            .field("salt", &self.inner.salt)
+            .field("entries", &self.total_entries())
+            .finish()
+    }
+}
+
+impl Default for ShardedCacheBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Twice the core count, rounded up to a power of two: enough shards that
+/// workers rarely collide, few enough that a checkpoint's fragment walk
+/// stays trivial.
+fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    (2 * cores).next_power_of_two()
+}
+
+impl ShardedCacheBank {
+    /// An empty bank with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(default_shard_count())
+    }
+
+    /// An empty bank with `shards` shards (rounded up to a power of two so
+    /// the shard index is a mask, minimum 1). `with_shards(1)` is the
+    /// single-lock bank.
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_salt(shards, 0)
+    }
+
+    /// An empty bank with an explicit tenant/cluster salt folded into the
+    /// shard hash, so co-hosted tenants with identical (model, operator)
+    /// working sets land on different shards.
+    pub fn with_shards_and_salt(shards: usize, salt: u64) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n).map(|_| Shard::new(CacheBank::new())).collect();
+        ShardedCacheBank {
+            inner: Arc::new(Inner { shards, salt }),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Distribute an existing bank (e.g. one loaded from disk) across the
+    /// default shard count.
+    pub fn from_bank(bank: CacheBank) -> Self {
+        Self::from_bank_with_shards(bank, default_shard_count())
+    }
+
+    /// Distribute an existing bank across `shards` shards.
+    pub fn from_bank_with_shards(bank: CacheBank, shards: usize) -> Self {
+        Self::from_bank_with_shards_and_salt(bank, shards, 0)
+    }
+
+    /// Distribute an existing bank across `shards` shards under `salt`.
+    pub fn from_bank_with_shards_and_salt(bank: CacheBank, shards: usize, salt: u64) -> Self {
+        let out = Self::with_shards_and_salt(shards, salt);
+        for (&(model, operator), cache) in bank.iter() {
+            let shard = &out.inner.shards[out.shard_of(model, operator)];
+            shard.bank.write().insert_cache(model, operator, cache.clone());
+        }
+        out
+    }
+
+    /// Attach a telemetry sink to this handle (shard-lookup counters and
+    /// the lock-wait histogram). Clones made afterwards inherit it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Number of live handles to this bank (diagnostics/tests).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// The shard owning a (model, operator) pair: salted FNV-1a over the
+    /// pair's little-endian bytes, masked onto the power-of-two shard
+    /// count.
+    pub fn shard_of(&self, model: u32, operator: u32) -> usize {
+        let mut h = FNV_BASIS ^ self.inner.salt;
+        for b in model.to_le_bytes().into_iter().chain(operator.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        (h as usize) & (self.inner.shards.len() - 1)
+    }
+
+    /// Look up the (model, operator) cache under `mode`. Counts a hit or a
+    /// miss, exactly as [`SharedCacheBank`](crate::SharedCacheBank) does —
+    /// only the shard's lock is taken, not the whole bank's.
+    pub fn lookup(
+        &self,
+        model: u32,
+        operator: u32,
+        key: f64,
+        mode: CacheLookup,
+    ) -> Option<ResourceConfig> {
+        let idx = self.shard_of(model, operator);
+        self.telemetry.inc(Counter::cache_shard(idx));
+        let sw = self.telemetry.stopwatch();
+        let mut bank = self.inner.shards[idx].bank.write();
+        self.telemetry.observe_elapsed_us(Hist::CacheLockWaitUs, &sw);
+        bank.cache(model, operator).lookup(key, mode)
+    }
+
+    /// Insert the best configuration found for `key` into the
+    /// (model, operator) cache and mark the owning shard dirty.
+    pub fn insert(&self, model: u32, operator: u32, key: f64, config: ResourceConfig) {
+        let idx = self.shard_of(model, operator);
+        let shard = &self.inner.shards[idx];
+        let sw = self.telemetry.stopwatch();
+        let mut bank = shard.bank.write();
+        self.telemetry.observe_elapsed_us(Hist::CacheLockWaitUs, &sw);
+        bank.cache(model, operator).insert(key, config);
+        shard.dirty.store(true, Ordering::Release);
+    }
+
+    /// Aggregate hit/miss/insertion counters summed across every shard.
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for shard in &self.inner.shards {
+            let s = shard.bank.read().aggregate_stats();
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.insertions += s.insertions;
+        }
+        out
+    }
+
+    /// Total entries across every shard.
+    pub fn total_entries(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.bank.read().total_entries()).sum()
+    }
+
+    /// Clear every member cache in every shard.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.bank.write().clear();
+            shard.dirty.store(true, Ordering::Release);
+        }
+    }
+
+    /// Run `f` with exclusive access to the shard owning (model, operator),
+    /// for multi-step atomic sections on that pair's cache. The shard is
+    /// marked dirty (the closure gets mutable access).
+    pub fn with_shard_bank<T>(
+        &self,
+        model: u32,
+        operator: u32,
+        f: impl FnOnce(&mut CacheBank) -> T,
+    ) -> T {
+        let shard = &self.inner.shards[self.shard_of(model, operator)];
+        let out = f(&mut shard.bank.write());
+        shard.dirty.store(true, Ordering::Release);
+        out
+    }
+
+    /// Number of shards currently marked dirty (bench/diagnostics: the
+    /// work a checkpoint would re-render).
+    pub fn dirty_shard_count(&self) -> usize {
+        self.inner.shards.iter().filter(|s| s.dirty.load(Ordering::Acquire)).count()
+    }
+
+    /// A merged copy of all shards as one [`CacheBank`] (canonical global
+    /// key order). Shard locks are taken one at a time, read-only.
+    pub fn merged_bank(&self) -> CacheBank {
+        let mut merged = CacheBank::new();
+        for shard in &self.inner.shards {
+            for (&(model, operator), cache) in shard.bank.read().iter() {
+                merged.insert_cache(model, operator, cache.clone());
+            }
+        }
+        merged
+    }
+
+    /// Persist the merged bank to `path` in the canonical version-1 format
+    /// — byte-identical to [`SharedCacheBank::save`](crate::SharedCacheBank)
+    /// of the same entries. Serialization and I/O run outside all locks.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        persist::save_bank(&self.merged_bank(), path)
+    }
+
+    /// Canonical save with the cost-model fingerprint stamped in.
+    pub fn save_with_fingerprint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+    ) -> Result<(), PersistError> {
+        persist::save_bank_with(&self.merged_bank(), path, Some(model_fingerprint))
+    }
+
+    /// Load a bank saved by any of the v1 writers into a fresh sharded
+    /// handle with the default shard count.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        Self::load_with_shards(path, default_shard_count())
+    }
+
+    /// Load into an explicit shard count.
+    pub fn load_with_shards(
+        path: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<Self, PersistError> {
+        Ok(Self::from_bank_with_shards(persist::load_bank(path)?, shards))
+    }
+
+    /// Fingerprint-checked load (see
+    /// [`SharedCacheBank::load_checked`](crate::SharedCacheBank::load_checked))
+    /// into the default shard count.
+    pub fn load_checked(
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+    ) -> Result<(Self, bool), PersistError> {
+        Self::load_checked_with_shards(path, model_fingerprint, default_shard_count())
+    }
+
+    /// Fingerprint-checked load into an explicit shard count.
+    pub fn load_checked_with_shards(
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+        shards: usize,
+    ) -> Result<(Self, bool), PersistError> {
+        let (bank, invalidated) = persist::load_bank_checked(path, Some(model_fingerprint))?;
+        Ok((Self::from_bank_with_shards(bank, shards), invalidated))
+    }
+
+    /// The per-shard fragment, re-rendered only when the shard is dirty.
+    fn shard_fragment(&self, shard: &Shard) -> String {
+        let mut slot = shard.fragment.lock();
+        if !shard.dirty.load(Ordering::Acquire) {
+            if let Some(fragment) = slot.as_ref() {
+                return fragment.clone();
+            }
+        }
+        // Render under the shard's read lock: writers are excluded, so the
+        // dirty flag can be cleared before rendering without losing a
+        // concurrent mutation (any post-render insert re-sets it).
+        let bank = shard.bank.read();
+        shard.dirty.store(false, Ordering::Release);
+        let fragment = persist::caches_fragment(&bank);
+        drop(bank);
+        *slot = Some(fragment.clone());
+        fragment
+    }
+
+    /// Incremental checkpoint: re-render only shards dirtied since the
+    /// previous checkpoint, splice cached fragments for the rest, and
+    /// write one valid version-1 document (element order follows shard
+    /// order; loads are order-independent). The file write happens outside
+    /// every lock. Returns the number of shards that had to be
+    /// re-rendered.
+    pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<usize, PersistError> {
+        self.checkpoint_inner(path, None)
+    }
+
+    /// Incremental checkpoint with the cost-model fingerprint stamped in.
+    pub fn checkpoint_with_fingerprint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: u64,
+    ) -> Result<usize, PersistError> {
+        self.checkpoint_inner(path, Some(model_fingerprint))
+    }
+
+    fn checkpoint_inner(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        model_fingerprint: Option<u64>,
+    ) -> Result<usize, PersistError> {
+        let mut rendered = 0;
+        let fragments: Vec<String> = self
+            .inner
+            .shards
+            .iter()
+            .map(|shard| {
+                let was_dirty =
+                    shard.dirty.load(Ordering::Acquire) || shard.fragment.lock().is_none();
+                if was_dirty {
+                    rendered += 1;
+                }
+                self.shard_fragment(shard)
+            })
+            .collect();
+        let doc = persist::document_from_fragments(&fragments, model_fingerprint);
+        std::fs::write(path, doc)?;
+        Ok(rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::SharedCacheBank;
+
+    fn cfg(c: f64, s: f64) -> ResourceConfig {
+        ResourceConfig::containers_and_size(c, s)
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedCacheBank::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedCacheBank::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedCacheBank::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedCacheBank::with_shards(16).shard_count(), 16);
+        assert!(ShardedCacheBank::new().shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = ShardedCacheBank::with_shards(8);
+        let b = a.clone();
+        a.insert(0, 0, 1.5, cfg(10.0, 3.0));
+        assert_eq!(b.lookup(0, 0, 1.5, CacheLookup::Exact), Some(cfg(10.0, 3.0)));
+        assert_eq!(b.total_entries(), 1);
+        assert_eq!(a.handle_count(), 2);
+        b.clear();
+        assert_eq!(a.total_entries(), 0);
+    }
+
+    #[test]
+    fn salt_changes_placement_not_semantics() {
+        let plain = ShardedCacheBank::with_shards_and_salt(16, 0);
+        let salted = ShardedCacheBank::with_shards_and_salt(16, 0x5eed);
+        let mut moved = 0;
+        for model in 0..32 {
+            if plain.shard_of(model, 0) != salted.shard_of(model, 0) {
+                moved += 1;
+            }
+            plain.insert(model, 0, 1.0, cfg(model as f64, 1.0));
+            salted.insert(model, 0, 1.0, cfg(model as f64, 1.0));
+        }
+        assert!(moved > 0, "salt must perturb shard placement");
+        for model in 0..32 {
+            assert_eq!(
+                plain.lookup(model, 0, 1.0, CacheLookup::Exact),
+                salted.lookup(model, 0, 1.0, CacheLookup::Exact),
+            );
+        }
+    }
+
+    /// The core bit-parity claim: any op sequence gives identical results,
+    /// stats, and persisted bytes on the sharded and single-lock banks.
+    fn parity_under_ops(shards: usize, salt: u64, ops: &[(u32, u32, f64, u8)]) {
+        let sharded = ShardedCacheBank::with_shards_and_salt(shards, salt);
+        let single = SharedCacheBank::new();
+        for &(model, operator, key, kind) in ops {
+            match kind % 5 {
+                0 => {
+                    sharded.insert(model, operator, key, cfg(key + 1.0, 2.0));
+                    single.insert(model, operator, key, cfg(key + 1.0, 2.0));
+                }
+                1 => assert_eq!(
+                    sharded.lookup(model, operator, key, CacheLookup::Exact),
+                    single.lookup(model, operator, key, CacheLookup::Exact),
+                ),
+                2 => assert_eq!(
+                    sharded.lookup(
+                        model,
+                        operator,
+                        key,
+                        CacheLookup::NearestNeighbor { threshold: 1.5 }
+                    ),
+                    single.lookup(
+                        model,
+                        operator,
+                        key,
+                        CacheLookup::NearestNeighbor { threshold: 1.5 }
+                    ),
+                ),
+                3 => assert_eq!(
+                    sharded.lookup(
+                        model,
+                        operator,
+                        key,
+                        CacheLookup::WeightedAverage { threshold: 2.5 }
+                    ),
+                    single.lookup(
+                        model,
+                        operator,
+                        key,
+                        CacheLookup::WeightedAverage { threshold: 2.5 }
+                    ),
+                ),
+                _ => {
+                    sharded.clear();
+                    single.clear();
+                }
+            }
+        }
+        assert_eq!(sharded.total_entries(), single.total_entries());
+        assert_eq!(sharded.aggregate_stats(), single.aggregate_stats());
+        // Canonical persistence is byte-identical.
+        let merged = sharded.merged_bank();
+        let single_json = single.with_bank(|b| persist::bank_to_json(b));
+        assert_eq!(persist::bank_to_json(&merged), single_json);
+    }
+
+    #[test]
+    fn bit_parity_with_single_lock_bank() {
+        let ops: Vec<(u32, u32, f64, u8)> = (0..200)
+            .map(|i| {
+                let model = (i * 7) % 13;
+                let operator = (i * 3) % 2;
+                let key = ((i * 31) % 17) as f64 / 2.0;
+                (model as u32, operator as u32, key, (i % 5) as u8)
+            })
+            .collect();
+        for shards in [1, 2, 8, 16] {
+            for salt in [0u64, 0xdead_beef] {
+                parity_under_ops(shards, salt, &ops);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Property form of the parity claim: arbitrary op sequences over
+        /// arbitrary shard counts and salts never diverge from the
+        /// single-lock bank in results, stats, or persisted bytes.
+        #[test]
+        fn prop_sharded_bank_is_bit_identical(
+            raw_ops in proptest::collection::vec((0u32..12, 0u32..3, 0u64..48, 0u8..5), 0..120),
+            shards in 1usize..33,
+            salt in 0u64..=u64::MAX,
+        ) {
+            let ops: Vec<(u32, u32, f64, u8)> = raw_ops
+                .into_iter()
+                .map(|(m, o, k, t)| (m, o, k as f64 / 4.0, t))
+                .collect();
+            parity_under_ops(shards, salt, &ops);
+        }
+    }
+
+    #[test]
+    fn one_shard_is_the_single_lock_bank() {
+        let one = ShardedCacheBank::with_shards(1);
+        for model in 0..64 {
+            for operator in 0..4 {
+                assert_eq!(one.shard_of(model, operator), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_rerenders_only_dirty_shards() {
+        let bank = ShardedCacheBank::with_shards(8);
+        for model in 0..32u32 {
+            bank.insert(model, 0, 1.0, cfg(model as f64, 1.0));
+        }
+        let path = std::env::temp_dir().join("raqo_sharded_ckpt_test.json");
+        // First checkpoint renders every populated shard.
+        let first = bank.checkpoint(&path).unwrap();
+        assert_eq!(first, 8, "all shards start dirty");
+        assert_eq!(bank.dirty_shard_count(), 0);
+        // No mutations: the next checkpoint splices cached fragments only.
+        assert_eq!(bank.checkpoint(&path).unwrap(), 0);
+        // One insert dirties exactly one shard.
+        bank.insert(5, 0, 2.0, cfg(9.0, 9.0));
+        assert_eq!(bank.dirty_shard_count(), 1);
+        assert_eq!(bank.checkpoint(&path).unwrap(), 1);
+        // The incremental file loads to exactly the merged contents.
+        let loaded = persist::load_bank(&path).unwrap();
+        assert_eq!(
+            persist::bank_to_json(&loaded),
+            persist::bank_to_json(&bank.merged_bank())
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_and_canonical_save_load_identically() {
+        let bank = ShardedCacheBank::with_shards_and_salt(4, 7);
+        for i in 0..20u32 {
+            bank.insert(i % 6, i % 2, i as f64 / 3.0, cfg(i as f64, 2.0));
+        }
+        let dir = std::env::temp_dir();
+        let ckpt = dir.join("raqo_sharded_ckpt_vs_save_a.json");
+        let save = dir.join("raqo_sharded_ckpt_vs_save_b.json");
+        bank.checkpoint_with_fingerprint(&ckpt, 0xabc).unwrap();
+        bank.save_with_fingerprint(&save, 0xabc).unwrap();
+        let (from_ckpt, inv_a) = persist::load_bank_checked(&ckpt, Some(0xabc)).unwrap();
+        let (from_save, inv_b) = persist::load_bank_checked(&save, Some(0xabc)).unwrap();
+        assert!(!inv_a && !inv_b);
+        assert_eq!(persist::bank_to_json(&from_ckpt), persist::bank_to_json(&from_save));
+        // Stale fingerprint invalidates the checkpoint file like any v1 file.
+        let (stale, invalidated) = ShardedCacheBank::load_checked_with_shards(&ckpt, 0xdef, 4)
+            .unwrap();
+        assert!(invalidated);
+        assert_eq!(stale.total_entries(), 0);
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&save).ok();
+    }
+
+    #[test]
+    fn canonical_save_matches_single_bank_bytes() {
+        let sharded = ShardedCacheBank::with_shards(16);
+        let single = SharedCacheBank::new();
+        for i in 0..40u32 {
+            let key = i as f64 / 7.0;
+            sharded.insert(i % 9, i % 3, key, cfg(i as f64, 3.0));
+            single.insert(i % 9, i % 3, key, cfg(i as f64, 3.0));
+        }
+        let dir = std::env::temp_dir();
+        let a = dir.join("raqo_sharded_canonical_a.json");
+        let b = dir.join("raqo_sharded_canonical_b.json");
+        sharded.save_with_fingerprint(&a, 42).unwrap();
+        single.save_with_fingerprint(&b, 42).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn from_bank_round_trips_through_shards() {
+        let mut bank = CacheBank::new();
+        for i in 0..24u32 {
+            bank.cache(i % 8, i % 2).insert(i as f64, cfg(i as f64, 1.0));
+        }
+        let canonical = persist::bank_to_json(&bank);
+        let sharded = ShardedCacheBank::from_bank_with_shards(bank, 8);
+        assert_eq!(persist::bank_to_json(&sharded.merged_bank()), canonical);
+    }
+
+    #[test]
+    fn telemetry_counts_shard_lookups_and_lock_waits() {
+        let tel = Telemetry::enabled();
+        let bank = ShardedCacheBank::with_shards(8).with_telemetry(tel.clone());
+        for model in 0..16u32 {
+            bank.insert(model, 0, 1.0, cfg(1.0, 1.0));
+            bank.lookup(model, 0, 1.0, CacheLookup::Exact);
+        }
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.cache_shard_lookups_total(), 16);
+        // Inserts and lookups both time the lock acquire.
+        assert_eq!(snap.hist(Hist::CacheLockWaitUs).count, 32);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_checkpoints_lose_nothing() {
+        let bank = ShardedCacheBank::with_shards(8);
+        let path = std::env::temp_dir().join("raqo_sharded_concurrent_ckpt.json");
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = bank.clone();
+                scope.spawn(move || {
+                    for k in 0..50u32 {
+                        let key = (t * 1000 + k) as f64;
+                        handle.insert(t, 0, key, cfg(k as f64 + 1.0, t as f64 + 1.0));
+                        assert_eq!(
+                            handle.lookup(t, 0, key, CacheLookup::Exact),
+                            Some(cfg(k as f64 + 1.0, t as f64 + 1.0)),
+                            "thread {t} lost its own insert for key {key}"
+                        );
+                    }
+                });
+            }
+            let ckpt = bank.clone();
+            let ckpt_path = path.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    ckpt.checkpoint(&ckpt_path).unwrap();
+                }
+            });
+        });
+        assert_eq!(bank.total_entries(), 200);
+        let stats = bank.aggregate_stats();
+        assert_eq!(stats.insertions, 200);
+        assert_eq!(stats.hits, 200);
+        // A final checkpoint reflects every insert.
+        bank.checkpoint(&path).unwrap();
+        let loaded = persist::load_bank(&path).unwrap();
+        assert_eq!(loaded.total_entries(), 200);
+        std::fs::remove_file(&path).ok();
+    }
+}

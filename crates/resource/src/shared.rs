@@ -78,9 +78,12 @@ impl SharedCacheBank {
     }
 
     /// Persist the bank to `path` as versioned JSON (see [`crate::persist`]).
-    /// Takes the read lock for the duration of the snapshot.
+    /// Snapshots under a short read lock; serialization and the file write
+    /// happen outside it, so concurrent planners are never stalled behind
+    /// disk I/O.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
-        crate::persist::save_bank(&self.inner.read(), path)
+        let snapshot = self.inner.read().clone();
+        crate::persist::save_bank(&snapshot, path)
     }
 
     /// Load a bank previously written with [`SharedCacheBank::save`] into a
@@ -92,13 +95,16 @@ impl SharedCacheBank {
 
     /// Persist the bank with the cost-model fingerprint stamped into the
     /// v1 header, so a later [`SharedCacheBank::load_checked`] can reject
-    /// the file once the model retrains.
+    /// the file once the model retrains. Like [`SharedCacheBank::save`],
+    /// the lock is held only for the in-memory snapshot, not for
+    /// serialization or I/O.
     pub fn save_with_fingerprint(
         &self,
         path: impl AsRef<std::path::Path>,
         model_fingerprint: u64,
     ) -> Result<(), PersistError> {
-        crate::persist::save_bank_with(&self.inner.read(), path, Some(model_fingerprint))
+        let snapshot = self.inner.read().clone();
+        crate::persist::save_bank_with(&snapshot, path, Some(model_fingerprint))
     }
 
     /// Load a bank, discarding it as stale when its stamped fingerprint

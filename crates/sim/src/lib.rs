@@ -39,5 +39,6 @@ pub mod sweeps;
 
 pub use engine::{Engine, EngineKind, EngineTuning, JoinImpl, OomError, SimJoinStage};
 pub use money::monetary_cost_tb_sec;
+pub use queue::{percentile, AdmissionQueue, JobOutcome, QueueSimConfig};
 pub use scheduler::{ContentionPolicy, Scheduler, StageCandidate, StageSpec};
 pub use sweeps::{switch_point_small_size, SwitchPoint};

@@ -19,6 +19,104 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+/// A multi-class bounded admission queue: the data structure behind both
+/// this simulator's FIFO waiting line and the live planning service's
+/// request queue (`raqo-core`). Class 0 is the highest priority; within a
+/// class, order is strictly FIFO. Capacity bounds the *total* backlog
+/// across classes — a full queue rejects the push (admission control sheds
+/// the request) instead of growing without bound.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    classes: Vec<VecDeque<T>>,
+    capacity: usize,
+    len: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue with `classes` priority classes and no backlog bound (the
+    /// simulator's cluster queue: jobs wait forever rather than shed).
+    pub fn unbounded(classes: usize) -> Self {
+        Self::bounded(classes, usize::MAX)
+    }
+
+    /// A queue with `classes` priority classes holding at most `capacity`
+    /// items in total.
+    pub fn bounded(classes: usize, capacity: usize) -> Self {
+        assert!(classes >= 1, "at least one priority class");
+        AdmissionQueue {
+            classes: (0..classes).map(|_| VecDeque::new()).collect(),
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Total queued items across all classes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The total-backlog bound (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of priority classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Queued items in one class.
+    pub fn class_len(&self, class: usize) -> usize {
+        self.classes[class].len()
+    }
+
+    /// Enqueue at the tail of `class`, or hand the item back when the
+    /// queue is at capacity (the caller sheds it).
+    pub fn try_push(&mut self, class: usize, item: T) -> Result<(), T> {
+        assert!(class < self.classes.len(), "priority class out of range");
+        if self.len >= self.capacity {
+            return Err(item);
+        }
+        self.classes[class].push_back(item);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// The item the scheduler would serve next — head of the non-empty
+    /// class with the highest priority (lowest index) — without removing it.
+    pub fn peek_next(&self) -> Option<(usize, &T)> {
+        self.classes
+            .iter()
+            .enumerate()
+            .find_map(|(class, q)| q.front().map(|item| (class, item)))
+    }
+
+    /// Remove and return the next item in service order.
+    pub fn pop_next(&mut self) -> Option<(usize, T)> {
+        let class = self.classes.iter().position(|q| !q.is_empty())?;
+        let item = self.classes[class].pop_front().expect("class is non-empty");
+        self.len -= 1;
+        Some((class, item))
+    }
+}
+
+/// Nearest-rank percentile (`p` in \[0,100\]) of an unsorted sample;
+/// `NaN`-free inputs assumed, 0 for an empty sample. Used for the p50/p99
+/// queue-wait figures of the throughput bench.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile inputs must not be NaN"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Workload + cluster knobs for the queue simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QueueSimConfig {
@@ -109,7 +207,9 @@ pub fn simulate(config: &QueueSimConfig) -> Vec<JobOutcome> {
     // Running jobs as (finish time, demand), earliest finish first. f64 is
     // not Ord; times are finite by construction, so order by bits.
     let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    let mut waiting: VecDeque<Pending> = VecDeque::new();
+    // Single-class unbounded admission queue ≡ the plain FIFO line the
+    // cluster model always had.
+    let mut waiting: AdmissionQueue<Pending> = AdmissionQueue::unbounded(1);
 
     let key = |t: f64| -> u64 {
         debug_assert!(t.is_finite() && t >= 0.0);
@@ -120,14 +220,14 @@ pub fn simulate(config: &QueueSimConfig) -> Vec<JobOutcome> {
     fn start_waiting(
         now: f64,
         free: &mut i64,
-        waiting: &mut VecDeque<Pending>,
+        waiting: &mut AdmissionQueue<Pending>,
         running: &mut BinaryHeap<Reverse<(u64, u32)>>,
         outcomes: &mut [Option<JobOutcome>],
         key: &dyn Fn(f64) -> u64,
     ) {
-        while let Some(job) = waiting.front() {
+        while let Some((_, job)) = waiting.peek_next() {
             if (job.demand as i64) <= *free {
-                let job = waiting.pop_front().expect("front exists");
+                let (_, job) = waiting.pop_next().expect("head exists");
                 *free -= job.demand as i64;
                 outcomes[job.idx] = Some(JobOutcome {
                     arrival_sec: job.arrival,
@@ -144,7 +244,7 @@ pub fn simulate(config: &QueueSimConfig) -> Vec<JobOutcome> {
 
     let release_until = |t: f64,
                              free: &mut i64,
-                             waiting: &mut VecDeque<Pending>,
+                             waiting: &mut AdmissionQueue<Pending>,
                              running: &mut BinaryHeap<Reverse<(u64, u32)>>,
                              outcomes: &mut [Option<JobOutcome>]| {
         while let Some(&Reverse((fk, d))) = running.peek() {
@@ -162,7 +262,8 @@ pub fn simulate(config: &QueueSimConfig) -> Vec<JobOutcome> {
     for job in jobs {
         release_until(job.arrival, &mut free, &mut waiting, &mut running, &mut outcomes);
         let arrival = job.arrival;
-        waiting.push_back(job);
+        let _ = waiting.try_push(0, job); // unbounded: never sheds
+
         start_waiting(arrival, &mut free, &mut waiting, &mut running, &mut outcomes, &key);
     }
     // Drain everything.
@@ -307,5 +408,50 @@ mod tests {
     fn oversized_jobs_rejected() {
         let cfg = QueueSimConfig { capacity: 10, demand: (5, 20), ..Default::default() };
         simulate(&cfg);
+    }
+
+    #[test]
+    fn admission_queue_serves_classes_in_priority_then_fifo_order() {
+        let mut q = AdmissionQueue::bounded(3, 10);
+        q.try_push(1, "std-a").unwrap();
+        q.try_push(2, "batch-a").unwrap();
+        q.try_push(0, "int-a").unwrap();
+        q.try_push(1, "std-b").unwrap();
+        q.try_push(0, "int-b").unwrap();
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.class_len(0), 2);
+        assert_eq!(q.peek_next(), Some((0, &"int-a")));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next()).collect();
+        assert_eq!(
+            order,
+            vec![(0, "int-a"), (0, "int-b"), (1, "std-a"), (1, "std-b"), (2, "batch-a")]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.pop_next(), None);
+    }
+
+    #[test]
+    fn admission_queue_sheds_at_capacity() {
+        let mut q = AdmissionQueue::bounded(2, 2);
+        q.try_push(1, 10).unwrap();
+        q.try_push(1, 11).unwrap();
+        // The bound covers the total backlog, not a single class.
+        assert_eq!(q.try_push(0, 12), Err(12));
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop_next(), Some((1, 10)));
+        q.try_push(0, 12).unwrap();
+        assert_eq!(q.pop_next(), Some((0, 12)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sample: Vec<f64> = (1..=100).rev().map(|v| v as f64).collect();
+        assert_eq!(percentile(&sample, 50.0), 50.0);
+        assert_eq!(percentile(&sample, 99.0), 99.0);
+        assert_eq!(percentile(&sample, 100.0), 100.0);
+        assert_eq!(percentile(&sample, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 }

@@ -20,7 +20,8 @@ mod metrics;
 mod span;
 
 pub use metrics::{
-    Counter, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot, PLAN_COST_LATENCY_BUCKETS,
-    RESOURCE_ITERATIONS_BUCKETS,
+    Counter, Gauge, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot, LOCK_WAIT_BUCKETS,
+    PLAN_COST_LATENCY_BUCKETS, QUEUE_WAIT_BUCKETS, RESOURCE_ITERATIONS_BUCKETS,
+    SHARD_LABEL_BUCKETS,
 };
 pub use span::{aggregate_spans, render_span_tree, Span, SpanRecord, Stopwatch, Telemetry, MAX_SPANS};

@@ -7,7 +7,7 @@
 //! compile time: no locks, no allocation on the observe path.
 
 use serde::Value;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Every counter the optimizer stack increments. The discriminant is the
 /// index into the registry's atomic array.
@@ -67,10 +67,40 @@ pub enum Counter {
     DegradationsRandomized,
     /// Degradations to ladder rung 3 (rule-based RAQO).
     DegradationsRuleBased,
+    /// Sharded-cache lookups routed to shard bucket 0. Shard indices fold
+    /// onto [`SHARD_LABEL_BUCKETS`] label buckets via `index % 8`, so banks
+    /// with more than 8 shards still split their traffic across all eight
+    /// labels (the fold is the identity for N ≤ 8, which covers the default
+    /// `next_pow2(2×cores)` on small machines).
+    CacheShardLookups0,
+    /// Shard bucket 1 (see [`Counter::CacheShardLookups0`]).
+    CacheShardLookups1,
+    /// Shard bucket 2.
+    CacheShardLookups2,
+    /// Shard bucket 3.
+    CacheShardLookups3,
+    /// Shard bucket 4.
+    CacheShardLookups4,
+    /// Shard bucket 5.
+    CacheShardLookups5,
+    /// Shard bucket 6.
+    CacheShardLookups6,
+    /// Shard bucket 7.
+    CacheShardLookups7,
+    /// Requests admitted into the planning service's bounded queue.
+    ServiceAdmitted,
+    /// Requests shed at admission (queue full): planned inline at the
+    /// bottom degradation rung instead of waiting.
+    ServiceShed,
+    /// Requests completed by a service worker (shed requests excluded).
+    ServiceCompleted,
 }
 
+/// Number of `shard="N"` label buckets for sharded-cache lookup counters.
+pub const SHARD_LABEL_BUCKETS: usize = 8;
+
 impl Counter {
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 35] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -95,7 +125,35 @@ impl Counter {
         Counter::DegradationsIdpBridge,
         Counter::DegradationsRandomized,
         Counter::DegradationsRuleBased,
+        Counter::CacheShardLookups0,
+        Counter::CacheShardLookups1,
+        Counter::CacheShardLookups2,
+        Counter::CacheShardLookups3,
+        Counter::CacheShardLookups4,
+        Counter::CacheShardLookups5,
+        Counter::CacheShardLookups6,
+        Counter::CacheShardLookups7,
+        Counter::ServiceAdmitted,
+        Counter::ServiceShed,
+        Counter::ServiceCompleted,
     ];
+
+    /// The lookup counter for shard `index`, folding indices past
+    /// [`SHARD_LABEL_BUCKETS`] onto the fixed label set (`index % 8`).
+    #[inline]
+    pub fn cache_shard(index: usize) -> Counter {
+        const SHARDS: [Counter; SHARD_LABEL_BUCKETS] = [
+            Counter::CacheShardLookups0,
+            Counter::CacheShardLookups1,
+            Counter::CacheShardLookups2,
+            Counter::CacheShardLookups3,
+            Counter::CacheShardLookups4,
+            Counter::CacheShardLookups5,
+            Counter::CacheShardLookups6,
+            Counter::CacheShardLookups7,
+        ];
+        SHARDS[index % SHARD_LABEL_BUCKETS]
+    }
 
     /// Prometheus metric name (`_total` suffix per convention).
     pub fn name(self) -> &'static str {
@@ -124,6 +182,17 @@ impl Counter {
             Counter::DegradationsIdpBridge => "raqo_degradations_total{rung=\"idp_bridge\"}",
             Counter::DegradationsRandomized => "raqo_degradations_total{rung=\"randomized\"}",
             Counter::DegradationsRuleBased => "raqo_degradations_total{rung=\"rule_based\"}",
+            Counter::CacheShardLookups0 => "raqo_cache_shard_lookups_total{shard=\"0\"}",
+            Counter::CacheShardLookups1 => "raqo_cache_shard_lookups_total{shard=\"1\"}",
+            Counter::CacheShardLookups2 => "raqo_cache_shard_lookups_total{shard=\"2\"}",
+            Counter::CacheShardLookups3 => "raqo_cache_shard_lookups_total{shard=\"3\"}",
+            Counter::CacheShardLookups4 => "raqo_cache_shard_lookups_total{shard=\"4\"}",
+            Counter::CacheShardLookups5 => "raqo_cache_shard_lookups_total{shard=\"5\"}",
+            Counter::CacheShardLookups6 => "raqo_cache_shard_lookups_total{shard=\"6\"}",
+            Counter::CacheShardLookups7 => "raqo_cache_shard_lookups_total{shard=\"7\"}",
+            Counter::ServiceAdmitted => "raqo_service_admitted_total",
+            Counter::ServiceShed => "raqo_service_shed_total",
+            Counter::ServiceCompleted => "raqo_service_completed_total",
         }
     }
 
@@ -147,7 +216,7 @@ impl Counter {
             Counter::CacheMisses => "resource-plan cache misses",
             Counter::MemoHits => "Selinger cross-run memo hits",
             Counter::MemoMisses => "Selinger cross-run memo misses",
-            Counter::MemoEvictions => "Selinger memo entries evicted by the context LRU",
+            Counter::MemoEvictions => "Selinger memo contexts evicted by the context LRU",
             Counter::CacheFileInvalidations => "persisted cache files invalidated on fingerprint mismatch",
             Counter::BatchChunks => "batched cost-kernel chunk evaluations",
             Counter::HillClimbClimbs => "hill-climb searches launched",
@@ -168,6 +237,19 @@ impl Counter {
             | Counter::DegradationsRuleBased => {
                 "optimizer degradations to a lower planning-ladder rung"
             }
+            Counter::CacheShardLookups0
+            | Counter::CacheShardLookups1
+            | Counter::CacheShardLookups2
+            | Counter::CacheShardLookups3
+            | Counter::CacheShardLookups4
+            | Counter::CacheShardLookups5
+            | Counter::CacheShardLookups6
+            | Counter::CacheShardLookups7 => {
+                "sharded-cache lookups per shard label bucket (index % 8)"
+            }
+            Counter::ServiceAdmitted => "planning-service requests admitted to the queue",
+            Counter::ServiceShed => "planning-service requests shed at admission (queue full)",
+            Counter::ServiceCompleted => "planning-service requests completed by workers",
         }
     }
 }
@@ -180,6 +262,18 @@ pub const PLAN_COST_LATENCY_BUCKETS: [u64; 12] =
 pub const RESOURCE_ITERATIONS_BUCKETS: [u64; 12] =
     [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096];
 
+/// Histogram bucket boundaries for cache-shard lock acquisition waits, in
+/// microseconds. An uncontended acquire lands in the first bucket; the top
+/// buckets catch pathological convoys (a writer holding a shard across a
+/// snapshot clone).
+pub const LOCK_WAIT_BUCKETS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 10_000];
+
+/// Histogram bucket boundaries for planning-service queue waits, in
+/// microseconds (sub-millisecond through multi-second overload tails).
+pub const QUEUE_WAIT_BUCKETS: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 500_000, 2_000_000,
+];
+
 const HIST_BUCKETS: usize = 12;
 
 /// Every histogram the optimizer stack observes into.
@@ -190,15 +284,27 @@ pub enum Hist {
     PlanCostLatencyUs,
     /// Resource iterations spent by one resource-planning call.
     ResourceIterationsPerCall,
+    /// Wall time spent acquiring a cache-shard lock, microseconds.
+    CacheLockWaitUs,
+    /// Wall time a planning-service request waited in the admission queue
+    /// before a worker picked it up, microseconds.
+    ServiceQueueWaitUs,
 }
 
 impl Hist {
-    pub const ALL: [Hist; 2] = [Hist::PlanCostLatencyUs, Hist::ResourceIterationsPerCall];
+    pub const ALL: [Hist; 4] = [
+        Hist::PlanCostLatencyUs,
+        Hist::ResourceIterationsPerCall,
+        Hist::CacheLockWaitUs,
+        Hist::ServiceQueueWaitUs,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             Hist::PlanCostLatencyUs => "raqo_plan_cost_latency_us",
             Hist::ResourceIterationsPerCall => "raqo_resource_iterations_per_call",
+            Hist::CacheLockWaitUs => "raqo_cache_lock_wait_us",
+            Hist::ServiceQueueWaitUs => "raqo_service_queue_wait_us",
         }
     }
 
@@ -206,6 +312,8 @@ impl Hist {
         match self {
             Hist::PlanCostLatencyUs => "getPlanCost wall time in microseconds",
             Hist::ResourceIterationsPerCall => "resource iterations per resource-planning call",
+            Hist::CacheLockWaitUs => "cache-shard lock acquisition wait in microseconds",
+            Hist::ServiceQueueWaitUs => "planning-service admission-queue wait in microseconds",
         }
     }
 
@@ -213,6 +321,35 @@ impl Hist {
         match self {
             Hist::PlanCostLatencyUs => &PLAN_COST_LATENCY_BUCKETS,
             Hist::ResourceIterationsPerCall => &RESOURCE_ITERATIONS_BUCKETS,
+            Hist::CacheLockWaitUs => &LOCK_WAIT_BUCKETS,
+            Hist::ServiceQueueWaitUs => &QUEUE_WAIT_BUCKETS,
+        }
+    }
+}
+
+/// Stored gauges: point-in-time levels set by the instrumented code (unlike
+/// the derived gauges, which are computed from counters at snapshot time).
+/// Values are signed so transient dec-past-zero races in concurrent
+/// inc/dec pairs cannot wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Requests currently waiting in the planning service's admission queue.
+    ServiceQueueDepth,
+}
+
+impl Gauge {
+    pub const ALL: [Gauge; 1] = [Gauge::ServiceQueueDepth];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ServiceQueueDepth => "raqo_service_queue_depth",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::ServiceQueueDepth => "requests waiting in the planning-service admission queue",
         }
     }
 }
@@ -228,11 +365,24 @@ struct HistCells {
 }
 
 /// The registry itself: one atomic slot per [`Counter`], one cell block
-/// per [`Hist`]. Shared across worker threads by reference.
-#[derive(Default)]
+/// per [`Hist`], one signed slot per [`Gauge`]. Shared across worker
+/// threads by reference.
 pub struct MetricsRegistry {
     counters: [AtomicU64; Counter::ALL.len()],
     hists: [HistCells; Hist::ALL.len()],
+    gauges: [AtomicI64; Gauge::ALL.len()],
+}
+
+// Derived `Default` needs per-element array impls that std only provides
+// up to length 32; the counter array is past that.
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| HistCells::default()),
+            gauges: std::array::from_fn(|_| AtomicI64::new(0)),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -263,6 +413,24 @@ impl MetricsRegistry {
         cells.count.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Set a stored gauge to an absolute level.
+    #[inline]
+    pub fn gauge_set(&self, g: Gauge, value: i64) {
+        self.gauges[g as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Move a stored gauge by `delta` (negative to decrement).
+    #[inline]
+    pub fn gauge_add(&self, g: Gauge, delta: i64) {
+        self.gauges[g as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level of a stored gauge.
+    #[inline]
+    pub fn gauge_get(&self, g: Gauge) -> i64 {
+        self.gauges[g as usize].load(Ordering::Relaxed)
+    }
+
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = Counter::ALL.map(|c| self.get(c));
         let hists = Hist::ALL.map(|h| {
@@ -275,7 +443,8 @@ impl MetricsRegistry {
                 count: cells.count.load(Ordering::Relaxed),
             }
         });
-        MetricsSnapshot { counters, hists }
+        let gauges = Gauge::ALL.map(|g| self.gauge_get(g));
+        MetricsSnapshot { counters, hists, gauges }
     }
 }
 
@@ -294,11 +463,22 @@ pub struct HistSnapshot {
 pub struct MetricsSnapshot {
     counters: [u64; Counter::ALL.len()],
     hists: [HistSnapshot; Hist::ALL.len()],
+    gauges: [i64; Gauge::ALL.len()],
 }
 
 impl MetricsSnapshot {
     pub fn get(&self, c: Counter) -> u64 {
         self.counters[c as usize]
+    }
+
+    /// Stored-gauge level at snapshot time.
+    pub fn gauge(&self, g: Gauge) -> i64 {
+        self.gauges[g as usize]
+    }
+
+    /// Sharded-cache lookups summed over all shard label buckets.
+    pub fn cache_shard_lookups_total(&self) -> u64 {
+        (0..SHARD_LABEL_BUCKETS).map(|i| self.get(Counter::cache_shard(i))).sum()
     }
 
     pub fn hist(&self, h: Hist) -> &HistSnapshot {
@@ -375,6 +555,9 @@ impl MetricsSnapshot {
                 .collect(),
         );
         let mut gauges = Vec::new();
+        for &g in Gauge::ALL.iter() {
+            gauges.push((g.name().to_string(), Value::Num(self.gauge(g) as f64)));
+        }
         if let Some(r) = self.cache_hit_ratio() {
             gauges.push(("raqo_cache_hit_ratio".to_string(), Value::Num(r)));
         }
@@ -427,6 +610,11 @@ impl MetricsSnapshot {
             out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", h.name(), cumulative));
             out.push_str(&format!("{}_sum {}\n", h.name(), s.sum));
             out.push_str(&format!("{}_count {}\n", h.name(), s.count));
+        }
+        for &g in Gauge::ALL.iter() {
+            out.push_str(&format!("# HELP {} {}\n", g.name(), g.help()));
+            out.push_str(&format!("# TYPE {} gauge\n", g.name()));
+            out.push_str(&format!("{} {}\n", g.name(), self.gauge(g)));
         }
         if let Some(r) = self.cache_hit_ratio() {
             out.push_str("# HELP raqo_cache_hit_ratio overall resource-plan cache hit ratio\n");
@@ -543,6 +731,42 @@ mod tests {
         };
         let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
         assert_eq!(names, ["counters", "histograms", "gauges"]);
+    }
+
+    #[test]
+    fn shard_counter_folds_onto_label_buckets() {
+        assert_eq!(Counter::cache_shard(0), Counter::CacheShardLookups0);
+        assert_eq!(Counter::cache_shard(7), Counter::CacheShardLookups7);
+        assert_eq!(Counter::cache_shard(8), Counter::CacheShardLookups0);
+        assert_eq!(Counter::cache_shard(13), Counter::CacheShardLookups5);
+        let reg = MetricsRegistry::new();
+        for shard in 0..32 {
+            reg.inc(Counter::cache_shard(shard), 1);
+        }
+        let s = reg.snapshot();
+        for bucket in 0..SHARD_LABEL_BUCKETS {
+            assert_eq!(s.get(Counter::cache_shard(bucket)), 4, "32 shards fold 4-to-1");
+        }
+        assert_eq!(s.cache_shard_lookups_total(), 32);
+        assert!(s
+            .to_prometheus()
+            .contains("raqo_cache_shard_lookups_total{shard=\"3\"} 4\n"));
+    }
+
+    #[test]
+    fn stored_gauge_set_add_and_export() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set(Gauge::ServiceQueueDepth, 5);
+        reg.gauge_add(Gauge::ServiceQueueDepth, 3);
+        reg.gauge_add(Gauge::ServiceQueueDepth, -6);
+        let s = reg.snapshot();
+        assert_eq!(s.gauge(Gauge::ServiceQueueDepth), 2);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE raqo_service_queue_depth gauge\n"));
+        assert!(prom.contains("raqo_service_queue_depth 2\n"));
+        let json = s.to_json();
+        assert!(json.contains("raqo_service_queue_depth"));
+        serde_json::from_str(&json).expect("gauge JSON parses");
     }
 
     #[test]

@@ -125,6 +125,22 @@ impl Telemetry {
         }
     }
 
+    /// Set a stored gauge to an absolute level.
+    #[inline]
+    pub fn gauge_set(&self, g: crate::Gauge, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_set(g, value);
+        }
+    }
+
+    /// Move a stored gauge by `delta` (negative to decrement).
+    #[inline]
+    pub fn gauge_add(&self, g: crate::Gauge, delta: i64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge_add(g, delta);
+        }
+    }
+
     /// Start a latency stopwatch; reads the clock only when enabled.
     #[inline]
     pub fn stopwatch(&self) -> Stopwatch {

@@ -3,7 +3,7 @@
 //! tracks per-thread allocation counts; the disabled-telemetry hot loop
 //! must leave the count unchanged.
 
-use raqo_telemetry::{Counter, Hist, Telemetry};
+use raqo_telemetry::{Counter, Gauge, Hist, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -56,6 +56,12 @@ fn disabled_telemetry_does_not_allocate() {
         tel.observe(Hist::PlanCostLatencyUs, 42);
         let sw = tel.stopwatch();
         tel.observe_elapsed_us(Hist::PlanCostLatencyUs, &sw);
+        // Contention metrics: per-shard lookup counters, the lock-wait
+        // histogram, and the queue-depth gauge must be equally free.
+        tel.inc(Counter::cache_shard(i % 16));
+        tel.observe(Hist::CacheLockWaitUs, 3);
+        tel.gauge_add(Gauge::ServiceQueueDepth, 1);
+        tel.gauge_set(Gauge::ServiceQueueDepth, 0);
     }
     let after = allocations();
     assert_eq!(

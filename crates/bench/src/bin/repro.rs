@@ -11,6 +11,8 @@
 //! repro --cache-file <path>    # TPC-H sweep warm-started from a persisted cache
 //! repro --trace <file>         # traced TPC-H sweep: EXPLAIN ANALYZE + span trees
 //! repro --metrics <base>       # TPC-H sweep -> <base>.prom + <base>.json
+//! repro --otlp <file>          # service-driven sweep -> OTLP/JSON trace export
+//! repro --otlp <f> --flight-dir <d>  # ... plus flight-recorder dumps on degradation
 //! repro --list                 # what exists
 //! ```
 
@@ -193,6 +195,218 @@ fn run_metrics(base: &str) {
     std::fs::write(&json_path, snap.to_json())
         .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("wrote {prom_path} and {json_path}");
+}
+
+/// `--otlp <file>` (optionally with `--flight-dir <dir>`): run the TPC-H
+/// sweep through a [`raqo_core::PlanningService`] so every query is one
+/// ticket trace, then export the trace pipeline as OTLP/JSON. The batch
+/// ticket runs under a zero-evaluation budget, so the sweep always
+/// exercises the degradation ladder — with `--flight-dir`, that flagged
+/// trace triggers a flight-recorder dump.
+fn run_otlp(path: &str, flight_dir: Option<&str>) {
+    use raqo_core::{PlanRequest, PlanningService, Priority, ServiceConfig};
+    use raqo_resource::{PlanningBudget, ShardedCacheBank};
+    use raqo_telemetry::FlightRecorder;
+    use std::sync::Arc;
+
+    let schema = TpchSchema::new(1.0);
+    let model: &'static JoinCostModel = Box::leak(Box::new(JoinCostModel::trained_hive()));
+    let tel = Telemetry::enabled();
+    let recorder = flight_dir.map(|dir| {
+        let rec = Arc::new(FlightRecorder::new(dir));
+        tel.add_span_sink(rec.clone());
+        rec
+    });
+    let mut config = ServiceConfig { workers: 2, ..Default::default() };
+    config.budgets[Priority::Batch as usize] = PlanningBudget::with_max_evals(0);
+    let service = PlanningService::start(
+        config,
+        ShardedCacheBank::with_shards(8),
+        tel.clone(),
+        |_| {
+            RaqoOptimizer::new(
+                std::sync::Arc::new(schema.catalog.clone()),
+                std::sync::Arc::new(schema.graph.clone()),
+                model,
+                ClusterConditions::paper_default(),
+                PlannerKind::Selinger,
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                    threshold: 0.01,
+                }),
+            )
+        },
+    );
+    let queries = tpch_queries(&schema);
+    let priorities =
+        [Priority::Interactive, Priority::Standard, Priority::Standard, Priority::Batch];
+    let tickets: Vec<_> = queries
+        .iter()
+        .zip(priorities)
+        .enumerate()
+        .map(|(ns, ((name, query), priority))| {
+            let ticket = service
+                .submit(PlanRequest::new(query.clone(), priority).with_namespace(ns as u32));
+            (*name, priority, ticket)
+        })
+        .collect();
+    for (name, priority, ticket) in tickets {
+        let reply = ticket.wait();
+        let plan = reply.plan.expect("otlp sweep plan");
+        println!(
+            "  {name:>10}  {:>11}  trace {:032x}  cost {:>12.3}{}",
+            priority.name(),
+            reply.trace_id,
+            plan.query.cost,
+            if plan.degradation.is_some() { "  (degraded)" } else { "" },
+        );
+    }
+    drop(service);
+    std::fs::write(path, tel.otlp_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "wrote {} trace(s) ({} spans) as OTLP/JSON to {path}",
+        tel.completed_traces().len(),
+        tel.completed_span_count()
+    );
+    if let Some(rec) = recorder {
+        if let Some(err) = rec.last_error() {
+            eprintln!("flight recorder error: {err}");
+        }
+        println!(
+            "flight recorder: {} dump(s) in {}",
+            rec.dump_count(),
+            flight_dir.unwrap_or_default()
+        );
+    }
+}
+
+/// `--smoke` observability gate: the trace pipeline's three load-bearing
+/// promises, end to end. (1) The OTLP/JSON export round-trips through a
+/// real JSON parser. (2) Under 1% head sampling, tail retention still
+/// keeps a fault-injected (NaN-sanitized) ticket and a budget-exhausted
+/// ticket while sampling clean traffic out. (3) Disabled telemetry is
+/// plan-bit-identical to enabled telemetry.
+fn observability_smoke_gate() {
+    use raqo_core::{PlanRequest, PlanningService, Priority, ServiceConfig};
+    use raqo_faults::{Fault, FaultGuard, FaultKind};
+    use raqo_resource::{PlanningBudget, ShardedCacheBank};
+    use raqo_telemetry::{TraceConfig, TraceFlags};
+
+    let schema = TpchSchema::new(1.0);
+    let model: &'static JoinCostModel = Box::leak(Box::new(JoinCostModel::trained_hive()));
+    let (_, ms) = timed(|| {
+        let tel = Telemetry::with_trace_config(TraceConfig {
+            head_rate: 0.01,
+            seed: 7,
+            ..TraceConfig::default()
+        });
+        let mut config = ServiceConfig { workers: 1, ..Default::default() };
+        config.budgets[Priority::Batch as usize] = PlanningBudget::with_max_evals(0);
+        let service = PlanningService::start(
+            config,
+            ShardedCacheBank::with_shards(8),
+            tel.clone(),
+            |_| {
+                RaqoOptimizer::new(
+                    std::sync::Arc::new(schema.catalog.clone()),
+                    std::sync::Arc::new(schema.graph.clone()),
+                    model,
+                    ClusterConditions::paper_default(),
+                    PlannerKind::Selinger,
+                    ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                        threshold: 0.01,
+                    }),
+                )
+            },
+        );
+
+        // One ticket plans under an injected NaN: sanitization fires on a
+        // resource worker thread, and the captured trace scope must
+        // attribute it back to this ticket for tail retention.
+        let sanitized_id = {
+            let _guard = FaultGuard::new();
+            raqo_faults::arm(Fault::at("cost.model.scalar", FaultKind::Nan, 5));
+            raqo_faults::arm(Fault::at("cost.model.batch", FaultKind::Nan, 5));
+            let reply = service
+                .submit(PlanRequest::new(QuerySpec::tpch_q3(), Priority::Interactive))
+                .wait();
+            assert!(reply.plan.is_some(), "observability smoke: faulted ticket unplanned");
+            reply.trace_id
+        };
+        // One ticket exhausts its (zero) budget: the ladder degrades and
+        // the optimizer flags the trace.
+        let exhausted_id = {
+            let reply = service
+                .submit(PlanRequest::new(QuerySpec::tpch_q12(), Priority::Batch))
+                .wait();
+            let plan = reply.plan.expect("observability smoke: batch ticket unplanned");
+            assert!(plan.degradation.is_some(), "zero budget must degrade");
+            reply.trace_id
+        };
+        // Clean traffic: at a 1% head rate nearly all of it samples out.
+        for i in 0..20u32 {
+            service
+                .submit(
+                    PlanRequest::new(QuerySpec::tpch_q3(), Priority::Standard)
+                        .with_namespace(i),
+                )
+                .wait();
+        }
+        drop(service);
+
+        let completed = tel.completed_traces();
+        for (label, id, want) in [
+            ("sanitized", sanitized_id, TraceFlags::COST_SANITIZED),
+            ("budget-exhausted", exhausted_id, TraceFlags::BUDGET_EXHAUSTED),
+        ] {
+            let trace = completed.iter().find(|t| t.trace_id == id).unwrap_or_else(|| {
+                panic!("observability smoke: {label} ticket not retained at 1% head rate")
+            });
+            assert!(
+                trace.flags.contains(want),
+                "observability smoke: {label} ticket retained but not flagged {want:?}"
+            );
+        }
+        let snap = tel.snapshot().expect("enabled");
+        assert_eq!(snap.get(Counter::TracesStarted), 22);
+        assert!(
+            snap.get(Counter::TracesSampledOut) >= 18,
+            "observability smoke: head sampling kept too much clean traffic ({} sampled out)",
+            snap.get(Counter::TracesSampledOut)
+        );
+
+        // The export survives a real JSON parser and carries the flagged
+        // tickets.
+        let otlp = tel.otlp_json();
+        let parsed =
+            serde_json::from_str(&otlp).expect("observability smoke: OTLP JSON parses");
+        let Value::Object(top) = &parsed else {
+            panic!("observability smoke: OTLP root is not an object")
+        };
+        assert!(top.iter().any(|(k, _)| k == "resourceSpans"));
+        for id in [sanitized_id, exhausted_id] {
+            assert!(
+                otlp.contains(&format!("{id:032x}")),
+                "observability smoke: trace {id:x} missing from OTLP export"
+            );
+        }
+
+        // Disabled telemetry changes nothing about the plan itself.
+        let mut with_tel = traced_optimizer(&schema, model, &Telemetry::enabled());
+        let mut without = traced_optimizer(&schema, model, &Telemetry::disabled());
+        let a = with_tel.optimize(&QuerySpec::tpch_q3()).expect("plan");
+        let b = without.optimize(&QuerySpec::tpch_q3()).expect("plan");
+        assert_eq!(a.query.tree, b.query.tree, "observability smoke: tracing changed the tree");
+        assert_eq!(
+            a.query.cost.to_bits(),
+            b.query.cost.to_bits(),
+            "observability smoke: tracing changed the cost"
+        );
+    });
+    assert!(!raqo_faults::armed(), "observability smoke: faults leaked");
+    println!(
+        "observab. ok  {ms:>8.0} ms  OTLP round-trips; flagged tickets retained at 1% head \
+         rate; disabled == enabled plans"
+    );
 }
 
 /// `--smoke` telemetry gate: one traced query must produce a span tree
@@ -735,6 +949,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .filter(|p| !p.starts_with("--"))
         .cloned();
+    let otlp = args
+        .iter()
+        .position(|a| a == "--otlp")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
+    let flight_dir = args
+        .iter()
+        .position(|a| a == "--flight-dir")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
     let fig = args
         .iter()
         .position(|a| a == "--fig")
@@ -767,6 +993,15 @@ fn main() {
             std::process::exit(2);
         };
         run_metrics(&base);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--otlp") {
+        let Some(path) = otlp else {
+            eprintln!("--otlp needs an output file argument");
+            std::process::exit(2);
+        };
+        run_otlp(&path, flight_dir.as_deref());
         return;
     }
 
@@ -818,6 +1053,16 @@ fn main() {
                 p.shape, p.tables, p.wall_ms, p.plan_cost, p.joins, p.bridged
             );
         }
+        println!(
+            "telemetry overhead over {} tickets: sampled(1%) {:+.1}%, full {:+.1}% \
+             ({} -> {} traces retained), plans identical: {}",
+            report.telemetry.tickets,
+            report.telemetry.sampled_overhead_pct,
+            report.telemetry.full_overhead_pct,
+            report.telemetry.runs[1].traces_retained,
+            report.telemetry.runs[2].traces_retained,
+            report.telemetry.plans_identical
+        );
         throughput::table(&report.throughput).print();
         println!(
             "service throughput: {:.2}x sharded over single-lock at 8 workers \
@@ -855,6 +1100,7 @@ fn main() {
         idp_smoke_gate();
         simd_parity_smoke_gate();
         telemetry_smoke_gate();
+        observability_smoke_gate();
         concurrency_smoke_gate();
         chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
@@ -887,6 +1133,8 @@ fn main() {
         println!("  --cache-file <path>  TPC-H sweep warm-started from a persisted cache");
         println!("  --trace <file>       traced TPC-H sweep: EXPLAIN ANALYZE + span trees -> file");
         println!("  --metrics <base>     TPC-H sweep metrics -> <base>.prom + <base>.json");
+        println!("  --otlp <file>        service-driven TPC-H sweep -> OTLP/JSON trace export");
+        println!("  --flight-dir <dir>   with --otlp: dump flight-recorder files on degradation");
         if !list {
             std::process::exit(2);
         }

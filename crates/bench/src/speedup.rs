@@ -66,6 +66,121 @@ pub struct PlannerBenchReport {
     /// The concurrent planning service under a bursty open-loop workload:
     /// single-lock vs sharded cache banks at 1/4/8 workers.
     pub throughput: crate::throughput::ThroughputSeries,
+    /// What the trace pipeline costs: the same ticketed workload with
+    /// telemetry disabled, head-sampled at 1%, and fully recording.
+    pub telemetry: TelemetryOverheadSeries,
+}
+
+/// One telemetry mode's measurements over the ticketed workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryModeResult {
+    /// `disabled`, `sampled_1pct`, or `full`.
+    pub name: String,
+    pub wall_ms: f64,
+    /// Determinism witness: the workload's final plan cost.
+    pub plan_cost: f64,
+    /// Traces the pipeline retained (0 when disabled; ~1% sampled; all
+    /// when full).
+    pub traces_retained: u64,
+    /// Spans held in the completed ring afterwards.
+    pub spans_retained: u64,
+}
+
+/// Trace-pipeline overhead: a fixed ticketed planning workload (every
+/// `optimize` wrapped in a `start_trace`/`enter`/`finish` ticket, the way
+/// [`raqo_core::PlanningService`] runs it) measured with telemetry
+/// disabled, head-sampled at 1%, and fully recording. The disabled run is
+/// the baseline; the overhead percentages are what an operator pays for
+/// sampling and for full capture.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryOverheadSeries {
+    pub tables: usize,
+    /// Planning tickets per mode.
+    pub tickets: u32,
+    /// `disabled`, `sampled_1pct`, `full`.
+    pub runs: Vec<TelemetryModeResult>,
+    /// `(sampled - disabled) / disabled`, in percent.
+    pub sampled_overhead_pct: f64,
+    /// `(full - disabled) / disabled`, in percent.
+    pub full_overhead_pct: f64,
+    /// Every mode produced bitwise the same plan cost: instrumentation
+    /// never steers planning.
+    pub plans_identical: bool,
+}
+
+/// Measure the trace-pipeline overhead series (see
+/// [`TelemetryOverheadSeries`]).
+pub fn measure_telemetry(quick: bool) -> TelemetryOverheadSeries {
+    use raqo_core::Telemetry;
+    use raqo_telemetry::TraceConfig;
+
+    let tables = if quick { 8 } else { 12 };
+    let tickets: u32 = if quick { 20 } else { 100 };
+    let cluster = ClusterConditions::two_dim(1.0..=50.0, 1.0..=8.0, 1.0, 1.0);
+    let schema = RandomSchemaConfig::with_tables(tables, 5).generate();
+    let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, tables, 3);
+    let model = JoinCostModel::trained_hive();
+
+    let modes: [(&str, Telemetry); 3] = [
+        ("disabled", Telemetry::disabled()),
+        (
+            "sampled_1pct",
+            Telemetry::with_trace_config(TraceConfig {
+                head_rate: 0.01,
+                seed: 17,
+                ..TraceConfig::default()
+            }),
+        ),
+        ("full", Telemetry::enabled()),
+    ];
+
+    let mut runs = Vec::new();
+    let mut costs: Vec<f64> = Vec::new();
+    for (name, tel) in modes {
+        let mut opt = RaqoOptimizer::new(
+            &schema.catalog,
+            &schema.graph,
+            &model,
+            cluster,
+            PlannerKind::Selinger,
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_telemetry(tel.clone());
+        // Warm-up outside the timed window (first run pays lazy inits).
+        opt.optimize(&query).expect("warm-up plan");
+        let (last, wall_ms) = timed(|| {
+            let mut last = None;
+            for _ in 0..tickets {
+                let trace = tel.start_trace("bench.ticket");
+                let _in_trace = trace.enter();
+                last = Some(opt.optimize(&query).expect("plan"));
+                drop(_in_trace);
+                trace.finish();
+            }
+            last.expect("at least one ticket")
+        });
+        let retained = tel
+            .snapshot()
+            .map_or(0, |s| s.get(raqo_telemetry::Counter::TracesRetained));
+        runs.push(TelemetryModeResult {
+            name: name.into(),
+            wall_ms,
+            plan_cost: last.query.cost,
+            traces_retained: retained,
+            spans_retained: tel.completed_span_count() as u64,
+        });
+        costs.push(last.query.cost);
+    }
+
+    let base = runs[0].wall_ms.max(1e-9);
+    TelemetryOverheadSeries {
+        tables,
+        tickets,
+        sampled_overhead_pct: 100.0 * (runs[1].wall_ms - base) / base,
+        full_overhead_pct: 100.0 * (runs[2].wall_ms - base) / base,
+        plans_identical: costs.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+        runs,
+    }
 }
 
 /// Scalar fold vs dispatching batch kernel over the full resource grid.
@@ -384,6 +499,7 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         cost_kernel: measure_cost_kernel(quick),
         climb: measure_climb(quick),
         throughput: crate::throughput::measure(quick),
+        telemetry: measure_telemetry(quick),
     }
 }
 

@@ -75,13 +75,19 @@ pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry
     // line up with `plan.query.joins` in order. When the shapes disagree
     // (e.g. the sink saw several queries), fall back to aggregates only.
     out.push_str("Planning breakdown (measured):\n");
-    let final_idx = spans.iter().rposition(|s| s.name.ends_with(".final_cost"));
-    let per_join: Vec<u64> = final_idx
+    // Parents are matched by the span's stable sequence id (not store
+    // position), so the attribution survives ring eviction of older spans.
+    let final_id = spans
+        .iter()
+        .rev()
+        .find(|s| s.name.ends_with(".final_cost"))
+        .map(|s| s.id);
+    let per_join: Vec<u64> = final_id
         .map(|fi| {
             spans
                 .iter()
-                .filter(|s| s.parent == Some(fi as u32) && s.name == "plan_cost")
-                .map(|s| s.dur_ns)
+                .filter(|s| s.parent == Some(fi) && s.name == "plan_cost")
+                .map(|s| s.dur_ns())
                 .collect()
         })
         .unwrap_or_default();

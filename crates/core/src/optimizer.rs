@@ -618,11 +618,20 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
 
         let mut degradation: Option<Degradation> = None;
         let mut note = |rung: DegradationRung, trigger: DegradationTrigger| {
+            // The counter increment flags the current trace DEGRADED for
+            // tail retention; a budget trigger additionally marks it
+            // BUDGET_EXHAUSTED so operators can split the two.
             tel.inc(match rung {
                 DegradationRung::IdpBridge => Counter::DegradationsIdpBridge,
                 DegradationRung::Randomized => Counter::DegradationsRandomized,
                 DegradationRung::RuleBased => Counter::DegradationsRuleBased,
             });
+            if matches!(
+                trigger,
+                DegradationTrigger::Deadline | DegradationTrigger::EvalBudget
+            ) {
+                tel.flag_current_trace(raqo_telemetry::TraceFlags::BUDGET_EXHAUSTED);
+            }
             degradation = Some(Degradation {
                 rung,
                 trigger,

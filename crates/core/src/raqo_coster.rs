@@ -349,7 +349,8 @@ struct CostCtx<'c, M> {
     sharded: Option<&'c ShardedCacheBank>,
     cache_namespace: u32,
     /// Shared with every fan-out worker: counters are atomic, and spans
-    /// opened on worker threads become roots of their own sub-trees.
+    /// opened on worker threads parent under the spawning thread's span
+    /// via the `TraceScope` captured before the fan-out.
     tel: &'c Telemetry,
     /// Shared planning-budget tracker; every cost-model evaluation charges
     /// one unit against it (atomic, so fan-out workers share one pool).
@@ -727,6 +728,11 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
         let workers = parallelism.workers().min(ios.len());
         let chunk = ios.len().div_ceil(workers);
         let ctx = &ctx;
+        // Capture the calling thread's trace position so worker-thread
+        // spans (plan_cost, resource_planning.*, cache.lookup.*) parent
+        // under the ticket/ambient span that spawned them instead of
+        // becoming orphan roots.
+        let scope_token = self.telemetry.current_scope();
         // Panic isolation: each worker's chunk runs under `catch_unwind`.
         // A panicking chunk (model bug, injected fault) is re-costed
         // sequentially on the calling thread with a fresh local stats block
@@ -739,6 +745,7 @@ impl<M: OperatorCost + Send + Sync> PlanCoster for RaqoCoster<'_, M> {
                     .map(|ios_chunk| {
                         scope.spawn(move || {
                             catch_unwind(AssertUnwindSafe(|| {
+                                let _in_scope = ctx.tel.enter_scope(scope_token);
                                 let _ = probes::probe("core.worker.cost");
                                 let mut stats = RaqoStats::default();
                                 let decisions: Vec<Option<JoinDecision>> = ios_chunk

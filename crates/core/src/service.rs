@@ -32,7 +32,7 @@ use raqo_catalog::QuerySpec;
 use raqo_cost::OperatorCost;
 use raqo_resource::{PlanningBudget, ShardedCacheBank};
 use raqo_sim::AdmissionQueue;
-use raqo_telemetry::{Counter, Gauge, Hist, Telemetry};
+use raqo_telemetry::{Counter, Gauge, Hist, Telemetry, TraceContext};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -55,6 +55,15 @@ impl Priority {
 
     fn from_class(class: usize) -> Priority {
         Priority::ALL[class]
+    }
+
+    /// Stable lowercase name, used as the trace attribute value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
     }
 }
 
@@ -131,6 +140,9 @@ pub struct ServiceReply {
     pub queue_wait_us: u64,
     /// Planning time on the worker, in microseconds.
     pub service_us: u64,
+    /// The ticket's telemetry trace id (0 when telemetry is disabled),
+    /// for correlating the reply with the exported OTLP trace.
+    pub trace_id: u128,
 }
 
 /// Handle to a submitted request.
@@ -149,6 +161,7 @@ impl PlanTicket {
             shed: false,
             queue_wait_us: 0,
             service_us: 0,
+            trace_id: 0,
         })
     }
 }
@@ -157,6 +170,10 @@ struct Job {
     request: PlanRequest,
     enqueued: Instant,
     reply: mpsc::Sender<ServiceReply>,
+    /// The ticket's trace, opened at submission so the queue wait is part
+    /// of the trace; the worker enters it while planning and finishes it
+    /// after replying.
+    trace: TraceContext,
 }
 
 struct Shared {
@@ -256,7 +273,13 @@ impl PlanningService {
     pub fn submit(&self, request: PlanRequest) -> PlanTicket {
         let (tx, rx) = mpsc::channel();
         let class = request.priority as usize;
-        let job = Job { request, enqueued: Instant::now(), reply: tx };
+        // Each ticket is one trace; the tenant namespace and priority
+        // class ride along as attributes so an operator can attribute any
+        // exported trace without joining against request logs.
+        let trace = self.telemetry.start_trace("plan.ticket");
+        trace.attr("tenant.namespace", request.namespace);
+        trace.attr("priority.class", request.priority.name());
+        let job = Job { request, enqueued: Instant::now(), reply: tx, trace };
         let rejected = {
             let mut queue = lock_queue(&self.shared.queue);
             let out = queue.try_push(class, job);
@@ -272,18 +295,26 @@ impl PlanningService {
             Err(job) => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 self.telemetry.inc(Counter::ServiceShed);
+                job.trace.attr("shed", true);
                 let sw = Instant::now();
                 let plan = {
+                    // Entering the trace here makes the zero-budget
+                    // ladder's degradation counters flag it for tail
+                    // retention.
+                    let _in_trace = job.trace.enter();
                     let mut lane = self.shed_lane.lock().unwrap_or_else(|e| e.into_inner());
                     lane(&job.request)
                 };
+                let trace_id = job.trace.trace_id();
                 let _ = job.reply.send(ServiceReply {
                     plan,
                     priority: job.request.priority,
                     shed: true,
                     queue_wait_us: 0,
                     service_us: sw.elapsed().as_micros() as u64,
+                    trace_id,
                 });
+                job.trace.finish();
             }
         }
         PlanTicket { rx }
@@ -362,10 +393,16 @@ fn worker_loop<M: OperatorCost + Send + Sync>(
         let Some((class, job)) = job else { return };
         let wait_us = job.enqueued.elapsed().as_micros() as u64;
         tel.observe(Hist::ServiceQueueWaitUs, wait_us);
+        job.trace.attr("queue.wait_us", wait_us);
         optimizer.set_budget(config.budgets[class]);
         optimizer.set_cache_namespace(job.request.namespace);
         let sw = Instant::now();
+        // Spans the optimizer opens on this thread (and on fan-out workers
+        // via captured scopes) parent under this ticket's root, not the
+        // worker's ambient stack.
+        let in_trace = job.trace.enter();
         let plan = optimizer.optimize(&job.request.query);
+        drop(in_trace);
         let service_us = sw.elapsed().as_micros() as u64;
         tel.inc(Counter::ServiceCompleted);
         let done = shared.completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -382,13 +419,16 @@ fn worker_loop<M: OperatorCost + Send + Sync>(
                 };
             }
         }
+        let trace_id = job.trace.trace_id();
         let _ = job.reply.send(ServiceReply {
             plan,
             priority: Priority::from_class(class),
             shed: false,
             queue_wait_us: wait_us,
             service_us,
+            trace_id,
         });
+        job.trace.finish();
     }
 }
 
@@ -494,6 +534,76 @@ mod tests {
             snap.get(Counter::ServiceAdmitted),
             (replies.len() - shed.len()) as u64
         );
+    }
+
+    #[test]
+    fn concurrent_tickets_each_produce_one_rooted_trace() {
+        let tel = Telemetry::enabled();
+        let service = PlanningService::start(
+            ServiceConfig { workers: 3, ..Default::default() },
+            ShardedCacheBank::with_shards(8),
+            tel.clone(),
+            build_optimizer,
+        );
+        let tickets: Vec<(u32, PlanTicket)> = (0..6u32)
+            .map(|ns| {
+                let priority = Priority::ALL[ns as usize % 3];
+                let t = service.submit(
+                    PlanRequest::new(QuerySpec::tpch_q3(), priority).with_namespace(ns),
+                );
+                (ns, t)
+            })
+            .collect();
+        let replies: Vec<(u32, ServiceReply)> =
+            tickets.into_iter().map(|(ns, t)| (ns, t.wait())).collect();
+        drop(service);
+
+        let traces = tel.completed_traces();
+        assert_eq!(traces.len(), 6, "one trace per ticket, none dropped or leaked");
+        assert_eq!(tel.active_trace_count(), 0, "every ticket trace was finished");
+        // Worker spans must land in the ticket's trace, never on the
+        // submitting thread's ambient stack.
+        assert!(tel.spans().is_empty(), "ambient span stack stays empty");
+
+        for (ns, reply) in &replies {
+            let trace = traces
+                .iter()
+                .find(|t| t.trace_id == reply.trace_id)
+                .expect("reply's trace id matches an exported trace");
+            // Exactly one root: the plan.ticket span opened at submit.
+            let roots: Vec<_> = trace.spans.iter().filter(|s| s.parent.is_none()).collect();
+            assert_eq!(roots.len(), 1, "single-rooted trace");
+            assert_eq!(roots[0].name, "plan.ticket");
+            assert!(!roots[0].is_open(), "finish() closes the root");
+            // Every non-root span parents inside this trace.
+            for s in &trace.spans {
+                if let Some(p) = s.parent {
+                    assert!(
+                        trace.spans.iter().any(|q| q.id == p),
+                        "span {} parents to {} inside its own trace",
+                        s.name,
+                        p
+                    );
+                }
+            }
+            // Optimizer work actually attributed here: more than just the
+            // root span.
+            assert!(trace.spans.len() > 1, "optimizer spans attach to the ticket");
+            let attr = |k: &str| {
+                trace
+                    .attrs
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            assert_eq!(attr("tenant.namespace"), ns.to_string());
+            assert_eq!(attr("priority.class"), reply.priority.name());
+        }
+        // Distinct tickets get distinct trace ids.
+        let ids: std::collections::BTreeSet<u128> =
+            traces.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids.len(), 6);
     }
 
     #[test]

@@ -122,6 +122,10 @@ where
 
     let chunk = total.div_ceil(workers as u64);
     let cost_fn = &cost_fn;
+    // Workers enter the caller's trace scope so anything the cost closure
+    // reports (e.g. a sanitized model output) attributes to the right
+    // ticket rather than an ambient worker thread.
+    let scope_token = tel.current_scope();
     // Ok(best) = worker finished; Err(lo, hi) = worker panicked, chunk
     // still owed.
     let per_chunk: Vec<Result<Option<(u64, ResourceConfig, f64)>, (u64, u64)>> =
@@ -132,6 +136,7 @@ where
                     let hi = ((w + 1) * chunk).min(total);
                     let h = scope.spawn(move || {
                         catch_unwind(AssertUnwindSafe(|| {
+                            let _in_scope = tel.enter_scope(scope_token);
                             let _ = probes::probe("resource.worker.grid");
                             scan_chunk(cluster, lo, hi, cost_fn)
                         }))
@@ -249,6 +254,7 @@ where
 
     let chunk = total.div_ceil(workers as u64);
     let batch_fn = &batch_fn;
+    let scope_token = tel.current_scope();
     let per_chunk: Vec<Result<Option<(u64, ResourceConfig, f64)>, (u64, u64)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers as u64)
@@ -257,6 +263,7 @@ where
                     let hi = ((w + 1) * chunk).min(total);
                     let h = scope.spawn(move || {
                         catch_unwind(AssertUnwindSafe(|| {
+                            let _in_scope = tel.enter_scope(scope_token);
                             let _ = probes::probe("resource.worker.grid_batch");
                             scan_chunk_batch(cluster, lo, hi, batch_fn)
                         }))
@@ -465,6 +472,7 @@ where
     } else {
         let cost_fn = &cost_fn;
         let seeds = &seeds;
+        let scope_token = tel.current_scope();
         let per_seed: Vec<Result<PlanningOutcome, ResourceConfig>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = seeds
@@ -472,6 +480,7 @@ where
                     .map(|&s| {
                         let h = scope.spawn(move || {
                             catch_unwind(AssertUnwindSafe(|| {
+                                let _in_scope = tel.enter_scope(scope_token);
                                 let _ = probes::probe("resource.worker.climb");
                                 hill_climb(cluster, s, |r| cost_fn(r))
                             }))

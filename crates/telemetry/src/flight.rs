@@ -1,0 +1,234 @@
+//! The flight recorder: an always-on ring of recent completed traces that
+//! dumps itself (plus a metrics snapshot) to disk whenever a trace
+//! finishes flagged with a degradation, worker panic, or budget
+//! exhaustion — so post-hoc debugging of a shed or degraded ticket needs
+//! no foresight and no 100% sampling.
+//!
+//! Dump files are JSON (`raqo-flight-v1`):
+//!
+//! ```text
+//! {
+//!   "format": "raqo-flight-v1",
+//!   "trigger_trace_id": "<32 hex>",
+//!   "trigger_flags": ["degraded", ...],
+//!   "recent_traces": [ {trace_id, name, flags, attrs, retained, spans[]} ... ],
+//!   "metrics": { ...registry snapshot... }
+//! }
+//! ```
+//!
+//! The recorder is a [`SpanSink`]: it sees *every* finished trace before
+//! the sampler discards anything, so the ring's context is complete even
+//! at a 1% head rate.
+
+use crate::span::spans_to_json_value;
+use crate::trace::{CompletedTrace, SpanSink, TraceFlags};
+use crate::{Counter, MetricsRegistry};
+use serde::{write_value, Value};
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Traces kept in the always-on ring (the dump's context window).
+pub const DEFAULT_FLIGHT_KEEP: usize = 8;
+
+/// Flags that trigger a dump when present on a finishing trace.
+fn dump_trigger() -> TraceFlags {
+    TraceFlags::DEGRADED
+        .union(TraceFlags::PANIC)
+        .union(TraceFlags::BUDGET_EXHAUSTED)
+}
+
+struct FlightState {
+    recent: VecDeque<CompletedTrace>,
+    dumps: u64,
+    last_error: Option<String>,
+}
+
+/// See the module docs. Register with [`crate::Telemetry::add_span_sink`].
+pub struct FlightRecorder {
+    dir: PathBuf,
+    keep: usize,
+    state: Mutex<FlightState>,
+}
+
+fn trace_json(t: &CompletedTrace) -> Value {
+    Value::Object(vec![
+        ("trace_id".to_string(), Value::String(t.trace_id_hex())),
+        ("name".to_string(), Value::String(t.name.clone())),
+        (
+            "flags".to_string(),
+            Value::Array(
+                t.flags
+                    .names()
+                    .into_iter()
+                    .map(|n| Value::String(n.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "attrs".to_string(),
+            Value::Object(
+                t.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::String(v.clone())))
+                    .collect(),
+            ),
+        ),
+        ("retained".to_string(), Value::Bool(t.retained)),
+        ("evicted_spans".to_string(), Value::Num(t.evicted as f64)),
+        ("spans".to_string(), spans_to_json_value(&t.spans)),
+    ])
+}
+
+impl FlightRecorder {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self::with_keep(dir, DEFAULT_FLIGHT_KEEP)
+    }
+
+    pub fn with_keep(dir: impl Into<PathBuf>, keep: usize) -> Self {
+        FlightRecorder {
+            dir: dir.into(),
+            keep: keep.max(1),
+            state: Mutex::new(FlightState {
+                recent: VecDeque::new(),
+                dumps: 0,
+                last_error: None,
+            }),
+        }
+    }
+
+    /// Dumps successfully written so far.
+    pub fn dump_count(&self) -> u64 {
+        self.state.lock().unwrap().dumps
+    }
+
+    /// The most recent I/O error, if a dump failed.
+    pub fn last_error(&self) -> Option<String> {
+        self.state.lock().unwrap().last_error.clone()
+    }
+}
+
+impl SpanSink for FlightRecorder {
+    fn on_trace_finish(&self, trace: &CompletedTrace, registry: &MetricsRegistry) {
+        let mut st = self.state.lock().unwrap();
+        st.recent.push_back(trace.clone());
+        while st.recent.len() > self.keep {
+            st.recent.pop_front();
+        }
+        if !trace.flags.intersects(dump_trigger()) {
+            return;
+        }
+        let doc = Value::Object(vec![
+            (
+                "format".to_string(),
+                Value::String("raqo-flight-v1".to_string()),
+            ),
+            (
+                "trigger_trace_id".to_string(),
+                Value::String(trace.trace_id_hex()),
+            ),
+            (
+                "trigger_flags".to_string(),
+                Value::Array(
+                    trace
+                        .flags
+                        .names()
+                        .into_iter()
+                        .map(|n| Value::String(n.to_string()))
+                        .collect(),
+                ),
+            ),
+            (
+                "recent_traces".to_string(),
+                Value::Array(st.recent.iter().map(trace_json).collect()),
+            ),
+            ("metrics".to_string(), registry.snapshot().to_json_value()),
+        ]);
+        let mut rendered = String::new();
+        write_value(&mut rendered, &doc, Some(2), 0);
+        rendered.push('\n');
+        let seq = st.dumps + 1;
+        let file = self.dir.join(format!(
+            "flight_{seq:05}_{:016x}.json",
+            (trace.trace_id >> 64) as u64
+        ));
+        let write = std::fs::create_dir_all(&self.dir)
+            .and_then(|_| std::fs::write(&file, rendered.as_bytes()));
+        match write {
+            Ok(()) => {
+                st.dumps = seq;
+                st.last_error = None;
+                registry.inc(Counter::FlightDumps, 1);
+            }
+            Err(e) => st.last_error = Some(format!("{}: {e}", file.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "raqo_flight_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn flagged_trace_dumps_ring_and_metrics() {
+        let dir = tmpdir("dump");
+        let tel = Telemetry::enabled();
+        let rec = Arc::new(FlightRecorder::new(&dir));
+        tel.add_span_sink(rec.clone());
+
+        // Two clean traces fill the ring, then a degraded one trips a dump.
+        for name in ["q1", "q2"] {
+            let ctx = tel.start_trace(name);
+            let g = ctx.enter();
+            {
+                let _s = tel.span("optimize");
+            }
+            drop(g);
+            ctx.finish();
+        }
+        let ctx = tel.start_trace("q3");
+        ctx.attr("tenant.namespace", 7);
+        ctx.flag(TraceFlags::DEGRADED);
+        ctx.finish();
+
+        assert_eq!(rec.dump_count(), 1, "error: {:?}", rec.last_error());
+        assert_eq!(
+            tel.snapshot().unwrap().get(Counter::FlightDumps),
+            1,
+            "dump is counted"
+        );
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let text = std::fs::read_to_string(entries[0].as_ref().unwrap().path()).unwrap();
+        let doc = serde_json::from_str(&text).expect("dump parses as JSON");
+        let rendered = serde::render_compact(&doc);
+        assert!(text.contains("raqo-flight-v1"));
+        assert!(rendered.contains("degraded"));
+        assert!(rendered.contains("\"q1\""), "ring context includes earlier traces");
+        assert!(rendered.contains("raqo_traces_started_total") || rendered.contains("traces_started"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_traces_do_not_dump() {
+        let dir = tmpdir("clean");
+        let tel = Telemetry::enabled();
+        let rec = Arc::new(FlightRecorder::new(&dir));
+        tel.add_span_sink(rec.clone());
+        let ctx = tel.start_trace("ok");
+        ctx.finish();
+        assert_eq!(rec.dump_count(), 0);
+        assert!(!dir.exists(), "no dump directory is created until a dump fires");
+    }
+}

@@ -1,27 +1,47 @@
 //! `raqo-telemetry` — observability for the joint query+resource
 //! optimizer.
 //!
-//! Three layers, all dependency-free:
+//! Four layers, all dependency-free:
 //!
 //! 1. **Spans** ([`Telemetry::span`]): RAII guards with monotonic timings
 //!    and thread-local parent/child nesting, covering the pipeline phases
 //!    (dispatch, Selinger DP levels, randomized rounds, resource planning,
-//!    cache lookups). Capped at [`MAX_SPANS`] with a dropped counter.
-//! 2. **Metrics registry** ([`MetricsRegistry`]): enum-indexed atomic
+//!    cache lookups). Backed by bounded ring buffers (ambient cap
+//!    [`MAX_SPANS`], per-ticket cap [`DEFAULT_TRACE_SPAN_CAP`]) with
+//!    evictions counted.
+//! 2. **The trace pipeline** ([`Telemetry::start_trace`]): per-ticket
+//!    traces with deterministic ids and attributes, two-stage sampling
+//!    (seeded head rate + tail retention of degraded/panicked/
+//!    budget-exhausted/sanitized tickets), pluggable [`SpanSink`]s, an
+//!    OTLP/JSON-shaped exporter ([`Telemetry::otlp_json`]), and a
+//!    [`FlightRecorder`] that dumps recent traces + metrics to disk when
+//!    trouble fires.
+//! 3. **Metrics registry** ([`MetricsRegistry`]): enum-indexed atomic
 //!    counters and fixed-bucket histograms, exported as JSON
 //!    ([`MetricsSnapshot::to_json`]) and Prometheus text format
 //!    ([`MetricsSnapshot::to_prometheus`]).
-//! 3. **The no-op sink**: [`Telemetry::disabled`] is the default
+//! 4. **The no-op sink**: [`Telemetry::disabled`] is the default
 //!    everywhere; every instrumentation call on it is branch-on-`None`
 //!    and free — no clock reads, no locks, no allocation (asserted by the
 //!    `no_alloc` integration test and the `telemetry_overhead` bench).
 
+mod flight;
 mod metrics;
+mod otlp;
 mod span;
+mod trace;
 
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_KEEP};
 pub use metrics::{
     Counter, Gauge, Hist, HistSnapshot, MetricsRegistry, MetricsSnapshot, LOCK_WAIT_BUCKETS,
     PLAN_COST_LATENCY_BUCKETS, QUEUE_WAIT_BUCKETS, RESOURCE_ITERATIONS_BUCKETS,
     SHARD_LABEL_BUCKETS,
 };
-pub use span::{aggregate_spans, render_span_tree, Span, SpanRecord, Stopwatch, Telemetry, MAX_SPANS};
+pub use span::{
+    aggregate_spans, render_span_tree, spans_to_json_value, Span, SpanRecord, Stopwatch,
+    Telemetry, MAX_SPANS,
+};
+pub use trace::{
+    CompletedTrace, ScopeGuard, SpanSink, TraceConfig, TraceContext, TraceFlags, TraceGuard,
+    TraceScope, DEFAULT_TRACE_SPAN_CAP,
+};

@@ -94,13 +94,24 @@ pub enum Counter {
     ServiceShed,
     /// Requests completed by a service worker (shed requests excluded).
     ServiceCompleted,
+    /// Ticket traces started via `Telemetry::start_trace`.
+    TracesStarted,
+    /// Finished traces retained by head or tail sampling.
+    TracesRetained,
+    /// Finished traces discarded by head sampling (no retention flags).
+    TracesSampledOut,
+    /// Retained traces evicted from the completed ring to stay under its
+    /// span-count capacity (oldest unflagged first).
+    TracesEvicted,
+    /// Flight-recorder dumps written to disk.
+    FlightDumps,
 }
 
 /// Number of `shard="N"` label buckets for sharded-cache lookup counters.
 pub const SHARD_LABEL_BUCKETS: usize = 8;
 
 impl Counter {
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 40] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -136,6 +147,11 @@ impl Counter {
         Counter::ServiceAdmitted,
         Counter::ServiceShed,
         Counter::ServiceCompleted,
+        Counter::TracesStarted,
+        Counter::TracesRetained,
+        Counter::TracesSampledOut,
+        Counter::TracesEvicted,
+        Counter::FlightDumps,
     ];
 
     /// The lookup counter for shard `index`, folding indices past
@@ -193,6 +209,11 @@ impl Counter {
             Counter::ServiceAdmitted => "raqo_service_admitted_total",
             Counter::ServiceShed => "raqo_service_shed_total",
             Counter::ServiceCompleted => "raqo_service_completed_total",
+            Counter::TracesStarted => "raqo_traces_started_total",
+            Counter::TracesRetained => "raqo_traces_retained_total",
+            Counter::TracesSampledOut => "raqo_traces_sampled_out_total",
+            Counter::TracesEvicted => "raqo_traces_evicted_total",
+            Counter::FlightDumps => "raqo_flight_dumps_total",
         }
     }
 
@@ -250,6 +271,11 @@ impl Counter {
             Counter::ServiceAdmitted => "planning-service requests admitted to the queue",
             Counter::ServiceShed => "planning-service requests shed at admission (queue full)",
             Counter::ServiceCompleted => "planning-service requests completed by workers",
+            Counter::TracesStarted => "ticket traces started",
+            Counter::TracesRetained => "finished traces retained by head or tail sampling",
+            Counter::TracesSampledOut => "finished traces discarded by head sampling",
+            Counter::TracesEvicted => "retained traces evicted from the completed ring",
+            Counter::FlightDumps => "flight-recorder dumps written to disk",
         }
     }
 }
@@ -767,6 +793,59 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("raqo_service_queue_depth"));
         serde_json::from_str(&json).expect("gauge JSON parses");
+    }
+
+    #[test]
+    fn every_metric_appears_in_both_exports() {
+        // Exhaustiveness guard: adding a Counter/Hist/Gauge variant without
+        // it reaching both export formats is a silent observability hole.
+        // `name()` strings are the contract, so match on those.
+        let reg = MetricsRegistry::new();
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            reg.inc(c, i as u64 + 1);
+        }
+        for &h in Hist::ALL.iter() {
+            reg.observe(h, 1);
+        }
+        for &g in Gauge::ALL.iter() {
+            reg.gauge_set(g, 1);
+        }
+        let snap = reg.snapshot();
+        let prom = snap.to_prometheus();
+        // Counter names may carry Prometheus labels (quotes), which JSON
+        // escapes in the rendered text — compare against parsed keys.
+        let parsed = serde_json::from_str(&snap.to_json()).expect("snapshot JSON parses");
+        let serde::Value::Object(sections) = parsed else { panic!("snapshot is an object") };
+        let keys_of = |section: &str| -> Vec<String> {
+            let Some(serde::Value::Object(fields)) =
+                sections.iter().find(|(k, _)| k == section).map(|(_, v)| v)
+            else {
+                panic!("missing {section} section")
+            };
+            fields.iter().map(|(k, _)| k.clone()).collect()
+        };
+        let (counters, hists, gauges) =
+            (keys_of("counters"), keys_of("histograms"), keys_of("gauges"));
+        for &c in Counter::ALL.iter() {
+            assert!(prom.contains(&format!("{} ", c.name())), "{} missing in prom", c.name());
+            assert!(counters.iter().any(|k| k == c.name()), "{} missing in json", c.name());
+        }
+        for &h in Hist::ALL.iter() {
+            assert!(
+                prom.contains(&format!("{}_count ", h.name())),
+                "{} missing in prom",
+                h.name()
+            );
+            assert!(hists.iter().any(|k| k == h.name()), "{} missing in json", h.name());
+        }
+        for &g in Gauge::ALL.iter() {
+            assert!(prom.contains(&format!("{} ", g.name())), "{} missing in prom", g.name());
+            assert!(gauges.iter().any(|k| k == g.name()), "{} missing in json", g.name());
+        }
+        // Distinct increments round-trip: no two counters alias one cell.
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(snap.get(c), i as u64 + 1, "{} aliased", c.name());
+        }
     }
 
     #[test]

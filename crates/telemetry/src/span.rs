@@ -1,52 +1,86 @@
 //! Lightweight span tracing with monotonic timings and parent/child
-//! nesting.
+//! nesting, backed by the bounded trace pipeline in [`crate::trace`].
 //!
 //! A [`Span`] is an RAII guard: opening one records a start offset against
 //! the telemetry epoch and pushes it on a thread-local stack (so spans
 //! opened while it is live become its children); dropping it stamps the
-//! duration. When telemetry is disabled every operation is a no-op on a
-//! `None` — no clock reads, no locks, no allocation.
+//! end timestamp. Spans land either in the *ambient* trace (the legacy
+//! one-shot view behind [`Telemetry::spans`]) or, when a thread has
+//! entered a [`crate::TraceContext`], in that ticket's own ring buffer.
+//! When telemetry is disabled every operation is a no-op on a `None` — no
+//! clock reads, no locks, no allocation.
 
 use crate::metrics::MetricsRegistry;
+use crate::trace::{
+    self, CompletedTrace, Pipeline, ScopeGuard, SpanSink, TraceConfig, TraceContext, TraceFlags,
+    TraceScope,
+};
 use crate::Counter;
 use serde::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Hard cap on retained spans per telemetry handle. Past it, spans are
-/// counted in [`Counter::SpansDropped`] instead of stored — hot loops
-/// cannot grow the trace without bound.
+/// Default span capacity of the ambient (non-ticket) trace ring. Past it
+/// the oldest spans are evicted and counted in [`Counter::SpansDropped`] —
+/// hot loops cannot grow the trace without bound.
 pub const MAX_SPANS: usize = 65_536;
 
-/// One finished (or still-open) span in the trace.
+/// One finished (or still-open) span in a trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     pub name: String,
-    /// Index of the parent span in the same trace, root spans have none.
+    /// Stable per-trace sequence id. Survives ring eviction: ids are
+    /// assigned monotonically from 0 and never reused, so parent links
+    /// stay valid even after older records have been evicted.
+    pub id: u32,
+    /// Sequence id of the parent span in the same trace; root spans have
+    /// none.
     pub parent: Option<u32>,
     /// Start offset from the telemetry epoch, nanoseconds.
     pub start_ns: u64,
-    /// Duration, nanoseconds; zero while the span is still open.
-    pub dur_ns: u64,
+    /// End offset from the telemetry epoch; `None` while the span is
+    /// still open (exports mark such spans as open rather than
+    /// zero-duration).
+    pub end_ns: Option<u64>,
 }
 
-struct SpanStore {
-    records: Vec<SpanRecord>,
+impl SpanRecord {
+    /// Whether the span has not been closed yet.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        self.end_ns.is_none()
+    }
+
+    /// Duration in nanoseconds; zero for spans still open.
+    #[inline]
+    pub fn dur_ns(&self) -> u64 {
+        match self.end_ns {
+            Some(end) => end.saturating_sub(self.start_ns),
+            None => 0,
+        }
+    }
 }
 
 pub(crate) struct Inner {
     /// Distinguishes handles on the shared thread-local stack.
-    id: u64,
-    epoch: Instant,
+    pub(crate) id: u64,
+    pub(crate) epoch: Instant,
+    /// Wall-clock anchor of `epoch`, for OTLP unix-nano timestamps.
+    pub(crate) epoch_unix_ns: u64,
     pub(crate) registry: MetricsRegistry,
-    spans: Mutex<SpanStore>,
+    pub(crate) pipeline: Mutex<Pipeline>,
+    pub(crate) sinks: Mutex<Vec<Arc<dyn SpanSink>>>,
 }
 
 thread_local! {
-    /// Stack of open spans on this thread: (telemetry id, span index).
-    static SPAN_STACK: RefCell<Vec<(u64, u32)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of open spans on this thread: (telemetry id, trace key, span
+    /// sequence id).
+    static SPAN_STACK: RefCell<Vec<(u64, u64, u32)>> = const { RefCell::new(Vec::new()) };
+    /// The trace new spans on this thread are recorded into: (telemetry
+    /// id, trace key). Key 0 is the ambient trace.
+    static CURRENT_TRACE: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
 }
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -66,14 +100,26 @@ impl Telemetry {
         Telemetry { inner: None }
     }
 
-    /// An enabled handle with a fresh registry and empty span store.
+    /// An enabled handle with a fresh registry, empty span pipeline, and
+    /// the default [`TraceConfig`] (head sampling keeps everything).
     pub fn enabled() -> Self {
+        Self::with_trace_config(TraceConfig::default())
+    }
+
+    /// An enabled handle with an explicit sampling/capacity configuration.
+    pub fn with_trace_config(config: TraceConfig) -> Self {
+        let epoch_unix_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
         Telemetry {
             inner: Some(Arc::new(Inner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 epoch: Instant::now(),
+                epoch_unix_ns,
                 registry: MetricsRegistry::new(),
-                spans: Mutex::new(SpanStore { records: Vec::new() }),
+                pipeline: Mutex::new(Pipeline::new(config)),
+                sinks: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -83,8 +129,13 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    pub(crate) fn inner(&self) -> Option<&Arc<Inner>> {
+        self.inner.as_ref()
+    }
+
     /// Open a span named `name`, parented at the innermost span currently
-    /// open on this thread. Returns a guard whose drop stamps the duration.
+    /// open on this thread (within the thread's current trace). Returns a
+    /// guard whose drop stamps the end timestamp.
     #[inline]
     pub fn span(&self, name: &'static str) -> Span {
         match &self.inner {
@@ -109,11 +160,17 @@ impl Telemetry {
         self.add(c, 1);
     }
 
-    /// Increment a counter by `n`.
+    /// Increment a counter by `n`. Counters that signal trouble (worker
+    /// panics, cost sanitizations, degradation rungs) also flag the
+    /// thread's current trace so tail sampling retains it.
     #[inline]
     pub fn add(&self, c: Counter, n: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.inc(c, n);
+            let flags = trace::auto_flag(c);
+            if !flags.is_empty() {
+                self.flag_current_trace(flags);
+            }
         }
     }
 
@@ -165,89 +222,235 @@ impl Telemetry {
         self.registry().map(|r| r.snapshot())
     }
 
-    /// Copy of the recorded spans (empty when disabled).
+    // ---- trace pipeline -------------------------------------------------
+
+    /// Register a sink invoked for *every* finished trace (before the
+    /// sampling decision discards anything). No-op when disabled.
+    pub fn add_span_sink(&self, sink: Arc<dyn SpanSink>) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.lock().unwrap().push(sink);
+        }
+    }
+
+    /// Start a new trace (one planning ticket). The returned context is
+    /// inert when telemetry is disabled: every method on it is free.
+    pub fn start_trace(&self, name: &str) -> TraceContext {
+        match &self.inner {
+            None => TraceContext::inert(),
+            Some(inner) => TraceContext::start(inner, name),
+        }
+    }
+
+    /// Raise `flags` on the trace the current thread is recording into
+    /// (no-op on the ambient trace or when disabled).
+    pub fn flag_current_trace(&self, flags: TraceFlags) {
+        let Some(inner) = &self.inner else { return };
+        let (tid, key) = CURRENT_TRACE.with(|c| c.get());
+        if tid != inner.id || key == 0 {
+            return;
+        }
+        let mut p = inner.pipeline.lock().unwrap();
+        if let Some(buf) = p.buf_mut(key) {
+            buf.flags = buf.flags.union(flags);
+        }
+    }
+
+    /// Capture the current thread's trace position (trace + innermost
+    /// open span) as a `Copy` token that can be carried into a spawned
+    /// worker and entered there, so the worker's spans parent under the
+    /// capturing thread's span instead of becoming orphan roots.
+    pub fn current_scope(&self) -> TraceScope {
+        let Some(inner) = &self.inner else {
+            return TraceScope::inert();
+        };
+        let (tid, key) = CURRENT_TRACE.with(|c| c.get());
+        let key = if tid == inner.id { key } else { 0 };
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .last()
+                .filter(|(id, k, _)| *id == inner.id && *k == key)
+                .map(|(_, _, seq)| *seq)
+        });
+        TraceScope::active(inner.id, key, parent)
+    }
+
+    /// Enter a scope captured by [`Telemetry::current_scope`] on another
+    /// thread. Spans opened while the guard lives record into the scope's
+    /// trace, parented under the captured span.
+    pub fn enter_scope(&self, scope: TraceScope) -> ScopeGuard {
+        if self.inner.is_none() {
+            return ScopeGuard::inert();
+        }
+        ScopeGuard::enter(scope)
+    }
+
+    pub(crate) fn set_current_trace(tid: u64, key: u64) -> (u64, u64) {
+        CURRENT_TRACE.with(|c| c.replace((tid, key)))
+    }
+
+    pub(crate) fn restore_current_trace(prev: (u64, u64)) {
+        CURRENT_TRACE.with(|c| c.set(prev));
+    }
+
+    pub(crate) fn push_stack_entry(tid: u64, key: u64, seq: u32) {
+        SPAN_STACK.with(|s| s.borrow_mut().push((tid, key, seq)));
+    }
+
+    pub(crate) fn pop_stack_entry(tid: u64, key: u64, seq: u32) {
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&e| e == (tid, key, seq)) {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    /// Completed traces currently retained by the sampler, oldest first.
+    pub fn completed_traces(&self) -> Vec<CompletedTrace> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => {
+                let p = inner.pipeline.lock().unwrap();
+                p.completed.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// Total spans held in the retained completed-trace ring. Bounded by
+    /// [`TraceConfig::completed_span_capacity`].
+    pub fn completed_span_count(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.pipeline.lock().unwrap().completed_spans,
+        }
+    }
+
+    /// Number of traces started but not yet finished.
+    pub fn active_trace_count(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.pipeline.lock().unwrap().active.len(),
+        }
+    }
+
+    /// The sampling/capacity configuration, when enabled.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.inner
+            .as_ref()
+            .map(|i| i.pipeline.lock().unwrap().config)
+    }
+
+    // ---- ambient span views (legacy one-shot API) ----------------------
+
+    /// Copy of the ambient trace's spans (empty when disabled). Ticket
+    /// traces started via [`Telemetry::start_trace`] do not appear here.
     pub fn spans(&self) -> Vec<SpanRecord> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner.spans.lock().unwrap().records.clone(),
+            Some(inner) => {
+                let p = inner.pipeline.lock().unwrap();
+                p.ambient.spans.iter().cloned().collect()
+            }
         }
     }
 
-    /// Discard recorded spans (metrics are unaffected). Used between
-    /// queries when tracing several in one process.
+    /// Discard ambient spans (metrics and ticket traces are unaffected).
+    /// Used between queries when tracing several in one process.
     pub fn clear_spans(&self) {
         if let Some(inner) = &self.inner {
-            inner.spans.lock().unwrap().records.clear();
+            let mut p = inner.pipeline.lock().unwrap();
+            p.ambient.spans.clear();
         }
     }
 
-    /// Render the recorded spans as an indented tree with durations.
+    /// Render the ambient spans as an indented tree with durations.
     pub fn span_tree_text(&self) -> String {
         render_span_tree(&self.spans())
     }
 
-    /// The recorded spans as a JSON array of `{name, parent, start_us,
-    /// dur_us}` objects.
+    /// The ambient spans as a JSON array of `{name, parent, start_us,
+    /// dur_us, open}` objects.
     pub fn spans_to_json_value(&self) -> Value {
-        Value::Array(
-            self.spans()
-                .iter()
-                .map(|s| {
-                    Value::Object(vec![
-                        ("name".to_string(), Value::String(s.name.clone())),
-                        (
-                            "parent".to_string(),
-                            match s.parent {
-                                Some(p) => Value::Num(p as f64),
-                                None => Value::Null,
-                            },
-                        ),
-                        ("start_us".to_string(), Value::Num(s.start_ns as f64 / 1e3)),
-                        ("dur_us".to_string(), Value::Num(s.dur_ns as f64 / 1e3)),
-                    ])
-                })
-                .collect(),
-        )
+        spans_to_json_value(&self.spans())
     }
+}
+
+/// Flat-JSON rendering of a span slice: `{name, parent, start_us, dur_us,
+/// open}` per span. `parent` is the parent's sequence id; `dur_us` is
+/// `null` for spans still open (which also carry `"open": true`).
+pub fn spans_to_json_value(spans: &[SpanRecord]) -> Value {
+    Value::Array(
+        spans
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(s.name.clone())),
+                    (
+                        "parent".to_string(),
+                        match s.parent {
+                            Some(p) => Value::Num(p as f64),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("start_us".to_string(), Value::Num(s.start_ns as f64 / 1e3)),
+                    (
+                        "dur_us".to_string(),
+                        if s.is_open() {
+                            Value::Null
+                        } else {
+                            Value::Num(s.dur_ns() as f64 / 1e3)
+                        },
+                    ),
+                    ("open".to_string(), Value::Bool(s.is_open())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// A started-or-inert stopwatch from [`Telemetry::stopwatch`].
 #[derive(Clone, Copy)]
 pub struct Stopwatch(Option<Instant>);
 
-/// RAII span guard; duration is stamped on drop.
+/// RAII span guard; the end timestamp is stamped on drop.
 pub struct Span {
-    inner: Option<(Arc<Inner>, u32, Instant)>,
+    inner: Option<(Arc<Inner>, u64, u32, Instant)>,
 }
 
 impl Span {
     fn open(inner: &Arc<Inner>, name: String) -> Span {
         let start = Instant::now();
-        let idx = {
-            let mut store = inner.spans.lock().unwrap();
-            if store.records.len() >= MAX_SPANS {
-                drop(store);
+        let (tid, cur_key) = CURRENT_TRACE.with(|c| c.get());
+        let key = if tid == inner.id { cur_key } else { 0 };
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .last()
+                .filter(|(id, k, _)| *id == inner.id && *k == key)
+                .map(|(_, _, seq)| *seq)
+        });
+        let start_ns = start.duration_since(inner.epoch).as_nanos() as u64;
+        let seq = {
+            let mut p = inner.pipeline.lock().unwrap();
+            let Some(buf) = p.buf_mut(key) else {
+                // The trace finished while this thread still pointed at it
+                // (a lifecycle bug upstream); count rather than misfile.
+                drop(p);
                 inner.registry.inc(Counter::SpansDropped, 1);
                 return Span { inner: None };
+            };
+            // Inside a ticket trace, spans with no open ancestor on this
+            // thread parent at the ticket root instead of dangling.
+            let parent = parent.or(if key != 0 { Some(trace::ROOT_SEQ) } else { None });
+            let (seq, evicted) = buf.push_span(name, parent, start_ns);
+            if evicted > 0 {
+                drop(p);
+                inner.registry.inc(Counter::SpansDropped, evicted);
             }
-            let parent = SPAN_STACK.with(|s| {
-                s.borrow()
-                    .last()
-                    .filter(|(id, _)| *id == inner.id)
-                    .map(|(_, idx)| *idx)
-            });
-            let idx = store.records.len() as u32;
-            store.records.push(SpanRecord {
-                name,
-                parent,
-                start_ns: start.duration_since(inner.epoch).as_nanos() as u64,
-                dur_ns: 0,
-            });
-            idx
+            seq
         };
-        SPAN_STACK.with(|s| s.borrow_mut().push((inner.id, idx)));
+        SPAN_STACK.with(|s| s.borrow_mut().push((inner.id, key, seq)));
         Span {
-            inner: Some((Arc::clone(inner), idx, start)),
+            inner: Some((Arc::clone(inner), key, seq, start)),
         }
     }
 
@@ -259,15 +462,15 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((inner, idx, start)) = self.inner.take() {
-            let dur = start.elapsed().as_nanos() as u64;
-            inner.spans.lock().unwrap().records[idx as usize].dur_ns = dur.max(1);
-            SPAN_STACK.with(|s| {
-                let mut stack = s.borrow_mut();
-                if let Some(pos) = stack.iter().rposition(|&e| e == (inner.id, idx)) {
-                    stack.remove(pos);
+        if let Some((inner, key, seq, start)) = self.inner.take() {
+            let dur = (start.elapsed().as_nanos() as u64).max(1);
+            {
+                let mut p = inner.pipeline.lock().unwrap();
+                if let Some(rec) = p.buf_mut(key).and_then(|b| b.get_mut(seq)) {
+                    rec.end_ns = Some(rec.start_ns + dur);
                 }
-            });
+            }
+            Telemetry::pop_stack_entry(inner.id, key, seq);
         }
     }
 }
@@ -283,13 +486,18 @@ fn fmt_dur(ns: u64) -> String {
 }
 
 /// Indented-tree rendering of a span slice (children under parents, in
-/// start order).
+/// start order). Parents are matched by sequence id; spans whose parent
+/// was evicted from the ring render as roots. Open spans render `(open)`
+/// in place of a duration.
 pub fn render_span_tree(spans: &[SpanRecord]) -> String {
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
     let mut roots = Vec::new();
     for (i, s) in spans.iter().enumerate() {
-        match s.parent {
-            Some(p) => children[p as usize].push(i),
+        let parent_pos = s
+            .parent
+            .and_then(|p| spans.iter().position(|c| c.id == p));
+        match parent_pos {
+            Some(p) => children[p].push(i),
             None => roots.push(i),
         }
     }
@@ -302,7 +510,8 @@ pub fn render_span_tree(spans: &[SpanRecord]) -> String {
         depth: usize,
     ) {
         let s = &spans[i];
-        out.push_str(&format!("{}{} {}\n", "  ".repeat(depth), s.name, fmt_dur(s.dur_ns)));
+        let dur = if s.is_open() { "(open)".to_string() } else { fmt_dur(s.dur_ns()) };
+        out.push_str(&format!("{}{} {}\n", "  ".repeat(depth), s.name, dur));
         for &c in &children[i] {
             walk(out, spans, children, c, depth + 1);
         }
@@ -321,9 +530,9 @@ pub fn aggregate_spans(spans: &[SpanRecord]) -> Vec<(String, u64, u64)> {
         match agg.iter_mut().find(|(n, _, _)| *n == s.name) {
             Some((_, count, total)) => {
                 *count += 1;
-                *total += s.dur_ns;
+                *total += s.dur_ns();
             }
-            None => agg.push((s.name.clone(), 1, s.dur_ns)),
+            None => agg.push((s.name.clone(), 1, s.dur_ns())),
         }
     }
     agg.sort_by(|a, b| b.2.cmp(&a.2));
@@ -367,8 +576,10 @@ mod tests {
         assert_eq!(spans[2].parent, Some(1), "grandchild parents at the open child");
         assert_eq!(spans[3].name, "explain");
         assert_eq!(spans[3].parent, Some(0), "sibling re-parents at the root");
-        for s in &spans {
-            assert!(s.dur_ns > 0, "closed span {:?} has a stamped duration", s.name);
+        for (i, s) in spans.iter().enumerate() {
+            assert_eq!(s.id, i as u32, "with no eviction, seq ids match store order");
+            assert!(!s.is_open(), "span {:?} was closed", s.name);
+            assert!(s.dur_ns() > 0, "closed span {:?} has a stamped duration", s.name);
         }
         // Children start within the root and no earlier than it.
         assert!(spans[1].start_ns >= spans[0].start_ns);
@@ -409,8 +620,26 @@ mod tests {
         let spans = tel.spans();
         let worker = spans.iter().find(|s| s.name == "worker").unwrap();
         // The worker thread's stack is empty, so its span is a root — it
-        // never parents at a span of another thread.
+        // never parents at a span of another thread (unless a TraceScope
+        // is explicitly entered there).
         assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn open_span_is_marked_open_not_zero_duration() {
+        let tel = Telemetry::enabled();
+        let _held = tel.span("held");
+        let spans = tel.spans();
+        assert!(spans[0].is_open());
+        assert_eq!(spans[0].end_ns, None);
+        assert_eq!(spans[0].dur_ns(), 0);
+        let json = serde::render_compact(&tel.spans_to_json_value());
+        assert!(json.contains("\"open\":true"), "flat JSON marks open spans: {json}");
+        assert!(tel.span_tree_text().contains("(open)"));
+        drop(_held);
+        let spans = tel.spans();
+        assert!(!spans[0].is_open());
+        assert!(spans[0].dur_ns() > 0);
     }
 
     #[test]
@@ -422,6 +651,9 @@ mod tests {
         assert_eq!(tel.spans().len(), MAX_SPANS);
         let snap = tel.snapshot().unwrap();
         assert_eq!(snap.get(Counter::SpansDropped), 10);
+        // Ring semantics: the oldest records were evicted, so the store
+        // now starts at sequence id 10 and parent links stay stable.
+        assert_eq!(tel.spans()[0].id, 10);
     }
 
     #[test]
@@ -440,9 +672,9 @@ mod tests {
     #[test]
     fn aggregate_sums_by_name() {
         let spans = vec![
-            SpanRecord { name: "a".into(), parent: None, start_ns: 0, dur_ns: 5 },
-            SpanRecord { name: "b".into(), parent: None, start_ns: 0, dur_ns: 100 },
-            SpanRecord { name: "a".into(), parent: None, start_ns: 0, dur_ns: 7 },
+            SpanRecord { name: "a".into(), id: 0, parent: None, start_ns: 0, end_ns: Some(5) },
+            SpanRecord { name: "b".into(), id: 1, parent: None, start_ns: 0, end_ns: Some(100) },
+            SpanRecord { name: "a".into(), id: 2, parent: None, start_ns: 0, end_ns: Some(7) },
         ];
         let agg = aggregate_spans(&spans);
         assert_eq!(agg[0], ("b".to_string(), 1, 100));

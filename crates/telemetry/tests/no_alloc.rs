@@ -3,7 +3,7 @@
 //! tracks per-thread allocation counts; the disabled-telemetry hot loop
 //! must leave the count unchanged.
 
-use raqo_telemetry::{Counter, Gauge, Hist, Telemetry};
+use raqo_telemetry::{Counter, Gauge, Hist, Telemetry, TraceFlags};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -62,6 +62,18 @@ fn disabled_telemetry_does_not_allocate() {
         tel.observe(Hist::CacheLockWaitUs, 3);
         tel.gauge_add(Gauge::ServiceQueueDepth, 1);
         tel.gauge_set(Gauge::ServiceQueueDepth, 0);
+        // The trace pipeline must be equally free when disabled: inert
+        // contexts, no-op flags, and inert cross-thread scope tokens.
+        let trace = tel.start_trace("plan.ticket");
+        trace.attr("tenant.namespace", i);
+        trace.flag(TraceFlags::DEGRADED);
+        {
+            let _in_trace = trace.enter();
+            tel.flag_current_trace(TraceFlags::BUDGET_EXHAUSTED);
+            let token = tel.current_scope();
+            let _in_scope = tel.enter_scope(token);
+        }
+        trace.finish();
     }
     let after = allocations();
     assert_eq!(

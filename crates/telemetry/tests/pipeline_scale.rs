@@ -1,0 +1,91 @@
+//! Service-scale trace-pipeline guarantees: under 1% head sampling on a
+//! 100k+-span workload, completed-ring memory stays bounded by its span
+//! capacity while every flagged (degraded/panicked/budget-exhausted)
+//! ticket is retained in the export, and the OTLP-shaped JSON round-trips
+//! through a real JSON parser.
+
+use raqo_telemetry::{Telemetry, TraceConfig, TraceFlags};
+
+const TICKETS: usize = 2_000;
+const SPANS_PER_TICKET: usize = 60; // 120k spans total
+const FLAG_EVERY: usize = 50; // 40 flagged tickets
+const RING_CAPACITY: usize = 8_192;
+
+#[test]
+fn sampled_pipeline_bounds_memory_and_keeps_every_flagged_ticket() {
+    let tel = Telemetry::with_trace_config(TraceConfig {
+        head_rate: 0.01,
+        seed: 42,
+        completed_span_capacity: RING_CAPACITY,
+        ..TraceConfig::default()
+    });
+
+    let mut flagged_ids: Vec<u128> = Vec::new();
+    for t in 0..TICKETS {
+        let trace = tel.start_trace("plan.ticket");
+        trace.attr("tenant.namespace", t % 7);
+        {
+            let _in_trace = trace.enter();
+            let _phase = tel.span("optimize");
+            for s in 0..SPANS_PER_TICKET - 2 {
+                let _leaf = tel.span_labeled("plan_cost", s);
+            }
+        }
+        if t % FLAG_EVERY == 0 {
+            trace.flag(TraceFlags::DEGRADED);
+            flagged_ids.push(trace.trace_id());
+        }
+        trace.finish();
+    }
+
+    // Memory bound: 120k spans were recorded, but the completed ring
+    // holds at most its configured span capacity.
+    assert!(flagged_ids.len() == TICKETS / FLAG_EVERY);
+    assert!(
+        tel.completed_span_count() <= RING_CAPACITY,
+        "completed ring holds {} spans, capacity {}",
+        tel.completed_span_count(),
+        RING_CAPACITY
+    );
+    assert_eq!(tel.active_trace_count(), 0);
+
+    let snap = tel.snapshot().unwrap();
+    use raqo_telemetry::Counter;
+    assert_eq!(snap.get(Counter::TracesStarted), TICKETS as u64);
+    let retained = snap.get(Counter::TracesRetained);
+    let sampled_out = snap.get(Counter::TracesSampledOut);
+    assert_eq!(retained + sampled_out, TICKETS as u64);
+    // 1% head rate: retention is flagged tickets plus a ~1% head sample,
+    // nowhere near the full workload.
+    assert!(
+        retained >= flagged_ids.len() as u64 && retained < 200,
+        "retained {retained} of {TICKETS}"
+    );
+
+    // Tail guarantee: 100% of flagged tickets survive sampling AND ring
+    // eviction, each with its root span and flag intact.
+    let completed = tel.completed_traces();
+    for id in &flagged_ids {
+        let trace = completed
+            .iter()
+            .find(|t| t.trace_id == *id)
+            .unwrap_or_else(|| panic!("flagged trace {id:x} missing from completed ring"));
+        assert!(trace.flags.contains(TraceFlags::DEGRADED));
+        assert!(trace.retained);
+        assert_eq!(trace.root().expect("root survives").name, "plan.ticket");
+        assert_eq!(trace.spans.len(), SPANS_PER_TICKET);
+    }
+
+    // The export carries them too, and the OTLP-shaped JSON survives a
+    // real parser (ids as 32/16-digit hex, timestamps as strings).
+    let otlp = tel.otlp_json();
+    let parsed = serde_json::from_str(&otlp).expect("OTLP JSON parses");
+    let serde::Value::Object(top) = &parsed else { panic!("OTLP root is an object") };
+    assert!(top.iter().any(|(k, _)| k == "resourceSpans"));
+    for id in &flagged_ids {
+        assert!(
+            otlp.contains(&format!("{id:032x}")),
+            "flagged trace {id:x} missing from OTLP export"
+        );
+    }
+}

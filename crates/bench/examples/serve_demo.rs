@@ -1,0 +1,154 @@
+//! Demo of the wire front end: a `raqo-net` planning server under a
+//! mixed-priority workload fired by retrying clients.
+//!
+//! ```text
+//! cargo run -p raqo-bench --example serve_demo
+//! ```
+//!
+//! Binds a [`raqo_net::PlanServer`] on a loopback port, then runs one
+//! closed-loop [`raqo_net::PlanClient`] per priority class (interactive /
+//! standard / batch, each its own tenant namespace and TCP connection)
+//! against a TPC-H query mix. Interactive requests carry a deadline
+//! budget; batch requests run unbounded. Afterwards the demo prints
+//! per-class end-to-end latency percentiles (the same nearest-rank
+//! [`raqo_sim::percentile`] the queue simulator uses), the server's
+//! shed/dedup/frame counters, and drains gracefully — the same walkthrough
+//! as `repro --serve` plus `repro --client`, in one process.
+
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::QuerySpec;
+use raqo_core::{
+    PlannerKind, PlanningService, Priority, RaqoOptimizer, ResourceStrategy, ServiceConfig,
+    Telemetry,
+};
+use raqo_cost::JoinCostModel;
+use raqo_net::{ClientConfig, NetConfig, PlanClient, PlanServer};
+use raqo_resource::{CacheLookup, ClusterConditions, ShardedCacheBank};
+use raqo_sim::percentile;
+use raqo_telemetry::Counter;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const REQUESTS_PER_CLASS: usize = 24;
+
+fn model() -> &'static JoinCostModel {
+    static MODEL: OnceLock<JoinCostModel> = OnceLock::new();
+    MODEL.get_or_init(JoinCostModel::trained_hive)
+}
+
+fn schema() -> &'static TpchSchema {
+    static SCHEMA: OnceLock<TpchSchema> = OnceLock::new();
+    SCHEMA.get_or_init(|| TpchSchema::new(1.0))
+}
+
+fn build_optimizer(_worker: usize) -> RaqoOptimizer<'static, JoinCostModel> {
+    let schema = schema();
+    RaqoOptimizer::new(
+        Arc::new(schema.catalog.clone()),
+        Arc::new(schema.graph.clone()),
+        model(),
+        ClusterConditions::paper_default(),
+        PlannerKind::Selinger,
+        ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.05 }),
+    )
+}
+
+fn main() {
+    let tel = Telemetry::enabled();
+    let service = Arc::new(PlanningService::start(
+        ServiceConfig { workers: 2, ..Default::default() },
+        ShardedCacheBank::with_shards(8),
+        tel.clone(),
+        build_optimizer,
+    ));
+    let server = PlanServer::bind("127.0.0.1:0", NetConfig::default(), service.clone(), tel.clone())
+        .expect("serve demo: bind");
+    let addr = server.local_addr();
+    println!("raqo-net serving RQNW v1 on {addr} (2 planning workers)\n");
+
+    // One retrying client per priority class, each on its own connection
+    // and tenant namespace. Interactive traffic carries a 250 ms deadline
+    // budget: if the queue eats it, the server still answers — from the
+    // ladder's zero-evaluation rung, flagged — instead of planning stale.
+    let classes: [(Priority, u32); 3] =
+        [(Priority::Interactive, 250), (Priority::Standard, 0), (Priority::Batch, 0)];
+    let handles: Vec<_> = classes
+        .map(|(priority, deadline_ms)| {
+            std::thread::spawn(move || {
+                let mut client = PlanClient::connect(
+                    addr,
+                    ClientConfig { retries: 3, ..ClientConfig::default() },
+                )
+                .expect("serve demo: connect");
+                let queries =
+                    [QuerySpec::tpch_q3(), QuerySpec::tpch_q12(), QuerySpec::tpch_q2()];
+                let mut latencies_us = Vec::with_capacity(REQUESTS_PER_CLASS);
+                let mut expired = 0u64;
+                for i in 0..REQUESTS_PER_CLASS {
+                    let sent = Instant::now();
+                    let reply = client
+                        .plan_with(
+                            &queries[i % queries.len()],
+                            priority,
+                            priority as u32,
+                            deadline_ms,
+                        )
+                        .expect("serve demo: every request must be answered");
+                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    assert!(reply.plan.is_some(), "serve demo: reply without a plan");
+                    if reply.deadline_expired {
+                        expired += 1;
+                    }
+                }
+                (priority, latencies_us, expired)
+            })
+        })
+        .into_iter()
+        .collect();
+
+    println!(
+        "{:>12}  {:>9}  {:>12}  {:>12}  {:>12}  {:>8}",
+        "class", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)", "expired"
+    );
+    for handle in handles {
+        let (priority, latencies_us, expired) =
+            handle.join().expect("serve demo: client thread");
+        println!(
+            "{:>12}  {:>9}  {:>12.2}  {:>12.2}  {:>12.2}  {:>8}",
+            priority.name(),
+            latencies_us.len(),
+            percentile(&latencies_us, 50.0) / 1e3,
+            percentile(&latencies_us, 95.0) / 1e3,
+            percentile(&latencies_us, 99.0) / 1e3,
+            expired,
+        );
+    }
+
+    // Graceful drain: stop accepting, flush in-flight replies, checkpoint
+    // the cache bank, close every connection, join every thread.
+    let sleep_a_tick = Duration::from_millis(5);
+    while server.in_flight() > 0 {
+        std::thread::sleep(sleep_a_tick);
+    }
+    server.shutdown();
+    drop(service);
+
+    let snap = tel.snapshot().expect("enabled");
+    println!(
+        "\ndrained: {} connection(s), {} frames in / {} out, {} frame error(s), \
+         {} reply(ies) deduped, {} client retries, shed {} overload / {} deadline",
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetFramesIn),
+        snap.get(Counter::NetFramesOut),
+        snap.get(Counter::NetFrameErrors),
+        snap.get(Counter::NetRepliesDeduped),
+        snap.get(Counter::NetClientRetries),
+        snap.get(Counter::NetShedOverloaded),
+        snap.get(Counter::NetShedDeadline),
+    );
+    assert_eq!(
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetConnectionsClosed),
+        "serve demo: a connection leaked"
+    );
+}

@@ -13,11 +13,13 @@
 //! repro --metrics <base>       # TPC-H sweep -> <base>.prom + <base>.json
 //! repro --otlp <file>          # service-driven sweep -> OTLP/JSON trace export
 //! repro --otlp <f> --flight-dir <d>  # ... plus flight-recorder dumps on degradation
+//! repro --serve <addr>         # raqo-net planning server (drain on Ctrl-D)
+//! repro --client <addr>        # TPC-H sweep against a running server
 //! repro --list                 # what exists
 //! ```
 
 use raqo_bench::experiments::{registry, timed};
-use raqo_bench::{speedup, throughput, Table};
+use raqo_bench::{net_bench, speedup, throughput, Table};
 use raqo_catalog::{tpch::TpchSchema, QuerySpec};
 use raqo_core::{
     explain_analyze, Parallelism, PlannerKind, RaqoOptimizer, RaqoStats, ResourceStrategy,
@@ -277,6 +279,212 @@ fn run_otlp(path: &str, flight_dir: Option<&str>) {
             flight_dir.unwrap_or_default()
         );
     }
+}
+
+/// `--serve <addr>`: put the planning service on the wire. Binds a
+/// [`raqo_net::PlanServer`] at `addr` (e.g. `127.0.0.1:7432`), serves
+/// RQNW v1 frames until stdin closes (Ctrl-D) or a `quit` line arrives,
+/// then drains gracefully: stop accepting, finish in-flight tickets,
+/// flush the cache-bank checkpoint, close every connection.
+fn run_serve(addr: &str) {
+    use raqo_core::{PlanningService, ServiceConfig};
+    use raqo_net::{NetConfig, PlanServer};
+    use raqo_resource::ShardedCacheBank;
+
+    let schema = TpchSchema::new(1.0);
+    let model: &'static JoinCostModel = Box::leak(Box::new(JoinCostModel::trained_hive()));
+    let tel = Telemetry::enabled();
+    let workers = 4;
+    let service = std::sync::Arc::new(PlanningService::start(
+        ServiceConfig { workers, ..Default::default() },
+        ShardedCacheBank::with_shards(8),
+        tel.clone(),
+        |_| {
+            RaqoOptimizer::new(
+                std::sync::Arc::new(schema.catalog.clone()),
+                std::sync::Arc::new(schema.graph.clone()),
+                model,
+                ClusterConditions::paper_default(),
+                PlannerKind::Selinger,
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                    threshold: 0.05,
+                }),
+            )
+        },
+    ));
+    let server = PlanServer::bind(addr, NetConfig::default(), service.clone(), tel.clone())
+        .unwrap_or_else(|e| panic!("binding {addr}: {e}"));
+    println!("raqo-net serving RQNW v1 on {} ({workers} planning workers)", server.local_addr());
+    println!("close stdin (Ctrl-D) or type `quit` to drain and stop");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+        }
+    }
+    server.shutdown();
+    drop(service);
+    let snap = tel.snapshot().expect("enabled");
+    use raqo_telemetry::Counter as C;
+    println!(
+        "drained: {} connection(s) served, {} frames in / {} out, {} frame error(s), \
+         {} reply(ies) deduped, shed {} overload / {} conn-cap / {} deadline",
+        snap.get(C::NetConnectionsOpened),
+        snap.get(C::NetFramesIn),
+        snap.get(C::NetFramesOut),
+        snap.get(C::NetFrameErrors),
+        snap.get(C::NetRepliesDeduped),
+        snap.get(C::NetShedOverloaded),
+        snap.get(C::NetShedConnCap),
+        snap.get(C::NetShedDeadline),
+    );
+}
+
+/// `--client <addr>`: run the TPC-H sweep against a live `--serve`
+/// process and print what came back over the wire, per query.
+fn run_client(addr: &str) {
+    use raqo_net::{ClientConfig, PlanClient};
+    use std::time::Instant;
+
+    let mut client = PlanClient::connect(addr, ClientConfig::default())
+        .unwrap_or_else(|e| panic!("resolving {addr}: {e}"));
+    let schema = TpchSchema::new(1.0);
+    use raqo_core::Priority;
+    let priorities =
+        [Priority::Interactive, Priority::Standard, Priority::Standard, Priority::Batch];
+    for (ns, ((name, query), priority)) in
+        tpch_queries(&schema).iter().zip(priorities).enumerate()
+    {
+        let sent = Instant::now();
+        match client.plan_with(query, priority, ns as u32, 0) {
+            Ok(reply) => {
+                let ms = sent.elapsed().as_secs_f64() * 1e3;
+                let plan = reply.plan.unwrap_or_else(|| {
+                    panic!("{name}: server reply carried no decodable plan")
+                });
+                let note = match plan.degradation {
+                    Some(d) => format!("  (degraded: {} via {})", d.rung, d.trigger),
+                    None if reply.shed => "  (shed)".to_string(),
+                    None => String::new(),
+                };
+                println!(
+                    "  {name:>10}  {:>11}  {ms:>7.1} ms  trace {:032x}  cost {:>12.3}{note}",
+                    priority.name(),
+                    reply.trace_id,
+                    plan.cost,
+                );
+            }
+            Err(e) => {
+                eprintln!("  {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `--smoke` net gate: the wire front end's three load-bearing promises.
+/// (1) A server round trip returns plans bit-identical to an in-process
+/// `PlanningService` twin fed the same requests. (2) One chaos schedule —
+/// an injected `net.read` reset — is absorbed by the client's retry under
+/// the same request id. (3) Graceful drain closes every connection it
+/// opened.
+fn net_smoke_gate() {
+    use raqo_core::{PlanRequest, PlanningService, Priority, ServiceConfig};
+    use raqo_faults::{Fault, FaultGuard, FaultKind};
+    use raqo_net::{ClientConfig, NetConfig, PlanClient, PlanServer};
+    use raqo_resource::ShardedCacheBank;
+
+    let schema = TpchSchema::new(1.0);
+    let model: &'static JoinCostModel = Box::leak(Box::new(JoinCostModel::trained_hive()));
+    let (_, ms) = timed(|| {
+        let tel = Telemetry::enabled();
+        let mk_service = |tel: &Telemetry| {
+            PlanningService::start(
+                ServiceConfig { workers: 1, ..Default::default() },
+                ShardedCacheBank::with_shards(8),
+                tel.clone(),
+                |_| {
+                    RaqoOptimizer::new(
+                        std::sync::Arc::new(schema.catalog.clone()),
+                        std::sync::Arc::new(schema.graph.clone()),
+                        model,
+                        ClusterConditions::paper_default(),
+                        PlannerKind::Selinger,
+                        ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                            threshold: 0.05,
+                        }),
+                    )
+                },
+            )
+        };
+        let service = std::sync::Arc::new(mk_service(&tel));
+        let twin = mk_service(&Telemetry::disabled());
+        let server =
+            PlanServer::bind("127.0.0.1:0", NetConfig::default(), service.clone(), tel.clone())
+                .expect("net smoke: bind");
+        let mut client = PlanClient::connect(server.local_addr(), ClientConfig::default())
+            .expect("net smoke: connect")
+            .with_telemetry(tel.clone());
+
+        // (1) Round-trip parity against the in-process twin, mixed classes.
+        let sweep = [
+            (QuerySpec::tpch_q3(), Priority::Interactive),
+            (QuerySpec::tpch_q12(), Priority::Standard),
+            (QuerySpec::tpch_q2(), Priority::Batch),
+        ];
+        for (ns, (query, priority)) in sweep.iter().enumerate() {
+            let net = client
+                .plan_with(query, *priority, ns as u32, 0)
+                .expect("net smoke: wire reply");
+            let local = twin
+                .submit(PlanRequest::new(query.clone(), *priority).with_namespace(ns as u32))
+                .wait();
+            let local_json =
+                serde_json::to_string(&local.plan).expect("net smoke: twin serializes");
+            assert_eq!(
+                net.plan_json, local_json,
+                "net smoke: wire plan diverged from the in-process answer (ns {ns})"
+            );
+            assert!(net.plan.is_some(), "net smoke: reply summary did not decode");
+        }
+
+        // (2) One chaos schedule: a read-side reset kills the connection;
+        // the retry (same request id, fresh connection) must recover.
+        {
+            let _guard = FaultGuard::new();
+            raqo_faults::arm(Fault::once("net.read", FaultKind::Fail));
+            let reply = client
+                .plan_with(&QuerySpec::tpch_q3(), Priority::Interactive, 9, 0)
+                .expect("net smoke: chaos retry must recover");
+            assert!(reply.plan.is_some());
+        }
+        let snap = tel.snapshot().expect("enabled");
+        assert!(
+            snap.get(Counter::NetClientRetries) >= 1,
+            "net smoke: the injected reset never forced a retry"
+        );
+
+        // (3) Graceful drain: shutdown while the client connection is
+        // alive; every opened connection must be accounted closed.
+        drop(client);
+        server.shutdown();
+        drop(service);
+        drop(twin);
+        let snap = tel.snapshot().expect("enabled");
+        assert_eq!(
+            snap.get(Counter::NetConnectionsOpened),
+            snap.get(Counter::NetConnectionsClosed),
+            "net smoke: drain leaked a connection"
+        );
+    });
+    assert!(!raqo_faults::armed(), "net smoke: faults leaked");
+    println!(
+        "net       ok  {ms:>8.0} ms  wire replies bit-match in-process plans; injected reset \
+         retried; drain closed every connection"
+    );
 }
 
 /// `--smoke` observability gate: the trace pipeline's three load-bearing
@@ -931,6 +1139,18 @@ fn main() {
     let chaos = args.iter().any(|a| a == "--chaos");
     let service_demo = args.iter().any(|a| a == "--service-demo");
     let bench_json = args.iter().position(|a| a == "--bench-json");
+    let serve = args
+        .iter()
+        .position(|a| a == "--serve")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
+    let client = args
+        .iter()
+        .position(|a| a == "--client")
+        .and_then(|i| args.get(i + 1))
+        .filter(|p| !p.starts_with("--"))
+        .cloned();
     let cache_file = args
         .iter()
         .position(|a| a == "--cache-file")
@@ -968,6 +1188,24 @@ fn main() {
         .cloned();
 
     let experiments = registry();
+
+    if args.iter().any(|a| a == "--serve") {
+        let Some(addr) = serve else {
+            eprintln!("--serve needs a bind address argument (e.g. 127.0.0.1:7432)");
+            std::process::exit(2);
+        };
+        run_serve(&addr);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--client") {
+        let Some(addr) = client else {
+            eprintln!("--client needs a server address argument (e.g. 127.0.0.1:7432)");
+            std::process::exit(2);
+        };
+        run_client(&addr);
+        return;
+    }
 
     if args.iter().any(|a| a == "--cache-file") {
         let Some(path) = cache_file else {
@@ -1071,6 +1309,12 @@ fn main() {
             report.throughput.warm_entries,
             report.throughput.checkpoint_every
         );
+        net_bench::table(&report.net).print();
+        let peak = report.net.points.last().expect("net series has points");
+        println!(
+            "wire front end: {:.0} req/s at {} connections (p50 {:.0} us, p99 {:.0} us e2e)",
+            peak.requests_per_sec, peak.connections, peak.p50_latency_us, peak.p99_latency_us
+        );
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote planner bench report to {path}");
@@ -1081,6 +1325,18 @@ fn main() {
                 "FAIL: sharded plans/sec fell below the single-lock baseline \
                  ({:.2}x)",
                 report.throughput.speedup_at_max_workers
+            );
+            std::process::exit(1);
+        }
+        // The wire layer may tax throughput, but dropping below even the
+        // slowest in-process configuration (×0.8 margin) means the event
+        // loop or framing regressed, not the planner.
+        let floor = net_bench::in_process_floor(&report.throughput) * 0.8;
+        if report.net.peak_requests_per_sec < floor {
+            eprintln!(
+                "FAIL: wire requests/sec fell below the in-process floor x0.8 \
+                 ({:.0}/s < {:.0}/s)",
+                report.net.peak_requests_per_sec, floor
             );
             std::process::exit(1);
         }
@@ -1102,6 +1358,7 @@ fn main() {
         telemetry_smoke_gate();
         observability_smoke_gate();
         concurrency_smoke_gate();
+        net_smoke_gate();
         chaos_smoke_gate();
         println!("smoke: {} experiments in {:.1} s", experiments.len(), total_ms / 1000.0);
         return;
@@ -1135,6 +1392,8 @@ fn main() {
         println!("  --metrics <base>     TPC-H sweep metrics -> <base>.prom + <base>.json");
         println!("  --otlp <file>        service-driven TPC-H sweep -> OTLP/JSON trace export");
         println!("  --flight-dir <dir>   with --otlp: dump flight-recorder files on degradation");
+        println!("  --serve <addr>       raqo-net planning server (Ctrl-D or `quit` drains)");
+        println!("  --client <addr>      TPC-H sweep against a running --serve process");
         if !list {
             std::process::exit(2);
         }

@@ -11,6 +11,7 @@
 //! the reproduction targets. See `EXPERIMENTS.md` for paper-vs-measured.
 
 pub mod experiments;
+pub mod net_bench;
 pub mod report;
 pub mod speedup;
 pub mod throughput;

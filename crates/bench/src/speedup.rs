@@ -66,6 +66,10 @@ pub struct PlannerBenchReport {
     /// The concurrent planning service under a bursty open-loop workload:
     /// single-lock vs sharded cache banks at 1/4/8 workers.
     pub throughput: crate::throughput::ThroughputSeries,
+    /// The same service behind the `raqo-net` wire front end, driven by
+    /// closed-loop clients at 1/4/8 connections; gated against the
+    /// in-process floor ×0.8 by `repro --bench-json`.
+    pub net: crate::net_bench::NetSeries,
     /// What the trace pipeline costs: the same ticketed workload with
     /// telemetry disabled, head-sampled at 1%, and fully recording.
     pub telemetry: TelemetryOverheadSeries,
@@ -499,6 +503,7 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         cost_kernel: measure_cost_kernel(quick),
         climb: measure_climb(quick),
         throughput: crate::throughput::measure(quick),
+        net: crate::net_bench::measure(quick),
         telemetry: measure_telemetry(quick),
     }
 }

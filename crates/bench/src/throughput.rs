@@ -175,6 +175,7 @@ fn run_point(
             checkpoint_every: CHECKPOINT_EVERY,
             checkpoint_path: Some(ckpt_path.clone()),
             model_fingerprint: Some(model().fingerprint()),
+            compact_high_water: None,
         },
         bank,
         Telemetry::disabled(),

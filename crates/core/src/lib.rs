@@ -43,7 +43,7 @@ pub use raqo_resource::{
     BudgetTracker, BudgetTrigger, Parallelism, PlanningBudget, ShardedCacheBank, SharedCacheBank,
 };
 pub use service::{
-    PlanRequest, PlanTicket, PlanningService, Priority, ServiceConfig, ServiceReply,
+    PlanRequest, PlanTicket, PlanningService, Priority, ServiceConfig, ServiceReply, WaitTimeout,
 };
 pub use raqo_telemetry::{
     Counter, Hist, MetricsRegistry, MetricsSnapshot, SpanRecord, Telemetry,

@@ -37,7 +37,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Request priority class; lower classes are served first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -84,6 +84,11 @@ pub struct ServiceConfig {
     pub checkpoint_path: Option<PathBuf>,
     /// Cost-model fingerprint stamped into checkpoints.
     pub model_fingerprint: Option<u64>,
+    /// Compact the shared bank down to this many entries (coldest first,
+    /// see [`ShardedCacheBank::compact`]) at each periodic checkpoint, so
+    /// a long-lived service's cache cannot grow without bound. `None`
+    /// disables compaction.
+    pub compact_high_water: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -99,6 +104,7 @@ impl Default for ServiceConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             model_fingerprint: None,
+            compact_high_water: None,
         }
     }
 }
@@ -110,15 +116,35 @@ pub struct PlanRequest {
     pub priority: Priority,
     /// Tenant/workload cache namespace (0 = the shared default space).
     pub namespace: u32,
+    /// Absolute wall-clock deadline for the *whole* request: queue wait
+    /// counts against it. The worker that picks the request up plans under
+    /// the remaining time (capped by the class budget); a request whose
+    /// deadline already passed in the queue is planned under a
+    /// zero-evaluation budget — the ladder's cheap bottom rung — rather
+    /// than planned stale, and the reply says so.
+    pub deadline: Option<Instant>,
 }
 
 impl PlanRequest {
     pub fn new(query: QuerySpec, priority: Priority) -> Self {
-        PlanRequest { query, priority, namespace: 0 }
+        PlanRequest { query, priority, namespace: 0, deadline: None }
     }
 
     pub fn with_namespace(mut self, namespace: u32) -> Self {
         self.namespace = namespace;
+        self
+    }
+
+    /// Give the request `budget` of wall clock from now, queue wait
+    /// included.
+    pub fn with_deadline(self, budget: Duration) -> Self {
+        self.with_deadline_at(Instant::now() + budget)
+    }
+
+    /// Set the absolute deadline instant (e.g. decoded from a wire frame's
+    /// deadline-budget field at read time, so server-side queueing counts).
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -143,6 +169,39 @@ pub struct ServiceReply {
     /// The ticket's telemetry trace id (0 when telemetry is disabled),
     /// for correlating the reply with the exported OTLP trace.
     pub trace_id: u128,
+    /// True when the request's [`PlanRequest::deadline`] had already
+    /// passed by the time a worker picked it up: the plan was produced at
+    /// the zero-evaluation rung instead of being planned stale.
+    pub deadline_expired: bool,
+}
+
+/// Typed error from [`PlanTicket::wait_timeout`]: the reply did not arrive
+/// within the allowed wait. The ticket is consumed; the request may still
+/// complete on the worker, but nobody is listening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout;
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "planning-service ticket wait timed out")
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
+impl ServiceReply {
+    /// The reply a dropped worker sender degenerates to (never a hang).
+    fn lost_worker() -> ServiceReply {
+        ServiceReply {
+            plan: None,
+            priority: Priority::Standard,
+            shed: false,
+            queue_wait_us: 0,
+            service_us: 0,
+            trace_id: 0,
+            deadline_expired: false,
+        }
+    }
 }
 
 /// Handle to a submitted request.
@@ -155,14 +214,20 @@ impl PlanTicket {
     /// drop the sender; that surfaces as a `None` plan reply here rather
     /// than a hang.
     pub fn wait(self) -> ServiceReply {
-        self.rx.recv().unwrap_or(ServiceReply {
-            plan: None,
-            priority: Priority::Standard,
-            shed: false,
-            queue_wait_us: 0,
-            service_us: 0,
-            trace_id: 0,
-        })
+        self.rx.recv().unwrap_or_else(|_| ServiceReply::lost_worker())
+    }
+
+    /// Block until the reply arrives or `timeout` passes, whichever comes
+    /// first. A lost ticket (worker died, service wedged) surfaces as a
+    /// typed [`WaitTimeout`] instead of blocking its caller forever — the
+    /// server's reply path leans on this so one stuck ticket cannot wedge
+    /// a whole connection.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServiceReply, WaitTimeout> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(WaitTimeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(ServiceReply::lost_worker()),
+        }
     }
 }
 
@@ -239,7 +304,9 @@ impl PlanningService {
             optimizer.set_telemetry(telemetry.clone());
             let shared = Arc::clone(&shared);
             let config = config.clone();
-            let bank = bank.clone();
+            // Telemetry-attached handle: checkpoint-time compaction counts
+            // its evictions on this worker's sink.
+            let bank = bank.clone().with_telemetry(telemetry.clone());
             let tel = telemetry.clone();
             handles.push(std::thread::spawn(move || {
                 worker_loop(&shared, &config, &bank, &tel, &mut optimizer);
@@ -313,6 +380,7 @@ impl PlanningService {
                     queue_wait_us: 0,
                     service_us: sw.elapsed().as_micros() as u64,
                     trace_id,
+                    deadline_expired: false,
                 });
                 job.trace.finish();
             }
@@ -394,7 +462,26 @@ fn worker_loop<M: OperatorCost + Send + Sync>(
         let wait_us = job.enqueued.elapsed().as_micros() as u64;
         tel.observe(Hist::ServiceQueueWaitUs, wait_us);
         job.trace.attr("queue.wait_us", wait_us);
-        optimizer.set_budget(config.budgets[class]);
+        // Per-request deadlines tighten (never loosen) the class budget,
+        // measured from now — the queue wait has already been spent.
+        let mut deadline_expired = false;
+        let budget = match job.request.deadline {
+            None => config.budgets[class],
+            Some(deadline) => match deadline.checked_duration_since(Instant::now()) {
+                Some(remaining) if !remaining.is_zero() => {
+                    config.budgets[class].and_deadline(remaining)
+                }
+                _ => {
+                    // The deadline passed while the request queued: answer
+                    // from the ladder's zero-evaluation bottom rung rather
+                    // than plan stale.
+                    deadline_expired = true;
+                    job.trace.attr("deadline.expired", true);
+                    PlanningBudget::with_max_evals(0)
+                }
+            },
+        };
+        optimizer.set_budget(budget);
         optimizer.set_cache_namespace(job.request.namespace);
         let sw = Instant::now();
         // Spans the optimizer opens on this thread (and on fan-out workers
@@ -412,6 +499,11 @@ fn worker_loop<M: OperatorCost + Send + Sync>(
         // exactly the single-lock baseline the throughput bench compares
         // against.
         if config.checkpoint_every > 0 && done % config.checkpoint_every == 0 {
+            // Compact before persisting so a long-lived bank stays bounded
+            // and the checkpoint reflects the compacted contents.
+            if let Some(high_water) = config.compact_high_water {
+                bank.compact(high_water);
+            }
             if let Some(path) = &config.checkpoint_path {
                 let _ = match config.model_fingerprint {
                     Some(fp) => bank.checkpoint_with_fingerprint(path, fp).map(|_| ()),
@@ -427,6 +519,7 @@ fn worker_loop<M: OperatorCost + Send + Sync>(
             queue_wait_us: wait_us,
             service_us,
             trace_id,
+            deadline_expired,
         });
         job.trace.finish();
     }
@@ -621,6 +714,95 @@ mod tests {
         for ticket in tickets {
             assert!(ticket.wait().plan.is_some());
         }
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_succeeds() {
+        let service = PlanningService::start(
+            ServiceConfig { workers: 1, ..Default::default() },
+            ShardedCacheBank::with_shards(4),
+            Telemetry::disabled(),
+            build_optimizer,
+        );
+        // Plenty of time: the reply arrives.
+        let ticket = service.submit(PlanRequest::new(QuerySpec::tpch_q3(), Priority::Standard));
+        let reply = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("a live worker answers well inside a minute");
+        assert!(reply.plan.is_some());
+        // Zero time on a fresh ticket: the typed timeout, not a hang.
+        let ticket = service.submit(PlanRequest::new(QuerySpec::tpch_q3(), Priority::Standard));
+        match ticket.wait_timeout(Duration::ZERO) {
+            Err(WaitTimeout) => {}
+            Ok(r) => {
+                // The worker may have answered between submit and wait on a
+                // fast machine; that is the other legal outcome.
+                assert!(r.plan.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_answers_from_the_bottom_rung() {
+        let service = PlanningService::start(
+            ServiceConfig { workers: 1, ..Default::default() },
+            ShardedCacheBank::with_shards(4),
+            Telemetry::disabled(),
+            build_optimizer,
+        );
+        // A deadline already in the past when the worker picks it up.
+        let request = PlanRequest::new(QuerySpec::tpch_q3(), Priority::Interactive)
+            .with_deadline_at(Instant::now() - Duration::from_millis(1));
+        let reply = service.submit(request).wait();
+        assert!(reply.deadline_expired, "queue wait consumed the deadline");
+        let plan = reply.plan.expect("the zero-eval rung still answers");
+        assert!(
+            plan.degradation.is_some(),
+            "an expired-deadline plan must be degradation-annotated"
+        );
+        // A generous deadline changes nothing.
+        let request = PlanRequest::new(QuerySpec::tpch_q3(), Priority::Interactive)
+            .with_deadline(Duration::from_secs(600));
+        let reply = service.submit(request).wait();
+        assert!(!reply.deadline_expired);
+        assert!(reply.plan.is_some());
+    }
+
+    #[test]
+    fn checkpoint_time_compaction_bounds_the_bank() {
+        let path = std::env::temp_dir().join("raqo_service_compact_test.json");
+        std::fs::remove_file(&path).ok();
+        let bank = ShardedCacheBank::with_shards(4);
+        let high_water = 4;
+        let service = PlanningService::start(
+            ServiceConfig {
+                workers: 1,
+                checkpoint_every: 1,
+                checkpoint_path: Some(path.clone()),
+                compact_high_water: Some(high_water),
+                ..Default::default()
+            },
+            bank.clone(),
+            Telemetry::disabled(),
+            build_optimizer,
+        );
+        // Distinct namespaces force distinct cache entries.
+        for ns in 0..6u32 {
+            service
+                .submit(PlanRequest::new(QuerySpec::tpch_q3(), Priority::Standard).with_namespace(ns))
+                .wait();
+        }
+        drop(service);
+        assert!(
+            bank.total_entries() <= high_water,
+            "compaction at every checkpoint holds the bank at ≤ {high_water} entries \
+             (got {})",
+            bank.total_entries()
+        );
+        // The persisted checkpoint reflects the compacted bank.
+        let loaded = ShardedCacheBank::load_with_shards(&path, 4).unwrap();
+        assert!(loaded.total_entries() <= high_water);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

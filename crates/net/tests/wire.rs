@@ -1,0 +1,472 @@
+//! End-to-end wire tests: a real [`PlanServer`] on a loopback socket, real
+//! [`PlanClient`]s, and raw sockets for the protocol-abuse cases. The
+//! chaos suite (armed faults) lives in `crates/bench/tests/net_chaos.rs`;
+//! everything here runs with the injector disarmed.
+
+use raqo_catalog::tpch::TpchSchema;
+use raqo_catalog::QuerySpec;
+use raqo_core::{
+    PlanRequest, PlanningService, PlannerKind, Priority, RaqoOptimizer, ResourceStrategy,
+    ServiceConfig, ShardedCacheBank,
+};
+use raqo_cost::SimOracleCost;
+use raqo_net::{
+    decode, ClientConfig, Decoded, ErrorCode, Frame, NetConfig, NetError, PlanClient, PlanServer,
+    RequestFrame, DEFAULT_MAX_BODY, MAGIC, VERSION,
+};
+use raqo_resource::{CacheLookup, ClusterConditions};
+use raqo_telemetry::{Counter, Telemetry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn build_optimizer(_worker: usize) -> RaqoOptimizer<'static, SimOracleCost> {
+    static MODEL: std::sync::OnceLock<SimOracleCost> = std::sync::OnceLock::new();
+    static SCHEMA: std::sync::OnceLock<TpchSchema> = std::sync::OnceLock::new();
+    let model = MODEL.get_or_init(SimOracleCost::hive);
+    let schema = SCHEMA.get_or_init(|| TpchSchema::new(1.0));
+    RaqoOptimizer::new(
+        Arc::new(schema.catalog.clone()),
+        Arc::new(schema.graph.clone()),
+        model,
+        ClusterConditions::paper_default(),
+        PlannerKind::fast_randomized(7),
+        ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor { threshold: 0.05 }),
+    )
+}
+
+fn start_service(config: ServiceConfig, telemetry: Telemetry) -> Arc<PlanningService> {
+    Arc::new(PlanningService::start(
+        config,
+        ShardedCacheBank::with_shards(8),
+        telemetry,
+        build_optimizer,
+    ))
+}
+
+fn start_server(net: NetConfig, svc: ServiceConfig) -> (PlanServer, Telemetry) {
+    let telemetry = Telemetry::enabled();
+    let service = start_service(svc, telemetry.clone());
+    let server = PlanServer::bind("127.0.0.1:0", net, service, telemetry.clone())
+        .expect("bind loopback");
+    (server, telemetry)
+}
+
+/// Frame reader over a raw socket: keeps a buffer across calls so frames
+/// that coalesce into one `read` are not lost.
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader { buf: Vec::new() }
+    }
+
+    fn next(&mut self, stream: &mut TcpStream) -> Option<Frame> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match decode(&self.buf, DEFAULT_MAX_BODY) {
+                Decoded::Frame(frame, consumed) => {
+                    self.buf.drain(..consumed);
+                    return Some(frame);
+                }
+                Decoded::Corrupt(_) => return None,
+                Decoded::Incomplete { .. } => {}
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// One-shot convenience for tests that expect a single frame.
+fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
+    FrameReader::new().next(stream)
+}
+
+#[test]
+fn wire_plans_match_in_process_planning_bit_for_bit() {
+    let (server, _tel) = start_server(NetConfig::default(), ServiceConfig::default());
+    let mut client = PlanClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+
+    // In-process twin with its own bank: same factory, same budgets.
+    let local = start_service(ServiceConfig::default(), Telemetry::disabled());
+
+    for (query, priority) in [
+        (QuerySpec::tpch_q12(), Priority::Interactive),
+        (QuerySpec::tpch_q3(), Priority::Standard),
+        (QuerySpec::tpch_q3(), Priority::Batch),
+    ] {
+        let wire = client.plan(&query, priority).expect("wire plan");
+        assert!(!wire.shed);
+        assert!(!wire.deadline_expired);
+        let summary = wire.plan.as_ref().expect("plan summary decodes");
+        assert!(summary.time_sec > 0.0);
+        assert!(summary.cost > 0.0);
+
+        let local_reply = local
+            .submit(PlanRequest::new(query.clone(), priority))
+            .wait();
+        let local_json = serde_json::to_string(&local_reply.plan).unwrap();
+        assert_eq!(
+            wire.plan_json, local_json,
+            "the wire answer must be byte-identical to in-process planning"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reply_carries_trace_id_and_timings() {
+    let (server, _tel) = start_server(NetConfig::default(), ServiceConfig::default());
+    let mut client = PlanClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    let reply = client.plan(&QuerySpec::tpch_q3(), Priority::Standard).unwrap();
+    assert_ne!(reply.trace_id, 0, "enabled telemetry stamps a trace id into the frame");
+    assert!(reply.service_us > 0);
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_comes_back_annotated_not_stale() {
+    // One worker and one dispatcher: queue a slow-ish request ahead so the
+    // 1 ms deadline is long gone when the worker reaches it.
+    let (server, _tel) = start_server(
+        NetConfig { dispatchers: 1, ..NetConfig::default() },
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    );
+    let addr = server.local_addr();
+    // Pipeline a pile of cold-namespace batch requests on a raw socket (no
+    // reads) so the single worker has real backlog when the deadline
+    // request lands behind it.
+    let mut ahead = TcpStream::connect(addr).unwrap();
+    let mut backlog = Vec::new();
+    for id in 0..32u64 {
+        backlog.extend_from_slice(
+            &RequestFrame {
+                request_id: 500 + id,
+                priority: Priority::Batch,
+                namespace: 100 + id as u32,
+                deadline_ms: 0,
+                query: QuerySpec::tpch_q3(),
+            }
+            .encode(),
+        );
+    }
+    ahead.write_all(&backlog).unwrap();
+    // Let the backlog decode and enter the queues ahead of us.
+    std::thread::sleep(Duration::from_millis(20));
+    let mut client = PlanClient::connect(addr, ClientConfig::default()).unwrap();
+    let reply = client
+        .plan_with(&QuerySpec::tpch_q3(), Priority::Batch, 0, 1)
+        .expect("an expired deadline still gets an answer");
+    assert!(reply.deadline_expired, "queue wait must have consumed the 1 ms budget");
+    let summary = reply.plan.expect("bottom-rung answer is still a plan");
+    assert!(
+        summary.degradation.is_some(),
+        "expired-deadline plans are degradation-annotated"
+    );
+    drop(ahead);
+    server.shutdown();
+}
+
+#[test]
+fn same_request_id_is_deduped_from_the_reply_ring() {
+    let (server, tel) = start_server(NetConfig::default(), ServiceConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let frame = RequestFrame {
+        request_id: 77,
+        priority: Priority::Standard,
+        namespace: 0,
+        deadline_ms: 0,
+        query: QuerySpec::tpch_q3(),
+    }
+    .encode();
+
+    stream.write_all(&frame).unwrap();
+    let first = match read_frame(&mut stream) {
+        Some(Frame::Reply(r)) => r,
+        other => panic!("expected a reply, got {other:?}"),
+    };
+    // The same id again — answered from the ring, byte-identical, and
+    // counted as a dedup rather than planned twice.
+    stream.write_all(&frame).unwrap();
+    let second = match read_frame(&mut stream) {
+        Some(Frame::Reply(r)) => r,
+        other => panic!("expected a deduped reply, got {other:?}"),
+    };
+    assert_eq!(first, second, "ring replay returns the exact original reply");
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetRepliesDeduped), 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_then_close() {
+    let (server, tel) = start_server(NetConfig::default(), ServiceConfig::default());
+
+    // Garbage that isn't even magic.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::BadMagic),
+        other => panic!("garbage must earn a typed error, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(
+        stream.read_to_end(&mut rest).unwrap_or(0),
+        0,
+        "after the error frame the server closes the connection"
+    );
+
+    // Right magic, hostile version.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.push(200); // version from the future
+    bytes.push(1);
+    bytes.extend_from_slice(&8u32.to_be_bytes());
+    bytes.extend_from_slice(&[0u8; 8]);
+    stream.write_all(&bytes).unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::BadVersion),
+        other => panic!("{other:?}"),
+    }
+
+    // Hostile length prefix: rejected from the header alone.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.push(VERSION);
+    bytes.push(1);
+    bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+    stream.write_all(&bytes).unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Oversized),
+        other => panic!("{other:?}"),
+    }
+
+    // A valid header whose body is hostile JSON.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let body = b"\0\0\0\0\0\0\0\x01\x00\0\0\0\0\0\0\0\0{\"name\":\"q\",\"relations\":[]}";
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.push(VERSION);
+    bytes.push(1);
+    bytes.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(body);
+    stream.write_all(&bytes).unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::BadBody),
+        other => panic!("{other:?}"),
+    }
+
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetFrameErrors), 4, "each abuse counted once");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_with_an_overloaded_frame() {
+    let (server, tel) = start_server(
+        NetConfig { max_connections: 1, ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    // Fill the only slot and prove it's live.
+    let mut occupant = PlanClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    occupant.plan(&QuerySpec::tpch_q3(), Priority::Standard).unwrap();
+    assert_eq!(server.live_connections(), 1);
+
+    // The next connection is shed at accept with a typed reply.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => {
+            assert_eq!(e.code, ErrorCode::Overloaded);
+            assert_eq!(e.request_id, 0);
+        }
+        other => panic!("cap overflow must answer Overloaded, got {other:?}"),
+    }
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetShedConnCap), 1);
+    server.shutdown();
+}
+
+#[test]
+fn dispatch_overload_sheds_with_typed_replies_not_hangs() {
+    // A dispatch queue of 1 and a deliberately wedged service (zero ticket
+    // timeout answers WaitTimeout fast, but the queue only holds one):
+    // burst requests on one socket and count typed answers.
+    let (server, tel) = start_server(
+        NetConfig {
+            dispatchers: 1,
+            dispatch_capacity: 1,
+            ticket_timeout: Duration::from_secs(30),
+            ..NetConfig::default()
+        },
+        ServiceConfig { workers: 1, ..ServiceConfig::default() },
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let burst = 8u64;
+    let mut bytes = Vec::new();
+    for id in 0..burst {
+        bytes.extend_from_slice(
+            &RequestFrame {
+                request_id: 1000 + id,
+                priority: Priority::Standard,
+                namespace: 0,
+                deadline_ms: 0,
+                query: QuerySpec::tpch_q3(),
+            }
+            .encode(),
+        );
+    }
+    stream.write_all(&bytes).unwrap();
+    let mut reader = FrameReader::new();
+    let mut replies = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..burst {
+        match reader.next(&mut stream) {
+            Some(Frame::Reply(_)) => replies += 1,
+            Some(Frame::Error(e)) if e.code == ErrorCode::Overloaded => overloaded += 1,
+            other => panic!("every request gets a typed answer, got {other:?}"),
+        }
+    }
+    assert_eq!(replies + overloaded, burst);
+    assert!(overloaded > 0, "a 1-slot handoff under an 8-burst must shed");
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetShedOverloaded), overloaded);
+    server.shutdown();
+}
+
+#[test]
+fn wedged_tickets_surface_as_wait_timeout_errors() {
+    let (server, _tel) = start_server(
+        NetConfig { ticket_timeout: Duration::ZERO, ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    let mut client = PlanClient::connect(
+        server.local_addr(),
+        ClientConfig { retries: 1, ..ClientConfig::default() },
+    )
+    .unwrap();
+    match client.plan(&QuerySpec::tpch_q3(), Priority::Standard) {
+        Err(NetError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, 2);
+            match *last {
+                NetError::Server { code, .. } => assert_eq!(code, ErrorCode::WaitTimeout),
+                other => panic!("{other}"),
+            }
+        }
+        other => panic!("a zero ticket timeout must exhaust retries, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_working_ones_are_not() {
+    let (server, tel) = start_server(
+        NetConfig { idle_timeout: Duration::from_millis(80), ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    let mut client = PlanClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    client.plan(&QuerySpec::tpch_q3(), Priority::Standard).unwrap();
+    assert_eq!(server.live_connections(), 1);
+    // Planning kept the connection alive past several idle windows;
+    // silence now gets it reaped.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.live_connections(), 0, "idle connection must be reaped");
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetIdleReaped), 1);
+    assert_eq!(
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetConnectionsClosed),
+        "reaped connections are accounted closed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_flushes_the_checkpoint_and_balances_the_books() {
+    let path = std::env::temp_dir().join("raqo_net_drain_ckpt.json");
+    std::fs::remove_file(&path).ok();
+    let (server, tel) = start_server(
+        NetConfig::default(),
+        ServiceConfig {
+            checkpoint_path: Some(path.clone()),
+            model_fingerprint: Some(0xabc),
+            ..ServiceConfig::default()
+        },
+    );
+    let mut client = PlanClient::connect(server.local_addr(), ClientConfig::default()).unwrap();
+    client.plan(&QuerySpec::tpch_q3(), Priority::Standard).unwrap();
+    client.plan(&QuerySpec::tpch_q12(), Priority::Interactive).unwrap();
+    server.shutdown(); // must not hang, must close everything
+
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetConnectionsClosed),
+        "every opened connection is closed by drain"
+    );
+    // The drain flushed the shared bank: a restarted server loads it warm.
+    let (loaded, invalidated) =
+        ShardedCacheBank::load_checked_with_shards(&path, 0xabc, 8).unwrap();
+    assert!(!invalidated);
+    assert!(loaded.total_entries() > 0, "drain checkpoint carries the warm cache");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn client_retries_reconnect_after_the_server_drops_the_connection() {
+    // The server reaps the client's idle connection; the next call's first
+    // attempt hits the dead socket, and a bounded retry reconnects — same
+    // request id throughout, so a duplicate answer would have been deduped.
+    let (server, _tel) = start_server(
+        NetConfig { idle_timeout: Duration::from_millis(60), ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    let tel = Telemetry::enabled();
+    let mut client = PlanClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            retries: 3,
+            backoff_base: Duration::from_millis(5),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+    .with_telemetry(tel.clone());
+    client.plan(&QuerySpec::tpch_q3(), Priority::Standard).unwrap();
+
+    // Wait until the reaper has taken the connection out from under us.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.live_connections(), 0);
+
+    let reply = client
+        .plan(&QuerySpec::tpch_q3(), Priority::Standard)
+        .expect("a retry must carry the call onto a fresh connection");
+    assert!(reply.plan.is_some());
+    let snap = tel.snapshot().unwrap();
+    assert!(
+        snap.get(Counter::NetClientRetries) >= 1,
+        "the dead first connection must have cost at least one retry"
+    );
+    server.shutdown();
+}

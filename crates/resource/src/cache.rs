@@ -76,6 +76,13 @@ pub struct ResourcePlanCache {
     /// Sorted by key. `Vec` doubles on demand — the "automatic resizing
     /// whenever the array gets full" of the prototype.
     entries: Vec<(f64, ResourceConfig)>,
+    /// Last-hit generation per entry (parallel to `entries`): the value of
+    /// [`clock`](Self::generation) when the entry last contributed to a
+    /// hit or was (re)inserted. Compaction evicts the stalest entries
+    /// first. Not persisted — a loaded bank starts cold.
+    generations: Vec<u64>,
+    /// Monotonic access clock, bumped once per insert or lookup.
+    clock: u64,
     stats: CacheStats,
 }
 
@@ -101,6 +108,8 @@ impl ResourcePlanCache {
     /// cache before each query run" unless testing across-query caching).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.generations.clear();
+        self.clock = 0;
         self.stats = CacheStats::default();
     }
 
@@ -120,7 +129,33 @@ impl ResourcePlanCache {
         entries.reverse();
         entries.dedup_by(|a, b| a.0 == b.0);
         entries.reverse();
-        ResourcePlanCache { entries, stats: CacheStats::default() }
+        let generations = vec![0; entries.len()];
+        ResourcePlanCache { entries, generations, clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The current value of the access clock (bumped once per insert or
+    /// lookup). An entry whose last-hit generation is far below this is
+    /// cold and is evicted first by [`CacheBank::compact`].
+    pub fn generation(&self) -> u64 {
+        self.clock
+    }
+
+    /// `(key, last-hit generation)` per entry, in key order.
+    pub fn entry_generations(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.entries.iter().map(|(k, _)| *k).zip(self.generations.iter().copied())
+    }
+
+    /// Remove the entry at exactly `key`. Returns whether one existed.
+    /// Statistics are untouched: eviction is bookkeeping, not a miss.
+    pub fn remove(&mut self, key: f64) -> bool {
+        let i = self.partition(key);
+        if i < self.entries.len() && self.entries[i].0 == key {
+            self.entries.remove(i);
+            self.generations.remove(i);
+            true
+        } else {
+            false
+        }
     }
 
     /// Binary search for the insertion point of `key`.
@@ -133,28 +168,47 @@ impl ResourcePlanCache {
     /// the newly found resource configuration into the cache."
     pub fn insert(&mut self, key: f64, config: ResourceConfig) {
         assert!(key.is_finite(), "cache keys must be finite");
+        self.clock += 1;
         let i = self.partition(key);
         if i < self.entries.len() && self.entries[i].0 == key {
             self.entries[i].1 = config;
+            self.generations[i] = self.clock;
         } else {
             self.entries.insert(i, (key, config));
+            self.generations.insert(i, self.clock);
         }
         self.stats.insertions += 1;
     }
 
     /// Look up a configuration for `key` under the given policy. Counts a
-    /// hit or a miss in [`CacheStats`].
+    /// hit or a miss in [`CacheStats`]; a hit refreshes the last-hit
+    /// generation of every entry that contributed to the answer.
     pub fn lookup(&mut self, key: f64, mode: CacheLookup) -> Option<ResourceConfig> {
-        let found = self.lookup_inner(key, mode);
-        if found.is_some() {
-            self.stats.hits += 1;
-        } else {
-            self.stats.misses += 1;
+        self.clock += 1;
+        match self.lookup_indexed(key, mode) {
+            Some((cfg, touched)) => {
+                let clock = self.clock;
+                for g in &mut self.generations[touched] {
+                    *g = clock;
+                }
+                self.stats.hits += 1;
+                Some(cfg)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
-        found
     }
 
-    fn lookup_inner(&self, key: f64, mode: CacheLookup) -> Option<ResourceConfig> {
+    /// The lookup result plus the index range of the entries it was built
+    /// from (one entry for exact/nearest hits, the neighbor window for
+    /// weighted averages).
+    fn lookup_indexed(
+        &self,
+        key: f64,
+        mode: CacheLookup,
+    ) -> Option<(ResourceConfig, std::ops::Range<usize>)> {
         if self.entries.is_empty() {
             return None;
         }
@@ -162,45 +216,43 @@ impl ResourcePlanCache {
         // Exact match first, for every mode (§VII-B: "Both variants first
         // look for exact match before trying the interpolation").
         if i < self.entries.len() && self.entries[i].0 == key {
-            return Some(self.entries[i].1);
+            return Some((self.entries[i].1, i..i + 1));
         }
         match mode {
             CacheLookup::Exact => None,
             CacheLookup::NearestNeighbor { threshold } => {
-                let (dist, cfg) = self.nearest(key, i)?;
-                (dist <= threshold).then_some(cfg)
+                let (dist, j) = self.nearest(key, i)?;
+                (dist <= threshold).then(|| (self.entries[j].1, j..j + 1))
             }
             CacheLookup::WeightedAverage { threshold } => {
-                let neighbors = self.neighbors_within(key, threshold);
-                if neighbors.is_empty() {
+                let window = self.neighbors_within(key, threshold);
+                if window.is_empty() {
                     return None;
                 }
-                Some(weighted_average(key, &neighbors))
+                Some((weighted_average(key, &self.entries[window.clone()]), window))
             }
         }
     }
 
     /// Nearest entry to `key`, given the partition point `i`. Returns the
-    /// distance and configuration.
-    fn nearest(&self, key: f64, i: usize) -> Option<(f64, ResourceConfig)> {
-        let lo = i.checked_sub(1).map(|j| self.entries[j]);
-        let hi = (i < self.entries.len()).then(|| self.entries[i]);
+    /// distance and entry index.
+    fn nearest(&self, key: f64, i: usize) -> Option<(f64, usize)> {
+        let lo = i.checked_sub(1).map(|j| ((key - self.entries[j].0).abs(), j));
+        let hi = (i < self.entries.len()).then(|| ((key - self.entries[i].0).abs(), i));
         match (lo, hi) {
             (None, None) => None,
-            (Some((k, c)), None) | (None, Some((k, c))) => Some(((key - k).abs(), c)),
-            (Some((kl, cl)), Some((kh, ch))) => {
-                let dl = (key - kl).abs();
-                let dh = (key - kh).abs();
-                Some(if dl <= dh { (dl, cl) } else { (dh, ch) })
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (Some((dl, jl)), Some((dh, jh))) => {
+                Some(if dl <= dh { (dl, jl) } else { (dh, jh) })
             }
         }
     }
 
-    /// All entries with |entry.key − key| ≤ threshold.
-    fn neighbors_within(&self, key: f64, threshold: f64) -> Vec<(f64, ResourceConfig)> {
+    /// Index range of entries with |entry.key − key| ≤ threshold.
+    fn neighbors_within(&self, key: f64, threshold: f64) -> std::ops::Range<usize> {
         let lo = self.entries.partition_point(|(k, _)| *k < key - threshold);
         let hi = self.entries.partition_point(|(k, _)| *k <= key + threshold);
-        self.entries[lo..hi].to_vec()
+        lo..hi
     }
 }
 
@@ -275,6 +327,51 @@ impl CacheBank {
     /// caching is being evaluated as in Fig. 15(b)).
     pub fn clear(&mut self) {
         self.caches.clear();
+    }
+
+    /// Remove the entry at exactly `key` from the (model, operator) cache,
+    /// dropping the member cache when it becomes empty. Returns whether an
+    /// entry existed.
+    pub fn remove_entry(&mut self, model: u32, operator: u32, key: f64) -> bool {
+        let Some(cache) = self.caches.get_mut(&(model, operator)) else { return false };
+        let removed = cache.remove(key);
+        if cache.is_empty() {
+            self.caches.remove(&(model, operator));
+        }
+        removed
+    }
+
+    /// Evict the coldest entries until the bank holds at most `high_water`
+    /// entries. Coldness is staleness under each cache's access clock
+    /// (`clock − last-hit generation`); ties break deterministically on
+    /// (model, operator, key bits), so any two banks with the same access
+    /// history compact to the same retained set. Retained entries answer
+    /// every lookup bit-identically to the pre-compaction bank. Returns the
+    /// number of entries evicted.
+    pub fn compact(&mut self, high_water: usize) -> usize {
+        let total = self.total_entries();
+        if total <= high_water {
+            return 0;
+        }
+        // (staleness, model, operator, key bits) — stalest first, then the
+        // deterministic key-space order.
+        let mut victims: Vec<(u64, u32, u32, u64)> = Vec::with_capacity(total);
+        for (&(model, operator), cache) in self.caches.iter() {
+            let clock = cache.generation();
+            for (key, generation) in cache.entry_generations() {
+                victims.push((clock - generation, model, operator, key.to_bits()));
+            }
+        }
+        victims.sort_by(|a, b| {
+            b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)).then(a.3.cmp(&b.3))
+        });
+        let mut evicted = 0;
+        for &(_, model, operator, bits) in victims.iter().take(total - high_water) {
+            if self.remove_entry(model, operator, f64::from_bits(bits)) {
+                evicted += 1;
+            }
+        }
+        evicted
     }
 }
 
@@ -455,5 +552,157 @@ mod tests {
     fn non_finite_key_rejected() {
         let mut cache = ResourcePlanCache::new();
         cache.insert(f64::NAN, cfg(1.0, 1.0));
+    }
+
+    #[test]
+    fn remove_keeps_entries_and_generations_aligned() {
+        let mut cache = ResourcePlanCache::new();
+        for k in [1.0, 2.0, 3.0] {
+            cache.insert(k, cfg(k, k));
+        }
+        assert!(cache.remove(2.0));
+        assert!(!cache.remove(2.0), "already gone");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.entry_generations().count(), 2);
+        assert_eq!(cache.lookup(1.0, CacheLookup::Exact), Some(cfg(1.0, 1.0)));
+        assert_eq!(cache.lookup(3.0, CacheLookup::Exact), Some(cfg(3.0, 3.0)));
+    }
+
+    #[test]
+    fn lookups_refresh_last_hit_generations() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(1.0, 1.0));
+        cache.insert(2.0, cfg(2.0, 2.0));
+        cache.insert(3.0, cfg(3.0, 3.0));
+        // Touch 1.0 repeatedly; 2.0 and 3.0 go stale.
+        for _ in 0..5 {
+            cache.lookup(1.0, CacheLookup::Exact);
+        }
+        let gens: std::collections::BTreeMap<u64, u64> = cache
+            .entry_generations()
+            .map(|(k, g)| (k.to_bits(), g))
+            .collect();
+        assert_eq!(gens[&1.0f64.to_bits()], cache.generation());
+        assert!(gens[&2.0f64.to_bits()] < gens[&1.0f64.to_bits()]);
+        // A nearest-neighbor hit refreshes the entry that answered it.
+        cache.lookup(2.9, CacheLookup::NearestNeighbor { threshold: 0.5 });
+        let g3: u64 = cache
+            .entry_generations()
+            .find(|(k, _)| *k == 3.0)
+            .map(|(_, g)| g)
+            .unwrap();
+        assert_eq!(g3, cache.generation());
+    }
+
+    #[test]
+    fn weighted_hit_refreshes_every_contributing_neighbor() {
+        let mut cache = ResourcePlanCache::new();
+        cache.insert(1.0, cfg(1.0, 1.0));
+        cache.insert(2.0, cfg(2.0, 2.0));
+        cache.insert(9.0, cfg(9.0, 9.0));
+        cache.lookup(1.5, CacheLookup::WeightedAverage { threshold: 1.0 });
+        let clock = cache.generation();
+        let gens: Vec<(f64, u64)> = cache.entry_generations().collect();
+        assert_eq!(gens[0].1, clock, "1.0 contributed");
+        assert_eq!(gens[1].1, clock, "2.0 contributed");
+        assert!(gens[2].1 < clock, "9.0 was outside the window");
+    }
+
+    #[test]
+    fn compact_evicts_coldest_first_and_answers_retained_keys_identically() {
+        let mut bank = CacheBank::new();
+        for k in 0..10u32 {
+            bank.cache(0, 0).insert(k as f64, cfg(k as f64, 1.0));
+        }
+        // Keep keys 0..5 hot.
+        for k in 0..5u32 {
+            bank.cache(0, 0).lookup(k as f64, CacheLookup::Exact);
+        }
+        let before: Vec<Option<ResourceConfig>> = (0..5u32)
+            .map(|k| bank.cache(0, 0).lookup_indexed(k as f64, CacheLookup::Exact).map(|(c, _)| c))
+            .collect();
+        let evicted = bank.compact(5);
+        assert_eq!(evicted, 5);
+        assert_eq!(bank.total_entries(), 5);
+        for k in 0..5u32 {
+            let got = bank.cache(0, 0).lookup(k as f64, CacheLookup::Exact);
+            assert_eq!(got, before[k as usize], "retained key answers bit-identically");
+        }
+        for k in 5..10u32 {
+            assert_eq!(bank.cache(0, 0).lookup(k as f64, CacheLookup::Exact), None);
+        }
+    }
+
+    #[test]
+    fn compact_below_high_water_is_a_no_op() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(1.0, cfg(1.0, 1.0));
+        assert_eq!(bank.compact(10), 0);
+        assert_eq!(bank.total_entries(), 1);
+        assert_eq!(bank.compact(1), 0, "exactly at the mark is fine");
+    }
+
+    #[test]
+    fn compact_drops_emptied_member_caches() {
+        let mut bank = CacheBank::new();
+        bank.cache(0, 0).insert(1.0, cfg(1.0, 1.0));
+        bank.cache(1, 0).insert(2.0, cfg(2.0, 2.0));
+        // Touch the (1, 0) entry so (0, 0)'s entry is the stalest.
+        bank.cache(1, 0).lookup(2.0, CacheLookup::Exact);
+        assert_eq!(bank.compact(1), 1);
+        assert_eq!(bank.iter().count(), 1, "emptied cache is pruned");
+        assert_eq!(bank.iter().next().unwrap().0, &(1, 0));
+    }
+
+    proptest::proptest! {
+        /// Compaction never changes what a retained key answers: for any
+        /// insert/lookup history and any high-water mark, every key that
+        /// survives answers its exact lookup bit-identically to the
+        /// pre-compaction bank.
+        #[test]
+        fn prop_compacted_bank_answers_retained_keys_bit_identically(
+            raw_ops in proptest::collection::vec((0u32..4, 0u64..32, proptest::bool::ANY), 1..80),
+            high_water in 0usize..40,
+        ) {
+            let mut bank = CacheBank::new();
+            for (model, k, is_insert) in &raw_ops {
+                let key = *k as f64 / 2.0;
+                if *is_insert {
+                    bank.cache(*model, 0).insert(key, cfg(key + 1.0, (*model + 1) as f64));
+                } else {
+                    bank.cache(*model, 0).lookup(key, CacheLookup::Exact);
+                }
+            }
+            // Record every present key's answer before compaction.
+            let mut answers: Vec<(u32, f64, ResourceConfig)> = Vec::new();
+            let pairs: Vec<(u32, u32)> = bank.iter().map(|(&p, _)| p).collect();
+            for (model, operator) in pairs {
+                let keys: Vec<f64> = bank
+                    .cache(model, operator)
+                    .entries()
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect();
+                for key in keys {
+                    let got = bank
+                        .cache(model, operator)
+                        .lookup_indexed(key, CacheLookup::Exact)
+                        .map(|(c, _)| c)
+                        .expect("present key must answer");
+                    answers.push((model, key, got));
+                }
+            }
+            let total = bank.total_entries();
+            let evicted = bank.compact(high_water);
+            proptest::prop_assert_eq!(evicted, total.saturating_sub(high_water));
+            proptest::prop_assert_eq!(bank.total_entries(), total.min(high_water));
+            for (model, key, before) in answers {
+                if let Some((after, _)) =
+                    bank.cache(model, 0).lookup_indexed(key, CacheLookup::Exact)
+                {
+                    proptest::prop_assert_eq!(after, before, "retained key diverged");
+                }
+            }
+        }
     }
 }

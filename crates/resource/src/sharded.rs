@@ -233,6 +233,56 @@ impl ShardedCacheBank {
         out
     }
 
+    /// Evict the coldest entries across every shard until the bank holds
+    /// at most `high_water` entries — the same staleness-first,
+    /// deterministic-tie-break policy as [`CacheBank::compact`], applied
+    /// globally, so a sharded bank and a single-lock bank with the same
+    /// access history compact to the same retained set. Evicted-from
+    /// shards are marked dirty for the next incremental checkpoint;
+    /// evictions are counted on `raqo_cache_evictions_total`. Candidate
+    /// collection runs under per-shard read locks, eviction under
+    /// per-shard write locks (best-effort against concurrent inserts:
+    /// entries added mid-compaction survive). Returns the eviction count.
+    pub fn compact(&self, high_water: usize) -> usize {
+        let total = self.total_entries();
+        if total <= high_water {
+            return 0;
+        }
+        // (staleness, model, operator, key bits, shard) — the shard index
+        // rides along for the apply pass and never influences the order.
+        let mut victims: Vec<(u64, u32, u32, u64, usize)> = Vec::with_capacity(total);
+        for (idx, shard) in self.inner.shards.iter().enumerate() {
+            let bank = shard.bank.read();
+            for (&(model, operator), cache) in bank.iter() {
+                let clock = cache.generation();
+                for (key, generation) in cache.entry_generations() {
+                    victims.push((clock - generation, model, operator, key.to_bits(), idx));
+                }
+            }
+        }
+        victims.sort_by(|a, b| {
+            b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)).then(a.3.cmp(&b.3))
+        });
+        victims.truncate(total - high_water);
+        let mut evicted = 0u64;
+        for (idx, shard) in self.inner.shards.iter().enumerate() {
+            let mine: Vec<&(u64, u32, u32, u64, usize)> =
+                victims.iter().filter(|v| v.4 == idx).collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let mut bank = shard.bank.write();
+            for &(_, model, operator, bits, _) in mine {
+                if bank.remove_entry(model, operator, f64::from_bits(bits)) {
+                    evicted += 1;
+                }
+            }
+            shard.dirty.store(true, Ordering::Release);
+        }
+        self.telemetry.add(Counter::CacheEvictions, evicted);
+        evicted as usize
+    }
+
     /// Number of shards currently marked dirty (bench/diagnostics: the
     /// work a checkpoint would re-render).
     pub fn dirty_shard_count(&self) -> usize {
@@ -609,6 +659,54 @@ mod tests {
         assert_eq!(snap.cache_shard_lookups_total(), 16);
         // Inserts and lookups both time the lock acquire.
         assert_eq!(snap.hist(Hist::CacheLockWaitUs).count, 32);
+    }
+
+    #[test]
+    fn compact_matches_single_lock_bank_and_dirties_shards() {
+        let sharded = ShardedCacheBank::with_shards(8);
+        let single = SharedCacheBank::new();
+        for i in 0..40u32 {
+            let key = i as f64 / 3.0;
+            sharded.insert(i % 7, i % 2, key, cfg(i as f64, 2.0));
+            single.insert(i % 7, i % 2, key, cfg(i as f64, 2.0));
+        }
+        // Touch a hot subset on both banks identically.
+        for i in 0..12u32 {
+            let key = i as f64 / 3.0;
+            sharded.lookup(i % 7, i % 2, key, CacheLookup::Exact);
+            single.lookup(i % 7, i % 2, key, CacheLookup::Exact);
+        }
+        let path = std::env::temp_dir().join("raqo_sharded_compact_ckpt.json");
+        sharded.checkpoint(&path).unwrap();
+        assert_eq!(sharded.dirty_shard_count(), 0);
+        let evicted_sharded = sharded.compact(15);
+        let evicted_single = single.compact(15);
+        assert_eq!(evicted_sharded, evicted_single);
+        assert_eq!(sharded.total_entries(), 15);
+        assert_eq!(single.total_entries(), 15);
+        // Same global eviction policy → identical retained sets and bytes.
+        let single_json = single.with_bank(|b| persist::bank_to_json(b));
+        assert_eq!(persist::bank_to_json(&sharded.merged_bank()), single_json);
+        // Evicted-from shards are dirty; the next checkpoint persists the
+        // compacted contents.
+        assert!(sharded.dirty_shard_count() > 0, "compaction dirties shards");
+        sharded.checkpoint(&path).unwrap();
+        let loaded = persist::load_bank(&path).unwrap();
+        assert_eq!(loaded.total_entries(), 15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_counts_evictions_in_telemetry() {
+        let tel = Telemetry::enabled();
+        let bank = ShardedCacheBank::with_shards(4).with_telemetry(tel.clone());
+        for i in 0..20u32 {
+            bank.insert(i, 0, 1.0, cfg(1.0, 1.0));
+        }
+        assert_eq!(bank.compact(8), 12);
+        let snap = tel.snapshot().unwrap();
+        assert_eq!(snap.get(Counter::CacheEvictions), 12);
+        assert_eq!(bank.compact(8), 0, "already at the mark");
     }
 
     #[test]

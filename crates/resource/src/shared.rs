@@ -77,6 +77,12 @@ impl SharedCacheBank {
         f(&mut self.inner.write())
     }
 
+    /// Evict the coldest entries until the bank holds at most `high_water`
+    /// entries (see [`CacheBank::compact`]). Returns the eviction count.
+    pub fn compact(&self, high_water: usize) -> usize {
+        self.with_bank(|bank| bank.compact(high_water))
+    }
+
     /// Persist the bank to `path` as versioned JSON (see [`crate::persist`]).
     /// Snapshots under a short read lock; serialization and the file write
     /// happen outside it, so concurrent planners are never stalled behind

@@ -105,13 +105,44 @@ pub enum Counter {
     TracesEvicted,
     /// Flight-recorder dumps written to disk.
     FlightDumps,
+    /// Cache-bank entries evicted by compaction (cold/stale entries past
+    /// the configured high-water mark).
+    CacheEvictions,
+    /// TCP connections accepted by the plan server.
+    NetConnectionsOpened,
+    /// TCP connections closed by the plan server (every open eventually
+    /// pairs with a close; the difference is the live-connection count).
+    NetConnectionsClosed,
+    /// Wire frames decoded from clients.
+    NetFramesIn,
+    /// Wire frames written to clients.
+    NetFramesOut,
+    /// Inbound frames rejected as malformed (bad magic/version, oversized,
+    /// torn, or an undecodable body) and answered with a typed error frame.
+    NetFrameErrors,
+    /// Requests shed by the server because the dispatch queue was full,
+    /// answered with an `Overloaded` error frame.
+    NetShedOverloaded,
+    /// Connections shed at accept because the connection cap was reached.
+    NetShedConnCap,
+    /// Requests whose deadline budget had already expired when a dispatcher
+    /// picked them up (planned at the zero-eval rung, not stale).
+    NetShedDeadline,
+    /// Retransmitted requests answered from the server's reply ring instead
+    /// of being re-planned (request-id idempotence).
+    NetRepliesDeduped,
+    /// Idle connections closed by the reaper (slow-loris defense).
+    NetIdleReaped,
+    /// Client-side retry attempts (reconnect + resend of the same request
+    /// id after an error, timeout, or overload reply).
+    NetClientRetries,
 }
 
 /// Number of `shard="N"` label buckets for sharded-cache lookup counters.
 pub const SHARD_LABEL_BUCKETS: usize = 8;
 
 impl Counter {
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 52] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -152,6 +183,18 @@ impl Counter {
         Counter::TracesSampledOut,
         Counter::TracesEvicted,
         Counter::FlightDumps,
+        Counter::CacheEvictions,
+        Counter::NetConnectionsOpened,
+        Counter::NetConnectionsClosed,
+        Counter::NetFramesIn,
+        Counter::NetFramesOut,
+        Counter::NetFrameErrors,
+        Counter::NetShedOverloaded,
+        Counter::NetShedConnCap,
+        Counter::NetShedDeadline,
+        Counter::NetRepliesDeduped,
+        Counter::NetIdleReaped,
+        Counter::NetClientRetries,
     ];
 
     /// The lookup counter for shard `index`, folding indices past
@@ -214,6 +257,18 @@ impl Counter {
             Counter::TracesSampledOut => "raqo_traces_sampled_out_total",
             Counter::TracesEvicted => "raqo_traces_evicted_total",
             Counter::FlightDumps => "raqo_flight_dumps_total",
+            Counter::CacheEvictions => "raqo_cache_evictions_total",
+            Counter::NetConnectionsOpened => "raqo_net_connections_total{event=\"opened\"}",
+            Counter::NetConnectionsClosed => "raqo_net_connections_total{event=\"closed\"}",
+            Counter::NetFramesIn => "raqo_net_frames_total{dir=\"in\"}",
+            Counter::NetFramesOut => "raqo_net_frames_total{dir=\"out\"}",
+            Counter::NetFrameErrors => "raqo_net_frame_errors_total",
+            Counter::NetShedOverloaded => "raqo_net_shed_total{reason=\"overloaded\"}",
+            Counter::NetShedConnCap => "raqo_net_shed_total{reason=\"conn_cap\"}",
+            Counter::NetShedDeadline => "raqo_net_shed_total{reason=\"deadline\"}",
+            Counter::NetRepliesDeduped => "raqo_net_replies_deduped_total",
+            Counter::NetIdleReaped => "raqo_net_idle_reaped_total",
+            Counter::NetClientRetries => "raqo_net_client_retries_total",
         }
     }
 
@@ -276,6 +331,22 @@ impl Counter {
             Counter::TracesSampledOut => "finished traces discarded by head sampling",
             Counter::TracesEvicted => "retained traces evicted from the completed ring",
             Counter::FlightDumps => "flight-recorder dumps written to disk",
+            Counter::CacheEvictions => "cache-bank entries evicted by compaction",
+            Counter::NetConnectionsOpened | Counter::NetConnectionsClosed => {
+                "plan-server TCP connection lifecycle events"
+            }
+            Counter::NetFramesIn | Counter::NetFramesOut => "wire frames by direction",
+            Counter::NetFrameErrors => {
+                "malformed inbound frames answered with a typed error frame"
+            }
+            Counter::NetShedOverloaded | Counter::NetShedConnCap | Counter::NetShedDeadline => {
+                "plan-server load shed by reason"
+            }
+            Counter::NetRepliesDeduped => {
+                "retried requests answered from the reply ring (idempotence)"
+            }
+            Counter::NetIdleReaped => "idle connections closed by the reaper",
+            Counter::NetClientRetries => "plan-client retry attempts",
         }
     }
 }

@@ -294,12 +294,12 @@ fn soak_survives_one_in_eight_faulted_frames_with_zero_leaks() {
     let (server, service, tel) = start_stack(
         NetConfig {
             max_connections: 64,
-            dispatchers: 2,
+            dispatchers: 4,
             dispatch_capacity: 256,
             poll_interval: Duration::from_micros(500),
             ..NetConfig::default()
         },
-        2,
+        4,
     );
 
     // The schedule: every 8th `net.frame` probe is faulted — mostly
@@ -319,10 +319,15 @@ fn soak_survives_one_in_eight_faulted_frames_with_zero_leaks() {
     let handles: Vec<_> = (0..CONNECTIONS)
         .map(|conn| {
             std::thread::spawn(move || {
+                // The read timeout must cover a debug-build planning run
+                // plus queue wait behind eleven sibling connections on a
+                // cold process; a timed-out request retries as a duplicate
+                // planning job, so a too-tight budget compounds the very
+                // overload it then fails on.
                 let mut client = PlanClient::connect(
                     addr,
                     ClientConfig {
-                        read_timeout: Duration::from_millis(400),
+                        read_timeout: Duration::from_millis(1200),
                         retries: 3,
                         backoff_base: Duration::from_millis(2),
                         jitter_seed: conn as u64,

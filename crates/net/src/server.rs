@@ -28,13 +28,22 @@
 //!   never cached: a retry after `WaitTimeout` deserves a fresh attempt.
 //! * **Graceful drain.** Shutdown stops accepting, answers `Draining` to
 //!   new requests, lets in-flight work finish (bounded by
-//!   [`NetConfig::drain_timeout`]), flushes the cache-bank checkpoint so a
-//!   restarted server plans warm, then closes every connection and joins
-//!   the dispatchers.
-//! * **The reaper spares working connections.** Idle is "no buffered
-//!   input, no in-flight request, nothing to write" for
+//!   [`NetConfig::drain_timeout`]) — past that bound even queued work is
+//!   discarded, so drain can never overrun its timeout by a ticket wait —
+//!   flushes the cache-bank checkpoint so a restarted server plans warm,
+//!   then closes every connection and joins the dispatchers.
+//! * **The reaper spares working connections, not half-open ones.** Idle
+//!   is "no in-flight request and no socket activity" for
 //!   [`NetConfig::idle_timeout`]; a connection waiting on a slow plan is
-//!   not idle.
+//!   not idle, but one holding a half-received frame (slow loris, peer
+//!   crash without FIN) or ignoring its replies *is* — it gets a
+//!   best-effort [`ErrorCode::Torn`] frame if it left a partial frame
+//!   behind, then the slot back.
+//! * **Output is bounded too.** A peer that pipelines requests but never
+//!   reads accumulates at most [`NetConfig::output_cap`] bytes of replies;
+//!   past the cap the connection is shed
+//!   (`raqo_net_shed_total{reason="slow_reader"}`) instead of growing the
+//!   buffer without bound.
 
 use crate::frame::{
     self, Decoded, ErrorCode, ErrorFrame, Frame, ReplyFrame, RequestFrame, FLAG_DEADLINE_EXPIRED,
@@ -62,6 +71,10 @@ pub struct NetConfig {
     pub dispatch_capacity: usize,
     /// Frame body cap; larger length prefixes are rejected unbuffered.
     pub max_body: usize,
+    /// Cap on unflushed reply bytes buffered per connection. A peer that
+    /// stops reading its socket is disconnected once its output backlog
+    /// would pass this, rather than buffering without bound.
+    pub output_cap: usize,
     /// Reap connections with no activity and no in-flight work after this.
     pub idle_timeout: Duration,
     /// Cap on waiting for a planning ticket before a `WaitTimeout` error
@@ -82,6 +95,7 @@ impl Default for NetConfig {
             dispatchers: 2,
             dispatch_capacity: 64,
             max_body: frame::DEFAULT_MAX_BODY,
+            output_cap: 4 * frame::DEFAULT_MAX_BODY,
             idle_timeout: Duration::from_secs(30),
             ticket_timeout: Duration::from_secs(30),
             reply_ring: 128,
@@ -237,6 +251,8 @@ struct Conn {
     last_activity: Instant,
     in_flight: usize,
     close_after_flush: bool,
+    /// Set when the output cap is blown: close now, no flush courtesy.
+    kill: bool,
 }
 
 impl Conn {
@@ -249,6 +265,7 @@ impl Conn {
             last_activity: Instant::now(),
             in_flight: 0,
             close_after_flush: false,
+            kill: false,
         }
     }
 
@@ -256,7 +273,20 @@ impl Conn {
         self.out_pos >= self.out.len()
     }
 
-    fn push_frame(&mut self, bytes: &[u8], telemetry: &Telemetry) {
+    /// Unflushed output bytes waiting on the peer to read.
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Queue a frame for writing, bounded by `output_cap`: a peer that
+    /// never drains its socket is marked for disconnect instead of growing
+    /// the buffer without bound.
+    fn push_frame(&mut self, bytes: &[u8], output_cap: usize, telemetry: &Telemetry) {
+        if self.pending_out() + bytes.len() > output_cap {
+            telemetry.inc(Counter::NetShedSlowReader);
+            self.kill = true;
+            return;
+        }
         self.out.extend_from_slice(bytes);
         telemetry.inc(Counter::NetFramesOut);
     }
@@ -325,7 +355,7 @@ fn event_loop(shared: &NetShared, listener: TcpListener) {
             }
             if let Some(conn) = conns.get_mut(&c.conn_id) {
                 conn.in_flight = conn.in_flight.saturating_sub(1);
-                conn.push_frame(&c.bytes, tel);
+                conn.push_frame(&c.bytes, cfg.output_cap, tel);
             }
             // Connection gone: the ring above still serves a retry that
             // arrives on a replacement connection.
@@ -339,14 +369,33 @@ fn event_loop(shared: &NetShared, listener: TcpListener) {
             }
         }
 
-        // Idle reaper: quiet connections with nothing pending.
-        for (&id, conn) in conns.iter() {
+        // Idle reaper: inactivity with no in-flight work is enough — a
+        // half-received frame (slow loris, peer crash without FIN) or a
+        // backlog the peer refuses to read must not hold a connection slot
+        // forever. Only a request actually being planned earns a stay.
+        for (&id, conn) in conns.iter_mut() {
             if conn.in_flight == 0
-                && conn.read_buf.is_empty()
-                && conn.flushed()
                 && conn.last_activity.elapsed() >= cfg.idle_timeout
                 && !to_close.contains(&id)
             {
+                if !conn.read_buf.is_empty() && conn.flushed() {
+                    // The peer left a partial frame behind: tell it the
+                    // stream is torn before taking the slot back. One
+                    // best-effort nonblocking write — the peer is likely
+                    // gone, and the event loop must not wait on it. (With
+                    // a half-written reply still pending the frame would
+                    // splice mid-stream, so only a flushed stream gets
+                    // the courtesy.)
+                    let torn = ErrorFrame {
+                        request_id: 0,
+                        code: ErrorCode::Torn,
+                        message: "connection idle holding an incomplete frame".into(),
+                    }
+                    .encode();
+                    if conn.stream.write(&torn).is_ok() {
+                        tel.inc(Counter::NetFramesOut);
+                    }
+                }
                 tel.inc(Counter::NetIdleReaped);
                 to_close.push(id);
             }
@@ -393,9 +442,10 @@ fn event_loop(shared: &NetShared, listener: TcpListener) {
     shared.dispatch_ready.notify_all();
 }
 
-/// Best-effort `Overloaded` reply to a connection shed at the cap. The
-/// socket is still blocking here; a short write timeout bounds the
-/// courtesy.
+/// Best-effort `Overloaded` reply to a connection shed at the cap: one
+/// nonblocking write, then the socket drops. This runs on the event-loop
+/// thread, so it must never wait on the peer — a freshly accepted socket
+/// has an empty send buffer, so the single write virtually always lands.
 fn shed_at_accept(mut stream: TcpStream, telemetry: &Telemetry) {
     telemetry.inc(Counter::NetShedConnCap);
     let bytes = ErrorFrame {
@@ -404,9 +454,9 @@ fn shed_at_accept(mut stream: TcpStream, telemetry: &Telemetry) {
         message: "connection cap reached".into(),
     }
     .encode();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.write_all(&bytes);
-    telemetry.inc(Counter::NetFramesOut);
+    if stream.set_nonblocking(true).is_ok() && stream.write(&bytes).is_ok() {
+        telemetry.inc(Counter::NetFramesOut);
+    }
 }
 
 /// One poll pass over a connection: drain readable bytes, decode frames,
@@ -425,10 +475,12 @@ fn service_conn(
         return Fate::Close; // injected reset
     }
     let mut chunk = [0u8; 4096];
+    let mut saw_eof = false;
     loop {
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
                 // Peer EOF: finish what's pending, then close.
+                saw_eof = true;
                 conn.close_after_flush = true;
                 break;
             }
@@ -449,7 +501,8 @@ fn service_conn(
                 // Torn frame: the tail of the buffered bytes vanishes, as
                 // if the network cut mid-frame. The surviving prefix is
                 // either complete frames (served) or an incomplete one the
-                // loop keeps waiting on until reap/EOF.
+                // loop waits on until EOF or the reaper answers
+                // `ErrorCode::Torn` and closes.
                 let keep = conn.read_buf.len() / 2;
                 conn.read_buf.truncate(keep);
             }
@@ -476,7 +529,7 @@ fn service_conn(
                     message: e.to_string(),
                 }
                 .encode();
-                conn.push_frame(&bytes, tel);
+                conn.push_frame(&bytes, shared.config.output_cap, tel);
                 conn.close_after_flush = true;
                 conn.read_buf.clear();
                 consumed = 0;
@@ -499,7 +552,7 @@ fn service_conn(
                             message: "only request frames are accepted here".into(),
                         }
                         .encode();
-                        conn.push_frame(&bytes, tel);
+                        conn.push_frame(&bytes, shared.config.output_cap, tel);
                         conn.close_after_flush = true;
                     }
                 }
@@ -508,6 +561,21 @@ fn service_conn(
     }
     if consumed > 0 {
         conn.read_buf.drain(..consumed);
+    }
+
+    // Peer EOF with a partial frame still buffered: the stream tore
+    // mid-frame and no more bytes are coming. Answer with the typed
+    // `Torn` error before the close — never a silent drop.
+    if saw_eof && !conn.read_buf.is_empty() {
+        tel.inc(Counter::NetFrameErrors);
+        let bytes = ErrorFrame {
+            request_id: 0,
+            code: ErrorCode::Torn,
+            message: "stream ended mid-frame".into(),
+        }
+        .encode();
+        conn.push_frame(&bytes, shared.config.output_cap, tel);
+        conn.read_buf.clear();
     }
 
     // -- write --
@@ -536,6 +604,11 @@ fn service_conn(
         }
     }
 
+    if conn.kill {
+        // Output cap blown: the peer is not reading, so there is nothing
+        // left to flush to it. Drop the connection now.
+        return Fate::Close;
+    }
     if conn.close_after_flush && conn.flushed() && conn.in_flight == 0 {
         return Fate::Close;
     }
@@ -558,7 +631,7 @@ fn handle_request(
             message: "server is draining for shutdown".into(),
         }
         .encode();
-        conn.push_frame(&bytes, tel);
+        conn.push_frame(&bytes, shared.config.output_cap, tel);
         return;
     }
     // Retry dedup: a request we already answered is served from the ring —
@@ -573,7 +646,7 @@ fn handle_request(
     {
         let bytes = bytes.clone();
         tel.inc(Counter::NetRepliesDeduped);
-        conn.push_frame(&bytes, tel);
+        conn.push_frame(&bytes, shared.config.output_cap, tel);
         return;
     }
     let class = req.priority as usize;
@@ -596,7 +669,7 @@ fn handle_request(
                 message: "dispatch queue full".into(),
             }
             .encode();
-            conn.push_frame(&bytes, tel);
+            conn.push_frame(&bytes, shared.config.output_cap, tel);
         }
     }
 }
@@ -608,11 +681,20 @@ fn dispatcher_loop(shared: &NetShared) {
         let job = {
             let mut queue = lock(&shared.dispatch);
             loop {
+                // Stop check first: once the drain (or its timeout) has
+                // released the dispatchers, leftover queued jobs are
+                // discarded, not planned — each could wait up to
+                // `ticket_timeout`, and shutdown joins this thread, so
+                // planning them would let shutdown overrun the
+                // `drain_timeout` bound by queued_jobs × ticket_timeout.
+                if shared.dispatch_stop.load(Ordering::Acquire) {
+                    while queue.pop_next().is_some() {
+                        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    break None;
+                }
                 if let Some((_, job)) = queue.pop_next() {
                     break Some(job);
-                }
-                if shared.dispatch_stop.load(Ordering::Acquire) {
-                    break None;
                 }
                 queue = shared
                     .dispatch_ready

@@ -84,6 +84,19 @@ impl FrameReader {
     }
 }
 
+
+/// Spin until `cond` holds or five seconds elapse.
+fn wait_until(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}
+
 /// One-shot convenience for tests that expect a single frame.
 fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
     FrameReader::new().next(stream)
@@ -395,6 +408,126 @@ fn idle_connections_are_reaped_working_ones_are_not() {
         snap.get(Counter::NetConnectionsOpened),
         snap.get(Counter::NetConnectionsClosed),
         "reaped connections are accounted closed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn half_frame_slow_loris_is_reaped_with_a_torn_error() {
+    // A peer that sends a valid prefix of a frame and then goes silent
+    // (crash without FIN, deliberate slow loris) must not hold its
+    // connection slot forever: the reaper takes it back on inactivity
+    // alone, answering with a typed Torn error first.
+    let (server, tel) = start_server(
+        NetConfig { idle_timeout: Duration::from_millis(80), ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let full = RequestFrame {
+        request_id: 5,
+        priority: Priority::Standard,
+        namespace: 0,
+        deadline_ms: 0,
+        query: QuerySpec::tpch_q3(),
+    }
+    .encode();
+    // Header complete, body torn off: decodes as Incomplete forever.
+    stream.write_all(&full[..12]).unwrap();
+
+    assert!(
+        wait_until(|| {
+            let snap = tel.snapshot().unwrap();
+            snap.get(Counter::NetConnectionsOpened) == 1
+                && snap.get(Counter::NetConnectionsClosed) == 1
+        }),
+        "half-frame connection must be reaped"
+    );
+    assert_eq!(server.live_connections(), 0);
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Torn),
+        other => panic!("reap of a half-frame must answer Torn, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0, "reaped socket closes");
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetIdleReaped), 1);
+    assert_eq!(
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetConnectionsClosed),
+    );
+    server.shutdown();
+}
+
+#[test]
+fn eof_mid_frame_is_answered_with_a_torn_error_frame() {
+    // The peer's write side closes mid-frame: no more bytes are coming, so
+    // the torn stream draws a typed error before the close — never silent.
+    let (server, tel) = start_server(NetConfig::default(), ServiceConfig::default());
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let full = RequestFrame {
+        request_id: 6,
+        priority: Priority::Standard,
+        namespace: 0,
+        deadline_ms: 0,
+        query: QuerySpec::tpch_q3(),
+    }
+    .encode();
+    stream.write_all(&full[..full.len() - 3]).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    match read_frame(&mut stream) {
+        Some(Frame::Error(e)) => assert_eq!(e.code, ErrorCode::Torn),
+        other => panic!("EOF mid-frame must answer Torn, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetFrameErrors), 1, "the torn stream is counted once");
+    server.shutdown();
+}
+
+#[test]
+fn slow_readers_are_shed_at_the_output_cap() {
+    // A peer that sends requests but never reads its socket must not grow
+    // the server's per-connection output buffer without bound: once the
+    // buffered replies would pass `output_cap` the connection is dropped.
+    let (server, tel) = start_server(
+        // Smaller than any reply frame, so the very first completion
+        // overflows deterministically without having to out-race the
+        // kernel's socket buffers.
+        NetConfig { output_cap: 64, ..NetConfig::default() },
+        ServiceConfig::default(),
+    );
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .write_all(
+            &RequestFrame {
+                request_id: 8,
+                priority: Priority::Standard,
+                namespace: 0,
+                deadline_ms: 0,
+                query: QuerySpec::tpch_q3(),
+            }
+            .encode(),
+        )
+        .unwrap();
+    // Monotonic counters, not `live_connections`: accept through shed can
+    // all land inside one poll of this test's wait loop.
+    assert!(
+        wait_until(|| {
+            let snap = tel.snapshot().unwrap();
+            snap.get(Counter::NetConnectionsOpened) == 1
+                && snap.get(Counter::NetConnectionsClosed) == 1
+        }),
+        "slow reader must be disconnected"
+    );
+    assert_eq!(server.live_connections(), 0);
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(snap.get(Counter::NetShedSlowReader), 1);
+    assert_eq!(
+        snap.get(Counter::NetConnectionsOpened),
+        snap.get(Counter::NetConnectionsClosed),
     );
     server.shutdown();
 }

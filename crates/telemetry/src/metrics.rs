@@ -128,6 +128,9 @@ pub enum Counter {
     /// Requests whose deadline budget had already expired when a dispatcher
     /// picked them up (planned at the zero-eval rung, not stale).
     NetShedDeadline,
+    /// Connections dropped because the peer stopped reading and its
+    /// buffered reply backlog hit the per-connection output cap.
+    NetShedSlowReader,
     /// Retransmitted requests answered from the server's reply ring instead
     /// of being re-planned (request-id idempotence).
     NetRepliesDeduped,
@@ -142,7 +145,7 @@ pub enum Counter {
 pub const SHARD_LABEL_BUCKETS: usize = 8;
 
 impl Counter {
-    pub const ALL: [Counter; 52] = [
+    pub const ALL: [Counter; 53] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -192,6 +195,7 @@ impl Counter {
         Counter::NetShedOverloaded,
         Counter::NetShedConnCap,
         Counter::NetShedDeadline,
+        Counter::NetShedSlowReader,
         Counter::NetRepliesDeduped,
         Counter::NetIdleReaped,
         Counter::NetClientRetries,
@@ -266,6 +270,7 @@ impl Counter {
             Counter::NetShedOverloaded => "raqo_net_shed_total{reason=\"overloaded\"}",
             Counter::NetShedConnCap => "raqo_net_shed_total{reason=\"conn_cap\"}",
             Counter::NetShedDeadline => "raqo_net_shed_total{reason=\"deadline\"}",
+            Counter::NetShedSlowReader => "raqo_net_shed_total{reason=\"slow_reader\"}",
             Counter::NetRepliesDeduped => "raqo_net_replies_deduped_total",
             Counter::NetIdleReaped => "raqo_net_idle_reaped_total",
             Counter::NetClientRetries => "raqo_net_client_retries_total",
@@ -339,9 +344,10 @@ impl Counter {
             Counter::NetFrameErrors => {
                 "malformed inbound frames answered with a typed error frame"
             }
-            Counter::NetShedOverloaded | Counter::NetShedConnCap | Counter::NetShedDeadline => {
-                "plan-server load shed by reason"
-            }
+            Counter::NetShedOverloaded
+            | Counter::NetShedConnCap
+            | Counter::NetShedDeadline
+            | Counter::NetShedSlowReader => "plan-server load shed by reason",
             Counter::NetRepliesDeduped => {
                 "retried requests answered from the reply ring (idempotence)"
             }

@@ -8,6 +8,7 @@
 //! repro --smoke                # fast path: every figure at tiny sizes
 //! repro --chaos                # fault-injection gate: ladder + recovery paths
 //! repro --bench-json [path]    # planner speedup bench -> BENCH_planner.json
+//! repro --bench-json --enforce-floors  # ... and exit non-zero on perf-floor breaches
 //! repro --cache-file <path>    # TPC-H sweep warm-started from a persisted cache
 //! repro --trace <file>         # traced TPC-H sweep: EXPLAIN ANALYZE + span trees
 //! repro --metrics <base>       # TPC-H sweep -> <base>.prom + <base>.json
@@ -827,6 +828,58 @@ fn idp_smoke_gate() {
     );
 }
 
+/// `--smoke` Cascades gate: on the crafted fact/dim star the memo
+/// planner's winner must be *bushy* and strictly cheaper than the best
+/// left-deep Selinger plan; on a fully cyclic clique it must be no worse;
+/// and whenever its winner happens to be left-deep (chains at small n)
+/// its cost must agree with Selinger exactly — the memo search covers
+/// every left-deep order Selinger enumerates, plus the bushy shapes.
+fn cascades_smoke_gate() {
+    let (series, ms) = timed(|| speedup::measure_cascades(true));
+    let star = series
+        .points
+        .iter()
+        .find(|p| p.shape == "star")
+        .expect("cascades smoke: star point");
+    assert!(
+        star.bushy,
+        "cascades smoke: star winner must be bushy: {series:?}"
+    );
+    assert!(
+        star.cascades_cost < star.selinger_cost,
+        "cascades smoke: bushy star plan {} must strictly beat left-deep {}",
+        star.cascades_cost,
+        star.selinger_cost
+    );
+    assert!(
+        series.clique_bushy_and_cheaper,
+        "cascades smoke: crafted-clique winner must be bushy and strictly \
+         cheaper than left-deep: {series:?}"
+    );
+    for p in &series.points {
+        assert!(
+            p.no_worse,
+            "cascades smoke: {} plan {} worse than selinger {}",
+            p.shape, p.cascades_cost, p.selinger_cost
+        );
+        if !p.bushy {
+            assert!(
+                (p.cascades_cost - p.selinger_cost).abs() <= 1e-9 * p.selinger_cost.abs(),
+                "cascades smoke: left-deep {} winner must match selinger exactly \
+                 ({} vs {})",
+                p.shape,
+                p.cascades_cost,
+                p.selinger_cost
+            );
+        }
+    }
+    let gain = (1.0 - star.cascades_cost / star.selinger_cost) * 100.0;
+    println!(
+        "cascades  ok  {ms:>8.0} ms  bushy star beats best left-deep by {gain:.1}%; \
+         bushy clique win; chain no worse than Selinger"
+    );
+}
+
 /// `--smoke` SIMD/batched-kernel gate. Whichever cost kernel this binary
 /// compiled in (the explicit AVX2 kernel under `--features simd`, the
 /// scalar fold otherwise), the dispatching batch entry point must be
@@ -1139,6 +1192,7 @@ fn main() {
     let chaos = args.iter().any(|a| a == "--chaos");
     let service_demo = args.iter().any(|a| a == "--service-demo");
     let bench_json = args.iter().position(|a| a == "--bench-json");
+    let enforce_floors = args.iter().any(|a| a == "--enforce-floors");
     let serve = args
         .iter()
         .position(|a| a == "--serve")
@@ -1315,18 +1369,30 @@ fn main() {
             "wire front end: {:.0} req/s at {} connections (p50 {:.0} us, p99 {:.0} us e2e)",
             peak.requests_per_sec, peak.connections, peak.p50_latency_us, peak.p99_latency_us
         );
+        for p in &report.cascades.points {
+            println!(
+                "cascades {:>6} n={:<2}  selinger {:>12.3} -> cascades {:>12.3}  \
+                 bushy: {:<5}  no worse: {}",
+                p.shape, p.tables, p.selinger_cost, p.cascades_cost, p.bushy, p.no_worse
+            );
+        }
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote planner bench report to {path}");
-        // Regression gate: a sharded service slower than the single-lock
+        // Performance floors. Timing-sensitive by nature (shared CI
+        // runners wobble), so breaches only fail the run under
+        // `--enforce-floors`; the default is a loud warning.
+        let mut breached = false;
+        // Regression floor: a sharded service slower than the single-lock
         // baseline means the sharding layer itself regressed.
         if report.throughput.speedup_at_max_workers < 1.0 {
             eprintln!(
-                "FAIL: sharded plans/sec fell below the single-lock baseline \
+                "{}: sharded plans/sec fell below the single-lock baseline \
                  ({:.2}x)",
+                if enforce_floors { "FAIL" } else { "WARN" },
                 report.throughput.speedup_at_max_workers
             );
-            std::process::exit(1);
+            breached = true;
         }
         // The wire layer may tax throughput, but dropping below even the
         // slowest in-process configuration (×0.8 margin) means the event
@@ -1334,10 +1400,14 @@ fn main() {
         let floor = net_bench::in_process_floor(&report.throughput) * 0.8;
         if report.net.peak_requests_per_sec < floor {
             eprintln!(
-                "FAIL: wire requests/sec fell below the in-process floor x0.8 \
+                "{}: wire requests/sec fell below the in-process floor x0.8 \
                  ({:.0}/s < {:.0}/s)",
+                if enforce_floors { "FAIL" } else { "WARN" },
                 report.net.peak_requests_per_sec, floor
             );
+            breached = true;
+        }
+        if breached && enforce_floors {
             std::process::exit(1);
         }
         return;
@@ -1354,6 +1424,7 @@ fn main() {
         }
         selinger_smoke_gate();
         idp_smoke_gate();
+        cascades_smoke_gate();
         simd_parity_smoke_gate();
         telemetry_smoke_gate();
         observability_smoke_gate();

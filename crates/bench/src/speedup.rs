@@ -19,7 +19,7 @@
 use crate::experiments::timed;
 use crate::Table;
 use raqo_catalog::tpch::TpchSchema;
-use raqo_catalog::{QuerySpec, RandomSchema, RandomSchemaConfig};
+use raqo_catalog::{Catalog, JoinGraph, QuerySpec, RandomSchema, RandomSchemaConfig, TableStats};
 use raqo_core::{DegradationRung, Parallelism, PlannerKind, RaqoOptimizer, ResourceStrategy};
 use raqo_cost::JoinCostModel;
 use raqo_planner::RandomizedConfig;
@@ -73,6 +73,10 @@ pub struct PlannerBenchReport {
     /// What the trace pipeline costs: the same ticketed workload with
     /// telemetry disabled, head-sampled at 1%, and fully recording.
     pub telemetry: TelemetryOverheadSeries,
+    /// The Cascades memo planner against left-deep Selinger on star,
+    /// clique, and chain shapes; the star point must be bushy and
+    /// strictly cheaper (gated by `repro --smoke`).
+    pub cascades: CascadesSeries,
 }
 
 /// One telemetry mode's measurements over the ticketed workload.
@@ -420,6 +424,160 @@ pub fn measure_idp(quick: bool) -> IdpSeries {
     }
 }
 
+/// One shape's Selinger-vs-Cascades comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct CascadesPoint {
+    pub shape: String,
+    pub tables: usize,
+    pub selinger_wall_ms: f64,
+    pub cascades_wall_ms: f64,
+    pub selinger_cost: f64,
+    pub cascades_cost: f64,
+    /// The Cascades winner is a bushy tree (not left-deep).
+    pub bushy: bool,
+    /// cascades_cost ≤ selinger_cost within fp tolerance — the memo
+    /// search covers every left-deep order Selinger enumerates.
+    pub no_worse: bool,
+}
+
+/// Bushy-vs-left-deep series behind `repro --bench-json`: the Cascades
+/// memo planner against Selinger DP on the shapes where plan-space
+/// coverage differs — a wide fact/dim star (bushy dim×dim cross products
+/// halve the fact-sized probes), a fully cyclic clique, and a chain.
+#[derive(Debug, Clone, Serialize)]
+pub struct CascadesSeries {
+    pub points: Vec<CascadesPoint>,
+    /// The star point is bushy AND strictly cheaper than the best
+    /// left-deep plan.
+    pub star_bushy_and_cheaper: bool,
+    /// The crafted-clique point is bushy AND strictly cheaper.
+    pub clique_bushy_and_cheaper: bool,
+    /// Every point has cascades ≤ selinger.
+    pub all_no_worse: bool,
+}
+
+/// The crafted fact/dim star of the smoke gate: a wide 2M-row fact table
+/// and small dimensions, where probing the fact with dim×dim cross
+/// products halves the number of fact-sized joins — so the optimal plan
+/// is bushy and left-deep planners provably lose.
+pub fn crafted_star(dims: usize) -> (Catalog, JoinGraph) {
+    let mut catalog = Catalog::new();
+    let fact = catalog.add_stats_only("fact", TableStats::new(2_000_000.0, 400.0));
+    let mut graph = JoinGraph::new();
+    for i in 0..dims {
+        let rows = 200.0 + 100.0 * i as f64;
+        let d = catalog.add_stats_only(format!("dim{i}"), TableStats::new(rows, 60.0));
+        graph.add_edge(fact, d, 1.0 / rows);
+    }
+    (catalog, graph)
+}
+
+/// A crafted *clique*: two 2M-row fact tables, each with its own small
+/// FK dimensions, and *weak* (0.9) predicates closing every remaining
+/// pair — the graph is maximally cyclic, yet the strong edges form two
+/// star clusters. The bushy winner reduces each fact against tiny
+/// dimension cross products independently before the fact-to-fact join;
+/// a left-deep order must carry a fact-sized intermediate through every
+/// step after touching its first fact.
+pub fn crafted_clique(dims_per_fact: usize) -> (Catalog, JoinGraph) {
+    let mut catalog = Catalog::new();
+    let f1 = catalog.add_stats_only("fact1", TableStats::new(2_000_000.0, 400.0));
+    let f2 = catalog.add_stats_only("fact2", TableStats::new(2_000_000.0, 400.0));
+    let mut graph = JoinGraph::new();
+    graph.add_edge(f1, f2, 1.0 / 2_000_000.0);
+    let mut all = vec![f1, f2];
+    for (fact, side) in [(f1, "a"), (f2, "b")] {
+        for i in 0..dims_per_fact {
+            let rows = 200.0 + 100.0 * i as f64;
+            let d = catalog.add_stats_only(format!("dim_{side}{i}"), TableStats::new(rows, 60.0));
+            graph.add_edge(fact, d, 1.0 / rows);
+            all.push(d);
+        }
+    }
+    // Close the clique: every pair not already joined above gets a weak
+    // predicate, so each subset of relations is cyclic and connected.
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            if !graph.edges().iter().any(|e| {
+                (e.a == all[i] && e.b == all[j]) || (e.a == all[j] && e.b == all[i])
+            }) {
+                graph.add_edge(all[i], all[j], 0.9);
+            }
+        }
+    }
+    (catalog, graph)
+}
+
+/// Measure the Cascades-vs-Selinger series (see [`CascadesSeries`]).
+///
+/// Costed under the simulation oracle (not the trained model): the
+/// trained model floors per-join time on the tiny crafted dimensions, so
+/// every join order would tie and the bushy-vs-left-deep gap vanish.
+pub fn measure_cascades(quick: bool) -> CascadesSeries {
+    let model = raqo_cost::SimOracleCost::hive();
+    let cluster = ClusterConditions::paper_default();
+    let dims = if quick { 8 } else { 10 };
+    let star = crafted_star(dims);
+    let shapes: Vec<(&str, Catalog, JoinGraph)> = vec![
+        ("star", star.0, star.1),
+        {
+            let c = crafted_clique(3);
+            ("clique", c.0, c.1)
+        },
+        {
+            let s = RandomSchema::clique(8, 7);
+            ("clique_random", s.catalog, s.graph)
+        },
+        {
+            let s = RandomSchema::chain(10, 3);
+            ("chain", s.catalog, s.graph)
+        },
+    ];
+    let mut points = Vec::new();
+    for (shape, catalog, graph) in &shapes {
+        let rels: Vec<_> = catalog.table_ids().collect();
+        let tables = rels.len();
+        let query = QuerySpec::new(format!("{shape}_{tables}"), rels);
+        let run = |kind: PlannerKind| {
+            let mut opt = RaqoOptimizer::new(
+                catalog,
+                graph,
+                &model,
+                cluster,
+                kind,
+                ResourceStrategy::HillClimb,
+            );
+            timed(|| opt.optimize(&query).expect("plan"))
+        };
+        let (sel, selinger_wall_ms) = run(PlannerKind::Selinger);
+        let (cas, cascades_wall_ms) = run(PlannerKind::cascades());
+        points.push(CascadesPoint {
+            shape: (*shape).into(),
+            tables,
+            selinger_wall_ms,
+            cascades_wall_ms,
+            selinger_cost: sel.query.cost,
+            cascades_cost: cas.query.cost,
+            bushy: !cas.query.tree.is_left_deep(),
+            no_worse: cas.query.cost <= sel.query.cost * (1.0 + 1e-9),
+        });
+    }
+    let bushy_strict = |shape: &str| {
+        points
+            .iter()
+            .any(|p| p.shape == shape && p.bushy && p.cascades_cost < p.selinger_cost)
+    };
+    let star_bushy_and_cheaper = bushy_strict("star");
+    let clique_bushy_and_cheaper = bushy_strict("clique");
+    let all_no_worse = points.iter().all(|p| p.no_worse);
+    CascadesSeries {
+        points,
+        star_bushy_and_cheaper,
+        clique_bushy_and_cheaper,
+        all_no_worse,
+    }
+}
+
 fn mode_name(parallelism: Parallelism) -> String {
     match parallelism {
         Parallelism::Off => "off".into(),
@@ -505,6 +663,7 @@ pub fn measure(quick: bool) -> PlannerBenchReport {
         throughput: crate::throughput::measure(quick),
         net: crate::net_bench::measure(quick),
         telemetry: measure_telemetry(quick),
+        cascades: measure_cascades(quick),
     }
 }
 
@@ -665,6 +824,24 @@ mod tests {
         assert_eq!(per_seed.plan_cost.to_bits(), batched.plan_cost.to_bits(), "{series:?}");
         assert_eq!(per_seed.plan_cost_calls, batched.plan_cost_calls, "{series:?}");
         assert_eq!(per_seed.resource_iterations, batched.resource_iterations, "{series:?}");
+    }
+
+    #[test]
+    fn cascades_series_star_is_bushy_and_strictly_cheaper() {
+        let _serial = crate::timing_lock();
+        let series = measure_cascades(true);
+        assert!(
+            series.star_bushy_and_cheaper,
+            "star point must be bushy and beat left-deep: {series:?}"
+        );
+        assert!(
+            series.clique_bushy_and_cheaper,
+            "crafted clique point must be bushy and beat left-deep: {series:?}"
+        );
+        assert!(series.all_no_worse, "cascades lost to selinger: {series:?}");
+        for p in &series.points {
+            assert!(p.cascades_cost.is_finite() && p.cascades_cost > 0.0, "{series:?}");
+        }
     }
 
     #[test]

@@ -119,6 +119,32 @@ impl RandomSchema {
         Self::shaped(tables, seed, |i| (i > 0).then_some(0))
     }
 
+    /// A clique schema: every pair of tables is joined by an FK-style
+    /// edge, random paper-range stats. Cliques make *every* subset
+    /// connected and close a cycle inside every subset of ≥ 3 tables —
+    /// the stress shape for cardinality estimation (each edge's
+    /// selectivity must apply exactly once) and for memo search (the
+    /// full bushy space is admissible).
+    pub fn clique(tables: usize, seed: u64) -> RandomSchema {
+        assert!(tables >= 1, "need at least one table");
+        let cfg = RandomSchemaConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut catalog = Catalog::new();
+        for i in 0..tables {
+            let width = rng.gen_range(cfg.row_width.0..=cfg.row_width.1);
+            let rows = rng.gen_range(cfg.rows.0..=cfg.rows.1);
+            catalog.add_stats_only(format!("r{i}"), TableStats::new(rows.round(), width.round()));
+        }
+        let mut graph = JoinGraph::new();
+        for i in 0..tables {
+            for j in (i + 1)..tables {
+                let (a, b) = (TableId(i as u32), TableId(j as u32));
+                graph.add_edge(a, b, fk_selectivity(&catalog, a, b));
+            }
+        }
+        RandomSchema { catalog, graph }
+    }
+
     /// Build a schema whose join graph links each table `i` to
     /// `parent(i)` (None for roots); stats are drawn like
     /// [`RandomSchemaConfig::generate`].
@@ -250,6 +276,19 @@ mod tests {
         assert!(schema.graph.is_connected(&all));
         for e in schema.graph.edges() {
             assert!(e.touches(TableId(0)), "star edge misses the hub");
+        }
+    }
+
+    #[test]
+    fn clique_schema_joins_every_pair() {
+        let schema = RandomSchema::clique(8, 3);
+        assert_eq!(schema.graph.edges().len(), 8 * 7 / 2);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        assert!(schema.graph.is_connected(&all));
+        for e in schema.graph.edges() {
+            let ra = schema.catalog.table(e.a).stats.rows;
+            let rb = schema.catalog.table(e.b).stats.rows;
+            assert!((e.selectivity - 1.0 / ra.min(rb)).abs() < 1e-15);
         }
     }
 

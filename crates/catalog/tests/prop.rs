@@ -1,7 +1,7 @@
 //! Property tests for schemas, join graphs, and query generation.
 
 use proptest::prelude::*;
-use raqo_catalog::{QuerySpec, RandomSchemaConfig};
+use raqo_catalog::{QuerySpec, RandomSchema, RandomSchemaConfig};
 
 proptest! {
     /// Generated schemas always satisfy the paper's stat ranges and are
@@ -57,6 +57,75 @@ proptest! {
                 prop_assert!(w[0] < w[1]);
             }
         }
+    }
+
+    /// On clique schemas — the maximally *cyclic* join graphs — the
+    /// cardinality of any subset applies every in-subset edge's
+    /// selectivity exactly once: |S| = ∏ rows · ∏ sel(e), e ⊆ S. The
+    /// expected value is recomputed here independently edge by edge, so a
+    /// double-count (or skip) of any edge on a cycle fails the property.
+    #[test]
+    fn clique_cardinality_applies_each_edge_once(
+        n in 2usize..12,
+        seed in 0u64..200,
+        pick in 0u32..4096,
+    ) {
+        let schema = RandomSchema::clique(n, seed);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        let subset: Vec<_> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        if subset.len() < 2 { return Ok(()); }
+        let card = schema.graph.join_cardinality(&schema.catalog, &subset);
+        prop_assert!(card.is_finite() && card > 0.0, "cyclic subsets must stay finite");
+        let mut expected_ln: f64 = subset
+            .iter()
+            .map(|&t| schema.catalog.table(t).stats.rows.ln())
+            .sum();
+        for e in schema.graph.edges() {
+            if subset.contains(&e.a) && subset.contains(&e.b) {
+                expected_ln += e.selectivity.ln();
+            }
+        }
+        prop_assert!(
+            (card.ln() - expected_ln).abs() < 1e-6,
+            "each in-subset edge exactly once: got ln {} want ln {}",
+            card.ln(),
+            expected_ln
+        );
+    }
+
+    /// Clique cardinalities are invariant to how the subset is split for a
+    /// join: joining (L ⋈ R) via cross_selectivity agrees with the whole
+    /// subset's cardinality however the cut crosses the cycles.
+    #[test]
+    fn clique_cardinality_is_split_invariant(
+        n in 3usize..10,
+        seed in 0u64..100,
+        cut in 1u32..512,
+    ) {
+        let schema = RandomSchema::clique(n, seed);
+        let all: Vec<_> = schema.catalog.table_ids().collect();
+        let (left, right): (Vec<_>, Vec<_>) = all
+            .iter()
+            .enumerate()
+            .partition(|(i, _)| cut & (1 << i) != 0);
+        let left: Vec<_> = left.into_iter().map(|(_, &t)| t).collect();
+        let right: Vec<_> = right.into_iter().map(|(_, &t)| t).collect();
+        if left.is_empty() || right.is_empty() { return Ok(()); }
+        let joined = schema.graph.join_cardinality(&schema.catalog, &all);
+        let via_split = schema.graph.join_cardinality(&schema.catalog, &left)
+            * schema.graph.join_cardinality(&schema.catalog, &right)
+            * schema.graph.cross_selectivity(&left, &right);
+        prop_assert!(
+            ((joined.ln() - via_split.ln()).abs()) < 1e-6,
+            "split must not double-count cycle edges: {} vs {}",
+            joined,
+            via_split
+        );
     }
 
     /// Sampling a table scales cardinalities proportionally.

@@ -71,9 +71,14 @@ pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry
     let spans = telemetry.spans();
 
     // Per-join planning time: the planner re-costs the winning tree join by
-    // join under its final-cost span, so that span's `plan_cost` children
-    // line up with `plan.query.joins` in order. When the shapes disagree
-    // (e.g. the sink saw several queries), fall back to aggregates only.
+    // join under its final-cost span, each join wrapped in a
+    // `final_cost.join.<mask>` span labeled with the join's output relation
+    // *set* (a bitmask over the tree's sorted relations). Attribution keys
+    // each of `plan.query.joins` by that mask, so it is correct for bushy
+    // trees too — a positional zip would silently mislabel any plan whose
+    // joins aren't the left-deep prefix chain. When masks are unavailable
+    // (no labeled children, > 64 relations), fall back to the positional
+    // zip, then to aggregates only.
     out.push_str("Planning breakdown (measured):\n");
     // Parents are matched by the span's stable sequence id (not store
     // position), so the attribution survives ring eviction of older spans.
@@ -82,15 +87,41 @@ pub fn explain_analyze(plan: &RaqoPlan, catalog: &Catalog, telemetry: &Telemetry
         .rev()
         .find(|s| s.name.ends_with(".final_cost"))
         .map(|s| s.id);
-    let per_join: Vec<u64> = final_id
+    let mut rels: Vec<_> = plan.query.tree.relations();
+    rels.sort_unstable();
+    rels.dedup();
+    let mask_keyed: Vec<u64> = final_id
         .map(|fi| {
-            spans
+            plan.query
+                .joins
                 .iter()
-                .filter(|s| s.parent == Some(fi) && s.name == "plan_cost")
-                .map(|s| s.dur_ns())
+                .filter_map(|join| {
+                    let mut set = join.left.clone();
+                    set.extend_from_slice(&join.right);
+                    let mask = raqo_planner::coster::relation_set_mask(&rels, &set)?;
+                    let name = format!("final_cost.join.{mask}");
+                    spans
+                        .iter()
+                        .rev()
+                        .find(|s| s.parent == Some(fi) && s.name == name)
+                        .map(|s| s.dur_ns())
+                })
                 .collect()
         })
         .unwrap_or_default();
+    let per_join: Vec<u64> = if mask_keyed.len() == plan.query.joins.len() {
+        mask_keyed
+    } else {
+        final_id
+            .map(|fi| {
+                spans
+                    .iter()
+                    .filter(|s| s.parent == Some(fi) && s.name == "plan_cost")
+                    .map(|s| s.dur_ns())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
     if !per_join.is_empty() && per_join.len() == plan.query.joins.len() {
         let total: u64 = per_join.iter().sum();
         for (i, d) in per_join.iter().enumerate() {
@@ -264,6 +295,49 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("IDP rounds:"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_attributes_joins_of_bushy_plans_by_relation_set() {
+        use raqo_catalog::{Catalog, JoinGraph, TableStats};
+        // A star catalog crafted so the Cascades winner is bushy: joining
+        // two tiny dimensions first and probing the fact table with the
+        // small cross product beats every left-deep order. The positional
+        // zip this test guards against only ever lined up for left-deep
+        // prefix chains.
+        let mut catalog = Catalog::new();
+        let fact = catalog.add_stats_only("fact", TableStats::new(2_000_000.0, 400.0));
+        let mut graph = JoinGraph::new();
+        for i in 0..8u32 {
+            let rows = 200.0 + 100.0 * f64::from(i);
+            let d = catalog.add_stats_only(format!("dim_{i}"), TableStats::new(rows, 60.0));
+            graph.add_edge(fact, d, 1.0 / rows);
+        }
+        let model = SimOracleCost::hive();
+        let tel = Telemetry::enabled();
+        let mut opt = RaqoOptimizer::new(
+            &catalog,
+            &graph,
+            &model,
+            ClusterConditions::paper_default(),
+            PlannerKind::cascades(),
+            ResourceStrategy::HillClimb,
+        );
+        opt.set_telemetry(tel.clone());
+        let query = QuerySpec::new("star", catalog.table_ids().collect());
+        let plan = opt.optimize(&query).unwrap();
+        assert!(
+            !plan.query.tree.is_left_deep(),
+            "the crafted star must produce a bushy winner for this test to bite"
+        );
+        let text = explain_analyze(&plan, &catalog, &tel);
+        assert!(
+            !text.contains("per-join attribution unavailable"),
+            "bushy plans must get mask-keyed per-join attribution:\n{text}"
+        );
+        for i in 1..=plan.query.joins.len() {
+            assert!(text.contains(&format!("Join {i}: planned in")), "{text}");
+        }
     }
 
     #[test]

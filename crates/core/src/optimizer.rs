@@ -9,8 +9,9 @@ use raqo_cost::OperatorCost;
 use raqo_dtree::DecisionTree;
 use raqo_planner::coster::FixedResourceCoster;
 use raqo_planner::{
-    CardinalityEstimator, CostMemo, IdpConfig, IdpPlanner, PlanTree, PlannedQuery,
-    RandomizedConfig, RandomizedPlanner, SelingerError, SelingerPlanner,
+    CardinalityEstimator, CascadesConfig, CascadesError, CascadesPlanner, CostMemo, IdpConfig,
+    IdpPlanner, PlanTree, PlannedQuery, RandomizedConfig, RandomizedPlanner, SelingerError,
+    SelingerPlanner,
 };
 use raqo_resource::{
     BudgetTracker, BudgetTrigger, CacheLookup, ClusterConditions, Parallelism, PlanningBudget,
@@ -42,11 +43,14 @@ struct PlannerRun {
     /// Selinger returned `TooManyRelations` (whether or not the bridge
     /// then recovered).
     relation_bound: bool,
+    /// The Cascades memo search was cut short by the planning budget and
+    /// answered with its best already-costed plan (or the seed chain).
+    memo_cut: bool,
 }
 
 impl PlannerRun {
     fn direct(planned: Option<PlannedQuery>) -> Self {
-        PlannerRun { planned, bridged: false, relation_bound: false }
+        PlannerRun { planned, bridged: false, relation_bound: false, memo_cut: false }
     }
 }
 
@@ -84,12 +88,31 @@ pub enum PlannerKind {
     Idp(IdpConfig),
     /// The fast randomized multi-objective planner.
     FastRandomized(RandomizedConfig),
+    /// Cascades-style memo optimizer: logical groups, an explicit task
+    /// stack, commutativity + associativity rules — the only planner here
+    /// that searches *bushy* join trees. Costs every candidate through the
+    /// same `getPlanCost` seam as Selinger, so resource planning, caching,
+    /// memoization and planning budgets compose unchanged; queries past
+    /// [`raqo_planner::DEFAULT_CASCADES_THRESHOLD`] bridge to IDP exactly
+    /// like the Selinger relation bound.
+    Cascades(CascadesConfig),
 }
 
 impl PlannerKind {
     /// IDP with the default block size (10).
     pub fn idp() -> Self {
         PlannerKind::Idp(IdpConfig::default())
+    }
+
+    /// Cascades memo search over bushy trees, default bounds, no memo.
+    pub fn cascades() -> Self {
+        PlannerKind::Cascades(CascadesConfig::default())
+    }
+
+    /// Cascades with the cross-run sub-plan cost memo (same memo and
+    /// context fingerprint as [`PlannerKind::SelingerMemoized`]).
+    pub fn cascades_memoized() -> Self {
+        PlannerKind::Cascades(CascadesConfig { memoize: true, ..Default::default() })
     }
 
     pub fn fast_randomized(seed: u64) -> Self {
@@ -120,6 +143,12 @@ pub enum DegradationRung {
     /// Planning fell all the way to rule-based RAQO: decision-tree join
     /// dispatch at fixed (grid-midpoint) resources, no search at all.
     RuleBased,
+    /// The Cascades memo search was cut short by the planning budget: the
+    /// returned plan is the best fully-costed candidate at cut-off (or the
+    /// seed left-deep chain), not necessarily the memo optimum. The plan
+    /// still came out of the configured planner — this is the mildest rung
+    /// of all, milder than the IDP bridge.
+    MemoCut,
 }
 
 impl std::fmt::Display for DegradationRung {
@@ -128,6 +157,7 @@ impl std::fmt::Display for DegradationRung {
             DegradationRung::IdpBridge => write!(f, "idp_bridge"),
             DegradationRung::Randomized => write!(f, "randomized"),
             DegradationRung::RuleBased => write!(f, "rule_based"),
+            DegradationRung::MemoCut => write!(f, "memo_cut"),
         }
     }
 }
@@ -465,11 +495,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 match result {
                     Ok(planned) => {
                         note_memo(&mut self.coster, &self.selinger_memo);
-                        PlannerRun {
-                            planned: Some(planned),
-                            bridged: false,
-                            relation_bound: false,
-                        }
+                        PlannerRun::direct(Some(planned))
                     }
                     Err(SelingerError::TooManyRelations { .. }) => {
                         // Mildest fallback first: bridge with iterative DP,
@@ -494,13 +520,17 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                                 planned: Some(planned),
                                 bridged: true,
                                 relation_bound: true,
+                                memo_cut: false,
                             };
                         }
-                        PlannerRun { planned: None, bridged: false, relation_bound: true }
+                        PlannerRun {
+                            planned: None,
+                            bridged: false,
+                            relation_bound: true,
+                            memo_cut: false,
+                        }
                     }
-                    Err(SelingerError::Infeasible) => {
-                        PlannerRun { planned: None, bridged: false, relation_bound: false }
-                    }
+                    Err(SelingerError::Infeasible) => PlannerRun::direct(None),
                 }
             }
             PlannerKind::Idp(cfg) => {
@@ -535,6 +565,98 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                     o.best
                 });
                 PlannerRun::direct(planned)
+            }
+            PlannerKind::Cascades(cfg) => {
+                let _span = tel.span("planner.cascades");
+                let cfg = cfg.clone();
+                let parallelism = self.coster.parallelism;
+                let context = self.selinger_context();
+                let hits_before = self.selinger_memo.as_ref().map_or(0, CostMemo::hits);
+                let misses_before = self.selinger_memo.as_ref().map_or(0, CostMemo::misses);
+                let evictions_before =
+                    self.selinger_memo.as_ref().map_or(0, CostMemo::evictions);
+                // The budget is polled by the planner at every task pop:
+                // on exhaustion the memo search cuts short and answers with
+                // its best costed plan instead of failing down a rung.
+                let tracker = self.coster.budget.clone();
+                let stop_fn = move || tracker.exhausted().is_some() || !tracker.check_deadline();
+                let stop: Option<&dyn Fn() -> bool> = if self.coster.budget.is_limited() {
+                    Some(&stop_fn)
+                } else {
+                    None
+                };
+                let memo = if cfg.memoize {
+                    let m = self.selinger_memo.get_or_insert_with(CostMemo::default);
+                    m.set_context(context);
+                    Some(m)
+                } else {
+                    None
+                };
+                let result = CascadesPlanner::plan_traced(
+                    &self.catalog,
+                    &self.graph,
+                    query,
+                    &mut self.coster,
+                    parallelism,
+                    memo,
+                    &tel,
+                    &cfg,
+                    stop,
+                );
+                let note_memo = |coster: &mut RaqoCoster<'a, M>, memo: &Option<CostMemo>| {
+                    if cfg.memoize {
+                        if let Some(m) = memo {
+                            let hits = m.hits() - hits_before;
+                            coster.stats.memo_hits += hits;
+                            tel.add(Counter::MemoHits, hits);
+                            tel.add(Counter::MemoMisses, m.misses() - misses_before);
+                            tel.add(Counter::MemoEvictions, m.evictions() - evictions_before);
+                        }
+                    }
+                };
+                match result {
+                    Ok(out) => {
+                        note_memo(&mut self.coster, &self.selinger_memo);
+                        PlannerRun {
+                            planned: Some(out.planned),
+                            bridged: false,
+                            relation_bound: false,
+                            memo_cut: out.cut_short,
+                        }
+                    }
+                    Err(CascadesError::TooManyRelations { .. }) => {
+                        // Same bridge order as the Selinger relation bound:
+                        // iterative DP keeps the DP search (and the memo)
+                        // intact past the memo-search bound.
+                        let memo = if cfg.memoize { self.selinger_memo.as_mut() } else { None };
+                        let bridged = IdpPlanner::plan_traced(
+                            &self.catalog,
+                            &self.graph,
+                            query,
+                            &mut self.coster,
+                            parallelism,
+                            memo,
+                            &tel,
+                            IdpConfig::default(),
+                        );
+                        if let Ok(planned) = bridged {
+                            note_memo(&mut self.coster, &self.selinger_memo);
+                            return PlannerRun {
+                                planned: Some(planned),
+                                bridged: true,
+                                relation_bound: true,
+                                memo_cut: false,
+                            };
+                        }
+                        PlannerRun {
+                            planned: None,
+                            bridged: false,
+                            relation_bound: true,
+                            memo_cut: false,
+                        }
+                    }
+                    Err(CascadesError::Infeasible) => PlannerRun::direct(None),
+                }
             }
         }
     }
@@ -625,6 +747,7 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 DegradationRung::IdpBridge => Counter::DegradationsIdpBridge,
                 DegradationRung::Randomized => Counter::DegradationsRandomized,
                 DegradationRung::RuleBased => Counter::DegradationsRuleBased,
+                DegradationRung::MemoCut => Counter::DegradationsMemoCut,
             });
             if matches!(
                 trigger,
@@ -658,6 +781,14 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
             note(
                 DegradationRung::IdpBridge,
                 trigger_now(&tracker, DegradationTrigger::RelationBoundBridged),
+            );
+        }
+        // A Cascades search cut short by the budget still answered in-rung
+        // with an annotated (best-so-far) plan — the mildest degradation.
+        if run.planned.is_some() && run.memo_cut {
+            note(
+                DegradationRung::MemoCut,
+                trigger_now(&tracker, DegradationTrigger::EvalBudget),
             );
         }
         let mut planned = run.planned;
@@ -744,6 +875,26 @@ impl<'a, M: OperatorCost + Send + Sync> RaqoOptimizer<'a, M> {
                 let cfg = cfg.clone();
                 RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &cfg)
                     .map(|o| o.best)
+            }
+            PlannerKind::Cascades(cfg) => {
+                let cfg = cfg.clone();
+                match CascadesPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &cfg) {
+                    Ok(out) => Some(out.planned),
+                    Err(CascadesError::TooManyRelations { .. }) => IdpPlanner::plan(
+                        &self.catalog,
+                        &self.graph,
+                        query,
+                        &mut fixed,
+                        IdpConfig::default(),
+                    )
+                    .ok()
+                    .or_else(|| {
+                        let rcfg = RandomizedConfig::default();
+                        RandomizedPlanner::plan(&self.catalog, &self.graph, query, &mut fixed, &rcfg)
+                            .map(|o| o.best)
+                    }),
+                    Err(CascadesError::Infeasible) => None,
+                }
             }
         }
     }
@@ -1285,6 +1436,115 @@ mod tests {
         assert_eq!(plan.query.joins.len(), 23);
         assert!(raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations));
         assert!(plan.query.joins.iter().all(|j| j.decision.resources.is_some()));
+    }
+
+    #[test]
+    fn cascades_planner_kind_plans_jointly_and_never_loses_to_selinger() {
+        let schema = TpchSchema::new(1.0);
+        for query in [QuerySpec::tpch_q3(), QuerySpec::tpch_q12()] {
+            let mut sel =
+                optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+            let selinger = sel.optimize(&query).expect("selinger plans");
+            let mut cas = optimizer(
+                &schema,
+                model(),
+                PlannerKind::cascades(),
+                ResourceStrategy::HillClimb,
+            );
+            let cascades = cas.optimize(&query).expect("cascades plans");
+            // Rung 1, no degradation: the memo search is the configured
+            // planner, not a fallback.
+            assert!(cascades.degradation.is_none());
+            assert_eq!(cascades.query.joins.len(), query.num_joins());
+            assert!(raqo_planner::plan::covers_exactly(&cascades.query.tree, &query.relations));
+            // Still full RAQO: resources on every join.
+            assert!(cascades.query.joins.iter().all(|j| j.decision.resources.is_some()));
+            // The bushy search space strictly contains the left-deep one.
+            assert!(
+                cascades.query.cost <= selinger.query.cost * (1.0 + 1e-12),
+                "{}: cascades {} must not lose to selinger {}",
+                query.name,
+                cascades.query.cost,
+                selinger.query.cost
+            );
+        }
+    }
+
+    #[test]
+    fn cascades_memoized_replays_on_second_optimize() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let mut plain =
+            optimizer(&schema, model(), PlannerKind::cascades(), ResourceStrategy::HillClimb);
+        let a = plain.optimize(&query).unwrap();
+        let mut memoized = optimizer(
+            &schema,
+            model(),
+            PlannerKind::cascades_memoized(),
+            ResourceStrategy::HillClimb,
+        );
+        let b = memoized.optimize(&query).unwrap();
+        assert_eq!(a.query, b.query, "memoization must not change the plan");
+        let c = memoized.optimize(&query).unwrap();
+        assert_eq!(a.query, c.query);
+        assert!(c.stats.memo_hits > 0, "second optimize must replay the cross-run memo");
+    }
+
+    #[test]
+    fn cascades_budget_cut_returns_annotated_memo_cut_plan() {
+        let schema = TpchSchema::new(1.0);
+        let mut opt =
+            optimizer(&schema, model(), PlannerKind::cascades(), ResourceStrategy::BruteForce);
+        // Brute force charges 2 000 evaluations per getPlanCost call. The
+        // seed warm-up for q3's two joins takes 4 000; 5 000 exhausts on
+        // the first exploration candidate, so the memo search is cut short
+        // *after* a complete seed plan was recorded — the cut must answer
+        // in-rung with that plan, annotated as the memo_cut rung.
+        opt.set_budget(PlanningBudget::with_max_evals(5_000));
+        let query = QuerySpec::tpch_q3();
+        let plan = opt.optimize(&query).expect("cut search must still answer");
+        let d = plan.degradation.expect("a cut must be reported");
+        assert_eq!(d.rung, crate::optimizer::DegradationRung::MemoCut);
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::EvalBudget);
+        assert!(d.evals_used >= 5_000);
+        assert_eq!(plan.query.joins.len(), 2);
+        assert!(raqo_planner::plan::covers_exactly(&plan.query.tree, &query.relations));
+        assert!(plan.query.cost.is_finite() && plan.query.cost > 0.0);
+        assert!(plan.query.joins.iter().all(|j| j.decision.resources.is_some()));
+    }
+
+    #[test]
+    fn cascades_past_bound_bridges_with_idp() {
+        use raqo_catalog::RandomSchemaConfig;
+        let schema = RandomSchemaConfig::with_tables(20, 11).generate();
+        let query = QuerySpec::random_connected(&schema.catalog, &schema.graph, 16, 11);
+        let mut opt = RaqoOptimizer::new(
+            std::sync::Arc::new(schema.catalog),
+            std::sync::Arc::new(schema.graph),
+            model(),
+            ClusterConditions::paper_default(),
+            PlannerKind::cascades(),
+            ResourceStrategy::HillClimb,
+        );
+        let plan = opt.optimize(&query).expect("IDP bridge plans");
+        let d = plan.degradation.expect("relation-bound bridge must be reported");
+        assert_eq!(d.rung, crate::optimizer::DegradationRung::IdpBridge);
+        assert_eq!(d.trigger, crate::optimizer::DegradationTrigger::RelationBoundBridged);
+        assert_eq!(plan.query.joins.len(), 15);
+    }
+
+    #[test]
+    fn cascades_fixed_resource_planning_matches_or_beats_selinger() {
+        let schema = TpchSchema::new(1.0);
+        let query = QuerySpec::tpch_q3();
+        let mut sel =
+            optimizer(&schema, model(), PlannerKind::Selinger, ResourceStrategy::HillClimb);
+        let a = sel.plan_for_resources(&query, 40.0, 8.0).expect("selinger fixed");
+        let mut cas =
+            optimizer(&schema, model(), PlannerKind::cascades(), ResourceStrategy::HillClimb);
+        let b = cas.plan_for_resources(&query, 40.0, 8.0).expect("cascades fixed");
+        assert!(b.cost <= a.cost * (1.0 + 1e-12));
+        assert!(raqo_planner::plan::covers_exactly(&b.tree, &query.relations));
     }
 
     #[test]

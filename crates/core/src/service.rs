@@ -572,6 +572,44 @@ mod tests {
     }
 
     #[test]
+    fn service_runs_cascades_optimizers_through_the_shared_bank() {
+        fn build_cascades(_worker: usize) -> RaqoOptimizer<'static, SimOracleCost> {
+            static MODEL: std::sync::OnceLock<SimOracleCost> = std::sync::OnceLock::new();
+            static SCHEMA: std::sync::OnceLock<TpchSchema> = std::sync::OnceLock::new();
+            let model = MODEL.get_or_init(SimOracleCost::hive);
+            let schema = SCHEMA.get_or_init(|| TpchSchema::new(1.0));
+            RaqoOptimizer::new(
+                Arc::new(schema.catalog.clone()),
+                Arc::new(schema.graph.clone()),
+                model,
+                ClusterConditions::paper_default(),
+                PlannerKind::cascades(),
+                ResourceStrategy::HillClimbCached(CacheLookup::NearestNeighbor {
+                    threshold: 0.05,
+                }),
+            )
+        }
+        let service = PlanningService::start(
+            ServiceConfig { workers: 2, ..Default::default() },
+            ShardedCacheBank::with_shards(8),
+            Telemetry::disabled(),
+            build_cascades,
+        );
+        let tickets: Vec<PlanTicket> = [QuerySpec::tpch_q3(), QuerySpec::tpch_q12()]
+            .into_iter()
+            .map(|q| service.submit(PlanRequest::new(q, Priority::Standard)))
+            .collect();
+        for ticket in tickets {
+            let reply = ticket.wait();
+            assert!(!reply.shed);
+            let plan = reply.plan.expect("cascades worker must plan");
+            assert!(plan.time_sec() > 0.0);
+            assert!(plan.degradation.is_none(), "small queries stay on rung 1");
+        }
+        assert_eq!(service.completed(), 2);
+    }
+
+    #[test]
     fn namespaces_partition_the_shared_bank() {
         let bank = ShardedCacheBank::with_shards(8);
         let service = PlanningService::start(

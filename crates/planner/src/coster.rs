@@ -21,6 +21,7 @@ use raqo_cost::objective::CostVector;
 use raqo_cost::OperatorCost;
 use raqo_resource::Parallelism;
 use raqo_sim::engine::JoinImpl;
+use raqo_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The decision made for one join operator: implementation, scalar planning
@@ -126,6 +127,76 @@ fn cost_rec(
             let decision = coster.join_cost(&io)?;
             let mut all = lrels.clone();
             all.extend_from_slice(&rrels);
+            joins.push(PlannedJoin { left: lrels, right: rrels, io, decision });
+            Some(all)
+        }
+    }
+}
+
+/// Bitmask of `set` over the sorted, deduped relation list `rels`:
+/// bit *i* is set when `rels[i]` appears in `set`. Returns `None` when the
+/// query has more than 64 relations or `set` mentions a relation outside
+/// `rels`. This is the key EXPLAIN ANALYZE uses to attribute per-join
+/// planning time on bushy trees, where positional zipping misattributes.
+pub fn relation_set_mask(rels: &[TableId], set: &[TableId]) -> Option<u64> {
+    if rels.len() > 64 {
+        return None;
+    }
+    let mut mask = 0u64;
+    for t in set {
+        let i = rels.binary_search(t).ok()?;
+        mask |= 1u64 << i;
+    }
+    Some(mask)
+}
+
+/// [`cost_tree`], but wrapping each join's costing in a labeled span
+/// `final_cost.join.<mask>` where `<mask>` is the join's *output*
+/// relation-set bitmask over the tree's sorted relation list. EXPLAIN
+/// ANALYZE matches those spans by mask — position-independent, so the
+/// attribution is correct on bushy trees too. Falls back to the untraced
+/// walk when telemetry is disabled (identical decisions either way).
+pub fn cost_tree_traced(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    tel: &Telemetry,
+) -> Option<PlannedQuery> {
+    if !tel.is_enabled() {
+        return cost_tree(tree, est, coster);
+    }
+    let mut sorted = tree.relations();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut joins = Vec::new();
+    let rels = cost_rec_traced(tree, est, coster, &mut joins, &sorted, tel)?;
+    debug_assert_eq!(rels.len(), tree.relations().len());
+    let cost = joins.iter().map(|j| j.decision.cost).sum();
+    let objectives = joins
+        .iter()
+        .fold(CostVector::ZERO, |acc, j| acc.add(&j.decision.objectives));
+    Some(PlannedQuery { tree: tree.clone(), joins, cost, objectives })
+}
+
+fn cost_rec_traced(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    joins: &mut Vec<PlannedJoin>,
+    sorted: &[TableId],
+    tel: &Telemetry,
+) -> Option<Vec<TableId>> {
+    match tree {
+        PlanTree::Leaf(t) => Some(vec![*t]),
+        PlanTree::Join(l, r) => {
+            let lrels = cost_rec_traced(l, est, coster, joins, sorted, tel)?;
+            let rrels = cost_rec_traced(r, est, coster, joins, sorted, tel)?;
+            let mut all = lrels.clone();
+            all.extend_from_slice(&rrels);
+            let _span = relation_set_mask(sorted, &all)
+                .map(|m| tel.span_labeled("final_cost.join", m as usize));
+            let io = est.join_io(&lrels, &rrels);
+            let decision = coster.join_cost(&io)?;
             joins.push(PlannedJoin { left: lrels, right: rrels, io, decision });
             Some(all)
         }

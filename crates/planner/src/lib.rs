@@ -24,9 +24,13 @@
 //!   re-implementation (associativity + exchange mutations, ε-Pareto
 //!   archive, iterative improvement);
 //! * [`memo`] — sub-plan cost memoization keyed on relation bitsets, so the
-//!   randomized planner re-costs only the joins a mutation actually changed.
+//!   randomized planner re-costs only the joins a mutation actually changed;
+//! * [`cascades`] — a Cascades-style memo optimizer (logical groups,
+//!   explicit task stack, commutativity + associativity rules) searching
+//!   *bushy* join trees through the same `getPlanCost` seam.
 
 pub mod cardinality;
+pub mod cascades;
 pub mod coster;
 pub mod idp;
 pub mod memo;
@@ -35,6 +39,10 @@ pub mod randomized;
 pub mod selinger;
 
 pub use cardinality::{CardinalityEstimator, JoinIo};
+pub use cascades::{
+    CascadesConfig, CascadesError, CascadesOutcome, CascadesPlanner,
+    DEFAULT_CASCADES_THRESHOLD,
+};
 pub use coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
 pub use idp::{IdpConfig, IdpPlanner};
 pub use memo::{cost_tree_memo, CostMemo};

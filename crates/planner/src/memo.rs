@@ -29,6 +29,7 @@ use crate::coster::{JoinDecision, PlanCoster, PlannedJoin, PlannedQuery};
 use crate::plan::PlanTree;
 use raqo_catalog::TableId;
 use raqo_cost::objective::CostVector;
+use raqo_telemetry::Telemetry;
 use std::collections::HashMap;
 
 /// Memo of join decisions keyed on (left bitset, right bitset, context) of
@@ -317,6 +318,58 @@ fn cost_rec_memo(
             let (io, decision) = memo.join_cost(&lrels, &rrels, est, coster)?;
             let mut all = lrels.clone();
             all.extend_from_slice(&rrels);
+            joins.push(PlannedJoin { left: lrels, right: rrels, io, decision });
+            Some(all)
+        }
+    }
+}
+
+/// [`cost_tree_memo`] with the labeled `final_cost.join.<mask>` spans of
+/// [`crate::coster::cost_tree_traced`]: one span per join keyed by the
+/// join's output relation-set bitmask, wrapping the memo lookup (so hits
+/// attribute their — tiny — planning time correctly too).
+pub fn cost_tree_memo_traced(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    memo: &mut CostMemo,
+    tel: &Telemetry,
+) -> Option<PlannedQuery> {
+    if !tel.is_enabled() {
+        return cost_tree_memo(tree, est, coster, memo);
+    }
+    let mut sorted = tree.relations();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut joins = Vec::new();
+    let rels = cost_rec_memo_traced(tree, est, coster, memo, &mut joins, &sorted, tel)?;
+    debug_assert_eq!(rels.len(), tree.relations().len());
+    let cost = joins.iter().map(|j| j.decision.cost).sum();
+    let objectives = joins
+        .iter()
+        .fold(CostVector::ZERO, |acc, j| acc.add(&j.decision.objectives));
+    Some(PlannedQuery { tree: tree.clone(), joins, cost, objectives })
+}
+
+fn cost_rec_memo_traced(
+    tree: &PlanTree,
+    est: &CardinalityEstimator<'_>,
+    coster: &mut dyn PlanCoster,
+    memo: &mut CostMemo,
+    joins: &mut Vec<PlannedJoin>,
+    sorted: &[TableId],
+    tel: &Telemetry,
+) -> Option<Vec<TableId>> {
+    match tree {
+        PlanTree::Leaf(t) => Some(vec![*t]),
+        PlanTree::Join(l, r) => {
+            let lrels = cost_rec_memo_traced(l, est, coster, memo, joins, sorted, tel)?;
+            let rrels = cost_rec_memo_traced(r, est, coster, memo, joins, sorted, tel)?;
+            let mut all = lrels.clone();
+            all.extend_from_slice(&rrels);
+            let _span = crate::coster::relation_set_mask(sorted, &all)
+                .map(|m| tel.span_labeled("final_cost.join", m as usize));
+            let (io, decision) = memo.join_cost(&lrels, &rrels, est, coster)?;
             joins.push(PlannedJoin { left: lrels, right: rrels, io, decision });
             Some(all)
         }

@@ -15,8 +15,8 @@
 //! itself is available for Pareto-front inspection).
 
 use crate::cardinality::CardinalityEstimator;
-use crate::coster::{cost_tree, PlanCoster, PlannedQuery};
-use crate::memo::{cost_tree_memo, CostMemo};
+use crate::coster::{cost_tree, cost_tree_traced, PlanCoster, PlannedQuery};
+use crate::memo::{cost_tree_memo, cost_tree_memo_traced, CostMemo};
 use crate::plan::{Mutation, PlanTree};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -175,7 +175,10 @@ impl RandomizedPlanner {
         // Re-cost the winner so the returned per-join decisions correspond
         // to the final plan.
         let _final_span = tel.span("randomized.final_cost");
-        let best = cost(&best_entry.tree.clone(), coster)?;
+        let best = match memo.as_mut() {
+            Some(m) => cost_tree_memo_traced(&best_entry.tree.clone(), &est, coster, m, tel),
+            None => cost_tree_traced(&best_entry.tree.clone(), &est, coster, tel),
+        }?;
         let frontier = archive.iter().map(|a| a.objectives).collect();
         let memo_hits = memo.as_ref().map_or(0, |m| m.hits());
         Some(RandomizedOutcome { best, frontier, plans_costed, memo_hits })

@@ -41,8 +41,8 @@
 //!   only joins it has never seen under the current cluster conditions.
 
 use crate::cardinality::{CardinalityEstimator, JoinIo};
-use crate::coster::{cost_tree, PlanCoster, PlannedQuery};
-use crate::memo::{cost_tree_memo, CostMemo};
+use crate::coster::{cost_tree, cost_tree_traced, PlanCoster, PlannedQuery};
+use crate::memo::{cost_tree_memo_traced, CostMemo};
 use crate::plan::PlanTree;
 use raqo_catalog::{Catalog, JoinGraph, QuerySpec, TableId};
 use raqo_resource::Parallelism;
@@ -272,8 +272,8 @@ impl SelingerPlanner {
         );
         if n == 1 {
             return match memo {
-                Some(m) => cost_tree_memo(&items[0].tree, est, coster, m),
-                None => cost_tree(&items[0].tree, est, coster),
+                Some(m) => cost_tree_memo_traced(&items[0].tree, est, coster, m, tel),
+                None => cost_tree_traced(&items[0].tree, est, coster, tel),
             };
         }
         Self::plan_inner(
@@ -338,8 +338,8 @@ impl SelingerPlanner {
             tree = PlanTree::join(tree, items[i].tree.clone());
         }
         match memo {
-            Some(m) => cost_tree_memo(&tree, est, coster, m),
-            None => cost_tree(&tree, est, coster),
+            Some(m) => cost_tree_memo_traced(&tree, est, coster, m, tel),
+            None => cost_tree_traced(&tree, est, coster, tel),
         }
     }
 

@@ -139,13 +139,22 @@ pub enum Counter {
     /// Client-side retry attempts (reconnect + resend of the same request
     /// id after an error, timeout, or overload reply).
     NetClientRetries,
+    /// Logical groups materialized by the Cascades memo search.
+    CascadesGroups,
+    /// Join expressions materialized (after dedup) by the Cascades memo.
+    CascadesExpressions,
+    /// Tasks popped off the Cascades task stack.
+    CascadesTasks,
+    /// Cascades memo searches cut short by the planning budget (the plan
+    /// returned is the best costed so far, or the seed left-deep tree).
+    DegradationsMemoCut,
 }
 
 /// Number of `shard="N"` label buckets for sharded-cache lookup counters.
 pub const SHARD_LABEL_BUCKETS: usize = 8;
 
 impl Counter {
-    pub const ALL: [Counter; 53] = [
+    pub const ALL: [Counter; 57] = [
         Counter::PlanCostCalls,
         Counter::ResourceIterations,
         Counter::CacheHitsExact,
@@ -199,6 +208,10 @@ impl Counter {
         Counter::NetRepliesDeduped,
         Counter::NetIdleReaped,
         Counter::NetClientRetries,
+        Counter::CascadesGroups,
+        Counter::CascadesExpressions,
+        Counter::CascadesTasks,
+        Counter::DegradationsMemoCut,
     ];
 
     /// The lookup counter for shard `index`, folding indices past
@@ -274,6 +287,10 @@ impl Counter {
             Counter::NetRepliesDeduped => "raqo_net_replies_deduped_total",
             Counter::NetIdleReaped => "raqo_net_idle_reaped_total",
             Counter::NetClientRetries => "raqo_net_client_retries_total",
+            Counter::CascadesGroups => "raqo_cascades_groups_total",
+            Counter::CascadesExpressions => "raqo_cascades_expressions_total",
+            Counter::CascadesTasks => "raqo_cascades_tasks_total",
+            Counter::DegradationsMemoCut => "raqo_degradations_total{rung=\"memo_cut\"}",
         }
     }
 
@@ -315,7 +332,8 @@ impl Counter {
             }
             Counter::DegradationsIdpBridge
             | Counter::DegradationsRandomized
-            | Counter::DegradationsRuleBased => {
+            | Counter::DegradationsRuleBased
+            | Counter::DegradationsMemoCut => {
                 "optimizer degradations to a lower planning-ladder rung"
             }
             Counter::CacheShardLookups0
@@ -353,6 +371,9 @@ impl Counter {
             }
             Counter::NetIdleReaped => "idle connections closed by the reaper",
             Counter::NetClientRetries => "plan-client retry attempts",
+            Counter::CascadesGroups => "Cascades memo groups materialized",
+            Counter::CascadesExpressions => "Cascades memo join expressions (deduplicated)",
+            Counter::CascadesTasks => "Cascades task-stack pops",
         }
     }
 }
